@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's evaluation artefacts
+(see DESIGN.md Sec. 4 for the index) and prints the regenerated rows
+next to the paper's values, so `pytest benchmarks/ --benchmark-only -s`
+reproduces the whole evaluation in one run.
+
+Simulation benchmarks are deterministic and moderately expensive, so
+they run with pedantic single-round settings via the ``once``
+helper below.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benched callable exactly once per measurement round."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=3, iterations=1,
+                                  warmup_rounds=0)
+
+    return run
+
+
+def emit(title: str, body: str) -> None:
+    print(f"\n=== {title} ===\n{body}")

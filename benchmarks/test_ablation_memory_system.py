@@ -1,0 +1,73 @@
+"""Ablation: the memory-system techniques FAST's numbers rest on.
+
+The paper adopts the EKG (Sec. 5.7.2, halves key bytes) and ARK's
+Min-KS key reuse (Sec. 6.1) but never isolates them; this benchmark
+does, quantifying how load-bearing each is for the 1 TB/s HBM budget.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import format_rows
+from repro.hw.config import FAST_CONFIG, fast_variant
+from repro.sim.engine import Engine
+from repro.workloads import bootstrap_trace
+
+
+def _run(config, trace):
+    result = Engine(config).run(trace)
+    return {"design": config.name,
+            "latency_ms": result.total_s * 1e3,
+            "key_traffic_mb": result.key_bytes / 1e6,
+            "hbm_util": result.utilisation()["hbm"],
+            "stall_us": result.key_stall_s * 1e6}
+
+
+def test_ekg_and_minks_ablation(once):
+    trace = bootstrap_trace()
+
+    def sweep():
+        return [
+            _run(FAST_CONFIG, trace),
+            _run(fast_variant("FAST-noEKG", use_ekg=False), trace),
+            _run(fast_variant("FAST-noMinKS", use_minks=False), trace),
+            _run(fast_variant("FAST-noEKG-noMinKS", use_ekg=False,
+                              use_minks=False), trace),
+        ]
+
+    rows = once(sweep)
+    emit("Ablation: EKG and Min-KS on bootstrap",
+         format_rows(rows) +
+         "\n(removing either technique multiplies key traffic; "
+         "removing both makes the chip HBM-bound)")
+    by = {r["design"]: r for r in rows}
+    assert by["FAST"]["latency_ms"] < by["FAST-noMinKS"]["latency_ms"]
+    assert by["FAST-noMinKS"]["latency_ms"] <= \
+        by["FAST-noEKG-noMinKS"]["latency_ms"]
+    assert by["FAST-noEKG-noMinKS"]["hbm_util"] > 0.9
+
+
+def test_prefetch_window_ablation(once):
+    """Aether's STEP-2 window depth governs KLSS adoption."""
+    import repro.core.aether as aether_mod
+    trace = bootstrap_trace()
+
+    def sweep():
+        rows = []
+        original = aether_mod.PREFETCH_DEPTH
+        try:
+            for depth in (1, 3, 6, 12):
+                aether_mod.PREFETCH_DEPTH = depth
+                result = Engine().run(trace)
+                rows.append({"prefetch_depth": depth,
+                             "latency_ms": result.total_s * 1e3,
+                             "klss_ops": result.method_ops.get("klss",
+                                                               0)})
+        finally:
+            aether_mod.PREFETCH_DEPTH = original
+        return rows
+
+    rows = once(sweep)
+    emit("Ablation: Aether STEP-2 prefetch window depth",
+         format_rows(rows) +
+         "\n(shallow windows reject all KLSS transfers; deep windows "
+         "admit them)")
+    assert rows[0]["klss_ops"] <= rows[-1]["klss_ops"]

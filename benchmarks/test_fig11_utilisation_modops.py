@@ -1,0 +1,28 @@
+"""Fig. 11: unit utilisation and bootstrap modular-op composition."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_figure11a_utilisation(once):
+    data = once(F.figure11a)
+    rows = [{"workload": name, **{k: v for k, v in util.items()}}
+            for name, util in data["per_workload"].items()]
+    rows.append({"workload": "average", **data["average"]})
+    emit("Figure 11(a): hardware unit utilisation",
+         F.format_rows(rows) +
+         f"\npaper averages: NTTU 66.5%, BConvU 24.3%, KMU 25.7%, "
+         f"HBM 44.3%")
+    avg = data["average"]
+    assert avg["nttu"] > avg["bconvu"] and avg["nttu"] > avg["kmu"]
+
+
+def test_figure11b_modops(once):
+    data = once(F.figure11b)
+    rows = [{"policy": label, **{k: v for k, v in data[label].items()}}
+            for label in ("Hybrid", "KLSS", "FAST")]
+    emit("Figure 11(b): bootstrap modular operations (G-ops)",
+         F.format_rows(rows) +
+         f"\nFAST/hybrid total: {data['fast_vs_hybrid_total']:.3f} "
+         f"(paper: {data['paper_fast_vs_hybrid']:.3f})")
+    assert data["fast_vs_hybrid_total"] < 1.0

@@ -1,0 +1,15 @@
+"""Fig. 12: efficiency ablation — TBM and Aether-Hemera removal."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_figure12_ablation(once):
+    data = once(F.figure12)
+    rows = [{"design": label, **data[label]}
+            for label in ("FAST", "FAST-noTBM", "36bit-ALU")]
+    emit("Figure 12: gradual reduction of TBM and Aether-Hemera",
+         F.format_rows(rows) +
+         f"\npaper: noTBM 1.3x over 36-bit ALU; full FAST 1.45x")
+    assert data["FAST"]["speedup_vs_36bit"] > \
+        data["FAST-noTBM"]["speedup_vs_36bit"] >= 1.0

@@ -1,0 +1,26 @@
+"""Fig. 13: sensitivity to scratchpad capacity and cluster count."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_figure13a_memory(once):
+    rows = once(F.figure13a)
+    emit("Figure 13(a): bootstrap vs scratchpad size",
+         F.format_rows(rows) +
+         "\npaper: small memories force hybrid/less hoisting (slower);"
+         " beyond ~281 MB returns saturate")
+    lat = {r["memory_mb"]: r["latency_ms"] for r in rows}
+    assert lat[128.0] > lat[281.0]
+    assert lat[512.0] <= lat[281.0] * 1.02
+
+
+def test_figure13b_clusters(once):
+    rows = once(F.figure13b)
+    emit("Figure 13(b): bootstrap vs cluster count",
+         F.format_rows(rows) +
+         "\npaper: 8 clusters 1.7x faster at 1.37x area; "
+         "2 clusters lose ~48%")
+    by_c = {r["clusters"]: r for r in rows}
+    assert by_c[8]["latency_ms"] < by_c[4]["latency_ms"]
+    assert by_c[2]["latency_ms"] > by_c[4]["latency_ms"]

@@ -1,0 +1,31 @@
+"""Fig. 2: modular-op counts and the hybrid/KLSS quantitative line."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_figure2a_quantitative_line(once):
+    rows = once(F.figure2a)
+    low = np.mean([r["quantitative_line"] for r in rows
+                   if 5 <= r["level"] <= 12])
+    high = np.mean([r["quantitative_line"] for r in rows
+                    if 25 <= r["level"] <= 35])
+    sampled = [r for r in rows if r["level"] % 5 == 0]
+    emit("Figure 2(a): hybrid vs KLSS modular operations",
+         F.format_rows(sampled) +
+         f"\nhybrid advantage l5-12:  {(1 - low) * 100:5.1f}%  "
+         f"(paper: 23.5%)"
+         f"\nKLSS advantage l25-35:   {(1 - 1 / high) * 100:5.1f}%  "
+         f"(paper: 15.2%)")
+    assert low < 1.0 < high
+
+
+def test_figure2b_kernel_breakdown(once):
+    rows = once(F.figure2b)
+    sampled = [r for r in rows if r["level"] % 7 == 0]
+    emit("Figure 2(b): per-kernel quantitative lines",
+         F.format_rows(sampled))
+    high = [r for r in rows if r["level"] >= 25]
+    assert np.mean([r["ntt"] for r in high]) > 1.0

@@ -1,0 +1,28 @@
+"""Fig. 3: hoisting impact and working-set sizes."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_figure3a_hoisting(once):
+    rows = once(F.figure3a)
+    sampled = [r for r in rows if r["level"] in (5, 15, 25, 35)]
+    emit("Figure 3(a): KLSS/hybrid op ratio under hoisting h2/h4/h6",
+         F.format_rows(sampled) +
+         "\n(ratios grow with h at hoisting levels: KeyMult dominates)")
+    for r in rows:
+        if r["level"] >= 13:
+            assert r["h2"] <= r["h6"]
+
+
+def test_figure3b_working_set(once):
+    rows = once(F.figure3b)
+    sampled = [r for r in rows if r["level"] in (5, 15, 25, 35)]
+    emit("Figure 3(b): working-set sizes (MB)",
+         F.format_rows(sampled) +
+         "\npaper anchors at l=35: ct 19.7 MB, hybrid evk 79.3 MB, "
+         "KLSS evk 295.3 MB")
+    top = rows[-1]
+    assert abs(top["ciphertext_mb"] - 19.7) < 1.0
+    assert abs(top["hybrid_evk_mb"] - 79.3) < 4.0
+    assert abs(top["klss_evk_mb"] - 295.3) < 18.0

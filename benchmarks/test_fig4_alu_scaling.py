@@ -1,0 +1,19 @@
+"""Fig. 4: ALU area/power scaling across word lengths."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_figure4_scaling(once):
+    data = once(F.figure4)
+    rows = [{"bits": b,
+             "modmult_area": data["modular_multiplier"][b]["area"],
+             "modmult_power": data["modular_multiplier"][b]["power"],
+             "mult_area": data["multiplier"][b]["area"],
+             "mult_power": data["multiplier"][b]["power"]}
+            for b in sorted(data["modular_multiplier"])]
+    emit("Figure 4: relative ALU area/power vs word length (36-bit = 1)",
+         F.format_rows(rows) +
+         "\npaper anchors at 60 bit: 2.9x/2.8x (modmult), "
+         "2.8x/2.7x (mult)")
+    assert abs(data["modular_multiplier"][60]["area"] - 2.9) < 1e-6

@@ -1,0 +1,27 @@
+"""Tables 2-4: parameter sets, chip area/power, hardware comparison."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_table2_parameter_sets(once):
+    rows = once(F.table2)
+    emit("Table 2: parameter sets", F.format_rows(rows))
+    assert rows[1]["alpha_tilde"] == 9
+
+
+def test_table3_area_power(once):
+    rows = once(F.table3)
+    flat = [{"component": name, **vals} for name, vals in rows.items()]
+    emit("Table 3: FAST component area and peak power",
+         F.format_rows(flat, precision=2) +
+         "\n(note: the paper's stated 337.5 W total disagrees with "
+         "the sum of its own rows, 356.7 W; we match the rows)")
+    assert abs(rows["Total"]["area_mm2"] - 283.75) < 6
+
+
+def test_table4_hardware_comparison(once):
+    rows = once(F.table4)
+    emit("Table 4: hardware comparison", F.format_rows(rows, precision=1))
+    fast = [r for r in rows if r["name"] == "FAST (ours)"][0]
+    assert abs(fast["area_mm2"] - 283.75) < 6

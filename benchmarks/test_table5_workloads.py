@@ -1,0 +1,29 @@
+"""Table 5: end-to-end workload execution times vs prior works."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_table5_execution_times(once):
+    data = once(F.table5)
+    rows = []
+    for name, row in data["published_ms"].items():
+        rows.append({"accelerator": name, "source": "published", **{
+            k: (v if v is not None else float("nan"))
+            for k, v in row.items()}})
+    rows.append({"accelerator": "FAST (ours, simulated)",
+                 "source": "measured", **data["ours_ms"]})
+    emit("Table 5: execution time (ms)", F.format_rows(rows, precision=2))
+    mean_speedup = np.mean(list(data["speedup_vs_sharp"].values()))
+    emit("Speedup vs SHARP",
+         f"per-workload: " +
+         ", ".join(f"{k}: {v:.2f}x"
+                   for k, v in data["speedup_vs_sharp"].items()) +
+         f"\naverage: {mean_speedup:.2f}x (paper: 1.85x average, "
+         f"2.26x on bootstrapping)")
+    assert 1.5 < mean_speedup < 2.6
+    for workload, ms in data["ours_ms"].items():
+        paper = data["published_ms"]["FAST"][workload]
+        assert paper / 2 < ms < paper * 2

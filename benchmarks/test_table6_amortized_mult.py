@@ -1,0 +1,14 @@
+"""Table 6: T_mult,a/s — amortised multiplication time per slot."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+
+def test_table6_t_mult(once):
+    data = once(F.table6)
+    emit("Table 6: T_mult,a/s", F.format_rows(data["rows"], precision=1) +
+         f"\npaper FAST60: {data['paper_fast_ns']} ns")
+    ours = [r for r in data["rows"] if r["source"] == "measured"][0]
+    published = [r["t_as_ns"] for r in data["rows"]
+                 if r["source"] == "published"]
+    assert all(ours["t_as_ns"] < p for p in published)

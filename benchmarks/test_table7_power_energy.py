@@ -1,0 +1,22 @@
+"""Table 7: average power, energy and EDP per workload."""
+
+from benchmarks.conftest import emit
+from repro.analysis import figures as F
+
+# The paper's Table 7 rows (its energy/EDP columns are internally
+# inconsistent with power x latency; we report consistent values and
+# compare average power, the reconcilable column).
+PAPER_AVG_POWER_W = {"Bootstrap": 120, "HELR256": 118,
+                     "HELR1024": 154, "ResNet-20": 160}
+
+
+def test_table7_power_energy_edp(once):
+    data = once(F.table7)
+    rows = [{"workload": name, **vals,
+             "paper_avg_w": PAPER_AVG_POWER_W[name]}
+            for name, vals in data.items()]
+    emit("Table 7: average power / energy / EDP",
+         F.format_rows(rows, precision=4))
+    for name, vals in data.items():
+        assert 0.5 * PAPER_AVG_POWER_W[name] < vals["avg_power_w"] < \
+            2.0 * PAPER_AVG_POWER_W[name]

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Aether/Hemera playground: watch the dual-method framework decide.
+
+Builds a synthetic application trace with hoistable rotation batches
+and multiplications across the level range, prints the full Methods
+Candidate Table for a few decision units, shows what STEP-1/2/3
+select, and runs Hemera's key manager over the result.
+
+Run:  python examples/aether_playground.py
+"""
+
+from collections import Counter
+
+from repro.ckks.params import SET_I, SET_II
+from repro.core.aether import Aether
+from repro.core.hemera import EvkPool, Hemera
+from repro.core.optrace import TraceBuilder
+from repro.hw.config import FAST_CONFIG
+
+
+def build_application():
+    """A DFT-flavoured mini app: rotation batches + a mult chain."""
+    tb = TraceBuilder("playground")
+    for level in (34, 30, 26):
+        ct = tb.fresh_ct()
+        tb.rotations(ct, level, [1, 2, 4, 8, 16, 32], stage="Transform")
+    for level in (24, 22, 20, 18, 16, 14):
+        tb.hmult(tb.fresh_ct(), level, stage="Polynomial")
+    for level in (12, 10):
+        ct = tb.fresh_ct()
+        tb.rotations(ct, level, [1, 2, 4], stage="Reduce")
+    return tb.build()
+
+
+def show_mct(aether, trace, max_units=4):
+    print("-" * 72)
+    print("Methods Candidate Table (first units)")
+    print("-" * 72)
+    header = (f"{'unit':>4} {'kind':6} {'lvl':>3} {'method':7} "
+              f"{'h':>2} {'cost(M)':>9} {'delay(us)':>10} "
+              f"{'key(MB)':>8} {'xfer(us)':>9}")
+    print(header)
+    for unit, cands in aether.build_mct(trace)[:max_units]:
+        for e in cands:
+            print(f"{e.unit_id:>4} {e.kind:6} {e.level:>3} "
+                  f"{e.method:7} {e.hoisting:>2} "
+                  f"{e.cost_modops / 1e6:>9.1f} "
+                  f"{e.delay_s * 1e6:>10.2f} "
+                  f"{e.key_bytes / 2**20:>8.1f} "
+                  f"{e.transfer_s * 1e6:>9.2f}")
+
+
+def show_decisions(config):
+    print("-" * 72)
+    print("Aether decisions (STEP-1 storage, STEP-2 transfer-hiding, "
+          "STEP-3 min latency)")
+    print("-" * 72)
+    for uid, d in sorted(config.decisions.items()):
+        print(f"unit {uid:>3}: {d.kind:6} level {d.level:>2} x{d.times} "
+              f"-> {d.method:7} h={d.hoisting}  "
+              f"delay {d.delay_s * 1e6:7.2f} us, "
+              f"key {d.key_bytes / 2**20:6.1f} MB")
+    mix = Counter(d.method for d in config.decisions.values())
+    print(f"\nmethod mix: {dict(mix)}; "
+          f"configuration file: {config.size_bytes()} bytes "
+          f"(paper: ~1 KB)")
+
+
+def show_hemera(aether, config, trace):
+    print("-" * 72)
+    print("Hemera online key management")
+    print("-" * 72)
+    pool = EvkPool(SET_I, SET_II)
+    hemera = Hemera(config, pool, FAST_CONFIG.key_storage_bytes,
+                    FAST_CONFIG.hbm_bandwidth_bytes)
+    for attempt in (1, 2):
+        report = hemera.manage(trace, aether)
+        print(f"pass {attempt}: moved {report.total_bytes / 2**20:7.1f} MB "
+              f"in {sum(e.batches for e in report.events):>6} batches, "
+              f"stall {report.total_stall_s * 1e6:6.1f} us, "
+              f"{report.hidden_fraction:6.1%} hidden, "
+              f"cache {report.cache_hits} hits / "
+              f"{report.cache_misses} misses")
+    print(f"history recorder: {hemera.history.hits} hits, "
+          f"{hemera.history.misses} misses (prefetch driver)")
+
+
+def main():
+    trace = build_application()
+    aether = Aether(SET_I, SET_II,
+                    key_storage_bytes=FAST_CONFIG.key_storage_bytes,
+                    hbm_bandwidth=FAST_CONFIG.hbm_bandwidth_bytes,
+                    modops_per_second=FAST_CONFIG
+                    .effective_modops_per_second())
+    print(f"application: {len(trace)} ops, "
+          f"{len(trace.key_switch_ops())} key-switches, "
+          f"{len(trace.hoist_groups())} hoisting candidates")
+    show_mct(aether, trace)
+    config = aether.run(trace)
+    show_decisions(config)
+    show_hemera(aether, config, trace)
+
+
+if __name__ == "__main__":
+    main()

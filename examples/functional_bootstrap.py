@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Functional CKKS bootstrapping, end to end, on real ciphertexts.
+
+The other examples *simulate* bootstrapping on the FAST chip; this
+one *executes* it: a ciphertext is driven down to level 0 (no
+multiplications left), refreshed through
+ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff, and then used for
+further multiplications — the operation that makes FHE "fully"
+homomorphic, and the workload FAST spends 87-95% of its time on.
+
+Run:  python examples/functional_bootstrap.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.ckks import CkksContext
+from repro.ckks.bootstrap import Bootstrapper, bootstrappable_toy_params
+from repro.ckks.rns import compose_crt
+
+
+def main():
+    t0 = time.time()
+    params = bootstrappable_toy_params()
+    ctx = CkksContext(params, seed=5)
+    bs = Bootstrapper(ctx)
+    print(f"ring N={params.ring_degree}, chain of {params.max_level + 1} "
+          f"primes, q0={ctx.q_chain[0].bit_length()} bits, "
+          f"scale 2^{params.scale_bits}")
+    print(f"sine approximation: degree {len(bs.sine_cheb) - 1} Chebyshev "
+          f"series, max fit error {bs.sine_fit_error:.1e}")
+
+    msg = np.array([0.5, -0.25, 0.125, 0.375] * 4)
+    ct = ctx.encrypt(msg, level=0)
+    print(f"\ninput: level {ct.level} (exhausted — no multiplications "
+          f"possible), message {msg[:4]}")
+
+    raised = bs.mod_raise(ct)
+    s = ctx.secret_key.as_rns(raised.moduli)
+    lifted = np.array(compose_crt((raised.c0 + raised.c1 * s).to_coeff()),
+                      dtype=float)
+    print(f"ModRaise    -> level {raised.level}; plaintext now "
+          f"Delta*m + q0*I with |I| <= "
+          f"{np.max(np.abs(np.round(lifted / ctx.q_chain[0]))):.0f}")
+
+    slots = bs.coeff_to_slot(raised)
+    print(f"CoeffToSlot -> level {slots.level}; coefficients now sit "
+          f"in slots")
+
+    reduced = bs.eval_mod(slots)
+    print(f"EvalMod     -> level {reduced.level}; q0*I removed by the "
+          f"homomorphic sine")
+
+    out = bs.slot_to_coeff(reduced)
+    got = ctx.decrypt(out)[:16]
+    err = np.max(np.abs(got - msg))
+    print(f"SlotToCoeff -> level {out.level}")
+    print(f"\nrefreshed message: {np.round(got[:4].real, 4)}")
+    print(f"bootstrap error  : {err:.4f}")
+
+    squared = ctx.rescale(ctx.multiply(out, out))
+    sq_err = np.max(np.abs(ctx.decrypt(squared)[:16] - msg ** 2))
+    print(f"post-refresh x*x : error {sq_err:.4f} at level "
+          f"{squared.level} — the ciphertext multiplies again")
+    print(f"\ntotal {time.time() - t0:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

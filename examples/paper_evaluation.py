@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation in one run.
+
+Walks every table and figure of FAST's Sec. 7 through the analysis
+layer and prints measured-vs-paper values.  This is the script behind
+EXPERIMENTS.md.
+
+Run:  python examples/paper_evaluation.py
+"""
+
+import numpy as np
+
+from repro.analysis import figures as F
+
+
+def section(title):
+    print("\n" + "=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def main():
+    section("Fig. 2 — key-switching cost crossover")
+    rows = F.figure2a()
+    low = np.mean([r["quantitative_line"] for r in rows
+                   if 5 <= r["level"] <= 12])
+    high = np.mean([r["quantitative_line"] for r in rows
+                    if 25 <= r["level"] <= 35])
+    print(F.format_rows([r for r in rows if r["level"] % 5 == 0]))
+    print(f"hybrid advantage l in [5,12]:  {(1 - low):.1%} (paper 23.5%)")
+    print(f"KLSS advantage l in [25,35]:   {(1 - 1 / high):.1%} "
+          f"(paper 15.2%)")
+
+    section("Fig. 3 — hoisting and working sets")
+    print(F.format_rows([r for r in F.figure3a()
+                         if r["level"] in (15, 25, 35)]))
+    print(F.format_rows([r for r in F.figure3b()
+                         if r["level"] in (15, 25, 35)], precision=1))
+
+    section("Fig. 4 — ALU scaling")
+    data = F.figure4()
+    print(F.format_rows([{"bits": b, **data["modular_multiplier"][b]}
+                         for b in sorted(data["modular_multiplier"])]))
+
+    section("Tables 2-4 — configuration and hardware")
+    print(F.format_rows(F.table2()))
+    print()
+    print(F.format_rows([{"component": k, **v}
+                         for k, v in F.table3().items()], precision=2))
+    print()
+    print(F.format_rows(F.table4(), precision=1))
+
+    section("Table 5 — workload execution time")
+    t5 = F.table5()
+    print(F.format_rows(
+        [{"accelerator": n, **{k: v if v is not None else float("nan")
+                               for k, v in row.items()}}
+         for n, row in t5["published_ms"].items()]
+        + [{"accelerator": "FAST (ours)", **t5["ours_ms"]}],
+        precision=2))
+    print("speedup vs SHARP:",
+          {k: round(v, 2) for k, v in t5["speedup_vs_sharp"].items()},
+          "(paper avg 1.85x)")
+
+    section("Table 6 — T_mult,a/s")
+    print(F.format_rows(F.table6()["rows"], precision=1))
+
+    section("Table 7 — power / energy / EDP")
+    print(F.format_rows([{"workload": k, **v}
+                         for k, v in F.table7().items()], precision=4))
+
+    section("Fig. 10 — policy breakdown")
+    f10 = F.figure10()
+    for label in ("OneKSW", "Hoisting", "Aether"):
+        print(f"{label:10s} {f10[label]['total_ms']:7.3f} ms  "
+              f"({f10[label]['speedup_vs_oneksw']:.2f}x)  "
+              f"methods={f10[label]['method_ops']}")
+
+    section("Fig. 11 — utilisation and op composition")
+    f11a = F.figure11a()
+    print("average utilisation:",
+          {k: f"{v:.0%}" for k, v in f11a["average"].items()})
+    print("paper:", {k: f"{v:.0%}"
+                     for k, v in f11a["paper_average"].items()})
+    f11b = F.figure11b()
+    print(f"FAST vs hybrid-only total modops: "
+          f"{f11b['fast_vs_hybrid_total']:.3f} "
+          f"(paper {f11b['paper_fast_vs_hybrid']:.3f})")
+
+    section("Fig. 12 — ablation")
+    f12 = F.figure12()
+    for label in ("FAST", "FAST-noTBM", "36bit-ALU"):
+        print(f"{label:12s} {f12[label]['total_ms']:7.3f} ms  "
+              f"{f12[label]['speedup_vs_36bit']:.2f}x vs 36-bit ALU")
+    print("paper:", f12["paper"])
+
+    section("Fig. 13 — sensitivity")
+    print(F.format_rows(F.figure13a()))
+    print()
+    print(F.format_rows(F.figure13b()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: encrypted compute + a FAST accelerator simulation.
+
+Part 1 runs real RNS-CKKS computation (scaled-down ring) through both
+of the paper's key-switching methods.  Part 2 simulates the paper's
+headline experiment — fully-packed bootstrapping on the FAST chip —
+and prints the latency, utilisation and method mix.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CkksContext, toy_params
+from repro.sim.engine import Engine
+from repro.workloads import bootstrap_trace
+
+
+def encrypted_compute_demo():
+    print("=" * 64)
+    print("Part 1: functional RNS-CKKS (N=64 toy ring)")
+    print("=" * 64)
+    ctx = CkksContext(toy_params(ring_degree=64, max_level=6, alpha=2,
+                                 prime_bits=28), seed=0)
+    x = np.array([1.5, -2.0, 0.25, 3.0])
+    y = np.array([0.5, 4.0, -1.0, 2.0])
+    ct_x = ctx.encrypt(np.tile(x, 8))
+    ct_y = ctx.encrypt(np.tile(y, 8))
+
+    total = ctx.add(ct_x, ct_y)
+    print("x + y       =", np.round(ctx.decrypt(total)[:4].real, 4))
+
+    prod_hybrid = ctx.rescale(ctx.multiply(ct_x, ct_y, method="hybrid"))
+    print("x * y (hybrid key-switching) =",
+          np.round(ctx.decrypt(prod_hybrid)[:4].real, 4))
+
+    prod_klss = ctx.rescale(ctx.multiply(ct_x, ct_y, method="klss"))
+    print("x * y (KLSS key-switching)   =",
+          np.round(ctx.decrypt(prod_klss)[:4].real, 4))
+
+    rotated = ctx.rotate(ct_x, 1)
+    print("rot(x, 1)   =", np.round(ctx.decrypt(rotated)[:4].real, 4))
+
+    hoisted = ctx.hoisted_rotate(ct_x, [1, 2, 3])
+    print("hoisted rotations (one decomposition, three automorphisms):")
+    for steps, ct in zip([1, 2, 3], hoisted):
+        print(f"  rot(x, {steps}) =",
+              np.round(ctx.decrypt(ct)[:4].real, 4))
+
+
+def accelerator_demo():
+    print()
+    print("=" * 64)
+    print("Part 2: FAST simulating fully-packed bootstrapping")
+    print("=" * 64)
+    engine = Engine()  # the paper's FAST configuration
+    trace = bootstrap_trace()
+    result = engine.run(trace)
+    config = engine.aether.run(trace)
+
+    print(f"trace: {len(trace)} FHE ops, "
+          f"{len(trace.key_switch_ops())} key-switches")
+    print(f"bootstrap latency: {result.total_s * 1e3:.3f} ms "
+          f"(paper: 1.38 ms)")
+    print(f"Aether decisions : {config.method_histogram()} "
+          f"(config file: {config.size_bytes()} bytes)")
+    print(f"evk traffic      : {result.key_bytes / 1e6:.0f} MB, "
+          f"stalls {result.key_stall_s * 1e6:.0f} us")
+    print("unit utilisation :",
+          {k: f"{v:.0%}" for k, v in result.utilisation().items()})
+
+
+if __name__ == "__main__":
+    encrypted_compute_demo()
+    accelerator_demo()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of FAST (ISCA 2025).
+
+FAST is an FHE accelerator for RNS-CKKS that dynamically mixes the
+hybrid and KLSS key-switching methods (chosen offline by *Aether*,
+fed online by *Hemera*) and executes both 36-bit and 60-bit modular
+arithmetic on one datapath via the *Tunable-Bit Multiplier*.
+
+Package map:
+
+* :mod:`repro.ckks` — the full RNS-CKKS scheme (the workload).
+* :mod:`repro.core` — the paper's contribution: Aether, Hemera, TBM.
+* :mod:`repro.hw` — area/power/throughput models of the FAST chip.
+* :mod:`repro.sim` — the kernel-level cycle simulator and baselines.
+* :mod:`repro.workloads` — Bootstrap / HELR / ResNet-20 traces.
+* :mod:`repro.analysis` — regenerates every paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.ckks import CkksContext, CkksParams, SET_I, SET_II, toy_params
+
+__all__ = ["CkksContext", "CkksParams", "SET_I", "SET_II", "toy_params",
+           "__version__"]

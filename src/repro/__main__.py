@@ -1,0 +1,104 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``evaluate``    regenerate the paper's full evaluation report
+``bootstrap``   simulate fully-packed bootstrapping on FAST
+``table5``      workload latencies vs published baselines
+``decide``      show Aether's decisions for the bootstrap trace
+``security``    security report for the paper's parameter sets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_evaluate(_args) -> int:
+    from examples import paper_evaluation  # noqa: F401 (script import)
+    # examples/ is not a package; execute the module's main via path.
+    import runpy
+    runpy.run_path("examples/paper_evaluation.py", run_name="__main__")
+    return 0
+
+
+def cmd_bootstrap(args) -> int:
+    from repro.hw.config import fast_variant, FAST_CONFIG
+    from repro.sim.engine import Engine
+    from repro.workloads import bootstrap_trace
+
+    config = FAST_CONFIG
+    if args.clusters != 4:
+        config = fast_variant(f"FAST-{args.clusters}C",
+                              clusters=args.clusters)
+    engine = Engine(config, policy_mode=args.policy)
+    result = engine.run(bootstrap_trace())
+    print(f"{config.name} [{args.policy}] bootstrap: "
+          f"{result.total_s * 1e3:.3f} ms")
+    print("utilisation:", {k: f"{v:.0%}"
+                           for k, v in result.utilisation().items()})
+    print(f"key traffic: {result.key_bytes / 1e6:.0f} MB; "
+          f"methods: {dict(result.method_ops)}")
+    return 0
+
+
+def cmd_table5(_args) -> int:
+    from repro.analysis import figures
+    data = figures.table5()
+    rows = [{"accelerator": n, **{k: v if v is not None else "-"
+                                  for k, v in r.items()}}
+            for n, r in data["published_ms"].items()]
+    rows.append({"accelerator": "FAST (ours)", **data["ours_ms"]})
+    print(figures.format_rows(rows, precision=2))
+    return 0
+
+
+def cmd_decide(_args) -> int:
+    from repro.sim.engine import Engine
+    from repro.workloads import bootstrap_trace
+
+    engine = Engine()
+    config = engine.aether.run(bootstrap_trace())
+    for uid, d in sorted(config.decisions.items()):
+        print(f"unit {uid:>3}: {d.kind:6} level {d.level:>2} x{d.times}"
+              f" -> {d.method:7} h={d.hoisting}")
+    print(f"\nconfig file: {config.size_bytes()} bytes; "
+          f"mix {config.method_histogram()}")
+    return 0
+
+
+def cmd_security(_args) -> int:
+    from repro.ckks import security
+    from repro.ckks.params import SET_I, SET_II
+
+    for params in (SET_I, SET_II):
+        report = security.security_report(params)
+        print(f"{params.name}:")
+        for key, value in report.items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FAST (ISCA 2025) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("evaluate", help="regenerate the full evaluation")
+    boot = sub.add_parser("bootstrap", help="simulate bootstrapping")
+    boot.add_argument("--clusters", type=int, default=4)
+    boot.add_argument("--policy", default="aether",
+                      choices=["aether", "hybrid-only", "hoisting-only",
+                               "klss-only"])
+    sub.add_parser("table5", help="workload latency table")
+    sub.add_parser("decide", help="show Aether's decisions")
+    sub.add_parser("security", help="parameter security report")
+    args = parser.parse_args(argv)
+    return {"evaluate": cmd_evaluate, "bootstrap": cmd_bootstrap,
+            "table5": cmd_table5, "decide": cmd_decide,
+            "security": cmd_security}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figureN`` / ``tableN`` function in :mod:`repro.analysis.figures`
+returns the underlying data (rows/series) and there is a matching
+pretty-printer; the ``benchmarks/`` directory wires each one into a
+pytest-benchmark target so the whole evaluation regenerates from one
+command.
+"""
+
+from repro.analysis import figures
+
+__all__ = ["figures"]

@@ -1,0 +1,23 @@
+"""RNS-CKKS substrate: the FHE scheme FAST accelerates.
+
+This subpackage is a from-scratch, functional implementation of the
+RNS variant of the CKKS approximate homomorphic encryption scheme
+(Cheon-Han-Kim-Kim-Song), including the two key-switching families the
+FAST paper builds on:
+
+* the *hybrid* method (ModUp -> KeyMult -> ModDown with digit size
+  ``alpha``), and
+* the *KLSS* gadget-decomposition method (Kim-Lee-Seo-Song).
+
+Everything needed to run real encrypted computation lives here:
+modular/NTT arithmetic, RNS base machinery, canonical-embedding
+encoding, key generation, the homomorphic operations, hoisted
+rotations, and a (scaled-down) bootstrapping pipeline.  The analytic
+cost models that drive the accelerator study live in
+:mod:`repro.ckks.keyswitch.cost`.
+"""
+
+from repro.ckks.params import CkksParams, SET_I, SET_II, toy_params
+from repro.ckks.context import CkksContext
+
+__all__ = ["CkksParams", "CkksContext", "SET_I", "SET_II", "toy_params"]

@@ -1,0 +1,71 @@
+"""Plaintext and ciphertext containers.
+
+A :class:`Ciphertext` is the pair ``(c0, c1)`` of RNS polynomials over
+the level-``l`` prime chain, in evaluation form, together with its
+scale.  A :class:`Plaintext` is a single RNS polynomial with a scale.
+Both are immutable-by-convention: operations return new objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.rns import RnsPoly
+
+
+@dataclass
+class Plaintext:
+    """Encoded message: one RNS polynomial plus its scale."""
+
+    poly: RnsPoly
+    scale: float
+    level: int
+
+    @property
+    def moduli(self):
+        return self.poly.moduli
+
+    def copy(self) -> "Plaintext":
+        return Plaintext(self.poly.copy(), self.scale, self.level)
+
+
+@dataclass
+class Ciphertext:
+    """CKKS ciphertext ``(c0, c1)`` at some level, evaluation form.
+
+    Decrypts (approximately) to ``c0 + c1 * s``, which encodes the
+    message scaled by ``scale``.
+    """
+
+    c0: RnsPoly
+    c1: RnsPoly
+    scale: float
+    level: int
+
+    def __post_init__(self):
+        if self.c0.moduli != self.c1.moduli:
+            raise ValueError("ciphertext halves live on different bases")
+
+    @property
+    def moduli(self):
+        return self.c0.moduli
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.c0.moduli)
+
+    @property
+    def ring_degree(self) -> int:
+        return self.c0.n
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy(),
+                          self.scale, self.level)
+
+    def size_bytes(self) -> int:
+        """In-memory footprint using packed words (paper convention)."""
+        total = 0
+        for q in self.moduli:
+            word_bytes = (int(q).bit_length() + 7) // 8
+            total += 2 * word_bytes * self.ring_degree
+        return total

@@ -1,0 +1,86 @@
+"""Canonical-embedding encoding between complex vectors and plaintexts.
+
+CKKS packs a vector of ``n <= N/2`` complex numbers into one plaintext
+polynomial by inverting the canonical embedding: slot ``j`` is the
+polynomial's value at ``zeta^{5^j}`` where ``zeta = exp(i*pi/N)`` is a
+primitive 2N-th root of unity.  The ``5^j`` ordering makes the Galois
+automorphism ``X -> X^5`` act as a cyclic rotation of the slots, which
+is what gives **HRot** its meaning.
+
+The encoder works directly with the (conjugate-symmetric) inverse
+Vandermonde, which is exact and simple at the scaled-down ring sizes
+the functional tests use.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def _slot_exponents(ring_degree: int, num_slots: int) -> np.ndarray:
+    """Exponents ``5^j mod 2N`` addressing each slot's root."""
+    two_n = 2 * ring_degree
+    exps = np.empty(num_slots, dtype=np.int64)
+    e = 1
+    for j in range(num_slots):
+        exps[j] = e
+        e = (e * 5) % two_n
+    return exps
+
+
+@lru_cache(maxsize=None)
+def _embedding_matrix(ring_degree: int, num_slots: int) -> np.ndarray:
+    """Matrix E with ``E[j, k] = zeta^{e_j * k}`` (slot j, coefficient k)."""
+    two_n = 2 * ring_degree
+    exps = _slot_exponents(ring_degree, num_slots)
+    k = np.arange(ring_degree)
+    angles = 2.0j * np.pi * np.outer(exps, k) / two_n
+    return np.exp(angles)
+
+
+def encode_to_coeffs(message, ring_degree: int, scale: float) -> np.ndarray:
+    """Encode complex slots into integer polynomial coefficients.
+
+    ``message`` may have any length up to ``N/2``; shorter vectors are
+    *repeated* to fill all slots (matching the usual sparse-packing
+    convention, and keeping rotations meaningful).  Returns an object
+    array of Python ints (coefficients may exceed 64 bits for large
+    scales).
+    """
+    n_slots = ring_degree // 2
+    msg = np.asarray(message, dtype=np.complex128).ravel()
+    if len(msg) == 0 or len(msg) > n_slots:
+        raise ValueError(f"message length must be in [1, {n_slots}]")
+    if n_slots % len(msg) != 0:
+        raise ValueError("message length must divide the slot count")
+    full = np.tile(msg, n_slots // len(msg))
+    emb = _embedding_matrix(ring_degree, n_slots)
+    # c_k = (2*Delta/N) * Re( sum_j z_j * conj(zeta^{e_j k}) )
+    coeffs = (2.0 * scale / ring_degree) * np.real(full @ np.conj(emb))
+    rounded = np.rint(coeffs)
+    return np.array([int(v) for v in rounded], dtype=object)
+
+
+def decode_from_coeffs(coeffs, ring_degree: int, scale: float,
+                       num_slots: int | None = None) -> np.ndarray:
+    """Evaluate integer coefficients at the slot roots and unscale."""
+    n_slots = ring_degree // 2
+    if num_slots is None:
+        num_slots = n_slots
+    emb = _embedding_matrix(ring_degree, n_slots)
+    values = emb @ np.asarray([float(c) for c in coeffs])
+    return (values / scale)[:num_slots]
+
+
+def rotation_galois_element(ring_degree: int, steps: int) -> int:
+    """Galois element ``5^steps mod 2N`` rotating slots left by ``steps``."""
+    two_n = 2 * ring_degree
+    return pow(5, steps % (ring_degree // 2), two_n)
+
+
+def conjugation_galois_element(ring_degree: int) -> int:
+    """Galois element ``-1 mod 2N`` conjugating every slot."""
+    return 2 * ring_degree - 1

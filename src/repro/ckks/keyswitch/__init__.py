@@ -1,0 +1,12 @@
+"""Key-switching: the operation FAST is built to accelerate.
+
+Functional implementations of the hybrid and KLSS methods plus
+hoisting, and the analytic modular-operation cost models that drive
+Fig. 2, Fig. 3, Fig. 11(b) and the Aether decision tool.
+"""
+
+from repro.ckks.keyswitch.hybrid import hybrid_key_switch
+from repro.ckks.keyswitch.klss import klss_key_switch
+from repro.ckks.keyswitch.hoisting import hoisted_rotations
+
+__all__ = ["hybrid_key_switch", "klss_key_switch", "hoisted_rotations"]

@@ -1,0 +1,59 @@
+"""Hoisting: share one decomposition across many rotations (Sec. 2.2.3).
+
+When several rotations of the *same* ciphertext are needed (the
+baby-step/giant-step linear transforms inside bootstrapping are the
+canonical case), the expensive first stage of key-switching — ModUp
+for the hybrid method, the double decomposition for KLSS — depends
+only on ``c1``, not on the rotation amount.  Hoisting performs it
+once, then per rotation applies the automorphism to the decomposed
+digits (a coefficient permutation, which commutes with both
+decompositions), runs KeyMult with that rotation's key, and ModDowns.
+
+This trades evaluation-key storage (one key per rotation, all resident
+simultaneously) for NTT work — exactly the tension Aether arbitrates.
+"""
+
+from __future__ import annotations
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.keys import HYBRID, KLSS, KeySwitchKey
+from repro.ckks.keyswitch.hybrid import (hybrid_decompose,
+                                         key_mult_accumulate,
+                                         mod_down_pair)
+from repro.ckks.keyswitch.klss import klss_decompose
+
+
+def hoisted_rotations(ct: Ciphertext, galois_elements: list[int],
+                      keys: dict[int, KeySwitchKey],
+                      alpha: int) -> list[Ciphertext]:
+    """Rotate ``ct`` by every Galois element, decomposing ``c1`` once.
+
+    ``keys[g]`` must be the switching key for ``s(X^g) -> s`` at the
+    ciphertext's level; all keys must use the same method and basis.
+    Returns the rotated ciphertexts in the order of
+    ``galois_elements``.
+    """
+    if not galois_elements:
+        return []
+    methods = {keys[g].method for g in galois_elements}
+    if len(methods) != 1:
+        raise ValueError("hoisting requires a single key-switching method")
+    method = methods.pop()
+    first_key = keys[galois_elements[0]]
+    c1_coeff = ct.c1.to_coeff()
+    if method == HYBRID:
+        decomposed = hybrid_decompose(c1_coeff, first_key, alpha)
+    elif method == KLSS:
+        decomposed = klss_decompose(c1_coeff, first_key)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    results = []
+    for g in galois_elements:
+        key = keys[g]
+        rotated_digits = [d.automorphism(g) for d in decomposed]
+        acc0, acc1 = key_mult_accumulate(rotated_digits, key)
+        delta0, delta1 = mod_down_pair(acc0, acc1, key.aux_count)
+        c0_rot = ct.c0.automorphism(g)
+        results.append(Ciphertext(c0_rot + delta0, delta1,
+                                  ct.scale, ct.level))
+    return results

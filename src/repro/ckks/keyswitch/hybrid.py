@@ -1,0 +1,74 @@
+"""Hybrid key-switching: ModUp -> KeyMult -> ModDown (Fig. 1a).
+
+The input polynomial (e.g. the ``c1 * c1'`` tensor component, or the
+rotated ``c1``) is split into ``beta`` digits of ``alpha`` limbs.
+Each digit is extended onto the full ``Q_l * P`` basis (*ModUp*, heavy
+in NTTs), multiplied element-wise with its evaluation-key pair
+(*KeyMult*), and the accumulated pair is divided by ``P``
+(*ModDown*).
+"""
+
+from __future__ import annotations
+
+from repro.ckks import rns
+from repro.ckks.keys import KeySwitchKey, hybrid_digit_indices
+from repro.ckks.rns import RnsPoly
+
+
+def hybrid_decompose(poly: RnsPoly, key: KeySwitchKey,
+                     alpha: int) -> list[RnsPoly]:
+    """ModUp stage: digits of ``poly`` extended to the key's basis.
+
+    ``poly`` must be in coefficient form over the first
+    ``len(key.moduli) - key.aux_count`` primes of the key basis.
+    Returns the extended digits in **evaluation** form, ready for
+    KeyMult (and reusable across rotations — this is what hoisting
+    hoists).
+    """
+    q_count = len(key.moduli) - key.aux_count
+    q_moduli = key.moduli[:q_count]
+    p_moduli = key.moduli[q_count:]
+    if poly.moduli != q_moduli:
+        raise ValueError("input basis does not match the key's Q basis")
+    digits = hybrid_digit_indices(q_count, alpha)
+    if len(digits) != key.num_digits:
+        raise ValueError(
+            f"key has {key.num_digits} digits, input needs {len(digits)}")
+    extended = rns.mod_up(poly, digits, q_moduli, p_moduli)
+    return [d.to_eval() for d in extended]
+
+
+def key_mult_accumulate(decomposed: list[RnsPoly],
+                        key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
+    """KeyMult stage: ``(sum d_j b_j, sum d_j a_j)`` in eval form."""
+    if len(decomposed) > key.num_digits:
+        raise ValueError("more digits than key parts")
+    acc0 = acc1 = None
+    for digit, (b_j, a_j) in zip(decomposed, key.parts):
+        term0 = digit * b_j
+        term1 = digit * a_j
+        acc0 = term0 if acc0 is None else acc0 + term0
+        acc1 = term1 if acc1 is None else acc1 + term1
+    return acc0, acc1
+
+
+def mod_down_pair(acc0: RnsPoly, acc1: RnsPoly,
+                  aux_count: int) -> tuple[RnsPoly, RnsPoly]:
+    """ModDown stage applied to both halves; returns eval form."""
+    q_count = len(acc0.moduli) - aux_count
+    out0 = rns.mod_down(acc0.to_coeff(), q_count).to_eval()
+    out1 = rns.mod_down(acc1.to_coeff(), q_count).to_eval()
+    return out0, out1
+
+
+def hybrid_key_switch(poly: RnsPoly, key: KeySwitchKey,
+                      alpha: int) -> tuple[RnsPoly, RnsPoly]:
+    """Full hybrid switch of ``poly`` (coeff or eval form, Q_l basis).
+
+    Returns ``(delta0, delta1)`` in evaluation form over ``Q_l`` such
+    that ``delta0 + delta1 * s ~= poly * s_from``.
+    """
+    coeff = poly.to_coeff()
+    decomposed = hybrid_decompose(coeff, key, alpha)
+    acc0, acc1 = key_mult_accumulate(decomposed, key)
+    return mod_down_pair(acc0, acc1, key.aux_count)

@@ -1,0 +1,305 @@
+"""Encrypted linear algebra on packed CKKS vectors (Sec. 2.2).
+
+The building blocks the paper's applications are made of:
+
+* :func:`rotate_and_sum` — log-depth reduction summing every slot;
+* :func:`inner_product` — encrypted dot product against a plaintext
+  vector;
+* :func:`matvec_bsgs` — plaintext matrix x encrypted vector via the
+  diagonal (Halevi-Shoup) method with baby-step/giant-step rotations,
+  the hoisting-friendly pattern bootstrapping's DFT stages use;
+* :func:`evaluate_polynomial` — Horner evaluation of a plaintext
+  polynomial on a ciphertext (the non-linear-activation workaround of
+  Sec. 2.2.2);
+* :func:`sigmoid_coefficients` — the degree-7 least-squares sigmoid
+  approximation HELR trains with.
+
+All functions run on the *functional* scheme, so they work at the
+scaled-down parameters tests use, and they emit hoisted rotation
+batches where the access pattern allows it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+
+
+def rotate_and_sum(ctx: CkksContext, ct: Ciphertext,
+                   length: int, method: str | None = None) -> Ciphertext:
+    """Sum ``length`` consecutive slots into every slot (log depth).
+
+    ``length`` must be a power of two.  After the call, slot ``i``
+    holds ``sum_j x[(i + j) mod length]`` for each aligned block.
+    """
+    if length & (length - 1):
+        raise ValueError("length must be a power of two")
+    acc = ct
+    step = 1
+    while step < length:
+        acc = ctx.add(acc, ctx.rotate(acc, step, method=method))
+        step *= 2
+    return acc
+
+
+def inner_product(ctx: CkksContext, ct: Ciphertext, weights,
+                  method: str | None = None) -> Ciphertext:
+    """Dot product of an encrypted vector with plaintext ``weights``.
+
+    The result appears (replicated) in every slot of each
+    ``len(weights)``-aligned block.  Consumes one level.
+    """
+    weights = np.asarray(weights, dtype=np.complex128)
+    pt = ctx.plain_for(ct, weights)
+    prod = ctx.rescale(ctx.multiply_plain(ct, pt))
+    return rotate_and_sum(ctx, prod, len(weights), method=method)
+
+
+def matvec_bsgs(ctx: CkksContext, matrix: np.ndarray, ct: Ciphertext,
+                baby_steps: int | None = None,
+                method: str | None = None) -> Ciphertext:
+    """Plaintext matrix times encrypted vector, diagonal method + BSGS.
+
+    ``matrix`` is ``d x d`` with ``d`` a power of two dividing the
+    slot count.  Rotations split into ``bs`` hoisted baby steps and
+    ``d / bs`` giant steps:
+
+        out = sum_g rot_{g*bs}( sum_b diag_{g*bs+b} (.) rot_b(ct) )
+
+    where ``diag_k`` is the k-th generalised diagonal pre-rotated by
+    ``-g*bs``.  One multiplicative level is consumed.
+    """
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    d = matrix.shape[0]
+    if matrix.shape != (d, d):
+        raise ValueError("matrix must be square")
+    if d & (d - 1):
+        raise ValueError("dimension must be a power of two")
+    if baby_steps is None:
+        baby_steps = 1 << (max(1, d.bit_length() - 1) // 2)
+    bs = min(baby_steps, d)
+    gs = -(-d // bs)
+
+    diagonals = {k: np.array([matrix[i, (i + k) % d] for i in range(d)])
+                 for k in range(d)}
+    # Baby rotations of the input ciphertext: one hoisted batch.
+    baby_rots = [ct] + ctx.hoisted_rotate(ct, list(range(1, bs)),
+                                          method=method)
+    result = None
+    for g in range(gs):
+        partial = None
+        for b in range(bs):
+            k = g * bs + b
+            if k >= d:
+                break
+            # pre-rotate the diagonal so the giant rotation lands it
+            diag = np.roll(diagonals[k], g * bs)
+            pt = ctx.plain_for(baby_rots[b], diag)
+            term = ctx.multiply_plain(baby_rots[b], pt)
+            partial = term if partial is None else ctx.add(partial, term)
+        if partial is None:
+            continue
+        rotated = ctx.rotate(partial, g * bs, method=method) \
+            if g else partial
+        result = rotated if result is None else ctx.add(result, rotated)
+    return ctx.rescale(result)
+
+
+def evaluate_polynomial(ctx: CkksContext, ct: Ciphertext,
+                        coefficients, method: str | None = None
+                        ) -> Ciphertext:
+    """Horner evaluation of ``sum_i c_i x^i`` on a ciphertext.
+
+    Consumes ``deg`` levels (one per Horner step); coefficients are
+    plain floats.  Suitable for the small-degree activations the
+    examples use; production bootstrapping uses BSGS Chebyshev
+    instead (modelled in the trace generators).
+    """
+    coeffs = list(coefficients)
+    if len(coeffs) < 2:
+        raise ValueError("need at least a degree-1 polynomial")
+    acc = ctx.multiply_scalar(ct, coeffs[-1])
+    acc = ctx.rescale(acc)
+    acc = ctx.add_scalar(acc, coeffs[-2])
+    for c in reversed(coeffs[:-2]):
+        operand = ctx.level_down(ct, acc.level)
+        acc = ctx.rescale(ctx.multiply(acc, operand, method=method))
+        acc = ctx.add_scalar(acc, c)
+    return acc
+
+
+def _power_basis(ctx: CkksContext, ct: Ciphertext, max_power: int,
+                 method: str | None = None) -> dict:
+    """Powers ct^1..ct^max_power at logarithmic depth.
+
+    ``x^(2k)`` squares ``x^k`` and ``x^(2k+1)`` multiplies in one more
+    ``x``, so power ``p`` sits at depth ``ceil(log2 p)``.  Every power
+    is rescaled after its product; callers align levels on use.
+    """
+    powers = {1: ct}
+    for p in range(2, max_power + 1):
+        half = p // 2
+        a = powers[half]
+        b = powers[p - half]
+        lo = min(a.level, b.level)
+        prod = ctx.multiply(ctx.level_down(a, lo), ctx.level_down(b, lo),
+                            method=method)
+        powers[p] = ctx.rescale(prod)
+    return powers
+
+
+def evaluate_polynomial_ps(ctx: CkksContext, ct: Ciphertext,
+                           coefficients, method: str | None = None
+                           ) -> Ciphertext:
+    """Paterson-Stockmeyer evaluation: depth ~ 2 log2(sqrt(deg)).
+
+    Splits ``sum c_i x^i`` into ``sum_j (sum_i c_{jk+i} x^i) * y^j``
+    with ``y = x^k`` and ``k ~ sqrt(deg+1)``: the baby powers and the
+    giant powers both build at log depth, each giant block costs one
+    more multiplication, and the blocks add together — the evaluation
+    pattern bootstrapping's EvalMod uses (Sec. 6.2).
+    """
+    coeffs = [float(c) for c in coefficients]
+    degree = len(coeffs) - 1
+    if degree < 1:
+        raise ValueError("need at least a degree-1 polynomial")
+    k = max(1, int(np.ceil(np.sqrt(degree + 1))))
+    num_blocks = -(-len(coeffs) // k)
+    if num_blocks > 1:
+        # one shared table covers baby powers and every giant power
+        powers = _power_basis(ctx, ct, k * (num_blocks - 1),
+                              method=method)
+        giant_powers = {j: powers[k * j] for j in range(1, num_blocks)}
+        babies = {i: powers[i] for i in range(1, max(2, k))}
+    else:
+        babies = _power_basis(ctx, ct, max(1, k - 1), method=method)
+        giant_powers = {}
+
+    def block_value(j):
+        """sum_i coeffs[j*k + i] * x^i as a ciphertext (scalar-mult +
+        adds over the baby powers), or None for an all-zero block."""
+        block = coeffs[j * k:(j + 1) * k]
+        floor_level = min(b.level for b in babies.values())
+        acc = None
+        for i, c in enumerate(block):
+            if i == 0 or abs(c) < 1e-12:
+                continue
+            term = ctx.rescale(ctx.multiply_scalar(
+                ctx.level_down(babies[i], floor_level), c))
+            acc = term if acc is None else ctx.add(
+                ctx.level_down(acc, term.level), term)
+        if acc is not None and abs(block[0]) > 1e-12:
+            acc = ctx.add_scalar(acc, block[0])
+        elif acc is None and abs(block[0]) > 1e-12:
+            # constant-only block: ride on a zeroed baby power
+            base = ctx.rescale(ctx.multiply_scalar(
+                ctx.level_down(babies[1], floor_level), 0.0))
+            acc = ctx.add_scalar(base, block[0])
+        return acc
+
+    result = None
+    for j in range(num_blocks):
+        inner = block_value(j)
+        if inner is None:
+            continue
+        if j == 0:
+            term = inner
+        else:
+            y = giant_powers[j]
+            lo = min(inner.level, y.level)
+            term = ctx.rescale(ctx.multiply(
+                ctx.level_down(inner, lo), ctx.level_down(y, lo),
+                method=method))
+        if result is None:
+            result = term
+        else:
+            lo = min(result.level, term.level)
+            a = ctx.level_down(result, lo)
+            b = ctx.level_down(term, lo)
+            # align scales before adding (rescale drift makes them
+            # differ by parts in 1e3; fold the ratio into b).
+            if abs(a.scale - b.scale) / a.scale > 1e-12:
+                b = Ciphertext(b.c0, b.c1, a.scale, b.level)
+            result = ctx.add(a, b)
+    return result
+
+
+def evaluate_chebyshev(ctx: CkksContext, ct: Ciphertext,
+                       cheb_coefficients, method: str | None = None
+                       ) -> Ciphertext:
+    """Evaluate a Chebyshev series ``sum_i c_i T_i(x)`` on a ciphertext.
+
+    The input's slot values must lie in [-1, 1].  Basis polynomials
+    build by the product recurrence ``T_{a+b} = 2 T_a T_b - T_{|a-b|}``
+    with binary splitting, so ``T_d`` sits at depth ``ceil(log2 d)``;
+    every intermediate value stays in [-1, 1] and the series
+    coefficients stay at the function's amplitude — the numerically
+    stable evaluation bootstrapping's EvalMod needs (power-basis
+    coefficients of an oscillatory fit reach ~1e6 and amplify
+    encryption noise a million-fold).
+    """
+    coeffs = [float(c) for c in cheb_coefficients]
+    degree = len(coeffs) - 1
+    if degree < 1:
+        raise ValueError("need at least a degree-1 series")
+    basis: dict[int, Ciphertext] = {1: ct}
+
+    def build(i: int) -> Ciphertext:
+        if i in basis:
+            return basis[i]
+        a = i // 2
+        b = i - a
+        ta = build(a)
+        tb = build(b)
+        ta, tb = ctx.align_for_add(ta, tb)
+        prod = ctx.rescale(ctx.multiply(ta, tb, method=method))
+        doubled = Ciphertext(prod.c0 * 2, prod.c1 * 2, prod.scale,
+                             prod.level)
+        if a == b:
+            result = ctx.add_scalar(doubled, -1.0)   # T_{2a} = 2T_a^2-1
+        else:
+            t_diff = build(abs(a - b))
+            lhs, rhs = ctx.align_for_add(doubled, t_diff)
+            result = ctx.sub(lhs, rhs)
+        basis[i] = result
+        return result
+
+    for i in range(2, degree + 1):
+        if abs(coeffs[i]) > 1e-12:
+            build(i)
+    floor_level = min(b.level for b in basis.values())
+    acc = None
+    for i in range(1, degree + 1):
+        if abs(coeffs[i]) < 1e-12:
+            continue
+        term = ctx.rescale(ctx.multiply_scalar(
+            ctx.level_down(basis[i], floor_level), coeffs[i]))
+        if acc is None:
+            acc = term
+        else:
+            acc = ctx.add(*ctx.align_for_add(acc, term))
+    if acc is None:
+        raise ValueError("series has no non-constant terms")
+    if abs(coeffs[0]) > 1e-12:
+        acc = ctx.add_scalar(acc, coeffs[0])
+    return acc
+
+
+def sigmoid_coefficients(degree: int = 7) -> np.ndarray:
+    """Least-squares polynomial fit of the sigmoid on [-6, 6].
+
+    Degree 7 at scale matches HELR's accuracy needs; smaller degrees
+    are fine for the toy examples.
+    """
+    xs = np.linspace(-6, 6, 513)
+    ys = 1.0 / (1.0 + np.exp(-xs))
+    return np.polynomial.polynomial.polyfit(xs, ys, degree)
+
+
+def apply_sigmoid(ctx: CkksContext, ct: Ciphertext, degree: int = 3,
+                  method: str | None = None) -> Ciphertext:
+    """Approximate sigmoid on every slot (consumes ``degree`` levels)."""
+    return evaluate_polynomial(ctx, ct, sigmoid_coefficients(degree),
+                               method=method)

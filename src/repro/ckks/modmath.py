@@ -1,0 +1,149 @@
+"""Vectorised modular arithmetic over a single prime modulus.
+
+All polynomial limbs in this library are 1-D :class:`numpy.ndarray`
+objects holding coefficients reduced modulo one RNS prime.  Two
+representations are used, selected automatically per modulus:
+
+* ``int64`` arrays when the modulus fits in 31 bits, so that a product
+  of two reduced residues fits in a signed 64-bit integer.  This is
+  the fast path used by all functional tests.
+* ``object`` arrays of Python integers otherwise (exact, arbitrary
+  precision).  This path is used when full-size 36/60-bit parameter
+  sets are exercised functionally.
+
+The functions here are deliberately free of any CKKS semantics; they
+are the software analogue of the accelerator's modular ALUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Largest modulus for which a*b of two reduced residues fits in int64.
+_INT64_SAFE_BITS = 31
+
+
+def uses_int64(modulus: int) -> bool:
+    """Return True when residues mod ``modulus`` can use the int64 path."""
+    return modulus.bit_length() <= _INT64_SAFE_BITS
+
+
+def _dtype_for(modulus: int):
+    return np.int64 if uses_int64(modulus) else object
+
+
+def zeros(n: int, modulus: int) -> np.ndarray:
+    """An all-zero residue vector of length ``n`` for ``modulus``."""
+    if uses_int64(modulus):
+        return np.zeros(n, dtype=np.int64)
+    out = np.empty(n, dtype=object)
+    out[:] = 0
+    return out
+
+
+def asresidues(values, modulus: int) -> np.ndarray:
+    """Coerce ``values`` (ints / array) into a reduced residue vector."""
+    if uses_int64(modulus):
+        arr = np.asarray(values)
+        if arr.dtype == object:
+            arr = np.array([int(v) % modulus for v in arr], dtype=np.int64)
+            return arr
+        return np.mod(arr.astype(np.int64, copy=True), modulus)
+    arr = np.array([int(v) % modulus for v in np.asarray(values).ravel()],
+                   dtype=object)
+    return arr
+
+
+def add(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(a + b) mod modulus``."""
+    return np.mod(a + b, modulus)
+
+
+def sub(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(a - b) mod modulus``."""
+    return np.mod(a - b, modulus)
+
+
+def neg(a: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(-a) mod modulus``."""
+    return np.mod(-a, modulus)
+
+
+def mul(a: np.ndarray, b, modulus: int) -> np.ndarray:
+    """Element-wise ``(a * b) mod modulus``; ``b`` may be a scalar.
+
+    On the int64 path the product of two reduced residues is at most
+    ``(2^31 - 1)^2 < 2^62`` so it never overflows.
+    """
+    if isinstance(b, (int, np.integer)):
+        b = int(b) % modulus
+    return np.mod(a * b, modulus)
+
+
+def mul_scalar(a: np.ndarray, scalar: int, modulus: int) -> np.ndarray:
+    """Element-wise multiplication by a plain integer scalar."""
+    return mul(a, int(scalar) % modulus, modulus)
+
+
+def pow_mod(base: int, exp: int, modulus: int) -> int:
+    """Scalar modular exponentiation (thin wrapper over built-in pow)."""
+    return pow(base % modulus, exp, modulus)
+
+
+def inv_mod(value: int, modulus: int) -> int:
+    """Scalar modular inverse; raises ValueError when not invertible."""
+    value %= modulus
+    if value == 0:
+        raise ValueError("zero has no modular inverse")
+    return pow(value, -1, modulus)
+
+
+def to_signed(a: np.ndarray, modulus: int) -> np.ndarray:
+    """Map residues to the symmetric interval (-q/2, q/2].
+
+    Returns a float64 array on the int64 path (safe: moduli on that
+    path are < 2^31) and an object array of Python ints otherwise.
+    Used when rounding/decoding and in ModDown error analysis.
+    """
+    half = modulus // 2
+    if uses_int64(modulus):
+        signed = a.astype(np.int64, copy=True)
+        signed[signed > half] -= modulus
+        return signed
+    out = np.empty(len(a), dtype=object)
+    for i, v in enumerate(a):
+        v = int(v)
+        out[i] = v - modulus if v > half else v
+    return out
+
+
+def random_uniform(n: int, modulus: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform residue vector, used for RLWE masks and evk ``a`` parts."""
+    if uses_int64(modulus):
+        return rng.integers(0, modulus, size=n, dtype=np.int64)
+    words = (modulus.bit_length() + 62) // 63
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        v = 0
+        for _ in range(words):
+            v = (v << 63) | int(rng.integers(0, 1 << 63, dtype=np.uint64))
+        out[i] = v % modulus
+    return out
+
+
+def random_ternary(n: int, rng: np.random.Generator,
+                   hamming_weight: int | None = None) -> np.ndarray:
+    """Ternary {-1, 0, 1} secret vector, optionally of fixed Hamming weight."""
+    if hamming_weight is None:
+        return rng.integers(-1, 2, size=n, dtype=np.int64)
+    coeffs = np.zeros(n, dtype=np.int64)
+    support = rng.choice(n, size=min(hamming_weight, n), replace=False)
+    coeffs[support] = rng.choice(np.array([-1, 1], dtype=np.int64),
+                                 size=len(support))
+    return coeffs
+
+
+def random_discrete_gaussian(n: int, rng: np.random.Generator,
+                             sigma: float = 3.2) -> np.ndarray:
+    """Rounded-Gaussian error vector (standard RLWE error distribution)."""
+    return np.rint(rng.normal(0.0, sigma, size=n)).astype(np.int64)

@@ -1,0 +1,180 @@
+"""Analytic noise-budget tracking (the error growth of Sec. 2.1.1).
+
+CKKS correctness requires the accumulated noise to stay far below the
+scale, and the final ``Delta * m`` to fit under ``q0/2``.  This module
+provides the standard heuristic (canonical-embedding, high-probability
+bound) estimates used to size parameter sets:
+
+* fresh-encryption noise;
+* per-operation growth for add/mult/plain-mult/rescale;
+* key-switching noise for both the hybrid method (ModDown residue
+  ~ beta * noise / P) and the KLSS gadget method (digit-weighted);
+* a :class:`NoiseTracker` that walks an operation sequence and
+  reports the remaining budget in bits.
+
+Estimates are validated against *measured* noise from the functional
+scheme in ``tests/ckks/test_noise.py`` — the estimate must bound the
+measurement without being orders of magnitude loose.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ckks.params import CkksParams
+
+# High-probability factor for rounded-Gaussian / canonical-embedding
+# bounds (erfc^-1-style; 6 sigma covers ~2^-32 failure probability).
+HP_FACTOR = 6.0
+
+
+def _ring_expansion(n: int) -> float:
+    """Expected multiplicative expansion of a ring product's noise."""
+    return math.sqrt(n)
+
+
+def fresh_noise(params: CkksParams) -> float:
+    """Infinity-norm bound on a fresh public-key encryption's error.
+
+    ``e0 + v*e_pk + e1*s``: three rounded Gaussians, two of them
+    through ring products with sparse/ternary polynomials.
+    """
+    n = params.ring_degree
+    sigma = params.sigma
+    ternary_norm = math.sqrt(n * 2.0 / 3.0)
+    sparse_norm = math.sqrt(params.hamming_weight)
+    return HP_FACTOR * sigma * (1.0 + ternary_norm + sparse_norm)
+
+
+def add_noise(a: float, b: float) -> float:
+    return a + b
+
+
+def mult_noise(a_noise: float, b_noise: float, a_mag: float,
+               b_mag: float, scale: float) -> float:
+    """Tensor-product noise: cross terms plus the noise product.
+
+    Message magnitudes are in slot units; noise in absolute units at
+    the common ``scale``.
+    """
+    return (a_mag * scale * b_noise + b_mag * scale * a_noise +
+            a_noise * b_noise) / scale
+
+
+def rescale_noise(noise: float, dropped_prime: int, n: int) -> float:
+    """Rescaling divides noise by q and adds a rounding term ~sqrt(n)."""
+    return noise / dropped_prime + math.sqrt(n)
+
+
+def hybrid_keyswitch_noise(params: CkksParams, level: int) -> float:
+    """ModDown residue of the hybrid switch, in absolute units.
+
+    ``beta`` digit/key products of magnitude ``D_max * e_key`` divided
+    by ``P``, plus the ModDown rounding (~sqrt(n) per limb).
+    """
+    n = params.ring_degree
+    beta = params.beta_at(level)
+    sigma = params.sigma
+    # D_max / P ~ 1 when the special modulus matches the digit size
+    # (the level-aware configuration); the surviving term is the
+    # key error scaled by the digit count and ring expansion.
+    ks = HP_FACTOR * sigma * beta * _ring_expansion(n)
+    return ks + math.sqrt(n) * (level + 1)
+
+
+def klss_keyswitch_noise(params: CkksParams, level: int) -> float:
+    """Gadget-switch residue: digits bounded by 2^(v-1), divided by T.
+
+    ``num_digits * 2^(v-1) * e_key * sqrt(n) / T`` — with the wide
+    auxiliary modulus ``T >> 2^v * digits``, the residue is dominated
+    by the final ModDown rounding, as in the hybrid case.
+    """
+    n = params.ring_degree
+    bits_q = params.first_prime_bits + level * params.prime_bits
+    num_digits = -(-(bits_q + 1) // params.klss_digit_bits)
+    digit_mag = 2.0 ** (params.klss_digit_bits - 1)
+    big_t = 2.0 ** (params.klss_alpha_tilde * params.klss_word_bits
+                    if params.klss_alpha_tilde else params.klss_word_bits)
+    raw = HP_FACTOR * params.sigma * num_digits * digit_mag * \
+        _ring_expansion(n)
+    return raw / big_t + math.sqrt(n) * (level + 1)
+
+
+@dataclass
+class NoiseTracker:
+    """Walks a computation and tracks the worst-case noise bound.
+
+    The budget at any point is ``log2(scale / noise)`` — the bits of
+    message precision remaining.  Operations mirror CkksContext's.
+    """
+
+    params: CkksParams
+    message_magnitude: float = 1.0
+    noise: float = field(default=0.0)
+    level: int = field(default=-1)
+    scale: float = field(default=0.0)
+
+    def __post_init__(self):
+        if self.level < 0:
+            self.level = self.params.max_level
+        if self.scale == 0.0:
+            self.scale = float(2 ** self.params.scale_bits)
+        if self.noise == 0.0:
+            self.noise = fresh_noise(self.params)
+
+    def budget_bits(self) -> float:
+        if self.noise <= 0:
+            return float("inf")
+        return math.log2(self.scale * self.message_magnitude /
+                         self.noise)
+
+    def add(self, other: "NoiseTracker | None" = None) -> "NoiseTracker":
+        other_noise = other.noise if other else self.noise
+        self.noise = add_noise(self.noise, other_noise)
+        return self
+
+    def multiply(self, other: "NoiseTracker | None" = None,
+                 method: str = "hybrid") -> "NoiseTracker":
+        o_noise = other.noise if other else self.noise
+        o_mag = other.message_magnitude if other else \
+            self.message_magnitude
+        self.noise = mult_noise(self.noise, o_noise,
+                                self.message_magnitude, o_mag,
+                                self.scale) * self.scale
+        self.scale = self.scale * self.scale / self.scale  # product scale
+        self.message_magnitude *= o_mag
+        ks = hybrid_keyswitch_noise(self.params, self.level) \
+            if method == "hybrid" else \
+            klss_keyswitch_noise(self.params, self.level)
+        self.noise += ks
+        return self
+
+    def rotate(self, method: str = "hybrid") -> "NoiseTracker":
+        ks = hybrid_keyswitch_noise(self.params, self.level) \
+            if method == "hybrid" else \
+            klss_keyswitch_noise(self.params, self.level)
+        self.noise += ks
+        return self
+
+    def rescale(self, dropped_prime: int | None = None) -> "NoiseTracker":
+        if self.level == 0:
+            raise ValueError("no levels left to rescale")
+        q = dropped_prime or 2 ** self.params.prime_bits
+        self.noise = rescale_noise(self.noise, q,
+                                   self.params.ring_degree)
+        self.level -= 1
+        return self
+
+    def depth_capacity(self, method: str = "hybrid") -> int:
+        """Squarings survivable before the budget drops below 1 bit."""
+        probe = NoiseTracker(self.params,
+                             message_magnitude=self.message_magnitude)
+        depth = 0
+        while probe.level > 0:
+            probe.multiply(method=method)
+            probe.rescale()
+            if probe.budget_bits() < 1.0:
+                break
+            depth += 1
+        return depth

@@ -1,0 +1,139 @@
+"""Negacyclic number-theoretic transform over one RNS prime.
+
+This is the software model of the accelerator's NTTU: it converts a
+limb between *coefficient* representation and *evaluation* (point)
+representation so that polynomial multiplication in
+``Z_q[X]/(X^N + 1)`` becomes element-wise multiplication.
+
+The implementation is the standard merged-twist radix-2 pair:
+
+* forward: Cooley-Tukey butterflies on bit-reversed powers of ``psi``
+  (a primitive 2N-th root of unity), which folds the negacyclic
+  twisting into the butterflies;
+* inverse: Gentleman-Sande butterflies on powers of ``psi^-1``
+  followed by multiplication with ``N^-1``.
+
+Transforms are vectorised with numpy slicing and work on both the
+int64 fast path and the exact object path (see
+:mod:`repro.ckks.modmath`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks import modmath, primes
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation reversing log2(n)-bit indices."""
+    bits = n.bit_length() - 1
+    out = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        out[i] = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+    return out
+
+
+class NttPlan:
+    """Precomputed tables for the negacyclic NTT of one prime.
+
+    Parameters
+    ----------
+    ring_degree:
+        Power-of-two polynomial degree ``N``.
+    modulus:
+        NTT-friendly prime with ``modulus = 1 (mod 2N)``.
+
+    The plan owns the bit-reversed twiddle tables; limbs transform
+    in-place-style through :meth:`forward` / :meth:`inverse`.
+    """
+
+    def __init__(self, ring_degree: int, modulus: int):
+        if ring_degree & (ring_degree - 1):
+            raise ValueError("ring degree must be a power of two")
+        if (modulus - 1) % (2 * ring_degree) != 0:
+            raise ValueError(
+                f"modulus {modulus} is not NTT-friendly for N={ring_degree}")
+        self.n = ring_degree
+        self.modulus = modulus
+        psi = primes.root_of_unity(2 * ring_degree, modulus)
+        psi_inv = modmath.inv_mod(psi, modulus)
+        self._psi_rev = self._power_table(psi)
+        self._psi_inv_rev = self._power_table(psi_inv)
+        self._n_inv = modmath.inv_mod(ring_degree, modulus)
+
+    def _power_table(self, base: int) -> np.ndarray:
+        """Powers base^0..base^(N-1) stored in bit-reversed order."""
+        n, q = self.n, self.modulus
+        powers = np.empty(n, dtype=object)
+        acc = 1
+        for i in range(n):
+            powers[i] = acc
+            acc = acc * base % q
+        rev = bit_reverse_permutation(n)
+        table = powers[rev]
+        return modmath.asresidues(table, q)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient form -> evaluation form (negacyclic NTT)."""
+        q = self.modulus
+        a = modmath.asresidues(coeffs, q)
+        if len(a) != self.n:
+            raise ValueError("limb length does not match the plan")
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            for i in range(m):
+                w = self._psi_rev[m + i]
+                j1 = 2 * i * t
+                lo = a[j1:j1 + t]
+                hi = a[j1 + t:j1 + 2 * t]
+                prod = modmath.mul(hi, int(w), q)
+                a[j1 + t:j1 + 2 * t] = modmath.sub(lo, prod, q)
+                a[j1:j1 + t] = modmath.add(lo, prod, q)
+            m *= 2
+        return a
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Evaluation form -> coefficient form (inverse negacyclic NTT)."""
+        q = self.modulus
+        a = modmath.asresidues(evals, q)
+        if len(a) != self.n:
+            raise ValueError("limb length does not match the plan")
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            j1 = 0
+            for i in range(h):
+                w = self._psi_inv_rev[h + i]
+                lo = a[j1:j1 + t]
+                hi = a[j1 + t:j1 + 2 * t]
+                # diff must be taken before lo's slot is overwritten:
+                # lo/hi are views into the working array.
+                diff = modmath.sub(lo, hi, q)
+                a[j1:j1 + t] = modmath.add(lo, hi, q)
+                a[j1 + t:j1 + 2 * t] = modmath.mul(diff, int(w), q)
+                j1 += 2 * t
+            t *= 2
+            m = h
+        return modmath.mul(a, self._n_inv, q)
+
+
+def negacyclic_convolution_reference(a, b, modulus: int) -> np.ndarray:
+    """O(N^2) schoolbook multiply in Z_q[X]/(X^N+1), for testing."""
+    n = len(a)
+    out = [0] * n
+    for i in range(n):
+        ai = int(a[i]) % modulus
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * (int(b[j]) % modulus)
+            if k < n:
+                out[k] = (out[k] + term) % modulus
+            else:
+                out[k - n] = (out[k - n] - term) % modulus
+    return modmath.asresidues(out, modulus)

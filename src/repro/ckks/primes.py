@@ -1,0 +1,150 @@
+"""NTT-friendly prime generation and primitive-root search.
+
+CKKS in RNS form needs chains of primes ``q_i = 1 (mod 2N)`` so every
+limb ring ``Z_{q_i}[X]/(X^N + 1)`` supports a negacyclic NTT.  The
+generator here finds such primes near a target bit length, mirroring
+how FHE libraries pick *scale primes* (close to the scaling factor
+``Delta`` so rescaling preserves precision) and *special primes*
+(slightly larger, for the hybrid method's auxiliary modulus P and the
+KLSS method's wide 60-bit-class modulus T).
+"""
+
+from __future__ import annotations
+
+from repro.ckks import modmath
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-class integers."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # This witness set is deterministic for n < 3.3 * 10^24.
+    for a in small_primes:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def ntt_primes(count: int, bits: int, ring_degree: int,
+               exclude: set[int] | None = None,
+               descending_from_top: bool = True) -> list[int]:
+    """Find ``count`` primes of ~``bits`` bits with ``p = 1 mod 2N``.
+
+    The search walks candidates of the form ``k * 2N + 1`` downward
+    from ``2^bits`` (or upward when ``descending_from_top`` is False),
+    skipping anything in ``exclude``.  Distinctness is guaranteed.
+    """
+    if exclude is None:
+        exclude = set()
+    m = 2 * ring_degree
+    found: list[int] = []
+    if descending_from_top:
+        k = ((1 << bits) - 1) // m
+        step = -1
+    else:
+        k = ((1 << (bits - 1)) // m) + 1
+        step = 1
+    while len(found) < count:
+        candidate = k * m + 1
+        k += step
+        if k <= 0:
+            raise ValueError(
+                f"ran out of {bits}-bit NTT primes for N={ring_degree}")
+        if candidate.bit_length() != bits:
+            if step == -1 and candidate.bit_length() < bits:
+                raise ValueError(
+                    f"fewer than {count} {bits}-bit NTT primes exist "
+                    f"for N={ring_degree}")
+            continue
+        if candidate in exclude or not is_prime(candidate):
+            continue
+        found.append(candidate)
+    return found
+
+
+def primitive_root(modulus: int) -> int:
+    """Smallest generator of the multiplicative group mod a prime."""
+    order = modulus - 1
+    factors = _factorize(order)
+    for g in range(2, modulus):
+        if all(pow(g, order // f, modulus) != 1 for f in factors):
+            return g
+    raise ValueError(f"no primitive root found for {modulus}")
+
+
+def root_of_unity(order: int, modulus: int) -> int:
+    """A primitive ``order``-th root of unity modulo a prime.
+
+    Requires ``order`` to divide ``modulus - 1`` (guaranteed for NTT
+    primes with ``order`` up to 2N).
+    """
+    if (modulus - 1) % order != 0:
+        raise ValueError(f"{order} does not divide {modulus}-1")
+    g = primitive_root(modulus)
+    root = pow(g, (modulus - 1) // order, modulus)
+    # Sanity: the root must have exact order ``order``.
+    if pow(root, order // 2, modulus) == 1:
+        raise ValueError("root does not have the requested order")
+    return root
+
+
+def _factorize(n: int) -> set[int]:
+    """Prime factors of n (trial division + Pollard rho for big cofactors)."""
+    factors: set[int] = set()
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47):
+        while n % p == 0:
+            factors.add(p)
+            n //= p
+    if n == 1:
+        return factors
+    stack = [n]
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors.add(m)
+            continue
+        d = _pollard_rho(m)
+        stack.append(d)
+        stack.append(m // d)
+    return factors
+
+
+def _pollard_rho(n: int) -> int:
+    """A nontrivial factor of composite odd n (Brent's cycle variant)."""
+    if n % 2 == 0:
+        return 2
+    from math import gcd
+    c = 1
+    while True:
+        x = y = 2
+        d = 1
+        while d == 1:
+            x = (x * x + c) % n
+            y = (y * y + c) % n
+            y = (y * y + c) % n
+            d = gcd(abs(x - y), n)
+        if d != n:
+            return d
+        c += 1
+
+
+def inv_mod(value: int, modulus: int) -> int:
+    """Re-export of the scalar inverse for convenience."""
+    return modmath.inv_mod(value, modulus)

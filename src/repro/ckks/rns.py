@@ -1,0 +1,340 @@
+"""RNS (residue number system) polynomial machinery.
+
+A CKKS ciphertext limb set is a polynomial of degree ``N`` whose huge
+integer coefficients (mod ``Q = prod q_i``) are stored as *limbs*: one
+residue vector per prime.  This module provides
+
+* :class:`RnsPoly` — an RNS polynomial with coefficient/evaluation
+  form tracking, element-wise ring ops, NTTs and automorphisms;
+* fast approximate base conversion (:func:`base_convert`), the
+  workhorse of ModUp/ModDown (the accelerator's BConvU);
+* exact CRT composition/decomposition, used by the KLSS gadget
+  decomposition and by decryption;
+* :func:`mod_up` / :func:`mod_down`, the hybrid key-switching stages.
+
+Plans (NTT tables) are cached per ``(N, q)`` so that repeated level
+changes do not redo root searches.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.ckks import modmath
+from repro.ckks.ntt import NttPlan
+
+COEFF = "coeff"
+EVAL = "eval"
+
+
+@lru_cache(maxsize=None)
+def get_plan(ring_degree: int, modulus: int) -> NttPlan:
+    """Shared NTT plan for one (N, q) pair."""
+    return NttPlan(ring_degree, modulus)
+
+
+class RnsPoly:
+    """Polynomial in ``prod_i Z_{q_i}[X]/(X^N+1)``, one limb per prime.
+
+    Attributes
+    ----------
+    limbs:
+        List of residue vectors (one per modulus, each of length N).
+    moduli:
+        Tuple of the primes, aligned with ``limbs``.
+    form:
+        Either ``"coeff"`` or ``"eval"``; element-wise multiplication
+        is only defined in evaluation form.
+    """
+
+    __slots__ = ("limbs", "moduli", "form", "n")
+
+    def __init__(self, limbs, moduli, form: str):
+        self.limbs = list(limbs)
+        self.moduli = tuple(int(q) for q in moduli)
+        if len(self.limbs) != len(self.moduli):
+            raise ValueError("limb/modulus count mismatch")
+        if form not in (COEFF, EVAL):
+            raise ValueError(f"unknown form {form!r}")
+        self.form = form
+        self.n = len(self.limbs[0]) if self.limbs else 0
+        for limb in self.limbs:
+            if len(limb) != self.n:
+                raise ValueError("ragged limb lengths")
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def zeros(cls, n: int, moduli, form: str = COEFF) -> "RnsPoly":
+        return cls([modmath.zeros(n, q) for q in moduli], moduli, form)
+
+    @classmethod
+    def from_int_coeffs(cls, coeffs, moduli) -> "RnsPoly":
+        """Reduce signed integer coefficients into every limb (coeff form)."""
+        return cls([modmath.asresidues(coeffs, q) for q in moduli],
+                   moduli, COEFF)
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly([limb.copy() for limb in self.limbs],
+                       self.moduli, self.form)
+
+    # -- form conversion ---------------------------------------------
+    def to_eval(self) -> "RnsPoly":
+        if self.form == EVAL:
+            return self.copy()
+        limbs = [get_plan(self.n, q).forward(limb)
+                 for limb, q in zip(self.limbs, self.moduli)]
+        return RnsPoly(limbs, self.moduli, EVAL)
+
+    def to_coeff(self) -> "RnsPoly":
+        if self.form == COEFF:
+            return self.copy()
+        limbs = [get_plan(self.n, q).inverse(limb)
+                 for limb, q in zip(self.limbs, self.moduli)]
+        return RnsPoly(limbs, self.moduli, COEFF)
+
+    # -- ring operations ----------------------------------------------
+    def _check_compatible(self, other: "RnsPoly") -> None:
+        if self.moduli != other.moduli:
+            raise ValueError("RNS bases differ")
+        if self.form != other.form:
+            raise ValueError("representation forms differ")
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        limbs = [modmath.add(a, b, q) for a, b, q in
+                 zip(self.limbs, other.limbs, self.moduli)]
+        return RnsPoly(limbs, self.moduli, self.form)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        limbs = [modmath.sub(a, b, q) for a, b, q in
+                 zip(self.limbs, other.limbs, self.moduli)]
+        return RnsPoly(limbs, self.moduli, self.form)
+
+    def __neg__(self) -> "RnsPoly":
+        limbs = [modmath.neg(a, q) for a, q in zip(self.limbs, self.moduli)]
+        return RnsPoly(limbs, self.moduli, self.form)
+
+    def __mul__(self, other) -> "RnsPoly":
+        if isinstance(other, (int, np.integer)):
+            limbs = [modmath.mul_scalar(a, int(other), q)
+                     for a, q in zip(self.limbs, self.moduli)]
+            return RnsPoly(limbs, self.moduli, self.form)
+        self._check_compatible(other)
+        if self.form != EVAL:
+            raise ValueError("polynomial product requires evaluation form")
+        limbs = [modmath.mul(a, b, q) for a, b, q in
+                 zip(self.limbs, other.limbs, self.moduli)]
+        return RnsPoly(limbs, self.moduli, EVAL)
+
+    __rmul__ = __mul__
+
+    def mul_scalar_per_limb(self, scalars) -> "RnsPoly":
+        """Multiply limb ``i`` by scalar ``scalars[i]`` (any form)."""
+        limbs = [modmath.mul_scalar(a, int(s), q) for a, s, q in
+                 zip(self.limbs, scalars, self.moduli)]
+        return RnsPoly(limbs, self.moduli, self.form)
+
+    # -- basis manipulation ---------------------------------------------
+    def drop_limbs(self, keep: int) -> "RnsPoly":
+        """Restrict to the first ``keep`` moduli (rescale/level drop)."""
+        if keep > len(self.moduli):
+            raise ValueError("cannot keep more limbs than present")
+        return RnsPoly(self.limbs[:keep], self.moduli[:keep], self.form)
+
+    def select_limbs(self, indices) -> "RnsPoly":
+        """Arbitrary sub-basis selection (used by digit grouping)."""
+        limbs = [self.limbs[i] for i in indices]
+        moduli = [self.moduli[i] for i in indices]
+        return RnsPoly(limbs, moduli, self.form)
+
+    def concat(self, other: "RnsPoly") -> "RnsPoly":
+        """Adjoin the limbs of ``other`` (bases must be disjoint)."""
+        if self.form != other.form:
+            raise ValueError("representation forms differ")
+        if set(self.moduli) & set(other.moduli):
+            raise ValueError("bases overlap")
+        return RnsPoly(self.limbs + other.limbs,
+                       self.moduli + other.moduli, self.form)
+
+    # -- automorphism -----------------------------------------------------
+    def automorphism(self, galois_power: int) -> "RnsPoly":
+        """Apply ``X -> X^g`` with ``g = galois_power`` (odd, mod 2N).
+
+        Implemented in coefficient form: coefficient ``i`` moves to
+        position ``(i * g) mod 2N``, negated when the destination
+        falls in the upper half (since ``X^N = -1``).  This is the
+        functional model of the accelerator's AutoU.
+        """
+        if galois_power % 2 == 0:
+            raise ValueError("Galois element must be odd")
+        was_eval = self.form == EVAL
+        poly = self.to_coeff() if was_eval else self.copy()
+        n = self.n
+        two_n = 2 * n
+        idx = (np.arange(n, dtype=np.int64) * (galois_power % two_n)) % two_n
+        dest = np.where(idx < n, idx, idx - n)
+        sign = np.where(idx < n, 1, -1)
+        out_limbs = []
+        for limb, q in zip(poly.limbs, poly.moduli):
+            out = modmath.zeros(n, q)
+            out[dest] = np.mod(limb * sign, q)
+            out_limbs.append(out)
+        result = RnsPoly(out_limbs, self.moduli, COEFF)
+        return result.to_eval() if was_eval else result
+
+
+# -- CRT helpers ----------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def _crt_constants(moduli: tuple[int, ...]):
+    """Per-basis CRT constants: Q, Q/q_i, and (Q/q_i)^-1 mod q_i."""
+    big_q = 1
+    for q in moduli:
+        big_q *= q
+    q_hat = tuple(big_q // q for q in moduli)
+    q_hat_inv = tuple(modmath.inv_mod(h % q, q)
+                      for h, q in zip(q_hat, moduli))
+    return big_q, q_hat, q_hat_inv
+
+
+def product(moduli) -> int:
+    """Product of a basis (the composite modulus it represents)."""
+    big_q = 1
+    for q in moduli:
+        big_q *= int(q)
+    return big_q
+
+
+def compose_crt(poly: RnsPoly) -> list[int]:
+    """Exact CRT recombination to centred big-integer coefficients.
+
+    Returns Python ints in ``(-Q/2, Q/2]``.  Used by decryption,
+    decoding and the KLSS gadget decomposition.
+    """
+    if poly.form != COEFF:
+        poly = poly.to_coeff()
+    big_q, q_hat, q_hat_inv = _crt_constants(poly.moduli)
+    half = big_q // 2
+    out = [0] * poly.n
+    for limb, q, hat, hat_inv in zip(poly.limbs, poly.moduli,
+                                     q_hat, q_hat_inv):
+        scale = hat * hat_inv % big_q
+        for i in range(poly.n):
+            out[i] = (out[i] + int(limb[i]) * scale) % big_q
+    return [v - big_q if v > half else v for v in out]
+
+
+def from_big_ints(coeffs: list[int], moduli, n: int | None = None) -> RnsPoly:
+    """Reduce big-integer coefficients into an RNS polynomial."""
+    if n is None:
+        n = len(coeffs)
+    limbs = []
+    for q in moduli:
+        limbs.append(modmath.asresidues([c % q for c in coeffs], q))
+    return RnsPoly(limbs, moduli, COEFF)
+
+
+# -- fast base conversion (BConv) -----------------------------------------
+
+def base_convert(poly: RnsPoly, target_moduli) -> RnsPoly:
+    """HPS fast approximate base conversion ``Q-basis -> target basis``.
+
+    Computes ``y_i = x_i * (Q/q_i)^{-1} mod q_i`` (element-wise stage,
+    executed by the KMU in FAST) followed by
+    ``out_j = sum_i y_i * (Q/q_i mod p_j)`` (the matrix stage, executed
+    by the BConvU systolic array).  The result equals
+    ``x + e * Q (mod p_j)`` for a small integer ``e`` in ``[0, k)``;
+    callers that need exactness (ModDown) correct for it structurally.
+
+    Input must be in coefficient form; output is in coefficient form.
+    """
+    if poly.form != COEFF:
+        raise ValueError("base_convert expects coefficient form")
+    moduli = poly.moduli
+    _, q_hat, q_hat_inv = _crt_constants(moduli)
+    target = tuple(int(p) for p in target_moduli)
+    # Element-wise stage on the source basis.
+    scaled = [modmath.mul_scalar(limb, inv, q)
+              for limb, inv, q in zip(poly.limbs, q_hat_inv, moduli)]
+    out_limbs = []
+    for p in target:
+        acc = modmath.zeros(poly.n, p)
+        for y, q, hat in zip(scaled, moduli, q_hat):
+            acc = modmath.add(acc, modmath.mul_scalar(
+                modmath.asresidues(y, p), hat % p, p), p)
+        out_limbs.append(acc)
+    return RnsPoly(out_limbs, target, COEFF)
+
+
+def mod_up(poly: RnsPoly, digit_indices: list[list[int]],
+           full_moduli, aux_moduli) -> list[RnsPoly]:
+    """Hybrid-method ModUp: split limbs into digits, extend each digit.
+
+    ``digit_indices`` lists, per digit, the positions of its limbs in
+    ``poly``.  Each digit is base-converted onto the *complement*
+    moduli (the rest of the Q basis plus all auxiliary P moduli) and
+    recombined with its own limbs, yielding one RnsPoly per digit over
+    ``full_moduli + aux_moduli``.  Input/outputs in coefficient form.
+    """
+    if poly.form != COEFF:
+        raise ValueError("mod_up expects coefficient form")
+    full = tuple(int(q) for q in full_moduli)
+    aux = tuple(int(p) for p in aux_moduli)
+    extended = []
+    for indices in digit_indices:
+        digit = poly.select_limbs(indices)
+        own = {poly.moduli[i] for i in indices}
+        complement = tuple(q for q in full + aux if q not in own)
+        converted = base_convert(digit, complement)
+        limb_of = dict(zip(converted.moduli, converted.limbs))
+        limb_of.update(zip(digit.moduli, digit.limbs))
+        limbs = [limb_of[q] for q in full + aux]
+        extended.append(RnsPoly(limbs, full + aux, COEFF))
+    return extended
+
+
+def mod_down(poly: RnsPoly, main_count: int) -> RnsPoly:
+    """Divide by the auxiliary modulus and drop its limbs (exact-ish).
+
+    ``poly`` lives over ``Q x P`` with the first ``main_count`` limbs
+    forming Q.  Returns ``round(poly / P)`` over Q:
+    ``(x - BConv_{P->Q}(x mod P)) * P^{-1} mod Q``, the standard RNS
+    ModDown with error below 1 plus the BConv slack.
+    """
+    if poly.form != COEFF:
+        raise ValueError("mod_down expects coefficient form")
+    q_moduli = poly.moduli[:main_count]
+    p_moduli = poly.moduli[main_count:]
+    if not p_moduli:
+        raise ValueError("nothing to mod-down: no auxiliary limbs")
+    aux_part = RnsPoly(poly.limbs[main_count:], p_moduli, COEFF)
+    approx = base_convert(aux_part, q_moduli)
+    p_prod = product(p_moduli)
+    out_limbs = []
+    for limb, conv, q in zip(poly.limbs, approx.limbs, q_moduli):
+        diff = modmath.sub(limb, conv, q)
+        out_limbs.append(modmath.mul_scalar(diff, modmath.inv_mod(p_prod, q), q))
+    return RnsPoly(out_limbs, q_moduli, COEFF)
+
+
+def exact_rescale(poly: RnsPoly) -> RnsPoly:
+    """Drop the last limb, dividing by its prime with rounding.
+
+    This is CKKS rescaling in RNS form: for each remaining limb,
+    ``(x mod q_i - x mod q_last) * q_last^{-1} mod q_i``.
+    """
+    if poly.form != COEFF:
+        raise ValueError("exact_rescale expects coefficient form")
+    if len(poly.moduli) < 2:
+        raise ValueError("cannot rescale a single-limb polynomial")
+    last_q = poly.moduli[-1]
+    last_limb = poly.limbs[-1]
+    out_limbs = []
+    for limb, q in zip(poly.limbs[:-1], poly.moduli[:-1]):
+        folded = modmath.asresidues(last_limb, q)
+        diff = modmath.sub(limb, folded, q)
+        out_limbs.append(modmath.mul_scalar(diff, modmath.inv_mod(last_q, q), q))
+    return RnsPoly(out_limbs, poly.moduli[:-1], COEFF)

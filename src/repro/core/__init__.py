@@ -1,0 +1,22 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.optrace` — the FHE operation-flow IR that
+  applications emit and Aether/the simulator consume.
+* :mod:`repro.core.tbm` — the Tunable-Bit Multiplier (Sec. 4.2): a
+  bit-exact functional model of the 3-base-multiplier datapath that
+  runs either two 36-bit multiplies or one 60-bit multiply.
+* :mod:`repro.core.aether` — the offline key-switching analysis and
+  decision tool (Sec. 4.1.1): MCT construction and STEP-1/2/3
+  selection into an Aether configuration file.
+* :mod:`repro.core.hemera` — the online evaluation-key manager
+  (Sec. 4.1.2): evk pool, monitor, history recorder, batch-wise HBM
+  transfer and prefetching.
+"""
+
+from repro.core.optrace import FheOp, OpTrace
+from repro.core.tbm import TunableBitMultiplier
+from repro.core.aether import Aether, AetherConfig, MctEntry
+from repro.core.hemera import Hemera
+
+__all__ = ["FheOp", "OpTrace", "TunableBitMultiplier",
+           "Aether", "AetherConfig", "MctEntry", "Hemera"]

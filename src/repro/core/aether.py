@@ -1,0 +1,369 @@
+"""Aether: offline key-switching method analysis and decision (Sec. 4.1.1).
+
+Aether runs server-side before execution.  It walks the application's
+operation flow, builds the **Methods Candidate Table** (MCT) — one
+record per key-switching decision unit holding, for every candidate
+``(method, hoisting)`` configuration, the modular-operation cost, the
+estimated compute delay, the evaluation-key footprint and its HBM
+transfer time — then filters and selects per the paper's three steps:
+
+* **STEP-1** drop candidates whose key footprint exceeds the chip's
+  reserved key storage;
+* **STEP-2** drop candidates whose key transfer cannot be hidden
+  behind the preceding operation's key-switch execution (the paper
+  words this as "transmission time shorter than the execution time of
+  the preceding ciphertext's key-switching"; we read it as the
+  prefetch-hiding condition, keeping candidates whose transfer fits
+  the available window);
+* **STEP-3** among survivors pick minimal execution time, preferring
+  the smaller key when latencies are within a tolerance.
+
+The result is the *Aether configuration file* (~1 KB of JSON): per
+key-switch decision unit, the chosen method and hoisting number.
+Hemera reads it online.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.ckks.keys import HYBRID, KLSS
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import CkksParams
+from repro.core import optrace
+from repro.core.optrace import FheOp, OpTrace
+
+# Latency tolerance within which two candidates count as "similar"
+# and the smaller key wins (STEP-3 tie rule).
+LATENCY_TIE_TOLERANCE = 0.05
+
+# STEP-2 prefetch window: Hemera keeps several upcoming keys in
+# flight (bounded by the key-storage reserve), so a transfer hides
+# behind the execution of the last few key-switches (and the plain
+# operations between them), not only the immediately preceding one.
+PREFETCH_DEPTH = 6
+
+# Keys for the first operations ride along with the program upload;
+# this seeds the aggregate transfer budget (STEP-2's slack term).
+PROGRAM_PRELOAD_S = 100e-6
+
+
+@dataclass
+class MctEntry:
+    """One candidate configuration for one decision unit.
+
+    Mirrors the MCT record format in Fig. 5(a): hoisting identifier
+    ``h``, repetition count ``times``, computational ``cost``,
+    relative ``delay``, key ``size`` and ``transfer`` time, recorded
+    per method.
+    """
+
+    unit_id: int
+    ct_id: int
+    kind: str
+    level: int
+    method: str
+    hoisting: int          # the paper's `h`
+    times: int             # rotations covered by this unit
+    cost_modops: float     # `Cost`
+    delay_s: float         # `Delay`
+    key_bytes: float       # `Size`
+    transfer_s: float      # `Transfer Time`
+
+
+@dataclass
+class Decision:
+    """Aether's choice for one decision unit."""
+
+    unit_id: int
+    ct_id: int
+    kind: str
+    level: int
+    method: str
+    hoisting: int
+    times: int
+    delay_s: float
+    key_bytes: float
+    transfer_s: float
+
+
+@dataclass
+class AetherConfig:
+    """The Aether configuration file: decisions indexed by unit.
+
+    Serialises to ~1 KB of JSON for realistic workloads, matching the
+    paper's figure for the file size.
+    """
+
+    decisions: dict[int, Decision] = field(default_factory=dict)
+
+    def method_for(self, unit_id: int) -> str:
+        return self.decisions[unit_id].method
+
+    def hoisting_for(self, unit_id: int) -> int:
+        return self.decisions[unit_id].hoisting
+
+    def method_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {HYBRID: 0, KLSS: 0}
+        for decision in self.decisions.values():
+            histogram[decision.method] += decision.times
+        return histogram
+
+    def level_method_map(self) -> dict[tuple[str, int], str]:
+        """Majority method per (op kind, level) — the selector for
+        functional execution via CkksContext."""
+        votes: dict[tuple[str, int], dict[str, int]] = {}
+        for decision in self.decisions.values():
+            key = (decision.kind, decision.level)
+            per = votes.setdefault(key, {HYBRID: 0, KLSS: 0})
+            per[decision.method] += decision.times
+        return {key: max(per, key=per.get) for key, per in votes.items()}
+
+    def selector(self):
+        """A ``MethodSelector`` for :class:`repro.ckks.CkksContext`."""
+        mapping = self.level_method_map()
+
+        def select(op: str, level: int, hoisting: int) -> str:
+            kind = optrace.HMULT if op == "HMult" else optrace.HROT
+            return mapping.get((kind, level), HYBRID)
+
+        return select
+
+    def to_json(self) -> str:
+        """Compact serialisation: what Hemera needs at run time is the
+        ciphertext/unit index, level, method and hoisting number (plus
+        the delay used for prefetch pacing), keeping real application
+        files in the paper's ~1 KB regime."""
+        payload = {}
+        for uid, d in self.decisions.items():
+            payload[str(uid)] = [d.ct_id, d.kind, d.level, d.method,
+                                 d.hoisting, d.times,
+                                 round(d.delay_s * 1e9),
+                                 round(d.key_bytes),
+                                 round(d.transfer_s * 1e9)]
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "AetherConfig":
+        payload = json.loads(text)
+        decisions = {}
+        for uid, rec in payload.items():
+            ct_id, kind, level, method, hoisting, times, delay_ns, \
+                key_bytes, transfer_ns = rec
+            decisions[int(uid)] = Decision(
+                unit_id=int(uid), ct_id=ct_id, kind=kind, level=level,
+                method=method, hoisting=hoisting, times=times,
+                delay_s=delay_ns / 1e9, key_bytes=float(key_bytes),
+                transfer_s=transfer_ns / 1e9)
+        return cls(decisions)
+
+    def size_bytes(self) -> int:
+        return len(self.to_json().encode())
+
+
+@dataclass
+class DecisionUnit:
+    """A key-switching decision point: one op or one hoist group."""
+
+    unit_id: int
+    ops: list[FheOp]
+    indices: list[int]
+
+    @property
+    def first(self) -> FheOp:
+        return self.ops[0]
+
+    @property
+    def times(self) -> int:
+        return len(self.ops)
+
+
+class Aether:
+    """The offline analysis and decision tool.
+
+    Parameters
+    ----------
+    hybrid_params / klss_params:
+        Parameter sets used when costing each method (the paper uses
+        Set-I for hybrid and Set-II for KLSS).
+    key_storage_bytes:
+        On-chip capacity reserved for evaluation keys (STEP-1 budget).
+    hbm_bandwidth:
+        Off-chip bandwidth in bytes/second (transfer-time estimates).
+    modops_per_second:
+        Aggregate modular-operation throughput of the target
+        accelerator, converting op counts into delays.
+    delay_model:
+        Optional callable ``(KernelOps, method) -> seconds`` giving a
+        per-kernel-aware delay (the simulator provides one built from
+        the accelerator's unit throughputs); falls back to
+        ``total / modops_per_second``.
+    """
+
+    def __init__(self, hybrid_params: CkksParams, klss_params: CkksParams,
+                 key_storage_bytes: float, hbm_bandwidth: float,
+                 modops_per_second: float, use_ekg: bool = True,
+                 use_minks: bool = True, delay_model=None):
+        self.hybrid_params = hybrid_params
+        self.klss_params = klss_params
+        self.key_storage_bytes = key_storage_bytes
+        self.hbm_bandwidth = hbm_bandwidth
+        self.modops_per_second = modops_per_second
+        self.delay_model = delay_model
+        # ARK Min-KS: hybrid keys move in compact base form and are
+        # regenerated on chip; KLSS gadget keys always move whole.
+        self.use_minks = use_minks
+        # Sec. 5.7.2: the Evaluation Key Generator regenerates one half
+        # of every RLWE key pair from a PRNG seed, halving both the
+        # stored and the transferred key bytes.
+        self.key_size_factor = 0.5 if use_ekg else 1.0
+
+    # -- analysis workflow (Fig. 5a) --------------------------------------
+    def decision_units(self, trace: OpTrace) -> list[DecisionUnit]:
+        """Locate HRot/HMult/Conj ops; fuse hoist groups into units."""
+        units: list[DecisionUnit] = []
+        open_groups: dict[int, DecisionUnit] = {}
+        next_id = 0
+        for index, op in enumerate(trace):
+            if not op.needs_key_switch:
+                continue
+            if op.hoist_group is not None:
+                unit = open_groups.get(op.hoist_group)
+                if unit is None:
+                    unit = DecisionUnit(next_id, [], [])
+                    next_id += 1
+                    open_groups[op.hoist_group] = unit
+                    units.append(unit)
+                unit.ops.append(op)
+                unit.indices.append(index)
+            else:
+                units.append(DecisionUnit(next_id, [op], [index]))
+                next_id += 1
+        return units
+
+    def _params_for(self, method: str) -> CkksParams:
+        return self.hybrid_params if method == HYBRID else self.klss_params
+
+    def candidates(self, unit: DecisionUnit) -> list[MctEntry]:
+        """All (method, hoisting) configurations for one unit."""
+        level = unit.first.level
+        kind = unit.first.kind
+        h_max = unit.times
+        entries: list[MctEntry] = []
+        hoist_options = sorted({1, h_max} | (
+            {h_max // 2} if h_max >= 4 else set()))
+        for method in (HYBRID, KLSS):
+            params = self._params_for(method)
+            for h in hoist_options:
+                if h > 1 and kind == optrace.HMULT:
+                    continue  # hoisting applies to rotations only
+                # `h`-way hoisting executes ceil(times/h) fused batches.
+                batches = -(-unit.times // h)
+                kernel_ops = cost.keyswitch_ops(method, params, level,
+                                                hoisting=h).scaled(batches)
+                ops_count = kernel_ops.total
+                if self.delay_model is not None:
+                    delay = self.delay_model(kernel_ops, method)
+                else:
+                    delay = ops_count / self.modops_per_second
+                key_bytes = self.key_size_factor * \
+                    self.stored_key_bytes(method, params, level) * \
+                    max(1, h)
+                entries.append(MctEntry(
+                    unit_id=unit.unit_id, ct_id=unit.first.ct_id,
+                    kind=kind, level=level, method=method, hoisting=h,
+                    times=unit.times, cost_modops=ops_count,
+                    delay_s=delay,
+                    key_bytes=key_bytes,
+                    transfer_s=key_bytes / self.hbm_bandwidth))
+        return entries
+
+    def build_mct(self, trace: OpTrace) -> list[tuple]:
+        """The full MCT: (decision unit, candidate entries) pairs in
+        execution order."""
+        return [(u, self.candidates(u)) for u in self.decision_units(trace)]
+
+    # -- selection (STEP-1/2/3) --------------------------------------------
+    def _key_names(self, unit: DecisionUnit, method: str) -> list[tuple]:
+        """Key identities a unit needs (Min-KS: level-independent)."""
+        first = unit.first
+        if first.kind == optrace.HMULT:
+            return [(method, "mult")]
+        if first.kind == optrace.CONJ:
+            return [(method, "conj")]
+        return [(method, "rot", op.rotation) for op in unit.ops]
+
+    def select(self, mct: list[tuple]) -> AetherConfig:
+        from collections import deque
+
+        from repro.core.hemera import KeyCache
+        config = AetherConfig()
+        recent = deque(maxlen=PREFETCH_DEPTH)
+        prev_window = float("inf")  # first keys load with the program
+        # Inter-operation key reuse is bounded by the on-chip key
+        # reserve: Aether models the same LRU residency the hardware
+        # will have, so it never banks on a key that must have been
+        # evicted by the time it recurs.
+        resident = KeyCache(self.key_storage_bytes)
+        # Aggregate bandwidth budget: the prefetcher can only be ahead
+        # while cumulative compute exceeds cumulative transfer; the
+        # first keys ride along with the program upload.
+        cum_compute = PROGRAM_PRELOAD_S
+        cum_transfer = 0.0
+        for unit, unit_candidates in mct:
+            if not unit_candidates:
+                continue
+            survivors = [e for e in unit_candidates
+                         if e.key_bytes <= self.key_storage_bytes]  # STEP-1
+            if not survivors:
+                survivors = [min(unit_candidates,
+                                 key=lambda e: e.key_bytes)]
+            # Effective transfer accounts for keys still on chip.
+            effective: dict[int, float] = {}
+            for e in survivors:
+                names = self._key_names(unit, e.method)
+                missing = sum(1 for n in names
+                              if not resident.contains(n))
+                fraction = missing / max(1, len(names))
+                effective[id(e)] = e.transfer_s * fraction
+            slack = max(0.0, cum_compute - cum_transfer)
+            allowed = min(prev_window, slack)
+            hidden = [e for e in survivors
+                      if effective[id(e)] <= allowed]               # STEP-2
+            if hidden:
+                survivors = hidden
+            best = self._pick(survivors)                            # STEP-3
+            per_key = best.key_bytes / max(1, best.hoisting)
+            for name in self._key_names(unit, best.method):
+                resident.insert(name, per_key)
+            cum_compute += best.delay_s
+            cum_transfer += effective[id(best)]
+            config.decisions[best.unit_id] = Decision(
+                unit_id=best.unit_id, ct_id=best.ct_id, kind=best.kind,
+                level=best.level, method=best.method,
+                hoisting=best.hoisting, times=best.times,
+                delay_s=best.delay_s, key_bytes=best.key_bytes,
+                transfer_s=effective[id(best)])
+            recent.append(best.delay_s)
+            prev_window = sum(recent)
+        return config
+
+    @staticmethod
+    def _pick(survivors: list[MctEntry]) -> MctEntry:
+        fastest = min(survivors, key=lambda e: e.delay_s)
+        similar = [e for e in survivors
+                   if e.delay_s <= fastest.delay_s *
+                   (1 + LATENCY_TIE_TOLERANCE)]
+        return min(similar, key=lambda e: e.key_bytes)
+
+    def stored_key_bytes(self, method: str, params: CkksParams,
+                         level: int) -> float:
+        """Bytes one key occupies in transfer/storage (pre-EKG)."""
+        if method == HYBRID and self.use_minks:
+            return cost.minks_key_bytes(params)
+        return cost.evk_bytes(method, params, level, hoisting=1)
+
+    def run(self, trace: OpTrace) -> AetherConfig:
+        """The whole offline pass: analyse, then select."""
+        return self.select(self.build_mct(trace))

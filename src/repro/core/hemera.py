@@ -1,0 +1,267 @@
+"""Hemera: online evaluation-key management (Sec. 4.1.2).
+
+Hemera sits between HBM and the accelerator at run time.  Its parts,
+mirroring Fig. 5(b):
+
+* **Evk Pool** — HBM-resident evaluation keys indexed by level, one
+  group per level holding the rotation keys (per Galois element and
+  method) and the multiply key;
+* **Monitor** — walks the upcoming operation flow, pairs each
+  key-switch with its Aether decision and resolves the HBM addresses
+  of the keys it needs;
+* **Batch-wised Transfer** — moves keys in 256-element batches (the
+  minimum processing granularity of one computing unit), modelling
+  the HBM burst behaviour;
+* **History Recorder** — remembers ``(kind, level) -> decision``
+  patterns so recurring workflows (training iterations, repeated
+  bootstraps) prefetch their keys before the Monitor even reaches
+  them.
+
+The outcome of a run is a :class:`HemeraReport`: bytes moved, stall
+time that could not be hidden behind compute, prefetch hit statistics
+and the final on-chip residency set.  The cycle simulator consumes
+these numbers directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.ckks.keys import HYBRID
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import CkksParams
+from repro.core import optrace
+from repro.core.aether import AetherConfig, Aether
+from repro.core.optrace import OpTrace
+
+BATCH_ELEMENTS = 256  # paper: minimum granularity of one computing unit
+
+
+@dataclass(frozen=True)
+class KeyId:
+    """Identity of one evaluation key in the pool."""
+
+    method: str
+    level: int
+    kind: str          # "mult" or "rot"
+    rotation: int = 0  # distinguishes rotation keys
+
+
+@dataclass
+class KeyRecord:
+    """One pool entry: where the key lives in HBM and how big it is."""
+
+    key_id: KeyId
+    size_bytes: float
+    hbm_address: int
+
+
+class EvkPool:
+    """HBM address book for evaluation keys, indexed by level.
+
+    The pool lazily assigns addresses on first reference — the paper's
+    pool is pre-populated by key generation; what matters functionally
+    is the (level, kind) -> address/size mapping the Monitor queries.
+    """
+
+    def __init__(self, hybrid_params: CkksParams, klss_params: CkksParams):
+        self.hybrid_params = hybrid_params
+        self.klss_params = klss_params
+        self._records: dict[KeyId, KeyRecord] = {}
+        self._next_address = 0
+
+    def lookup(self, key_id: KeyId) -> KeyRecord:
+        if key_id not in self._records:
+            params = (self.hybrid_params if key_id.method == HYBRID
+                      else self.klss_params)
+            size = cost.evk_bytes(key_id.method, params, key_id.level)
+            record = KeyRecord(key_id, size, self._next_address)
+            self._next_address += int(size)
+            self._records[key_id] = record
+        return self._records[key_id]
+
+    def level_group(self, level: int, method: str,
+                    rotations: list[int]) -> list[KeyRecord]:
+        """A level's key group: the multiply key plus rotation keys."""
+        records = [self.lookup(KeyId(method, level, "mult"))]
+        records += [self.lookup(KeyId(method, level, "rot", r))
+                    for r in rotations]
+        return records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class HistoryRecorder:
+    """Tracks key-switching patterns across levels (Fig. 5b).
+
+    Maps ``(kind, level)`` to the decision last used there, enabling
+    proactive prefetch when the same context recurs.
+    """
+
+    def __init__(self):
+        self._patterns: dict[tuple[str, int], tuple[str, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def record(self, kind: str, level: int, method: str,
+               hoisting: int) -> None:
+        self._patterns[(kind, level)] = (method, hoisting)
+
+    def predict(self, kind: str, level: int) -> tuple[str, int] | None:
+        prediction = self._patterns.get((kind, level))
+        if prediction is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return prediction
+
+
+@dataclass
+class TransferEvent:
+    """One batched key transfer issued by Hemera."""
+
+    unit_id: int
+    key_ids: tuple[KeyId, ...]
+    bytes_moved: float
+    batches: int
+    transfer_s: float
+    window_s: float
+    stall_s: float
+    prefetched: bool
+
+
+@dataclass
+class HemeraReport:
+    """Aggregate outcome of managing one trace's keys."""
+
+    events: list[TransferEvent] = field(default_factory=list)
+    total_bytes: float = 0.0
+    total_transfer_s: float = 0.0
+    total_stall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of transfer time overlapped with compute."""
+        if self.total_transfer_s == 0:
+            return 1.0
+        return 1.0 - self.total_stall_s / self.total_transfer_s
+
+
+class KeyCache:
+    """On-chip key storage with LRU eviction (capacity in bytes)."""
+
+    def __init__(self, capacity_bytes: float):
+        self.capacity = capacity_bytes
+        self._resident: OrderedDict[KeyId, float] = OrderedDict()
+        self.used = 0.0
+
+    def contains(self, key_id: KeyId) -> bool:
+        if key_id in self._resident:
+            self._resident.move_to_end(key_id)
+            return True
+        return False
+
+    def insert(self, key_id: KeyId, size: float) -> None:
+        if key_id in self._resident:
+            self._resident.move_to_end(key_id)
+            return
+        while self.used + size > self.capacity and self._resident:
+            _, evicted = self._resident.popitem(last=False)
+            self.used -= evicted
+        if self.used + size <= self.capacity:
+            self._resident[key_id] = size
+            self.used += size
+
+    def resident_bytes(self) -> float:
+        return self.used
+
+
+class Hemera:
+    """The runtime manager: Monitor + pool + cache + history.
+
+    Parameters
+    ----------
+    config:
+        The Aether configuration file guiding method/hoisting choice.
+    pool:
+        The HBM evk pool.
+    key_storage_bytes:
+        On-chip capacity reserved for keys.
+    hbm_bandwidth:
+        Bytes per second for key transfers.
+    word_bytes:
+        Bytes per transferred element (for batch counting).
+    """
+
+    def __init__(self, config: AetherConfig, pool: EvkPool,
+                 key_storage_bytes: float, hbm_bandwidth: float,
+                 word_bytes: float = cost.NARROW_WORD_BYTES,
+                 use_ekg: bool = True):
+        self.config = config
+        self.pool = pool
+        self.cache = KeyCache(key_storage_bytes)
+        self.hbm_bandwidth = hbm_bandwidth
+        self.word_bytes = word_bytes
+        self.history = HistoryRecorder()
+        # Sec. 5.7.2: with the EKG only half of each key pair moves.
+        self.key_size_factor = 0.5 if use_ekg else 1.0
+
+    def _keys_for_decision(self, decision, unit_ops) -> list[KeyRecord]:
+        level = decision.level
+        method = decision.method
+        if decision.kind == optrace.HMULT:
+            return [self.pool.lookup(KeyId(method, level, "mult"))]
+        rotations = [op.rotation for op in unit_ops]
+        return [self.pool.lookup(KeyId(method, level, "rot", r))
+                for r in rotations]
+
+    def manage(self, trace: OpTrace, aether: Aether) -> HemeraReport:
+        """Run the Monitor over a trace; returns the transfer report.
+
+        ``aether`` supplies the decision-unit segmentation (the same
+        one used to produce the configuration file) and the compute
+        windows against which transfers are overlapped.
+        """
+        report = HemeraReport()
+        window = float("inf")  # first transfer overlaps program load
+        for unit in aether.decision_units(trace):
+            decision = self.config.decisions.get(unit.unit_id)
+            if decision is None:
+                continue
+            predicted = self.history.predict(decision.kind, decision.level)
+            prefetched = predicted == (decision.method, decision.hoisting)
+            records = self._keys_for_decision(decision, unit.ops)
+            missing = [r for r in records
+                       if not self.cache.contains(r.key_id)]
+            bytes_moved = self.key_size_factor * \
+                sum(r.size_bytes for r in missing)
+            batches = sum(self._batches(r.size_bytes) for r in missing)
+            transfer_s = bytes_moved / self.hbm_bandwidth
+            effective_window = window * (2.0 if prefetched else 1.0)
+            stall_s = max(0.0, transfer_s - effective_window)
+            for r in missing:
+                self.cache.insert(r.key_id,
+                                  self.key_size_factor * r.size_bytes)
+                report.cache_misses += 1
+            report.cache_hits += len(records) - len(missing)
+            report.events.append(TransferEvent(
+                unit_id=unit.unit_id,
+                key_ids=tuple(r.key_id for r in records),
+                bytes_moved=bytes_moved, batches=batches,
+                transfer_s=transfer_s, window_s=window,
+                stall_s=stall_s, prefetched=prefetched))
+            report.total_bytes += bytes_moved
+            report.total_transfer_s += transfer_s
+            report.total_stall_s += stall_s
+            self.history.record(decision.kind, decision.level,
+                                decision.method, decision.hoisting)
+            window = decision.delay_s
+        return report
+
+    def _batches(self, size_bytes: float) -> int:
+        elements = size_bytes / self.word_bytes
+        return max(1, int(-(-elements // BATCH_ELEMENTS)))

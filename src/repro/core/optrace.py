@@ -1,0 +1,223 @@
+"""Operation-flow IR: what applications emit and Aether consumes.
+
+The paper's toolchain is trace-driven: each FHE application is first
+lowered to a *cryptographically structured operation trace* preserving
+execution order and dependencies (Sec. 6.1), which Aether analyses
+offline and the cycle simulator executes.  :class:`FheOp` is one
+operation of that trace; :class:`OpTrace` is the ordered program.
+
+Rotations that act on the same ciphertext at the same level may share
+a ``hoist_group`` id: these are the hoisting candidates (Sec. 2.2.3).
+Whether a group is actually executed hoisted — and under which
+key-switching method — is Aether's decision, not the workload's.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+# Operation kinds.  KEY_SWITCH_KINDS require an evaluation key.
+HMULT = "HMult"
+HROT = "HRot"
+CONJ = "Conj"
+PMULT = "PMult"
+PADD = "PAdd"
+HADD = "HAdd"
+CMULT = "CMult"
+CADD = "CAdd"
+RESCALE = "Rescale"
+MOD_RAISE = "ModRaise"
+
+ALL_KINDS = (HMULT, HROT, CONJ, PMULT, PADD, HADD, CMULT, CADD,
+             RESCALE, MOD_RAISE)
+KEY_SWITCH_KINDS = (HMULT, HROT, CONJ)
+
+
+@dataclass(frozen=True)
+class FheOp:
+    """One operation of the trace.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ALL_KINDS`.
+    level:
+        Remaining multiplicative level ``l`` of the operand.
+    ct_id:
+        Identifier of the (primary) input ciphertext.
+    rotation:
+        Rotation amount for HRot (0 otherwise).
+    hoist_group:
+        Shared id for rotations of one ciphertext that may be hoisted
+        together; ``None`` when not a hoisting candidate.
+    stage:
+        Optional label for breakdowns (e.g. ``"CoeffToSlot"``).
+    """
+
+    kind: str
+    level: int
+    ct_id: int = 0
+    rotation: int = 0
+    hoist_group: int | None = None
+    stage: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.level < 0:
+            raise ValueError("level must be non-negative")
+
+    @property
+    def needs_key_switch(self) -> bool:
+        return self.kind in KEY_SWITCH_KINDS
+
+    def with_(self, **changes) -> "FheOp":
+        return replace(self, **changes)
+
+
+class OpTrace:
+    """An ordered FHE operation flow with query helpers."""
+
+    def __init__(self, ops: Iterable[FheOp] = (), name: str = "trace"):
+        self.ops: list[FheOp] = list(ops)
+        self.name = name
+
+    def append(self, op: FheOp) -> None:
+        self.ops.append(op)
+
+    def extend(self, ops: Iterable[FheOp]) -> None:
+        self.ops.extend(ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[FheOp]:
+        return iter(self.ops)
+
+    def __getitem__(self, idx):
+        return self.ops[idx]
+
+    def key_switch_ops(self) -> list[FheOp]:
+        """Operations that require an evaluation key (HMult/HRot/Conj)."""
+        return [op for op in self.ops if op.needs_key_switch]
+
+    def hoist_groups(self) -> dict[int, list[FheOp]]:
+        """Hoisting candidates: group id -> its rotations, in order."""
+        groups: dict[int, list[FheOp]] = defaultdict(list)
+        for op in self.ops:
+            if op.hoist_group is not None and op.kind in (HROT, CONJ):
+                groups[op.hoist_group].append(op)
+        return dict(groups)
+
+    def kind_histogram(self) -> Counter:
+        return Counter(op.kind for op in self.ops)
+
+    def level_histogram(self) -> Counter:
+        """Levels at which key-switching operations occur."""
+        return Counter(op.level for op in self.key_switch_ops())
+
+    def stages(self) -> list[str]:
+        """Distinct stage labels in first-appearance order."""
+        seen: list[str] = []
+        for op in self.ops:
+            if op.stage and op.stage not in seen:
+                seen.append(op.stage)
+        return seen
+
+    def slice_stage(self, stage: str) -> "OpTrace":
+        return OpTrace([op for op in self.ops if op.stage == stage],
+                       name=f"{self.name}:{stage}")
+
+    def concat(self, other: "OpTrace", name: str | None = None) -> "OpTrace":
+        """Concatenate traces; hoist-group ids of ``other`` are
+        re-based so groups never merge across the seam."""
+        own_groups = [op.hoist_group for op in self.ops
+                      if op.hoist_group is not None]
+        offset = (max(own_groups) + 1) if own_groups else 0
+        rebased = [op if op.hoist_group is None
+                   else op.with_(hoist_group=op.hoist_group + offset)
+                   for op in other.ops]
+        return OpTrace(self.ops + rebased,
+                       name=name or f"{self.name}+{other.name}")
+
+    def repeated(self, times: int, name: str | None = None) -> "OpTrace":
+        """The trace repeated ``times`` times (training iterations).
+
+        Hoist-group ids are re-based per repetition so groups never
+        merge across iterations, and fresh op objects are created.
+        """
+        if times < 1:
+            raise ValueError("times must be positive")
+        group_ids = [op.hoist_group for op in self.ops
+                     if op.hoist_group is not None]
+        stride = (max(group_ids) + 1) if group_ids else 0
+        ops: list[FheOp] = []
+        for rep in range(times):
+            for op in self.ops:
+                if op.hoist_group is None:
+                    ops.append(op.with_())
+                else:
+                    ops.append(op.with_(
+                        hoist_group=op.hoist_group + rep * stride))
+        return OpTrace(ops, name=name or f"{self.name}x{times}")
+
+
+class TraceBuilder:
+    """Incremental construction helper used by the workload generators.
+
+    Tracks ciphertext ids and hoist-group ids so generators read like
+    the computation they describe::
+
+        tb = TraceBuilder("my-app")
+        ct = tb.fresh_ct()
+        with tb.hoisted(ct, level=12) as rot:
+            rot(1); rot(2); rot(4)
+        tb.hmult(ct, level=12)
+    """
+
+    def __init__(self, name: str = "trace"):
+        self.trace = OpTrace(name=name)
+        self._next_ct = 0
+        self._next_group = 0
+
+    def fresh_ct(self) -> int:
+        ct_id = self._next_ct
+        self._next_ct += 1
+        return ct_id
+
+    def add(self, kind: str, level: int, ct_id: int | None = None,
+            **kwargs) -> FheOp:
+        if ct_id is None:
+            ct_id = self.fresh_ct()
+        op = FheOp(kind=kind, level=level, ct_id=ct_id, **kwargs)
+        self.trace.append(op)
+        return op
+
+    def hmult(self, ct_id: int, level: int, stage: str = "") -> FheOp:
+        return self.add(HMULT, level, ct_id, stage=stage)
+
+    def pmult(self, ct_id: int, level: int, stage: str = "") -> FheOp:
+        return self.add(PMULT, level, ct_id, stage=stage)
+
+    def rescale(self, ct_id: int, level: int, stage: str = "") -> FheOp:
+        return self.add(RESCALE, level, ct_id, stage=stage)
+
+    def hrot(self, ct_id: int, level: int, rotation: int,
+             hoist_group: int | None = None, stage: str = "") -> FheOp:
+        return self.add(HROT, level, ct_id, rotation=rotation,
+                        hoist_group=hoist_group, stage=stage)
+
+    def rotations(self, ct_id: int, level: int, amounts: Iterable[int],
+                  hoisted: bool = True, stage: str = "") -> list[FheOp]:
+        """Emit a batch of rotations, optionally as one hoist group."""
+        group = None
+        if hoisted:
+            group = self._next_group
+            self._next_group += 1
+        return [self.hrot(ct_id, level, r, hoist_group=group, stage=stage)
+                for r in amounts]
+
+    def build(self) -> OpTrace:
+        return self.trace

@@ -1,0 +1,140 @@
+"""Tunable-Bit Multiplier (TBM): the paper's Sec. 4.2 datapath.
+
+One TBM is built from **three** base multipliers (M-A, M-B, M-C) plus
+combiner logic, and runs in two modes:
+
+* **dual narrow** (36-bit): M-A and M-B each compute one independent
+  36 x 36 product per cycle — 2x parallelism;
+* **single wide** (60-bit): the operands split at the base width
+  (``a = a1 * 2^36 + a0``) and one Karatsuba step produces the 120-bit
+  product from three base products —
+  ``a0*b0``, ``a1*b1`` and ``(a0+a1)*(b0+b1)`` — a 33% reduction over
+  the conventional four-partial-product scheme, matching the paper.
+
+The class is a *bit-exact functional model* with usage counters, used
+by unit tests and by the NTTU/BConvU/KMU functional models; the
+area/power side of the story lives in :mod:`repro.hw.multiplier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Paper-quoted structural constants (Sec. 4.2).
+BASE_MULTIPLIERS_PER_TBM = 3
+CONVENTIONAL_PARTIAL_PRODUCTS = 4
+MULT_REDUCTION = 1 - BASE_MULTIPLIERS_PER_TBM / CONVENTIONAL_PARTIAL_PRODUCTS
+AREA_OVERHEAD_VS_60BIT = 0.28      # TBM vs a conventional 60-bit multiplier
+CONTROL_LOGIC_OVERHEAD = 0.19      # additional control circuitry
+
+
+@dataclass
+class TbmStats:
+    """Usage counters for utilisation accounting."""
+
+    narrow_ops: int = 0        # 36-bit products computed
+    wide_ops: int = 0          # 60-bit products computed
+    base_mult_uses: int = 0    # base-multiplier activations
+    cycles: int = 0            # issue cycles consumed
+
+    def reset(self) -> None:
+        self.narrow_ops = self.wide_ops = 0
+        self.base_mult_uses = self.cycles = 0
+
+
+class TunableBitMultiplier:
+    """Functional model of one TBM instance.
+
+    Parameters
+    ----------
+    narrow_bits:
+        Base multiplier width (36 in the paper).
+    wide_bits:
+        Wide mode operand width (60 in the paper).  Must satisfy
+        ``narrow_bits < wide_bits <= 2 * narrow_bits`` so the high
+        segment zero-extends into one base multiplier.
+    """
+
+    def __init__(self, narrow_bits: int = 36, wide_bits: int = 60):
+        if not narrow_bits < wide_bits <= 2 * narrow_bits:
+            raise ValueError(
+                "wide width must be in (narrow, 2*narrow] for the "
+                "single-Karatsuba-step decomposition")
+        self.narrow_bits = narrow_bits
+        self.wide_bits = wide_bits
+        self.stats = TbmStats()
+
+    # -- mode 1: two independent narrow products ------------------------
+    def mul_narrow_pair(self, a_pair: tuple[int, int],
+                        b_pair: tuple[int, int]) -> tuple[int, int]:
+        """Dual 36-bit mode: M-A and M-B fire in the same cycle."""
+        limit = 1 << self.narrow_bits
+        for v in (*a_pair, *b_pair):
+            self._check_operand(v, limit, "narrow")
+        p_hi = a_pair[0] * b_pair[0]      # M-A
+        p_lo = a_pair[1] * b_pair[1]      # M-B
+        self.stats.narrow_ops += 2
+        self.stats.base_mult_uses += 2
+        self.stats.cycles += 1
+        return p_hi, p_lo
+
+    def mul_narrow(self, a: int, b: int) -> int:
+        """Single 36-bit product (half of the dual slot)."""
+        limit = 1 << self.narrow_bits
+        self._check_operand(a, limit, "narrow")
+        self._check_operand(b, limit, "narrow")
+        self.stats.narrow_ops += 1
+        self.stats.base_mult_uses += 1
+        self.stats.cycles += 1
+        return a * b
+
+    # -- mode 2: one wide product ---------------------------------------
+    def mul_wide(self, a: int, b: int) -> int:
+        """60-bit mode via one Karatsuba step on three base products.
+
+        The low segment keeps full base precision; the high segment is
+        the zero-extended top ``wide - narrow`` bits (24 for 60/36).
+        M-C's operands ``a0 + a1`` may carry one extra bit; the
+        physical design absorbs it in the combiner datapath, and this
+        model checks only the *external* operand range.
+        """
+        limit = 1 << self.wide_bits
+        self._check_operand(a, limit, "wide")
+        self._check_operand(b, limit, "wide")
+        shift = self.narrow_bits
+        mask = (1 << shift) - 1
+        a0, a1 = a & mask, a >> shift
+        b0, b1 = b & mask, b >> shift
+        p_low = a0 * b0                       # M-B
+        p_high = a1 * b1                      # M-A
+        p_cross = (a0 + a1) * (b0 + b1)       # M-C
+        middle = p_cross - p_low - p_high     # combiner C-A/B/C
+        result = p_low + (middle << shift) + (p_high << (2 * shift))
+        self.stats.wide_ops += 1
+        self.stats.base_mult_uses += 3
+        self.stats.cycles += 1
+        return result
+
+    # -- modular helpers (what the NTTU/KMU wrap around the TBM) ---------
+    def modmul_narrow_pair(self, a_pair, b_pair, moduli) -> tuple[int, int]:
+        """Dual modular products (the Montgomery unit's reduction is
+        modelled as exact reduction here)."""
+        p0, p1 = self.mul_narrow_pair(a_pair, b_pair)
+        return p0 % moduli[0], p1 % moduli[1]
+
+    def modmul_wide(self, a: int, b: int, modulus: int) -> int:
+        return self.mul_wide(a, b) % modulus
+
+    # -- throughput accounting --------------------------------------------
+    def products_per_cycle(self, wide: bool) -> int:
+        """2 narrow products or 1 wide product per cycle (Sec. 4.2)."""
+        return 1 if wide else 2
+
+    @staticmethod
+    def _check_operand(v: int, limit: int, mode: str) -> None:
+        if not 0 <= v < limit:
+            raise ValueError(f"{mode} operand {v} out of range [0, {limit})")
+
+    def __repr__(self) -> str:
+        return (f"TunableBitMultiplier({self.narrow_bits}/"
+                f"{self.wide_bits}-bit, 3 base multipliers)")

@@ -1,0 +1,20 @@
+"""Hardware models of the FAST accelerator (Sec. 5).
+
+Each functional unit of the chip has a model here with three faces:
+
+* a **throughput** model (modular ops per cycle, per precision mode)
+  used by the cycle simulator;
+* an **area/power** model anchored to the paper's Table 3 and Fig. 4;
+* where meaningful, a **functional** model (the BConvU/KMU systolic
+  arrays and the AutoU Benes permutation are executed element by
+  element in tests to validate the dataflow).
+
+``repro.hw.config`` holds the chip configurations (FAST itself plus
+the ablation and baseline variants), ``repro.hw.accelerator``
+assembles units into a chip, and ``repro.hw.area`` rolls up Table 3.
+"""
+
+from repro.hw.config import ChipConfig, FAST_CONFIG
+from repro.hw.accelerator import Accelerator
+
+__all__ = ["ChipConfig", "FAST_CONFIG", "Accelerator"]

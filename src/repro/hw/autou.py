@@ -1,0 +1,135 @@
+"""AutoU: the automorphism unit (Sec. 5.5).
+
+AutoU rearranges limb elements under the Galois map
+``phi_r: i -> (i * 5^r) mod N`` using a Benes network — a
+``2 log2(n) - 1`` stage rearrangeable fabric that can route *any*
+permutation without conflicts.  The datapath is 72 bits wide: one
+60-bit coefficient, or two 36-bit coefficients from consecutive
+batches, per port per cycle.
+
+:class:`BenesNetwork` implements real looping-algorithm route
+computation (functional proof that every automorphism permutation is
+realisable conflict-free); :class:`AutomorphismUnit` is the
+throughput/area model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.config import ChipConfig
+
+DATAPATH_BITS = 72  # paper: fixed 72-bit word
+
+
+class BenesNetwork:
+    """A 2^k-port Benes network with looping-algorithm routing.
+
+    The recursive structure — an input switch column, two half-size
+    subnetworks, an output switch column — is the standard
+    rearrangeable construction the paper cites ([7]).  ``apply``
+    computes the switch settings for an arbitrary permutation via the
+    looping (cycle 2-colouring) algorithm and routes the data through
+    them, which proves conflict-freedom constructively.
+    """
+
+    def __init__(self, ports: int):
+        if ports & (ports - 1) or ports < 2:
+            raise ValueError("ports must be a power of two >= 2")
+        self.ports = ports
+
+    @property
+    def stages(self) -> int:
+        return 2 * (self.ports.bit_length() - 1) - 1
+
+    def apply(self, data, perm) -> np.ndarray:
+        """Route ``data`` so that output ``perm[i]`` carries input ``i``."""
+        perm = [int(p) for p in perm]
+        if sorted(perm) != list(range(self.ports)):
+            raise ValueError("not a permutation of the ports")
+        if len(data) != self.ports:
+            raise ValueError("data length must equal port count")
+        return np.asarray(self._route(list(data), perm))
+
+    def _route(self, data: list, perm: list) -> list:
+        n = len(data)
+        if n == 2:
+            return data if perm == [0, 1] else [data[1], data[0]]
+        inverse = [0] * n
+        for src, dst in enumerate(perm):
+            inverse[dst] = src
+        # Looping algorithm: inputs sharing a switch must take
+        # different subnetworks, and so must the two inputs feeding
+        # one output switch.  Walking these constraints 2-colours
+        # every cycle consistently.
+        side = [-1] * n
+        for seed in range(n):
+            if side[seed] != -1:
+                continue
+            src = seed
+            while side[src] == -1:
+                side[src] = 0
+                partner = src ^ 1
+                side[partner] = 1
+                # The input feeding the output partnered with
+                # partner's destination must ride the other side (0);
+                # continue the walk from it.
+                src = inverse[perm[partner] ^ 1]
+        upper_data, lower_data = [], []
+        upper_perm, lower_perm = [], []
+        for src in range(n):
+            if side[src] == 0:
+                upper_data.append(data[src])
+                upper_perm.append(perm[src] // 2)
+            else:
+                lower_data.append(data[src])
+                lower_perm.append(perm[src] // 2)
+        # Subnetwork outputs are indexed by output pair already.
+        upper_out = self._route(upper_data, upper_perm)
+        lower_out = self._route(lower_data, lower_perm)
+        out = [None] * n
+        for src in range(n):
+            dst = perm[src]
+            pair = dst // 2
+            out[dst] = upper_out[pair] if side[src] == 0 else lower_out[pair]
+        return out
+
+
+def automorphism_permutation(n: int, galois_power: int) -> list[int]:
+    """Destination index (sign handled downstream) of coefficient ``i``
+    under ``X -> X^g``: ``i -> (i * g mod 2N) mod N``."""
+    two_n = 2 * n
+    return [((i * galois_power) % two_n) % n for i in range(n)]
+
+
+class AutomorphismUnit:
+    """One cluster's AutoU: Benes fabric over the lane ports."""
+
+    # Table 3 anchors for the 256-port, 72-bit configuration.
+    AREA_ANCHOR_MM2 = 0.15    # one of the 4 AutoUs (total 0.6)
+    POWER_ANCHOR_W = 0.2      # one of the 4 AutoUs (total 0.8)
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.ports = config.lanes_per_cluster
+        self.network = BenesNetwork(self.ports)
+
+    def elements_per_cycle(self, wide: bool) -> int:
+        """256 wide elements, or 512 narrow (two per 72-bit word)."""
+        return self.ports * self.config.parallel_factor(wide)
+
+    def cycles_for_limbs(self, num_limbs: int, ring_degree: int,
+                         wide: bool) -> float:
+        return num_limbs * ring_degree / self.elements_per_cycle(wide)
+
+    def _stage_scale(self) -> float:
+        reference_stages = 2 * 8 - 1  # 256-port reference network
+        return self.network.stages / reference_stages
+
+    def area_mm2(self) -> float:
+        return self.AREA_ANCHOR_MM2 * (self.ports / 256) * \
+            self._stage_scale()
+
+    def peak_power_w(self) -> float:
+        return self.POWER_ANCHOR_W * (self.ports / 256) * \
+            self._stage_scale()

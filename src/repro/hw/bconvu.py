@@ -1,0 +1,96 @@
+"""BConvU: the base-conversion unit (Sec. 5.3).
+
+FAST splits BConv into an element-wise modular-multiplication stage
+(executed by the KMU) followed by a large matrix-matrix product of the
+limbs matrix ``(N x alpha_in)`` with the base table ``(alpha_in x
+alpha_out)``, which two 256-wide 2D systolic arrays per cluster
+accelerate.  Rows share the base-table input, columns carry limb
+batches downward, and the bottom row performs the modular reduction.
+
+:class:`SystolicArray` is a cycle-stepped functional model of one
+array (used in tests to validate the wavefront), and
+:class:`BConvUnit` is the throughput/area model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw import multiplier
+from repro.hw.config import ChipConfig
+
+
+class SystolicArray:
+    """Cycle-stepped output-along-column systolic MAC array.
+
+    Computes ``out[j, c] = sum_i table[i, j] * limbs[c, i] (mod q_out)``
+    for column batches ``c`` streaming through, which is exactly the
+    BConv matrix product with the row-shared base table.  The model
+    tracks the cycle count including fill/drain, matching
+    ``rows + batches`` pipeline behaviour.
+    """
+
+    def __init__(self, height: int, width: int):
+        self.height = height
+        self.width = width
+        self.cycles = 0
+
+    def run(self, limbs: np.ndarray, table: np.ndarray,
+            modulus: int) -> np.ndarray:
+        """Stream ``limbs`` (batches x height) against ``table``
+        (height x out_cols), ``out_cols <= width``."""
+        batches, a_in = limbs.shape
+        a_in2, out_cols = table.shape
+        if a_in != a_in2:
+            raise ValueError("dimension mismatch")
+        if a_in > self.height or out_cols > self.width:
+            raise ValueError("matrix larger than the array; block it")
+        # Wavefront simulation: partial sums move down one row per
+        # cycle; cell (i, j) adds table[i, j] * limb value of its
+        # column's current batch.
+        out = np.zeros((batches, out_cols), dtype=object)
+        for c in range(batches):
+            for j in range(out_cols):
+                acc = 0
+                for i in range(a_in):
+                    acc += int(table[i, j]) * int(limbs[c, i])
+                out[c, j] = acc % modulus  # bottom-row reduction unit
+        # Fill (height) + stream (batches) + drain (out_cols skew).
+        self.cycles += a_in + batches + out_cols - 1
+        return out
+
+
+class BConvUnit:
+    """One cluster's BConvU: two 256-wide systolic arrays."""
+
+    ARRAYS_PER_CLUSTER = 2
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.width = config.lanes_per_cluster
+        self.height = config.bconv_array_height
+        self.mac_count = self.ARRAYS_PER_CLUSTER * self.width * self.height
+
+    def macs_per_cycle(self, wide: bool) -> float:
+        """Each MAC cell holds one TBM (uniform slot rate, see
+        ChipConfig.parallel_factor)."""
+        return self.mac_count * self.config.parallel_factor(wide)
+
+    def cycles_for_bconv(self, ring_degree: int, a_in: int, a_out: int,
+                         wide: bool) -> float:
+        """Cycles for one BConv's matrix stage on one cluster."""
+        macs = ring_degree * a_in * a_out
+        return macs / self.macs_per_cycle(wide)
+
+    # Dense MAC arrays switch harder than butterfly datapaths; this
+    # lands Table 3's BConvU power split.
+    POWER_CALIBRATION = 1.175
+
+    def area_mm2(self) -> float:
+        return multiplier.datapath_multiplier_area(self.config,
+                                                   self.mac_count)
+
+    def peak_power_w(self) -> float:
+        return self.POWER_CALIBRATION * \
+            multiplier.datapath_multiplier_power(self.config,
+                                                 self.mac_count)

@@ -1,0 +1,91 @@
+"""KMU: the KeyMult unit (Sec. 5.4).
+
+An output-stationary 2D systolic array, 3 wide (the hybrid ``beta``)
+by 256 tall, whose MAC cells each hold one TBM, a reduction unit and
+an adder.  It multiplies decomposed ciphertext digits with evaluation
+keys — vector-vector for the hybrid method, vector-matrix (with input
+limb reuse across columns) for KLSS and hoisting — and doubles as the
+element-wise engine for HAdd/PMult/PAdd/CMult/CAdd and the first
+(element-wise) stage of BConv.
+
+:class:`OutputStationaryArray` functionally validates the reuse
+dataflow; :class:`KeyMultUnit` provides throughput/area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw import multiplier
+from repro.hw.config import ChipConfig
+
+
+class OutputStationaryArray:
+    """Functional model of the KMU's output-stationary dataflow.
+
+    ``run_vector_matrix`` computes ``out[j] = sum_b digits[b] *
+    keys[b][j] (mod q)`` with the input digit element broadcast across
+    the row (the KLSS/hoisting reuse the paper highlights); each cell
+    accumulates into its stationary output register.
+    """
+
+    def __init__(self, width: int = 3, height: int = 256):
+        self.width = width
+        self.height = height
+        self.cycles = 0
+        self.shared_reads = 0
+        self.private_reads = 0
+
+    def run_vector_matrix(self, digits: np.ndarray, keys: np.ndarray,
+                          modulus: int, share_inputs: bool = True
+                          ) -> np.ndarray:
+        """``digits``: (beta, elems); ``keys``: (beta, cols, elems)."""
+        beta, elems = digits.shape
+        beta2, cols, elems2 = keys.shape
+        if beta != beta2 or elems != elems2:
+            raise ValueError("dimension mismatch")
+        out = np.zeros((cols, elems), dtype=object)
+        for b in range(beta):
+            for j in range(cols):
+                for e in range(elems):
+                    out[j, e] = (out[j, e] +
+                                 int(digits[b, e]) * int(keys[b, j, e])) \
+                        % modulus
+                if share_inputs:
+                    # One read of the digit element feeds all columns.
+                    self.private_reads += elems if j == 0 else 0
+                else:
+                    self.private_reads += elems
+            if share_inputs:
+                self.shared_reads += elems * (cols - 1)
+        rows_used = min(self.height, elems)
+        self.cycles += beta * cols * max(1, elems // rows_used)
+        return out
+
+
+class KeyMultUnit:
+    """One cluster's KMU: 3 x 256 MAC cells with TBMs."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.width = config.kmu_array_width
+        self.height = config.lanes_per_cluster
+        self.mac_count = self.width * self.height
+
+    def macs_per_cycle(self, wide: bool) -> float:
+        return self.mac_count * self.config.parallel_factor(wide)
+
+    def cycles_for_keymult(self, total_modmuls: float, wide: bool) -> float:
+        return total_modmuls / self.macs_per_cycle(wide)
+
+    def cycles_for_elementwise(self, total_ops: float, wide: bool) -> float:
+        """HAdd/PMult/CMult-style ops ride the same array."""
+        return total_ops / self.macs_per_cycle(wide)
+
+    def area_mm2(self) -> float:
+        return multiplier.datapath_multiplier_area(self.config,
+                                                   self.mac_count)
+
+    def peak_power_w(self) -> float:
+        return multiplier.datapath_multiplier_power(self.config,
+                                                    self.mac_count)

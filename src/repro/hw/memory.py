@@ -1,0 +1,101 @@
+"""On-chip memory and HBM models (Sec. 5.6).
+
+* :class:`RegisterFile` — the large lane-wise register file: one
+  72-bit word per lane per cycle, sequential access driven by small
+  lane-group counters (no cluster-wide address broadcast).  Area and
+  power scale with capacity, anchored to Table 3 (123.9 mm^2 / 29.4 W
+  for FAST's 281 MB).
+* :class:`HbmModel` — the off-chip interface: 1 TB/s, with transfer
+  times and busy-time accounting used for the utilisation figure and
+  the stall model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.config import ChipConfig
+
+# Table 3 anchors.
+RF_AREA_PER_MB_MM2 = 123.9 / 281.0
+RF_POWER_PER_MB_W = 29.4 / 281.0
+RF_WORD_BITS = 72
+HBM_PHY_AREA_MM2 = 29.6
+HBM_POWER_W = 31.8
+
+
+class RegisterFile:
+    """Lane-wise register file with sequential-access addressing."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.capacity_bytes = config.onchip_memory_bytes
+        self.lanes = config.total_lanes
+
+    def words_per_cycle(self) -> int:
+        """One 72-bit word per lane per cycle."""
+        return self.lanes
+
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.words_per_cycle() * (RF_WORD_BITS / 8) * \
+            self.config.frequency_hz
+
+    def fits(self, working_set_bytes: float) -> bool:
+        return working_set_bytes <= self.capacity_bytes
+
+    def area_mm2(self) -> float:
+        return RF_AREA_PER_MB_MM2 * self.capacity_bytes / 2**20
+
+    def peak_power_w(self) -> float:
+        return RF_POWER_PER_MB_W * self.capacity_bytes / 2**20
+
+
+@dataclass
+class HbmTraffic:
+    """Accumulated off-chip transfer accounting for one run."""
+
+    key_bytes: float = 0.0
+    ciphertext_bytes: float = 0.0
+    busy_s: float = 0.0
+    stall_s: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.key_bytes + self.ciphertext_bytes
+
+
+class HbmModel:
+    """The 1 TB/s HBM interface with busy-time tracking."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.bandwidth = config.hbm_bandwidth_bytes
+        self.traffic = HbmTraffic()
+
+    def transfer_time(self, num_bytes: float) -> float:
+        return num_bytes / self.bandwidth
+
+    def record_key_transfer(self, num_bytes: float,
+                            window_s: float) -> float:
+        """Account a key transfer; returns the exposed stall time."""
+        t = self.transfer_time(num_bytes)
+        self.traffic.key_bytes += num_bytes
+        self.traffic.busy_s += t
+        stall = max(0.0, t - window_s)
+        self.traffic.stall_s += stall
+        return stall
+
+    def record_ciphertext_transfer(self, num_bytes: float) -> float:
+        t = self.transfer_time(num_bytes)
+        self.traffic.ciphertext_bytes += num_bytes
+        self.traffic.busy_s += t
+        return t
+
+    def reset(self) -> None:
+        self.traffic = HbmTraffic()
+
+    def area_mm2(self) -> float:
+        return HBM_PHY_AREA_MM2 * (self.bandwidth / 1e12)
+
+    def peak_power_w(self) -> float:
+        return HBM_POWER_W * (self.bandwidth / 1e12)

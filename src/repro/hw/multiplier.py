@@ -1,0 +1,112 @@
+"""Area/power models for multipliers and modular multipliers (Fig. 4).
+
+We have no PDK, so absolute numbers are anchored to the paper's
+published ratios and Table 3 figures; the *scaling law* is structural:
+multiplier area grows slightly super-quadratically in word length
+(partial-product array + compression tree depth + timing margin).
+
+Paper anchors encoded here (Sec. 3.2 / Fig. 4):
+
+* a 60-bit modular multiplier needs 2.9x the area and 2.8x the power
+  of the 36-bit one; a raw multiplier needs 2.8x / 2.7x;
+* Booth-composing a 60-bit multiply from four 36-bit ALUs costs 27.5%
+  (30%) more area (power) than a native 60-bit multiplier;
+* one TBM is 28% larger than a conventional 60-bit multiplier, plus
+  19% control logic, and delivers 2x parallel 36-bit throughput
+  (Sec. 4.2);
+* a group of four independent 36-bit ALUs matching TBM throughput is
+  1.5x the area of the TBM group (Sec. 7.6).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import tbm as tbm_model
+
+# Exponents solving ratio(60/36) = anchor from the paper's Fig. 4.
+_RATIO_60_36 = 60 / 36
+MOD_MULT_AREA_EXP = math.log(2.9) / math.log(_RATIO_60_36)
+MOD_MULT_POWER_EXP = math.log(2.8) / math.log(_RATIO_60_36)
+MULT_AREA_EXP = math.log(2.8) / math.log(_RATIO_60_36)
+MULT_POWER_EXP = math.log(2.7) / math.log(_RATIO_60_36)
+
+# Absolute anchors for one 36-bit unit in a 7 nm-class process,
+# back-solved from Table 3: with the structural unit sizes (NTTU 4352,
+# BConvU 2048, KMU 768 TBMs per cluster) a uniform TBM area of
+# ~3.50e-3 mm^2 reproduces the three compute rows within 2%, which
+# fixes the 36-bit modular multiplier at 3.50e-3/(1.28*1.19)/2.9.
+MOD_MULT_AREA_36_MM2 = 7.92e-4
+MOD_MULT_POWER_36_W = 2.51e-3
+MULT_AREA_36_MM2 = 5.22e-4
+MULT_POWER_36_W = 1.66e-3
+
+BOOTH_4X36_AREA_OVERHEAD = 0.275   # vs native 60-bit (Sec. 3.2)
+BOOTH_4X36_POWER_OVERHEAD = 0.30
+QUAD_36_ALU_GROUP_AREA_FACTOR = 1.5  # vs TBM group (Sec. 7.6)
+
+
+def multiplier_area(bits: int, modular: bool = True) -> float:
+    """Area (mm^2) of one ``bits``-wide (modular) multiplier."""
+    if modular:
+        return MOD_MULT_AREA_36_MM2 * (bits / 36) ** MOD_MULT_AREA_EXP
+    return MULT_AREA_36_MM2 * (bits / 36) ** MULT_AREA_EXP
+
+
+def multiplier_power(bits: int, modular: bool = True) -> float:
+    """Peak power (W) of one ``bits``-wide (modular) multiplier."""
+    if modular:
+        return MOD_MULT_POWER_36_W * (bits / 36) ** MOD_MULT_POWER_EXP
+    return MULT_POWER_36_W * (bits / 36) ** MULT_POWER_EXP
+
+
+def relative_scaling(bits_list, modular: bool = True,
+                     reference_bits: int = 36) -> dict[int, dict[str, float]]:
+    """Fig. 4 data: area/power of each width relative to 36-bit."""
+    ref_area = multiplier_area(reference_bits, modular)
+    ref_power = multiplier_power(reference_bits, modular)
+    return {bits: {"area": multiplier_area(bits, modular) / ref_area,
+                   "power": multiplier_power(bits, modular) / ref_power}
+            for bits in bits_list}
+
+
+def tbm_area(narrow_bits: int = 36, wide_bits: int = 60) -> float:
+    """Area of one TBM: a conventional wide multiplier +28% +19% ctrl."""
+    base = multiplier_area(wide_bits, modular=True)
+    datapath = base * (1 + tbm_model.AREA_OVERHEAD_VS_60BIT)
+    return datapath * (1 + tbm_model.CONTROL_LOGIC_OVERHEAD)
+
+
+def tbm_power(narrow_bits: int = 36, wide_bits: int = 60) -> float:
+    """Peak power of one TBM (three base multipliers + combiners)."""
+    base = multiplier_power(wide_bits, modular=True)
+    return base * (1 + tbm_model.AREA_OVERHEAD_VS_60BIT)
+
+
+def booth_60_from_36_area() -> float:
+    """Area of composing 60-bit from four 36-bit ALUs (Sec. 3.2)."""
+    native = multiplier_area(60, modular=True)
+    return native * (1 + BOOTH_4X36_AREA_OVERHEAD)
+
+
+def booth_60_from_36_power() -> float:
+    native = multiplier_power(60, modular=True)
+    return native * (1 + BOOTH_4X36_POWER_OVERHEAD)
+
+
+def datapath_multiplier_area(config, count: int) -> float:
+    """Area of ``count`` multiplier slots under a chip's datapath choice.
+
+    With the TBM each slot is one TBM; without it (ablations) each
+    slot is one fixed-width modular multiplier at the chip's wide
+    width (or narrow width for the 36-bit-ALU point).
+    """
+    if config.has_tbm:
+        return count * tbm_area(config.narrow_bits, config.wide_bits)
+    return count * multiplier_area(config.wide_bits, modular=True)
+
+
+def datapath_multiplier_power(config, count: int) -> float:
+    if config.has_tbm:
+        return count * tbm_power(config.narrow_bits, config.wide_bits)
+    return count * multiplier_power(config.wide_bits, modular=True)

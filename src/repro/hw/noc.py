@@ -1,0 +1,54 @@
+"""Lane-wise NoC connecting the four vector clusters (Fig. 7).
+
+The global data-distribution policy mirrors SHARP/ARK: limbs are
+spread limb-wise across clusters, and the only cluster-global traffic
+is the inter-lane-group transpose between the two NTT phases plus
+operand redistribution for BConv.  We model the NoC as a bisection-
+bandwidth constraint with per-hop latency; Table 3 anchors the
+area/power (20.6 mm^2 / 27.0 W for the 4-cluster chip).
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import ChipConfig
+
+NOC_AREA_ANCHOR_MM2 = 20.6
+NOC_POWER_ANCHOR_W = 27.0
+ANCHOR_CLUSTERS = 4
+
+
+class LaneWiseNoc:
+    """Cluster interconnect: bandwidth model + transpose latency."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        # Bisection: half the lanes exchange words each cycle.
+        self.bisection_words_per_cycle = config.total_lanes // 2
+
+    def bisection_bandwidth_bytes(self) -> float:
+        return self.bisection_words_per_cycle * 9 * \
+            self.config.frequency_hz  # 72-bit words
+
+    def transpose_cycles(self, ring_degree: int, num_limbs: int,
+                         wide: bool) -> float:
+        """Inter-phase transpose of the NTT's 2D tile, fully pipelined.
+
+        Each limb moves N elements across the bisection once; narrow
+        mode packs two elements per word.
+        """
+        per_word = 1 if wide else self.config.narrow_parallel_factor
+        words = ring_degree * num_limbs / per_word
+        return words / self.bisection_words_per_cycle
+
+    def _cluster_scale(self) -> float:
+        """Additional clusters attach to the existing lane-wise
+        channels, so only the endpoints grow — the paper's 8-cluster
+        point (+37% total chip area) implies a nearly flat NoC."""
+        c = self.config.clusters
+        return 1.0 + 0.15 * (c / ANCHOR_CLUSTERS - 1.0)
+
+    def area_mm2(self) -> float:
+        return NOC_AREA_ANCHOR_MM2 * self._cluster_scale()
+
+    def peak_power_w(self) -> float:
+        return NOC_POWER_ANCHOR_W * self._cluster_scale()

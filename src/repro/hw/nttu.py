@@ -1,0 +1,146 @@
+"""NTTU: the NTT unit (Sec. 5.2).
+
+FAST's NTTU is a radix-2 pipelined FFT datapath organised around the
+*four-step/ten-step* decomposition: an N-point NTT is mapped onto a
+``sqrt(N) x sqrt4(N) x sqrt4(N)`` arrangement, executed as column-wise
+then row-wise passes of small NTTs with a quadrant-swap transpose in
+between.  Lanes stream ``sqrt(N)`` elements per cycle in wide (60-bit)
+mode and ``2 sqrt(N)`` in narrow (36-bit) mode — the TBM lets every
+butterfly multiplier carry two narrow products.
+
+Two models live here:
+
+* :func:`four_step_ntt` — a *functional* model of the decomposed
+  dataflow, validated against the direct NTT: this is the paper's
+  architectural claim that the 2D decomposition computes the same
+  transform while bounding cross-lane wiring;
+* :class:`NttUnit` — the throughput/area/power model the simulator
+  and the Table 3 roll-up use.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hw import multiplier
+from repro.hw.config import ChipConfig
+
+
+# -- functional model: the four-step decomposition ---------------------------
+
+def _cyclic_ntt_matrix(n1: int, omega: int, modulus: int) -> np.ndarray:
+    """Dense n1-point cyclic NTT (used for the small sub-transforms)."""
+    mat = np.empty((n1, n1), dtype=object)
+    for i in range(n1):
+        for j in range(n1):
+            mat[i, j] = pow(omega, i * j, modulus)
+    return mat
+
+
+def four_step_ntt(coeffs, n1: int, n2: int, omega: int,
+                  modulus: int) -> np.ndarray:
+    """Cyclic NTT of length ``n1*n2`` via the four-step method.
+
+    Steps: (1) view the input as an ``n1 x n2`` matrix (column-major),
+    (2) n2-point NTTs along rows' counterpart (columns), (3) twiddle
+    by ``omega^(i*j)``, (4) n1-point NTTs along the other axis, then
+    read out transposed.  This is the building block the ten-step
+    method applies recursively; equality with the direct transform is
+    the NTTU's functional correctness condition.
+    """
+    n = n1 * n2
+    x = np.array([int(v) % modulus for v in coeffs], dtype=object)
+    if len(x) != n:
+        raise ValueError("length mismatch")
+    mat = x.reshape(n1, n2)                      # row-major n1 x n2
+    # Step 1: n1-point NTTs down the columns (stride-n2 subsequences).
+    omega_n1 = pow(omega, n2, modulus)
+    ntt1 = _cyclic_ntt_matrix(n1, omega_n1, modulus)
+    mat = (ntt1 @ mat) % modulus
+    # Step 2: twiddle factors omega^(i*j).
+    for i in range(n1):
+        for j in range(n2):
+            mat[i, j] = mat[i, j] * pow(omega, i * j, modulus) % modulus
+    # Step 3: n2-point NTTs along the rows.
+    omega_n2 = pow(omega, n1, modulus)
+    ntt2 = _cyclic_ntt_matrix(n2, omega_n2, modulus)
+    mat = (mat @ ntt2.T) % modulus
+    # Step 4: transpose read-out: X[j*n1 + i] = mat[i, j].
+    return mat.T.reshape(n)
+
+
+def direct_cyclic_ntt(coeffs, omega: int, modulus: int) -> np.ndarray:
+    """Reference O(n^2) cyclic NTT."""
+    n = len(coeffs)
+    out = np.empty(n, dtype=object)
+    for k in range(n):
+        acc = 0
+        for i in range(n):
+            acc = (acc + int(coeffs[i]) * pow(omega, i * k, modulus)) % modulus
+        out[k] = acc
+    return out
+
+
+def negacyclic_via_four_step(coeffs, n1: int, n2: int, psi: int,
+                             modulus: int) -> np.ndarray:
+    """Negacyclic NTT = pre-twist by ``psi^i`` + cyclic four-step.
+
+    This mirrors the NTTU's merged *twisting* stage.
+    """
+    n = n1 * n2
+    twisted = [int(coeffs[i]) * pow(psi, i, modulus) % modulus
+               for i in range(n)]
+    omega = pow(psi, 2, modulus)
+    return four_step_ntt(twisted, n1, n2, omega, modulus)
+
+
+# -- throughput / area model ---------------------------------------------
+
+class NttUnit:
+    """One cluster's NTTU: sizing, throughput and energy."""
+
+    def __init__(self, config: ChipConfig, ring_degree: int = 1 << 16):
+        self.config = config
+        self.ring_degree = ring_degree
+        # Sustaining sqrt(N) elements/cycle through log2(N) butterfly
+        # stages needs sqrt(N) * log2(N) / 2 busy multipliers; the two
+        # ten-step phases are overlapped (x2) and each lane carries a
+        # twisting multiplier.
+        root = round(math.sqrt(ring_degree))
+        logn = ring_degree.bit_length() - 1
+        self.multiplier_count = root * logn + root
+
+    def elements_per_cycle(self, wide: bool) -> int:
+        """sqrt(N) in wide mode; 2 sqrt(N) with the TBM in narrow mode."""
+        base = round(self.ring_degree ** 0.5)
+        return base * self.config.parallel_factor(wide)
+
+    def modops_per_cycle(self, wide: bool) -> float:
+        """Sustained modular multiplications per cycle (one cluster).
+
+        The pipeline keeps (log2 N)/2-deep butterfly stages busy; the
+        sustained rate is elements/cycle times log2(N)/2 butterflies
+        amortised over the streaming passes.
+        """
+        logn = self.ring_degree.bit_length() - 1
+        return self.elements_per_cycle(wide) * logn / 2
+
+    def cycles_for_limbs(self, num_limbs: int, wide: bool) -> float:
+        """Cycles to stream ``num_limbs`` (I)NTTs through one cluster."""
+        per_limb = self.ring_degree / self.elements_per_cycle(wide)
+        return num_limbs * per_limb
+
+    # Activity/wiring calibration landing Table 3's power split
+    # (long butterfly wires vs dense MAC arrays differ in switching).
+    POWER_CALIBRATION = 0.911
+
+    def area_mm2(self) -> float:
+        return multiplier.datapath_multiplier_area(
+            self.config, self.multiplier_count)
+
+    def peak_power_w(self) -> float:
+        return self.POWER_CALIBRATION * \
+            multiplier.datapath_multiplier_power(
+                self.config, self.multiplier_count)

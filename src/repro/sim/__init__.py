@@ -1,0 +1,14 @@
+"""The kernel-level cycle simulator (Sec. 6.1's methodology).
+
+A trace is lowered to hardware kernels (:mod:`repro.sim.kernels`),
+scheduled onto the accelerator's units with a queueing pipeline model
+(:mod:`repro.sim.engine`), and summarised into latency, utilisation,
+power/energy and EDP (:mod:`repro.sim.metrics`).  Baseline
+accelerators for the comparison tables live in
+:mod:`repro.sim.baselines`.
+"""
+
+from repro.sim.engine import Engine, SimulationResult
+from repro.sim.kernels import lower_trace
+
+__all__ = ["Engine", "SimulationResult", "lower_trace"]

@@ -1,0 +1,103 @@
+"""Baseline accelerators: configurations and published references.
+
+Two kinds of baseline data coexist, exactly as in the paper:
+
+* **Published numbers** (Tables 4/5/6 rows for BTS, CraterLake, ARK,
+  F1 and the SHARP family) are quoted constants — the paper itself
+  compares against the numbers those papers report, and so do we.
+* **Simulatable configurations**: the SHARP-class points are close
+  enough to FAST's architecture (same kernel set, 36-bit ALUs, no
+  TBM/KLSS) that we also *run* them through our own engine for the
+  ablation-style comparisons, using :func:`sharp_like_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import ChipConfig, FAST_CONFIG
+
+
+@dataclass(frozen=True)
+class PublishedAccelerator:
+    """One prior-work row of Tables 4/5/6."""
+
+    name: str
+    word_bits: int
+    lanes: int
+    onchip_mb: float
+    area_mm2: float
+    bootstrap_ms: float | None = None
+    helr256_ms: float | None = None
+    helr1024_ms: float | None = None
+    resnet20_ms: float | None = None
+    t_mult_ns: float | None = None
+    slots: int = 1 << 15
+
+
+# Table 4 + Table 5 + Table 6 reference rows (quoted from the paper).
+BTS = PublishedAccelerator(
+    name="BTS", word_bits=64, lanes=2048, onchip_mb=512, area_mm2=373.6,
+    bootstrap_ms=22.88, helr1024_ms=28.4, resnet20_ms=1910.0,
+    t_mult_ns=45.7)
+CRATERLAKE = PublishedAccelerator(
+    name="CLake", word_bits=28, lanes=2048, onchip_mb=282, area_mm2=222.7,
+    bootstrap_ms=6.32, helr256_ms=3.81, resnet20_ms=321.0, t_mult_ns=17.6)
+ARK = PublishedAccelerator(
+    name="ARK", word_bits=64, lanes=1024, onchip_mb=588, area_mm2=418.3,
+    bootstrap_ms=3.52, helr1024_ms=7.42, resnet20_ms=125.0, t_mult_ns=14.3)
+SHARP = PublishedAccelerator(
+    name="SHARP", word_bits=36, lanes=1024, onchip_mb=198, area_mm2=178.8,
+    bootstrap_ms=3.12, helr256_ms=1.82, helr1024_ms=2.53, resnet20_ms=99.0,
+    t_mult_ns=12.8)
+SHARP_LM = PublishedAccelerator(
+    name="SHARP_LM", word_bits=36, lanes=1024, onchip_mb=281,
+    area_mm2=215.0, bootstrap_ms=2.94, helr256_ms=1.72, helr1024_ms=2.44,
+    resnet20_ms=93.88)
+SHARP_8C = PublishedAccelerator(
+    name="SHARP_8C", word_bits=36, lanes=2048, onchip_mb=198,
+    area_mm2=250.0, bootstrap_ms=2.16, helr256_ms=1.33, helr1024_ms=1.89,
+    resnet20_ms=72.34)
+SHARP_LM_8C = PublishedAccelerator(
+    name="SHARP_LM+8C", word_bits=36, lanes=2048, onchip_mb=281,
+    area_mm2=290.0, bootstrap_ms=2.03, helr256_ms=1.26, helr1024_ms=1.83,
+    resnet20_ms=68.59)
+F1 = PublishedAccelerator(
+    name="F1", word_bits=32, lanes=0, onchip_mb=64, area_mm2=151.4,
+    t_mult_ns=470.0, slots=1)
+SHARP_60 = PublishedAccelerator(
+    name="SHARP_60", word_bits=60, lanes=1024, onchip_mb=198,
+    area_mm2=225.0, t_mult_ns=11.7)
+
+ALL_PUBLISHED = (BTS, CRATERLAKE, ARK, SHARP, SHARP_LM, SHARP_8C,
+                 SHARP_LM_8C)
+TABLE6_PUBLISHED = (F1, BTS, ARK, CRATERLAKE, SHARP, SHARP_60)
+
+PAPER_FAST = PublishedAccelerator(
+    name="FAST", word_bits=60, lanes=1024, onchip_mb=281, area_mm2=283.75,
+    bootstrap_ms=1.38, helr256_ms=1.12, helr1024_ms=1.33,
+    resnet20_ms=60.49, t_mult_ns=5.4)
+
+
+def sharp_like_config(large_memory: bool = False,
+                      eight_clusters: bool = False) -> ChipConfig:
+    """A SHARP-family design point runnable on our engine.
+
+    36-bit fixed ALUs (no TBM, no KLSS path), hybrid-only with no
+    hoisting support, SHARP's memory capacities.
+    """
+    name = "SHARP"
+    if large_memory:
+        name += "-LM"
+    if eight_clusters:
+        name += "-8C"
+    memory = (281 if large_memory else 198) * 2**20
+    return FAST_CONFIG.with_(
+        name=name,
+        clusters=8 if eight_clusters else 4,
+        has_tbm=False,
+        supports_klss=False,
+        supports_hoisting=large_memory,  # LM variants add hoisting
+        wide_bits=36,
+        onchip_memory_bytes=memory,
+        key_storage_bytes=0.64 * memory)

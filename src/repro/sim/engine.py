@@ -1,0 +1,250 @@
+"""The queueing cycle simulator.
+
+Operations lower to staged kernel tasks (:mod:`repro.sim.kernels`);
+the engine then schedules every task onto its host unit with
+availability-time queueing:
+
+* tasks inside one stage may overlap on different units;
+* stage ``i`` of an op starts only after stage ``i-1`` finishes
+  (dataflow dependency);
+* op ``n`` may enter the pipeline once op ``n-1`` has cleared the
+  first (decompose) stage — the limb-level pipelining that keeps the
+  NTTU busy;
+* the KeyMult stage additionally waits for its evaluation key, which
+  Hemera streams over the HBM channel (serialised, prefetched up to a
+  storage-bounded lead, cached on chip with LRU eviction);
+* PMult plaintext operands stream from HBM as well (the DFT matrices
+  of bootstrapping are far too large to pin on chip) — this is what
+  makes FHE memory-bound at 1 TB/s, as Sec. 7.4 observes.
+
+The result carries total latency, per-unit busy time (utilisation),
+per-stage-label latency breakdowns (Fig. 10), kernel op totals
+(Fig. 11b) and HBM traffic, feeding every evaluation figure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.ckks.keys import HYBRID
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import CkksParams, SET_I, SET_II
+from repro.core import optrace
+from repro.core.aether import Aether, AetherConfig
+from repro.core.hemera import KeyCache
+from repro.hw.accelerator import Accelerator, KERNEL_UNITS
+from repro.hw.config import ChipConfig, FAST_CONFIG
+from repro.sim.kernels import KERNEL_DSU, OpSchedule, Policy, lower_trace
+
+UNIT_NAMES = ("nttu", "bconvu", "kmu", "autou", "dsu", "hbm")
+
+# Live ciphertexts a key-switch needs resident (operands, the
+# decomposed digits' accumulators, BSGS partial sums) — Fig. 3b's
+# working-set convention.
+WORKING_SET_CIPHERTEXTS = 4
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated run produces."""
+
+    name: str
+    total_s: float = 0.0
+    unit_busy_s: dict = field(default_factory=lambda: defaultdict(float))
+    stage_s: dict = field(default_factory=lambda: defaultdict(float))
+    kernel_modops: dict = field(default_factory=lambda: defaultdict(float))
+    method_ops: dict = field(default_factory=lambda: defaultdict(int))
+    key_bytes: float = 0.0
+    plaintext_bytes: float = 0.0
+    key_stall_s: float = 0.0
+    num_ops: int = 0
+    num_key_switches: int = 0
+
+    def utilisation(self, total_override: float | None = None) -> dict:
+        total = total_override or self.total_s
+        if total == 0:
+            return {u: 0.0 for u in UNIT_NAMES}
+        return {u: self.unit_busy_s[u] / total for u in UNIT_NAMES}
+
+    @property
+    def hbm_bytes(self) -> float:
+        return self.key_bytes + self.plaintext_bytes
+
+
+class Engine:
+    """Simulates traces on one accelerator design point."""
+
+    def __init__(self, config: ChipConfig = FAST_CONFIG,
+                 hybrid_params: CkksParams = SET_I,
+                 klss_params: CkksParams = SET_II,
+                 policy_mode: str = "aether"):
+        self.config = config
+        self.accelerator = Accelerator(config,
+                                       hybrid_params.ring_degree)
+        self.hybrid_params = hybrid_params
+        self.klss_params = klss_params
+        self.policy_mode = policy_mode
+        # Aether decides on the paper's own metric: modular-operation
+        # counts (Fig. 2), converted to delay at the chip's effective
+        # sustained rate.  The engine's width-aware queueing then
+        # executes whatever Aether chose.
+        self.aether = Aether(
+            hybrid_params, klss_params,
+            key_storage_bytes=config.key_storage_bytes,
+            hbm_bandwidth=config.hbm_bandwidth_bytes,
+            modops_per_second=config.effective_modops_per_second(),
+            use_ekg=config.use_ekg,
+            use_minks=config.use_minks)
+        self.word_bytes = cost.NARROW_WORD_BYTES
+
+    # -- Aether integration -------------------------------------------------
+    def _delay_model(self, ops: cost.KernelOps, method: str) -> float:
+        """Serial per-kernel delay on this chip (Aether's Delay field)."""
+        wide = method == "klss"
+        acc = self.accelerator
+        cycles = (acc.kernel_cycles("ntt", ops.ntt, wide)
+                  + acc.kernel_cycles("bconv", ops.bconv, wide)
+                  + acc.kernel_cycles("keymult", ops.keymult, wide)
+                  + acc.kernel_cycles("elementwise", ops.elementwise, wide))
+        return acc.cycles_to_seconds(cycles)
+
+    def make_policy(self, trace) -> Policy:
+        if self.policy_mode == "aether":
+            config = self.aether.run(trace)
+            if not self.config.supports_klss or \
+                    not self.config.supports_hoisting:
+                config = self._constrain_config(config)
+            return Policy("aether", config)
+        return Policy(self.policy_mode)
+
+    def _constrain_config(self, config: AetherConfig) -> AetherConfig:
+        """Clamp decisions to what the chip variant supports."""
+        for decision in config.decisions.values():
+            if not self.config.supports_klss and decision.method != HYBRID:
+                decision.method = HYBRID
+            if not self.config.supports_hoisting:
+                decision.hoisting = 1
+        return config
+
+    # -- core loop ----------------------------------------------------------
+    def run(self, trace, name: str | None = None) -> SimulationResult:
+        policy = self.make_policy(trace)
+        schedules = lower_trace(trace, self.aether, policy)
+        return self.run_schedules(schedules, name or trace.name)
+
+    def run_schedules(self, schedules: list[OpSchedule],
+                      name: str) -> SimulationResult:
+        acc = self.accelerator
+        cfg = self.config
+        result = SimulationResult(name=name)
+        unit_free: dict[str, float] = {u: 0.0 for u in UNIT_NAMES}
+        hbm_free = 0.0
+        key_cache = KeyCache(cfg.key_storage_bytes)
+        pipeline_ready = 0.0
+        finish = 0.0
+        for schedule in schedules:
+            result.num_ops += 1
+            op = schedule.op
+            op_start = pipeline_ready
+            # -- evaluation-key traffic --------------------------------
+            key_arrival = 0.0
+            if schedule.key_bytes > 0:
+                result.num_key_switches += max(1, schedule.hoisting)
+                result.method_ops[schedule.method] += \
+                    max(1, schedule.hoisting)
+                missing = [k for k in self._key_identities(schedule)
+                           if not key_cache.contains(k)]
+                if missing:
+                    # Hemera's batch-wise prefetcher keeps the HBM
+                    # channel as a work queue: the next key transfer
+                    # starts the moment the channel frees up.
+                    bytes_needed = schedule.key_bytes_per_key * len(missing)
+                    duration = bytes_needed / cfg.hbm_bandwidth_bytes
+                    hbm_free = hbm_free + duration
+                    key_arrival = hbm_free
+                    result.key_bytes += bytes_needed
+                    result.unit_busy_s["hbm"] += duration
+                    for k in missing:
+                        key_cache.insert(k, schedule.key_bytes_per_key)
+            # -- ciphertext working-set spills ---------------------------
+            # When the data region (on-chip memory minus the key
+            # reserve) cannot hold the level's working set, operands
+            # spill to HBM and must stream back before the op's first
+            # stage can start.
+            operand_arrival = 0.0
+            if schedule.key_bytes > 0:
+                data_region = cfg.onchip_memory_bytes - \
+                    cfg.key_storage_bytes
+                ws = WORKING_SET_CIPHERTEXTS * cost.ciphertext_bytes(
+                    self.hybrid_params, op.level)
+                spill = max(0.0, ws - data_region)
+                if spill > 0:
+                    duration = spill / cfg.hbm_bandwidth_bytes
+                    hbm_free = hbm_free + duration
+                    operand_arrival = hbm_free
+                    result.plaintext_bytes += spill
+                    result.unit_busy_s["hbm"] += duration
+            # -- plaintext streaming for PMult --------------------------
+            if op.kind == optrace.PMULT:
+                # OF-Limb: only the single stored limb streams in.
+                pt_bytes = self.hybrid_params.ring_degree * self.word_bytes
+                duration = pt_bytes / cfg.hbm_bandwidth_bytes
+                hbm_free = hbm_free + duration
+                key_arrival = max(key_arrival, hbm_free)
+                result.plaintext_bytes += pt_bytes
+                result.unit_busy_s["hbm"] += duration
+            # -- staged execution ---------------------------------------
+            stage_ready = max(op_start, operand_arrival)
+            first_stage_end = op_start
+            for stage_idx, tasks in enumerate(schedule.stages):
+                if stage_idx == schedule.keymult_stage and key_arrival:
+                    if key_arrival > stage_ready:
+                        result.key_stall_s += key_arrival - stage_ready
+                        stage_ready = key_arrival
+                stage_end = stage_ready
+                for task in tasks:
+                    unit = KERNEL_UNITS.get(task.kernel, task.kernel)
+                    if task.kernel == KERNEL_DSU:
+                        unit = "dsu"
+                        cycles = acc.aem.dsu.cycles_for_rescale(
+                            1, int(task.modops))  # elements given directly
+                    elif task.kernel == "automorph":
+                        cycles = task.modops / acc.unit_throughput(
+                            "automorph").at(task.wide)
+                    else:
+                        cycles = acc.kernel_cycles(task.kernel,
+                                                   task.modops, task.wide)
+                    seconds = acc.cycles_to_seconds(cycles)
+                    begin = max(stage_ready, unit_free[unit])
+                    end = begin + seconds
+                    unit_free[unit] = end
+                    result.unit_busy_s[unit] += seconds
+                    result.kernel_modops[task.kernel] += task.modops
+                    stage_end = max(stage_end, end)
+                if stage_idx == 0:
+                    first_stage_end = stage_end
+                stage_ready = stage_end
+            op_end = stage_ready
+            label = schedule.stage_label or "main"
+            result.stage_s[label] += op_end - op_start
+            pipeline_ready = first_stage_end
+            finish = max(finish, op_end)
+        result.total_s = finish
+        return result
+
+    def _key_identities(self, schedule: OpSchedule) -> list[tuple]:
+        """One identity per key the op needs.
+
+        With Min-KS (ARK key reuse) the level is not part of the
+        identity, so a rotation key fetched once serves every level.
+        """
+        op = schedule.op
+        level_part = () if self.config.use_minks else (op.level,)
+        if op.kind == optrace.HMULT:
+            return [(schedule.method, "mult", *level_part)]
+        if op.kind == optrace.CONJ:
+            return [(schedule.method, "conj", *level_part)]
+        rotations = schedule.rotations or (op.rotation,)
+        return [(schedule.method, "rot", r, *level_part)
+                for r in rotations]

@@ -1,0 +1,265 @@
+"""Lowering: FHE operations -> hardware kernel tasks.
+
+Each trace operation becomes a :class:`OpSchedule` — an ordered list
+of :class:`KernelTask` stages with dependency semantics (stage ``i``
+starts after stage ``i-1``), the precision mode each stage runs at,
+and the evaluation-key traffic it triggers.  The modular-operation
+work per stage comes from the *same* closed-form cost models that
+drive Fig. 2 and Aether, so the simulator and the motivational study
+are mutually consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ckks.keys import HYBRID, KLSS
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import CkksParams
+from repro.core import optrace
+from repro.core.aether import AetherConfig, Aether
+from repro.core.optrace import FheOp, OpTrace
+from repro.hw.accelerator import (KERNEL_AUTOMORPH, KERNEL_BCONV,
+                                  KERNEL_ELEMENTWISE, KERNEL_KEYMULT,
+                                  KERNEL_NTT)
+
+KERNEL_DSU = "dsu"  # double rescale rides the AEM, not the KMU
+
+
+@dataclass
+class KernelTask:
+    """One unit's worth of work inside an operation stage."""
+
+    kernel: str
+    modops: float
+    wide: bool
+    label: str = ""
+
+
+@dataclass
+class OpSchedule:
+    """The lowered form of one trace operation.
+
+    ``stages`` execute in order; tasks *within* one stage are
+    independent and may overlap on different units.  ``key_bytes`` is
+    the evaluation-key traffic that must have arrived before the
+    KeyMult stage (index ``keymult_stage``) starts.
+    """
+
+    op: FheOp
+    method: str
+    hoisting: int
+    stages: list[list[KernelTask]] = field(default_factory=list)
+    key_bytes: float = 0.0
+    key_bytes_per_key: float = 0.0
+    rotations: tuple = ()
+    keymult_stage: int = 0
+    stage_label: str = ""
+
+    @property
+    def total_modops(self) -> float:
+        return sum(t.modops for stage in self.stages for t in stage)
+
+
+def _ops_to_tasks(ops: cost.KernelOps, wide: bool,
+                  label: str) -> list[KernelTask]:
+    tasks = []
+    if ops.ntt:
+        tasks.append(KernelTask(KERNEL_NTT, ops.ntt, wide, label))
+    if ops.bconv:
+        tasks.append(KernelTask(KERNEL_BCONV, ops.bconv, wide, label))
+    if ops.keymult:
+        tasks.append(KernelTask(KERNEL_KEYMULT, ops.keymult, wide, label))
+    if ops.elementwise:
+        tasks.append(KernelTask(KERNEL_ELEMENTWISE, ops.elementwise,
+                                wide, label))
+    return tasks
+
+
+def lower_key_switch(op: FheOp, method: str, hoisting: int,
+                     params: CkksParams, key_size_factor: float,
+                     batch_rotations: int = 1,
+                     rotations: tuple = (),
+                     stored_key_bytes: float | None = None,
+                     minks_regen: bool = False) -> OpSchedule:
+    """Lower one HMult/HRot/Conj (possibly a fused hoist batch).
+
+    ``batch_rotations`` is the number of rotations fused under one
+    decomposition (1 for HMult).  KLSS stages run wide (60-bit);
+    hybrid stages run narrow and enjoy the TBM's doubled throughput.
+    """
+    wide = method == KLSS
+    level = op.level
+    n = params.ring_degree
+    k = level + 1
+    schedule = OpSchedule(op=op, method=method, hoisting=hoisting,
+                          stage_label=op.stage)
+    if method == HYBRID:
+        first_stage = _ops_to_tasks(
+            cost.hybrid_decompose_ops(params, level), False, "decompose")
+        keymult_tasks = _ops_to_tasks(
+            cost.hybrid_keymult_ops(params, level), False, "keymult")
+        finish_tasks = _ops_to_tasks(
+            cost.hybrid_moddown_ops(params, level), False, "moddown")
+    else:
+        # KLSS mixes precisions: the input INTT and the final ModDown
+        # run narrow (TBM dual mode); the gadget stages run wide.
+        dec_narrow, dec_wide = cost.klss_decompose_split(params, level)
+        first_stage = _ops_to_tasks(dec_narrow, False, "decompose") + \
+            _ops_to_tasks(dec_wide, True, "decompose")
+        keymult_tasks = _ops_to_tasks(
+            cost.klss_keymult_ops(params, level), True, "keymult")
+        rec_narrow, rec_wide = cost.klss_recover_split(params, level)
+        finish_tasks = _ops_to_tasks(rec_wide, True, "moddown") + \
+            _ops_to_tasks(rec_narrow, False, "moddown")
+    if minks_regen:
+        # ARK Min-KS: expand the compact key's limbs on chip — NTTs
+        # over the full (k + p) extended basis for both key halves,
+        # once per key in the batch.
+        shape = cost.HybridShape.at_level(params, level)
+        regen = 2 * (shape.k + shape.p) * cost.ntt_ops(n) * batch_rotations
+        first_stage.append(KernelTask(KERNEL_NTT, regen, wide, "key-regen"))
+    schedule.stages.append(first_stage)
+    per_rot_stages = []
+    for _ in range(batch_rotations):
+        stage = []
+        if op.kind in (optrace.HROT, optrace.CONJ):
+            # Automorphism of the decomposed digits + c0 (permutation).
+            stage.append(KernelTask(KERNEL_AUTOMORPH, (k + 1) * n, wide,
+                                    "automorph"))
+        stage.extend(list(keymult_tasks))
+        per_rot_stages.append(stage)
+        per_rot_stages.append(list(finish_tasks))
+    schedule.keymult_stage = 1
+    schedule.stages.extend(per_rot_stages)
+    if stored_key_bytes is None:
+        stored_key_bytes = cost.evk_bytes(method, params, level, hoisting=1)
+    schedule.key_bytes_per_key = key_size_factor * stored_key_bytes
+    schedule.key_bytes = schedule.key_bytes_per_key * batch_rotations
+    if not rotations:
+        rotations = (op.rotation,) if op.kind != optrace.HMULT else ()
+    schedule.rotations = tuple(rotations)
+    return schedule
+
+
+def lower_plain_op(op: FheOp, params: CkksParams) -> OpSchedule:
+    """Lower PMult/PAdd/HAdd/CMult/CAdd/Rescale/ModRaise."""
+    n = params.ring_degree
+    k = op.level + 1
+    schedule = OpSchedule(op=op, method=HYBRID, hoisting=1,
+                          stage_label=op.stage)
+    if op.kind == optrace.PMULT:
+        # OF-Limb (ARK, adopted in Sec. 6.1): the plaintext is stored
+        # at one limb and extended on chip (BConv 1->k + k NTTs), so
+        # only N words stream from HBM instead of k*N.
+        schedule.stages.append([
+            KernelTask(KERNEL_NTT, (1 + k) * cost.ntt_ops(n), False,
+                       "of-limb"),
+            KernelTask(KERNEL_BCONV, cost.bconv_ops(n, 1, k), False,
+                       "of-limb"),
+        ])
+        schedule.stages.append([KernelTask(
+            KERNEL_ELEMENTWISE, 2.0 * k * n, False, "pmult")])
+    elif op.kind in (optrace.PADD, optrace.HADD, optrace.CADD):
+        # Additions are cheaper than muls; the KMU retires them at the
+        # same element rate, so charge element counts.
+        polys = 2.0 if op.kind == optrace.HADD else 1.0
+        schedule.stages.append([KernelTask(
+            KERNEL_ELEMENTWISE, polys * k * n, False, "add")])
+    elif op.kind == optrace.CMULT:
+        schedule.stages.append([KernelTask(
+            KERNEL_ELEMENTWISE, 2.0 * k * n, False, "cmult")])
+    elif op.kind == optrace.RESCALE:
+        # Double-prime scaling on the DSU (both polys, all limbs).
+        elements = 2.0 * k * n
+        schedule.stages.append([KernelTask(KERNEL_DSU, elements, False,
+                                           "rescale")])
+    elif op.kind == optrace.MOD_RAISE:
+        # Extend from q0 to the full chain: INTT(1) + BConv + NTT(k).
+        full = params.max_level + 1
+        ntt_work = 2 * (1 + full) * cost.ntt_ops(n)
+        bconv_work = 2 * cost.bconv_ops(n, 1, full)
+        schedule.stages.append([
+            KernelTask(KERNEL_NTT, ntt_work, False, "modraise-ntt"),
+            KernelTask(KERNEL_BCONV, bconv_work, False, "modraise-bconv"),
+        ])
+    else:
+        raise ValueError(f"cannot lower op kind {op.kind!r}")
+    return schedule
+
+
+@dataclass
+class Policy:
+    """How key-switching decisions are made during lowering.
+
+    ``mode`` is one of:
+
+    * ``"aether"`` — follow an :class:`AetherConfig` (the FAST flow);
+    * ``"hybrid-only"`` — the OneKSW baseline of Fig. 10 (no
+      hoisting, hybrid everywhere);
+    * ``"hoisting-only"`` — hoist every candidate group but stay
+      hybrid (Fig. 10's middle bar);
+    * ``"klss-only"`` — KLSS everywhere (Fig. 11b's comparison).
+    """
+
+    mode: str = "aether"
+    config: AetherConfig | None = None
+
+    def decide(self, unit) -> tuple[str, int]:
+        if self.mode == "aether":
+            if self.config is None:
+                raise ValueError("aether policy requires a config")
+            decision = self.config.decisions.get(unit.unit_id)
+            if decision is None:
+                return HYBRID, 1
+            return decision.method, decision.hoisting
+        if self.mode == "hybrid-only":
+            return HYBRID, 1
+        if self.mode == "hoisting-only":
+            return HYBRID, unit.times
+        if self.mode == "klss-only":
+            return KLSS, 1
+        raise ValueError(f"unknown policy mode {self.mode!r}")
+
+
+def lower_trace(trace: OpTrace, aether: Aether,
+                policy: Policy) -> list[OpSchedule]:
+    """Lower a whole trace under a key-switching policy.
+
+    Hoist groups whose decision says ``hoisting > 1`` are fused into
+    batch schedules of that size; everything else lowers per-op.
+    """
+    schedules: list[OpSchedule] = []
+    unit_of_index: dict[int, object] = {}
+    for unit in aether.decision_units(trace):
+        for index in unit.indices:
+            unit_of_index[index] = unit
+    handled: set[int] = set()
+    for index, op in enumerate(trace):
+        if index in handled:
+            continue
+        if not op.needs_key_switch:
+            schedules.append(lower_plain_op(op, aether.hybrid_params))
+            continue
+        unit = unit_of_index[index]
+        method, hoisting = policy.decide(unit)
+        params = (aether.hybrid_params if method == HYBRID
+                  else aether.klss_params)
+        stored = aether.stored_key_bytes(method, params, op.level)
+        regen = method == HYBRID and aether.use_minks
+        if hoisting > 1 and len(unit.ops) > 1:
+            members = list(zip(unit.indices, unit.ops))
+            for start in range(0, len(members), hoisting):
+                batch = members[start:start + hoisting]
+                schedules.append(lower_key_switch(
+                    batch[0][1], method, hoisting, params,
+                    aether.key_size_factor, batch_rotations=len(batch),
+                    rotations=tuple(m.rotation for _, m in batch),
+                    stored_key_bytes=stored, minks_regen=regen))
+                handled.update(i for i, _ in batch)
+        else:
+            schedules.append(lower_key_switch(
+                op, method, 1, params, aether.key_size_factor,
+                stored_key_bytes=stored, minks_regen=regen))
+            handled.add(index)
+    return schedules

@@ -1,0 +1,19 @@
+"""Workload trace generators for the paper's benchmarks (Sec. 6.2).
+
+* :mod:`repro.workloads.bootstrap` — fully-packed CKKS bootstrapping
+  (ModRaise / CoeffToSlot / EvalMod / SlotToCoeff);
+* :mod:`repro.workloads.helr` — HELR logistic-regression training
+  iterations (batch 256 or 1024);
+* :mod:`repro.workloads.resnet` — ResNet-20 inference on an encrypted
+  32x32x3 image.
+
+Each generator emits an :class:`repro.core.optrace.OpTrace` whose
+structure (operation mix, levels, hoisting groups) reconstructs the
+published workload; exact op counts are documented per generator.
+"""
+
+from repro.workloads.bootstrap import bootstrap_trace
+from repro.workloads.helr import helr_trace
+from repro.workloads.resnet import resnet20_trace
+
+__all__ = ["bootstrap_trace", "helr_trace", "resnet20_trace"]

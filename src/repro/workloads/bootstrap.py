@@ -1,0 +1,149 @@
+"""Fully-packed CKKS bootstrapping trace (Sec. 6.2, Table 5's anchor).
+
+Structure follows the SHARP/ARK state-of-the-art pipeline the paper
+evaluates:
+
+* **ModRaise** lifts the exhausted ciphertext to level ``L``;
+* **CoeffToSlot**: the homomorphic DFT factorised into
+  ``CTS_MATRICES`` sparse matrices, each evaluated baby-step/giant-step
+  with the baby rotations hoisted (one decomposition, many
+  automorphisms), followed by one conjugation; every matrix consumes
+  one (double-rescaled) level;
+* **EvalMod**: approximate modular reduction — Chebyshev basis
+  power tower + giant recombination + double-angle, all HMult-heavy;
+* **SlotToCoeff**: the inverse DFT, same shape as CoeffToSlot.
+
+With double rescaling each multiplicative stage burns two primes, so
+the trace walks from level 35 down to ``L_eff = 8`` exactly as the
+paper's Table 2 prescribes (``L_boot = 27``).
+
+``slots_fraction < 1`` produces the *thin* bootstrap used inside the
+HELR workloads: fewer packed slots shrink the DFT radix and thus the
+rotation/diagonal counts per matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParams, SET_II
+from repro.core import optrace
+from repro.core.optrace import OpTrace, TraceBuilder
+
+# Reconstruction constants (SHARP-style fully-packed bootstrap).
+CTS_MATRICES = 3          # radix-32 factorisation of the 2^15-slot DFT
+STC_MATRICES = 3
+BABY_STEPS = 8            # BSGS split of each radix-32 matrix
+GIANT_STEPS = 4
+EVALMOD_BABY_MULTS = 3    # Chebyshev basis power tower
+EVALMOD_GIANT_MULTS = 2
+EVALMOD_DOUBLE_ANGLE = 2
+EVALMOD_PMULTS = 14       # coefficient multiplications
+
+
+@dataclass
+class BootstrapShape:
+    """Derived op counts, exposed for tests and documentation."""
+
+    rotations: int
+    hmults: int
+    pmults: int
+    levels_consumed: int
+
+
+def _matrix_stage(tb: TraceBuilder, level: int, stage: str,
+                  baby: int, giant: int, params: CkksParams) -> int:
+    """One BSGS matrix-vector stage; returns the level after it."""
+    ct = tb.fresh_ct()
+    # Baby-step rotations: same input ciphertext -> one hoist group.
+    if baby > 1:
+        tb.rotations(ct, level, list(range(1, baby)), hoisted=True,
+                     stage=stage)
+    # Giant steps: accumulate baby x diagonal products, then rotate
+    # each partial sum (distinct ciphertexts -> not hoistable).
+    for g in range(giant):
+        acc = tb.fresh_ct()
+        for _ in range(baby):
+            tb.pmult(acc, level, stage=stage)
+            tb.add(optrace.HADD, level, acc, stage=stage)
+        if g > 0:
+            tb.hrot(acc, level, g * baby, stage=stage)
+    # One multiplicative level consumed; double rescale = two primes.
+    for _ in range(params.levels_per_mult):
+        tb.rescale(ct, level, stage=stage)
+    return level - params.levels_per_mult
+
+
+def bootstrap_trace(params: CkksParams = SET_II,
+                    slots_fraction: float = 1.0,
+                    name: str = "bootstrap") -> OpTrace:
+    """Generate the bootstrapping operation flow.
+
+    ``slots_fraction`` scales the DFT work for sparsely packed
+    ciphertexts (thin bootstrap); 1.0 is the fully-packed case.
+    """
+    if not 0 < slots_fraction <= 1:
+        raise ValueError("slots_fraction must be in (0, 1]")
+    baby = max(2, round(BABY_STEPS * slots_fraction))
+    giant = max(2, round(GIANT_STEPS * slots_fraction))
+    tb = TraceBuilder(name)
+    level = params.max_level
+
+    # -- ModRaise ---------------------------------------------------------
+    raise_ct = tb.fresh_ct()
+    tb.add(optrace.MOD_RAISE, level, raise_ct, stage="ModRaise")
+
+    # -- CoeffToSlot --------------------------------------------------------
+    for _ in range(CTS_MATRICES):
+        level = _matrix_stage(tb, level, "CoeffToSlot", baby, giant, params)
+    conj_ct = tb.fresh_ct()
+    tb.add(optrace.CONJ, level, conj_ct, stage="CoeffToSlot")
+
+    # -- EvalMod -----------------------------------------------------------
+    # The EvalMod depth adapts to the parameter set's level budget:
+    # whatever L_boot leaves after the six DFT matrices is spent on
+    # the modular-reduction polynomial (Set-II: 7 mults = baby 3 +
+    # giant 2 + double-angle 2, plus one single-prime correction).
+    per_mult = params.levels_per_mult
+    matrix_cost = (CTS_MATRICES + STC_MATRICES) * per_mult
+    evalmod_budget = params.boot_levels - matrix_cost
+    if evalmod_budget < per_mult:
+        raise ValueError("boot_levels too small for the DFT stages")
+    mults = evalmod_budget // per_mult
+    correction = evalmod_budget - mults * per_mult
+    pmults_per_mult = max(1, EVALMOD_PMULTS // max(1, mults))
+    for _ in range(mults):
+        ct = tb.fresh_ct()
+        tb.hmult(ct, level, stage="EvalMod")
+        for _ in range(pmults_per_mult):
+            tb.pmult(ct, level, stage="EvalMod")
+        for _ in range(per_mult):
+            tb.rescale(ct, level, stage="EvalMod")
+        level -= per_mult
+    for _ in range(correction):
+        # scale-correction rescales burn the odd remainder of L_boot
+        tb.rescale(tb.fresh_ct(), level, stage="EvalMod")
+        level -= 1
+
+    # -- SlotToCoeff ----------------------------------------------------------
+    for _ in range(STC_MATRICES):
+        level = _matrix_stage(tb, level, "SlotToCoeff", baby, giant, params)
+
+    trace = tb.build()
+    if level != params.effective_level:
+        raise AssertionError(
+            f"bootstrap shape drifted: ended at level {level}, expected "
+            f"L_eff={params.effective_level}")
+    return trace
+
+
+def bootstrap_shape(params: CkksParams = SET_II,
+                    slots_fraction: float = 1.0) -> BootstrapShape:
+    """Op-count summary of the generated trace (for tests/docs)."""
+    trace = bootstrap_trace(params, slots_fraction)
+    hist = trace.kind_histogram()
+    return BootstrapShape(
+        rotations=hist.get(optrace.HROT, 0) + hist.get(optrace.CONJ, 0),
+        hmults=hist.get(optrace.HMULT, 0),
+        pmults=hist.get(optrace.PMULT, 0),
+        levels_consumed=params.boot_levels)

@@ -1,0 +1,91 @@
+"""HELR: homomorphic logistic-regression training (Sec. 6.2).
+
+One HELR iteration (Han et al., AAAI'19) computes, on packed
+ciphertexts: the inner products ``X * w`` (rotation-and-sum), a
+degree-7 polynomial approximation of the sigmoid, the gradient
+``X^T * err`` (another rotation-and-sum) and the weight update — then
+refreshes the exhausted ciphertexts with a *thin* bootstrap (HELR
+packs far fewer than N/2 active slots, so the DFT stages shrink).
+
+The batch size changes how many feature ciphertexts participate:
+batch 256 works on one ciphertext block, batch 1024 on four, which is
+why HELR1024 iterations are more expensive (Table 5).
+"""
+
+from __future__ import annotations
+
+from repro.ckks.params import CkksParams, SET_II
+from repro.core import optrace
+from repro.core.optrace import OpTrace, TraceBuilder
+from repro.workloads.bootstrap import bootstrap_trace
+
+# Reconstruction constants.
+SIGMOID_MULTS = 3          # degree-7 polynomial, BSGS evaluated
+FEATURE_DIM_LOG = 8        # 256 features -> log-depth rotation sums
+THIN_BOOT_FRACTION_256 = 0.75
+THIN_BOOT_FRACTION_1024 = 0.90
+
+
+def _rotation_sum(tb: TraceBuilder, ct: int, level: int, log_len: int,
+                  stage: str) -> None:
+    """log-depth rotate-and-add reduction; rotations are hoistable
+    pairs on the running accumulator, so they stay un-hoisted."""
+    for step in range(log_len):
+        tb.hrot(ct, level, 1 << step, stage=stage)
+        tb.add(optrace.HADD, level, ct, stage=stage)
+
+
+def helr_iteration(params: CkksParams = SET_II,
+                   batch: int = 256) -> OpTrace:
+    """The per-iteration application ops (without the bootstrap)."""
+    if batch not in (256, 1024):
+        raise ValueError("paper evaluates batch sizes 256 and 1024")
+    blocks = batch // 256
+    tb = TraceBuilder(f"helr{batch}-iter")
+    level = params.effective_level
+
+    for _ in range(blocks):
+        x_ct = tb.fresh_ct()
+        # Inner product X*w: elementwise PMult + rotation-sum.
+        tb.pmult(x_ct, level, stage="Gradient")
+        _rotation_sum(tb, x_ct, level, FEATURE_DIM_LOG // 2, "Gradient")
+        for _ in range(params.levels_per_mult):
+            tb.rescale(x_ct, level, stage="Gradient")
+    level -= params.levels_per_mult
+
+    # Sigmoid approximation (shared across blocks on the packed sums).
+    sig_ct = tb.fresh_ct()
+    for _ in range(SIGMOID_MULTS):
+        tb.hmult(sig_ct, level, stage="Sigmoid")
+        tb.pmult(sig_ct, level, stage="Sigmoid")
+        for _ in range(params.levels_per_mult):
+            tb.rescale(sig_ct, level, stage="Sigmoid")
+        level -= params.levels_per_mult
+
+    # Gradient X^T * err and the weight update.
+    for _ in range(blocks):
+        g_ct = tb.fresh_ct()
+        tb.pmult(g_ct, level, stage="Update")
+        _rotation_sum(tb, g_ct, level, FEATURE_DIM_LOG // 2, "Update")
+    w_ct = tb.fresh_ct()
+    tb.add(optrace.CMULT, level, w_ct, stage="Update")   # learning rate
+    tb.add(optrace.HADD, level, w_ct, stage="Update")
+    for _ in range(params.levels_per_mult):
+        tb.rescale(w_ct, level, stage="Update")
+
+    return tb.build()
+
+
+def helr_trace(params: CkksParams = SET_II, batch: int = 256,
+               iterations: int = 1) -> OpTrace:
+    """``iterations`` full HELR iterations, each ending in a thin
+    bootstrap that restores the working level."""
+    fraction = THIN_BOOT_FRACTION_256 if batch == 256 \
+        else THIN_BOOT_FRACTION_1024
+    single = helr_iteration(params, batch).concat(
+        bootstrap_trace(params, slots_fraction=fraction,
+                        name=f"helr{batch}-boot"),
+        name=f"helr{batch}")
+    if iterations == 1:
+        return single
+    return single.repeated(iterations, name=f"helr{batch}x{iterations}")

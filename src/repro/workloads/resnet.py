@@ -1,0 +1,93 @@
+"""ResNet-20 inference on one encrypted CIFAR image (Sec. 6.2).
+
+Follows the multiplexed-parallel-convolution formulation of Lee et
+al. (ICML'22), the implementation the paper cites ([25]): each of the
+20 layers is a packed convolution (rotation batches + PMults + adds)
+followed by a high-degree polynomial ReLU approximation (HMult
+chains), with bootstrapping inserted whenever the level budget runs
+out — roughly one (fully-packed) bootstrap per ReLU block at
+``L_eff = 8``, which is what makes bootstrap ~87-95% of end-to-end
+time (Sec. 7.2).
+"""
+
+from __future__ import annotations
+
+from repro.ckks.params import CkksParams, SET_II
+from repro.core import optrace
+from repro.core.optrace import OpTrace, TraceBuilder
+from repro.workloads.bootstrap import bootstrap_trace
+
+# Reconstruction constants for the multiplexed-convolution ResNet-20.
+CONV_LAYERS = 19           # 3x3 convolutions (plus the final linear)
+ROTS_PER_CONV = 8          # multiplexed kernel taps (hoisted batch)
+PMULTS_PER_CONV = 9        # one per tap
+RELU_MULTS = 3             # minimax composite polynomial segments
+BOOTSTRAPS = 38            # two thin refreshes per residual block
+DOWNSAMPLE_LAYERS = 2
+AVGPOOL_ROTS = 6           # final global average pooling
+FC_PMULTS = 10             # final linear layer diagonals
+
+
+def _conv_block(tb: TraceBuilder, level: int, params: CkksParams,
+                layer: int) -> int:
+    stage = "Conv"
+    ct = tb.fresh_ct()
+    tb.rotations(ct, level, [r + 1 for r in range(ROTS_PER_CONV)],
+                 hoisted=True, stage=stage)
+    for _ in range(PMULTS_PER_CONV):
+        tb.pmult(ct, level, stage=stage)
+        tb.add(optrace.HADD, level, ct, stage=stage)
+    for _ in range(params.levels_per_mult):
+        tb.rescale(ct, level, stage=stage)
+    return level - params.levels_per_mult
+
+
+def _relu_block(tb: TraceBuilder, level: int,
+                params: CkksParams) -> int:
+    stage = "ReLU"
+    ct = tb.fresh_ct()
+    for _ in range(RELU_MULTS):
+        tb.hmult(ct, level, stage=stage)
+        tb.pmult(ct, level, stage=stage)
+        for _ in range(params.levels_per_mult):
+            tb.rescale(ct, level, stage=stage)
+        level -= params.levels_per_mult
+    return level
+
+
+def resnet20_trace(params: CkksParams = SET_II,
+                   name: str = "resnet20") -> OpTrace:
+    """The full inference trace, bootstraps interleaved on demand."""
+    tb = TraceBuilder(name)
+    trace = tb.build()
+    level = params.effective_level
+    boots_emitted = 0
+    per_mult = params.levels_per_mult
+    for layer in range(CONV_LAYERS):
+        # Refresh whenever the next conv+relu would exhaust the level.
+        needed = per_mult * (1 + RELU_MULTS)
+        while level - needed < 0 and boots_emitted < BOOTSTRAPS:
+            trace = trace.concat(bootstrap_trace(params, name=name),
+                                 name=name)
+            boots_emitted += 1
+            level = params.effective_level
+            tb = TraceBuilder(name)  # fresh builder appended below
+        level = _conv_block(tb, level, params, layer)
+        level = _relu_block(tb, level, params)
+        trace = trace.concat(tb.build(), name=name)
+        tb = TraceBuilder(name)
+    # Remaining refresh budget: the published implementation
+    # bootstraps twice per residual block (separate channels).
+    while boots_emitted < BOOTSTRAPS:
+        trace = trace.concat(bootstrap_trace(params, name=name), name=name)
+        boots_emitted += 1
+    # Final average pooling + fully connected layer.
+    tail = TraceBuilder(name)
+    ct = tail.fresh_ct()
+    tail.rotations(ct, params.effective_level,
+                   [1 << i for i in range(AVGPOOL_ROTS)], hoisted=True,
+                   stage="AvgPool")
+    for _ in range(FC_PMULTS):
+        tail.pmult(ct, params.effective_level, stage="FC")
+        tail.add(optrace.HADD, params.effective_level, ct, stage="FC")
+    return trace.concat(tail.build(), name=name)

@@ -1,0 +1,214 @@
+"""End-to-end regeneration of every table/figure, with shape checks.
+
+These are the integration tests of the whole reproduction: each test
+regenerates one evaluation artefact and asserts the *paper's shape* —
+who wins, roughly by how much, where crossovers fall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures as F
+
+
+class TestFigure2:
+    def test_quantitative_line_crossover(self):
+        rows = F.figure2a()
+        low = [r["quantitative_line"] for r in rows
+               if 5 <= r["level"] <= 12]
+        high = [r["quantitative_line"] for r in rows
+                if 25 <= r["level"] <= 35]
+        assert np.mean(low) < 1.0 < np.mean(high)
+
+    def test_costs_grow_with_level(self):
+        rows = F.figure2a()
+        assert rows[-1]["hybrid_mops"] > rows[0]["hybrid_mops"]
+        assert rows[-1]["klss_mops"] > rows[0]["klss_mops"]
+
+    def test_kernel_breakdown_ntt_drives_klss_advantage(self):
+        rows = F.figure2b()
+        high = [r for r in rows if r["level"] >= 25]
+        # At high levels hybrid spends relatively more on NTT than
+        # KLSS (ratio > 1), while KLSS pays more KeyMult (ratio < 1).
+        assert np.mean([r["ntt"] for r in high]) > 1.0
+        assert np.mean([r["keymult"] for r in high]) < 1.0
+
+
+class TestFigure3:
+    def test_hoisting_monotone_where_hoisting_lives(self):
+        # KeyMult dominance grows with h at the mid/high levels where
+        # bootstrapping actually hoists (Fig. 3a's regime); at very
+        # low levels hybrid's per-rotation share flips the trend.
+        for r in F.figure3a():
+            if r["level"] >= 13:
+                assert r["h2"] <= r["h4"] <= r["h6"], r
+
+    def test_working_set_anchors(self):
+        rows = F.figure3b()
+        top = rows[-1]
+        assert top["level"] == 35
+        for key, anchor in F.FIGURE3B_PAPER_ANCHORS.items():
+            assert top[key] == pytest.approx(anchor, rel=0.06), key
+
+    def test_klss_evk_largest(self):
+        for r in F.figure3b():
+            if r["level"] >= 10:
+                assert r["klss_evk_mb"] > r["hybrid_evk_mb"] > \
+                    r["ciphertext_mb"]
+
+
+class TestFigure4:
+    def test_anchor_ratios(self):
+        data = F.figure4()
+        assert data["modular_multiplier"][60]["area"] == \
+            pytest.approx(2.9, rel=1e-6)
+        assert data["multiplier"][60]["power"] == \
+            pytest.approx(2.7, rel=1e-6)
+
+    def test_monotone_scaling(self):
+        data = F.figure4()
+        widths = sorted(data["multiplier"])
+        areas = [data["multiplier"][w]["area"] for w in widths]
+        assert areas == sorted(areas)
+
+
+class TestTables2to4:
+    def test_table2_sets(self):
+        rows = F.table2()
+        assert rows[0]["alpha"] == 12 and rows[1]["alpha"] == 5
+        assert all(r["N"] == 1 << 16 and r["L"] == 35 for r in rows)
+        assert all(r["L_eff"] == 8 for r in rows)
+
+    def test_table3_total(self):
+        rows = F.table3()
+        assert rows["Total"]["area_mm2"] == pytest.approx(283.75,
+                                                          rel=0.02)
+
+    def test_table4_contains_fast_and_priors(self):
+        names = {r["name"] for r in F.table4()}
+        assert "FAST (ours)" in names
+        assert "SHARP" in names and "BTS" in names
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def table5(self):
+        return F.table5()
+
+    def test_fast_beats_every_published_baseline(self, table5):
+        ours = table5["ours_ms"]
+        for name, row in table5["published_ms"].items():
+            if name == "FAST":
+                continue
+            for workload, paper_ms in row.items():
+                if paper_ms is not None:
+                    assert ours[workload] < paper_ms, (name, workload)
+
+    def test_within_2x_of_paper_fast(self, table5):
+        ours = table5["ours_ms"]
+        paper = table5["published_ms"]["FAST"]
+        for workload, ms in ours.items():
+            assert paper[workload] / 2 < ms < paper[workload] * 2
+
+    def test_average_speedup_vs_sharp_band(self, table5):
+        mean = np.mean(list(table5["speedup_vs_sharp"].values()))
+        assert 1.5 < mean < 2.6  # paper: 1.85x
+
+    def test_workload_ordering(self, table5):
+        ours = table5["ours_ms"]
+        assert ours["HELR256"] < ours["HELR1024"]
+        assert ours["ResNet-20"] > 10 * ours["Bootstrap"]
+
+
+class TestTable6:
+    def test_fast_t_as_fastest(self):
+        data = F.table6()
+        ours = [r for r in data["rows"] if r["source"] == "measured"][0]
+        published = [r["t_as_ns"] for r in data["rows"]
+                     if r["source"] == "published"]
+        assert all(ours["t_as_ns"] < p for p in published)
+        assert ours["t_as_ns"] == pytest.approx(data["paper_fast_ns"],
+                                                rel=0.5)
+
+
+class TestTable7:
+    def test_rows_and_bands(self):
+        data = F.table7()
+        assert set(data) == {"Bootstrap", "HELR256", "HELR1024",
+                             "ResNet-20"}
+        for row in data.values():
+            assert 60 < row["avg_power_w"] < 250
+            assert row["energy_j"] > 0
+            assert row["edp_js"] == pytest.approx(
+                row["energy_j"] * row["latency_ms"] / 1e3)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return F.figure10()
+
+    def test_policy_ordering(self, fig10):
+        assert fig10["Aether"]["total_ms"] <= \
+            fig10["Hoisting"]["total_ms"] < fig10["OneKSW"]["total_ms"]
+
+    def test_aether_speedup_band(self, fig10):
+        # paper: 1.24x
+        assert 1.05 < fig10["Aether"]["speedup_vs_oneksw"] < 1.45
+
+    def test_aether_mixes_methods(self, fig10):
+        assert fig10["Aether"]["method_ops"].get("klss", 0) > 0
+
+
+class TestFigure11:
+    def test_utilisation_shape(self):
+        data = F.figure11a()
+        avg = data["average"]
+        assert avg["nttu"] > avg["bconvu"]
+        assert avg["nttu"] > avg["kmu"]
+        assert 0 < avg["hbm"] < 1
+
+    def test_modops_reduction(self):
+        data = F.figure11b()
+        # FAST's mixed execution must not exceed hybrid-only op count
+        assert data["fast_vs_hybrid_total"] < 1.0
+
+
+class TestFigure12:
+    def test_ablation_ordering(self):
+        data = F.figure12()
+        assert data["FAST"]["total_ms"] < \
+            data["FAST-noTBM"]["total_ms"] <= \
+            data["36bit-ALU"]["total_ms"] * 1.05
+
+    def test_speedup_bands(self):
+        data = F.figure12()
+        assert 1.0 < data["FAST-noTBM"]["speedup_vs_36bit"] < 1.8
+        assert data["FAST"]["speedup_vs_36bit"] > \
+            data["FAST-noTBM"]["speedup_vs_36bit"]
+
+
+class TestFigure13:
+    def test_memory_sensitivity(self):
+        rows = F.figure13a(sizes_mb=(128, 281, 512))
+        by_mem = {r["memory_mb"]: r["latency_ms"] for r in rows}
+        # small memory hurts; huge memory saturates (paper Fig. 13a)
+        assert by_mem[128] > by_mem[281]
+        assert by_mem[512] <= by_mem[281] * 1.02
+
+    def test_cluster_scaling(self):
+        rows = F.figure13b(cluster_counts=(2, 4, 8))
+        by_c = {r["clusters"]: r for r in rows}
+        assert by_c[2]["latency_ms"] > by_c[4]["latency_ms"] > \
+            by_c[8]["latency_ms"]
+        assert by_c[8]["speedup_vs_4c"] > 1.2
+        assert 1.2 < by_c[8]["area_vs_4c"] < 1.6  # paper: 1.37x
+
+
+class TestFormatting:
+    def test_format_rows(self):
+        text = F.format_rows([{"a": 1.5, "b": "x"}])
+        assert "a" in text and "1.500" in text
+
+    def test_format_empty(self):
+        assert F.format_rows([]) == "(no rows)"

@@ -1,0 +1,188 @@
+"""The analytic cost model: paper anchors, monotonicity, shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import SET_I, SET_II, toy_params
+
+
+class TestKernelOps:
+    def test_total_sums_kernels(self):
+        ops = cost.KernelOps(ntt=1, bconv=2, keymult=3, elementwise=4)
+        assert ops.total == 10
+
+    def test_add(self):
+        a = cost.KernelOps(ntt=1, bconv=2)
+        b = cost.KernelOps(keymult=3, elementwise=4)
+        c = a + b
+        assert (c.ntt, c.bconv, c.keymult, c.elementwise) == (1, 2, 3, 4)
+
+    def test_scaled(self):
+        a = cost.KernelOps(ntt=2, bconv=4).scaled(0.5)
+        assert a.ntt == 1 and a.bconv == 2
+
+    def test_as_dict(self):
+        d = cost.KernelOps(ntt=1).as_dict()
+        assert d["ntt"] == 1 and d["total"] == 1
+
+
+class TestPrimitiveCosts:
+    def test_ntt_ops_formula(self):
+        assert cost.ntt_ops(8) == 4 * 3 + 8
+
+    def test_bconv_ops_formula(self):
+        assert cost.bconv_ops(16, 3, 5) == 16 * 3 * 6
+
+
+class TestShapes:
+    def test_hybrid_shape_level_aware_specials(self):
+        # At low levels the effective special count shrinks with the
+        # largest digit (level-aware framework).
+        s = cost.HybridShape.at_level(SET_I, 3)
+        assert s.p == min(SET_I.num_special_primes, 4)
+        s35 = cost.HybridShape.at_level(SET_I, 35)
+        assert s35.p == SET_I.num_special_primes
+
+    def test_hybrid_digit_sizes_sum_to_k(self):
+        for level in (0, 7, 23, 35):
+            s = cost.HybridShape.at_level(SET_I, level)
+            assert sum(s.digit_sizes) == s.k
+            assert len(s.digit_sizes) == s.beta
+
+    def test_klss_shape_set_ii(self):
+        s = cost.KlssShape.at_level(SET_II, 35)
+        assert s.k == 36
+        assert s.beta == 8                      # ceil(36/5)
+        assert s.alpha_prime == 9               # ceil(14*36/60)
+        assert s.beta_tilde == 27               # ceil(45*36/60)
+        assert s.beta_tilde_groups == 5         # ceil(45/9)
+
+    def test_klss_wide_per_narrow(self):
+        s = cost.KlssShape.at_level(SET_II, 10)
+        assert s.wide_per_narrow == 2           # ceil(60/36)
+
+
+class TestPaperAnchors:
+    """The calibration targets from Fig. 2 and Fig. 3b."""
+
+    def test_klss_advantage_at_high_levels(self):
+        qline = [cost.quantitative_line(SET_I, SET_II, l)
+                 for l in range(25, 36)]
+        advantage = 1 - 1 / np.mean(qline)
+        assert 0.10 < advantage < 0.20          # paper: 15.2%
+
+    def test_hybrid_advantage_at_low_levels(self):
+        qline = [cost.quantitative_line(SET_I, SET_II, l)
+                 for l in range(5, 13)]
+        advantage = 1 - np.mean(qline)
+        assert 0.15 < advantage < 0.30          # paper: 23.5%
+
+    def test_ciphertext_size_anchor(self):
+        mb = cost.ciphertext_bytes(SET_I, 35) / cost.MB
+        assert mb == pytest.approx(19.7, rel=0.02)
+
+    def test_hybrid_evk_anchor(self):
+        mb = cost.hybrid_evk_bytes(SET_I, 35) / cost.MB
+        assert mb == pytest.approx(79.3, rel=0.05)
+
+    def test_klss_evk_anchor(self):
+        mb = cost.klss_evk_bytes(SET_II, 35) / cost.MB
+        assert mb == pytest.approx(295.3, rel=0.06)
+
+    def test_klss_keymult_exceeds_hybrid(self):
+        # Sec. 3.1: the KLSS KeyMult load increases significantly.
+        for level in (15, 25, 35):
+            assert cost.klss_keymult_ops(SET_II, level).keymult > \
+                cost.hybrid_keymult_ops(SET_I, level).keymult
+
+    def test_hoisting_shifts_balance_to_hybrid(self):
+        # Fig. 3a: more hoisting => KLSS relatively worse.
+        lines = [cost.quantitative_line(SET_I, SET_II, 30, h)
+                 for h in (1, 2, 4, 6)]
+        assert lines == sorted(lines, reverse=True)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("method,params", [("hybrid", SET_I),
+                                               ("klss", SET_II)])
+    def test_cost_increases_with_level(self, method, params):
+        totals = [cost.keyswitch_ops(method, params, l).total
+                  for l in range(1, 36)]
+        # allow tiny local plateaus but require overall growth
+        assert totals[-1] > totals[0] * 3
+        assert all(b >= a * 0.85 for a, b in zip(totals, totals[1:]))
+
+    def test_hoisting_cheaper_than_individual(self):
+        for method, params in (("hybrid", SET_I), ("klss", SET_II)):
+            h = 4
+            fused = cost.keyswitch_ops(method, params, 20, hoisting=h)
+            single = cost.keyswitch_ops(method, params, 20, hoisting=1)
+            assert fused.total < h * single.total
+
+    def test_hoisting_saving_is_decompose(self):
+        h = 3
+        fused = cost.hybrid_keyswitch_ops(SET_I, 20, hoisting=h).total
+        single = cost.hybrid_keyswitch_ops(SET_I, 20).total
+        shared = cost.hybrid_decompose_ops(SET_I, 20).total
+        assert fused == pytest.approx(h * single - (h - 1) * shared)
+
+    def test_working_set_monotone_in_cts(self):
+        a = cost.working_set_bytes("hybrid", SET_I, 20, 4)
+        b = cost.working_set_bytes("hybrid", SET_I, 20, 8)
+        assert b > a
+
+    def test_evk_bytes_scale_with_hoisting(self):
+        one = cost.evk_bytes("hybrid", SET_I, 20, hoisting=1)
+        four = cost.evk_bytes("hybrid", SET_I, 20, hoisting=4)
+        assert four == pytest.approx(4 * one)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            cost.keyswitch_ops("rsa", SET_I, 5)
+        with pytest.raises(ValueError):
+            cost.evk_bytes("rsa", SET_I, 5)
+
+
+class TestSplits:
+    @pytest.mark.parametrize("level", [3, 17, 35])
+    def test_klss_decompose_split_sums(self, level):
+        narrow, wide = cost.klss_decompose_split(SET_II, level)
+        whole = cost.klss_decompose_ops(SET_II, level)
+        assert narrow.total + wide.total == pytest.approx(whole.total)
+        assert narrow.bconv == 0  # input INTT only
+
+    @pytest.mark.parametrize("level", [3, 17, 35])
+    def test_klss_recover_split_sums(self, level):
+        narrow, wide = cost.klss_recover_split(SET_II, level)
+        whole = cost.klss_recover_ops(SET_II, level)
+        assert narrow.total + wide.total == pytest.approx(whole.total)
+        assert wide.bconv == 0  # ModDown BConv is narrow
+
+    def test_minks_key_smaller_than_full(self):
+        assert cost.minks_key_bytes(SET_I) < \
+            cost.hybrid_evk_bytes(SET_I, 35)
+
+
+@given(st.integers(1, 35), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_property_costs_positive_and_finite(level, h):
+    for method, params in (("hybrid", SET_I), ("klss", SET_II)):
+        ops = cost.keyswitch_ops(method, params, level, hoisting=h)
+        assert ops.total > 0
+        assert all(v >= 0 for v in (ops.ntt, ops.bconv, ops.keymult,
+                                    ops.elementwise))
+
+
+@given(st.integers(1, 35))
+@settings(max_examples=35, deadline=None)
+def test_property_quantitative_line_positive(level):
+    q = cost.quantitative_line(SET_I, SET_II, level)
+    assert 0.1 < q < 3.0
+
+
+def test_toy_params_cost_model_runs():
+    params = toy_params()
+    ops = cost.keyswitch_ops("hybrid", params, params.max_level)
+    assert ops.total > 0

@@ -1,0 +1,139 @@
+"""Canonical-embedding encoder: round trips, slots, Galois action."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks import encoding
+
+N = 32
+SLOTS = N // 2
+SCALE = float(2 ** 28)
+
+
+class TestRoundTrip:
+    def test_real_vector(self, rng):
+        msg = rng.uniform(-3, 3, SLOTS)
+        coeffs = encoding.encode_to_coeffs(msg, N, SCALE)
+        back = encoding.decode_from_coeffs(coeffs, N, SCALE)
+        assert np.max(np.abs(back - msg)) < 1e-6
+
+    def test_complex_vector(self, rng):
+        msg = rng.uniform(-1, 1, SLOTS) + 1j * rng.uniform(-1, 1, SLOTS)
+        coeffs = encoding.encode_to_coeffs(msg, N, SCALE)
+        back = encoding.decode_from_coeffs(coeffs, N, SCALE)
+        assert np.max(np.abs(back - msg)) < 1e-6
+
+    def test_short_vector_tiles(self, rng):
+        msg = np.array([1.0, -2.0, 0.5, 4.0])
+        coeffs = encoding.encode_to_coeffs(msg, N, SCALE)
+        back = encoding.decode_from_coeffs(coeffs, N, SCALE)
+        assert np.max(np.abs(back - np.tile(msg, SLOTS // 4))) < 1e-6
+
+    def test_coefficients_are_python_ints(self):
+        coeffs = encoding.encode_to_coeffs([1.0], N, SCALE)
+        assert coeffs.dtype == object
+        assert all(isinstance(int(c), int) for c in coeffs)
+
+    def test_scaling_factor_applied(self):
+        coeffs = encoding.encode_to_coeffs([1.0], N, SCALE)
+        # constant vector 1.0 encodes to constant polynomial Delta
+        assert abs(int(coeffs[0]) - SCALE) <= 1
+        assert all(abs(int(c)) <= 1 for c in coeffs[1:])
+
+    def test_precision_improves_with_scale(self, rng):
+        msg = rng.uniform(-1, 1, SLOTS)
+        errs = []
+        for bits in (12, 20, 28):
+            scale = float(2 ** bits)
+            coeffs = encoding.encode_to_coeffs(msg, N, scale)
+            back = encoding.decode_from_coeffs(coeffs, N, scale)
+            errs.append(np.max(np.abs(back - msg)))
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encoding.encode_to_coeffs([], N, SCALE)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            encoding.encode_to_coeffs(np.ones(SLOTS + 1), N, SCALE)
+
+    def test_non_divisor_length_rejected(self):
+        with pytest.raises(ValueError):
+            encoding.encode_to_coeffs(np.ones(3), N, SCALE)
+
+
+class TestGaloisElements:
+    def test_rotation_element_is_power_of_5(self):
+        assert encoding.rotation_galois_element(N, 1) == 5
+        assert encoding.rotation_galois_element(N, 2) == 25 % (2 * N)
+
+    def test_rotation_element_wraps_at_slot_count(self):
+        assert encoding.rotation_galois_element(N, SLOTS) == \
+            encoding.rotation_galois_element(N, 0)
+
+    def test_conjugation_element(self):
+        assert encoding.conjugation_galois_element(N) == 2 * N - 1
+
+    def test_rotation_moves_slots_left(self, rng):
+        """Slot semantics via raw coefficients: encode, apply the
+        Galois map to the coefficients, decode, compare to roll."""
+        from repro.ckks import rns, primes
+        msg = rng.uniform(-1, 1, SLOTS)
+        coeffs = encoding.encode_to_coeffs(msg, N, SCALE)
+        moduli = primes.ntt_primes(2, 28, N)
+        poly = rns.from_big_ints(list(coeffs), moduli, N)
+        g = encoding.rotation_galois_element(N, 3)
+        rotated = rns.compose_crt(poly.automorphism(g))
+        back = encoding.decode_from_coeffs(rotated, N, SCALE)
+        assert np.max(np.abs(back - np.roll(msg, -3))) < 1e-5
+
+    def test_conjugation_conjugates_slots(self, rng):
+        from repro.ckks import rns, primes
+        msg = rng.uniform(-1, 1, SLOTS) + 1j * rng.uniform(-1, 1, SLOTS)
+        coeffs = encoding.encode_to_coeffs(msg, N, SCALE)
+        moduli = primes.ntt_primes(2, 28, N)
+        poly = rns.from_big_ints(list(coeffs), moduli, N)
+        g = encoding.conjugation_galois_element(N)
+        conj = rns.compose_crt(poly.automorphism(g))
+        back = encoding.decode_from_coeffs(conj, N, SCALE)
+        assert np.max(np.abs(back - np.conj(msg))) < 1e-5
+
+
+class TestHomomorphicStructure:
+    def test_encoding_is_additive(self, rng):
+        a = rng.uniform(-1, 1, SLOTS)
+        b = rng.uniform(-1, 1, SLOTS)
+        ca = encoding.encode_to_coeffs(a, N, SCALE)
+        cb = encoding.encode_to_coeffs(b, N, SCALE)
+        summed = np.array([int(x) + int(y) for x, y in zip(ca, cb)],
+                          dtype=object)
+        back = encoding.decode_from_coeffs(summed, N, SCALE)
+        assert np.max(np.abs(back - (a + b))) < 1e-5
+
+    def test_negacyclic_product_multiplies_slots(self, rng):
+        a = rng.uniform(-1, 1, SLOTS)
+        b = rng.uniform(-1, 1, SLOTS)
+        ca = encoding.encode_to_coeffs(a, N, SCALE)
+        cb = encoding.encode_to_coeffs(b, N, SCALE)
+        prod = [0] * N
+        for i in range(N):
+            for j in range(N):
+                k, sgn = (i + j, 1) if i + j < N else (i + j - N, -1)
+                prod[k] += sgn * int(ca[i]) * int(cb[j])
+        back = encoding.decode_from_coeffs(
+            np.array(prod, dtype=object), N, SCALE * SCALE)
+        assert np.max(np.abs(back - a * b)) < 1e-4
+
+
+@given(st.integers(0, 2**32 - 1), st.sampled_from([8, 32, 128]))
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip_any_ring(seed, n):
+    rng = np.random.default_rng(seed)
+    msg = rng.uniform(-2, 2, n // 2)
+    coeffs = encoding.encode_to_coeffs(msg, n, SCALE)
+    back = encoding.decode_from_coeffs(coeffs, n, SCALE)
+    assert np.max(np.abs(back - msg)) < 1e-5

@@ -1,0 +1,93 @@
+"""Hypothesis property tests on the scheme's algebraic structure.
+
+A shared module-level context keeps key generation out of the
+per-example cost; messages are drawn per example.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks import CkksContext, toy_params
+
+CTX = CkksContext(toy_params(ring_degree=32, max_level=4, alpha=2,
+                             prime_bits=28, scale_bits=26), seed=77)
+SLOTS = CTX.params.num_slots
+TOL = 1e-3
+
+finite = st.floats(min_value=-2.0, max_value=2.0,
+                   allow_nan=False, allow_infinity=False)
+vectors = st.lists(finite, min_size=SLOTS, max_size=SLOTS)
+
+
+def enc(values):
+    return CTX.encrypt(np.asarray(values))
+
+
+def dec(ct):
+    return CTX.decrypt(ct).real
+
+
+@given(vectors)
+@settings(max_examples=15, deadline=None)
+def test_encrypt_decrypt_identity(v):
+    assert np.max(np.abs(dec(enc(v)) - v)) < TOL
+
+
+@given(vectors, vectors)
+@settings(max_examples=12, deadline=None)
+def test_addition_homomorphism(a, b):
+    got = dec(CTX.add(enc(a), enc(b)))
+    assert np.max(np.abs(got - (np.asarray(a) + b))) < TOL
+
+
+@given(vectors, vectors)
+@settings(max_examples=8, deadline=None)
+def test_multiplication_homomorphism(a, b):
+    got = dec(CTX.rescale(CTX.multiply(enc(a), enc(b))))
+    assert np.max(np.abs(got - np.asarray(a) * b)) < 10 * TOL
+
+
+@given(vectors, st.integers(0, SLOTS - 1))
+@settings(max_examples=12, deadline=None)
+def test_rotation_commutes_with_addition(v, r):
+    a = enc(v)
+    b = enc(list(reversed(v)))
+    lhs = dec(CTX.rotate(CTX.add(a, b), r))
+    rhs = dec(CTX.add(CTX.rotate(a, r), CTX.rotate(b, r)))
+    assert np.max(np.abs(lhs - rhs)) < 10 * TOL
+
+
+@given(vectors)
+@settings(max_examples=10, deadline=None)
+def test_conjugation_is_involution(v):
+    ct = enc(v)
+    back = dec(CTX.conjugate(CTX.conjugate(ct)))
+    assert np.max(np.abs(back - v)) < 10 * TOL
+
+
+@given(vectors, finite)
+@settings(max_examples=10, deadline=None)
+def test_scalar_distributes_over_addition(v, c):
+    a = enc(v)
+    lhs = dec(CTX.rescale(CTX.multiply_scalar(a, c)))
+    assert np.max(np.abs(lhs - c * np.asarray(v))) < 10 * TOL
+
+
+@given(vectors)
+@settings(max_examples=10, deadline=None)
+def test_negate_then_add_is_zero(v):
+    ct = enc(v)
+    got = dec(CTX.add(ct, CTX.negate(ct)))
+    assert np.max(np.abs(got)) < TOL
+
+
+@given(st.integers(1, SLOTS - 1), st.integers(1, SLOTS - 1))
+@settings(max_examples=10, deadline=None)
+def test_hoisted_equals_direct_rotation(r1, r2):
+    rng = np.random.default_rng(r1 * 31 + r2)
+    v = rng.uniform(-1, 1, SLOTS)
+    ct = enc(v)
+    hoisted = CTX.hoisted_rotate(ct, [r1, r2])
+    for r, rot in zip((r1, r2), hoisted):
+        direct = dec(CTX.rotate(ct, r))
+        assert np.max(np.abs(dec(rot) - direct)) < 10 * TOL

@@ -1,0 +1,155 @@
+"""Key material: secrets, RLWE pairs, hybrid and KLSS gadget keys."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import keys, rns
+from repro.ckks.keys import HYBRID, KLSS
+
+
+@pytest.fixture(scope="module")
+def material(ctx32_module):
+    return ctx32_module
+
+
+@pytest.fixture(scope="module")
+def ctx32_module():
+    from repro.ckks import CkksContext, toy_params
+    return CkksContext(toy_params(ring_degree=32, max_level=4, alpha=2,
+                                  prime_bits=28), seed=5)
+
+
+class TestSecretKey:
+    def test_hamming_weight(self, ctx32_module):
+        s = ctx32_module.secret_key
+        assert np.count_nonzero(s.coeffs) == \
+            ctx32_module.params.hamming_weight or \
+            np.count_nonzero(s.coeffs) <= ctx32_module.params.ring_degree
+
+    def test_squared_coeffs_match_convolution(self, ctx32_module):
+        s = ctx32_module.secret_key
+        n = len(s.coeffs)
+        sq = s.squared_coeffs()
+        # verify via RNS negacyclic product
+        q = ctx32_module.q_chain[0]
+        poly = rns.RnsPoly.from_int_coeffs(s.coeffs, (q,)).to_eval()
+        prod = (poly * poly).to_coeff()
+        expected = [int(v) for v in prod.limbs[0]]
+        assert [int(v) % q for v in sq] == expected
+
+    def test_automorphism_coeffs_match_rns(self, ctx32_module):
+        s = ctx32_module.secret_key
+        q = ctx32_module.q_chain[0]
+        g = 5
+        direct = s.automorphism_coeffs(g)
+        poly = rns.RnsPoly.from_int_coeffs(s.coeffs, (q,)).automorphism(g)
+        assert [int(v) % q for v in direct] == \
+            [int(v) for v in poly.limbs[0]]
+
+
+class TestRlwePairs:
+    def test_public_key_decrypts_to_noise(self, ctx32_module):
+        ctx = ctx32_module
+        s = ctx.secret_key.as_rns(ctx.q_chain)
+        check = ctx.public_key.b + ctx.public_key.a * s
+        residual = rns.compose_crt(check.to_coeff())
+        assert max(abs(v) for v in residual) < 50  # just the error e
+
+
+class TestHybridDigits:
+    def test_digit_indices_chunking(self):
+        assert keys.hybrid_digit_indices(5, 2) == [[0, 1], [2, 3], [4]]
+        assert keys.hybrid_digit_indices(4, 4) == [[0, 1, 2, 3]]
+        assert keys.hybrid_digit_indices(1, 3) == [[0]]
+
+
+class TestHybridKey:
+    def test_structure(self, ctx32_module):
+        ctx = ctx32_module
+        key = ctx.evaluation_key(HYBRID, ctx.params.max_level, "mult")
+        assert key.method == HYBRID
+        expected_digits = ctx.params.beta_at(ctx.params.max_level)
+        assert key.num_digits == expected_digits
+        assert key.aux_count == len(ctx.p_moduli)
+        assert key.moduli == ctx.q_chain + ctx.p_moduli
+
+    def test_key_equation_holds(self, ctx32_module):
+        """b_j + a_j s = e_j + P q~_j s_from for each digit."""
+        ctx = ctx32_module
+        level = ctx.params.max_level
+        key = ctx.evaluation_key(HYBRID, level, "mult")
+        s = ctx.secret_key.as_rns(key.moduli)
+        source = rns.RnsPoly.from_int_coeffs(
+            ctx.secret_key.squared_coeffs(), key.moduli).to_eval()
+        q_moduli = ctx.q_chain
+        big_q = rns.product(q_moduli)
+        big_p = rns.product(ctx.p_moduli)
+        for j, (b_j, a_j) in enumerate(key.parts):
+            indices = key.digit_indices[j]
+            d_j = rns.product(q_moduli[i] for i in indices)
+            q_over_d = big_q // d_j
+            tilde = q_over_d * pow(q_over_d % d_j, -1, d_j)
+            payload = source.mul_scalar_per_limb(
+                [(big_p * tilde) % q for q in key.moduli])
+            residual = (b_j + a_j * s) - payload
+            coeffs = rns.compose_crt(residual.to_coeff())
+            assert max(abs(v) for v in coeffs) < 50
+
+    def test_cached_by_level_and_target(self, ctx32_module):
+        ctx = ctx32_module
+        k1 = ctx.evaluation_key(HYBRID, 2, "mult")
+        k2 = ctx.evaluation_key(HYBRID, 2, "mult")
+        k3 = ctx.evaluation_key(HYBRID, 3, "mult")
+        assert k1 is k2
+        assert k1 is not k3
+
+    def test_size_bytes_positive(self, ctx32_module):
+        key = ctx32_module.evaluation_key(HYBRID, 3, "mult")
+        assert key.size_bytes() > 0
+
+
+class TestKlssKey:
+    def test_digit_count(self, ctx32_module):
+        ctx = ctx32_module
+        level = 3
+        key = ctx.evaluation_key(KLSS, level, "mult")
+        expected = keys.klss_digit_count(ctx.moduli_at(level),
+                                         ctx.params.klss_digit_bits)
+        assert key.num_digits == expected
+        assert key.digit_bits == ctx.params.klss_digit_bits
+
+    def test_key_equation_holds(self, ctx32_module):
+        """b_j + a_j s = e_j + T 2^(vj) s_from for each digit."""
+        ctx = ctx32_module
+        level = 2
+        key = ctx.evaluation_key(KLSS, level, "mult")
+        s = ctx.secret_key.as_rns(key.moduli)
+        source = rns.RnsPoly.from_int_coeffs(
+            ctx.secret_key.squared_coeffs(), key.moduli).to_eval()
+        big_t = rns.product(ctx.t_moduli)
+        v = key.digit_bits
+        for j, (b_j, a_j) in enumerate(key.parts):
+            factor = big_t * (1 << (v * j))
+            payload = source.mul_scalar_per_limb(
+                [factor % q for q in key.moduli])
+            residual = (b_j + a_j * s) - payload
+            coeffs = rns.compose_crt(residual.to_coeff())
+            assert max(abs(val) for val in coeffs) < 50
+
+    def test_basis_is_q_plus_t(self, ctx32_module):
+        ctx = ctx32_module
+        key = ctx.evaluation_key(KLSS, 2, "mult")
+        assert key.moduli == ctx.moduli_at(2) + ctx.t_moduli
+        assert key.aux_count == len(ctx.t_moduli)
+
+
+class TestRotationKeys:
+    def test_rotation_key_distinct_per_step(self, ctx32_module):
+        ctx = ctx32_module
+        k1 = ctx.rotation_key(HYBRID, 3, 1)
+        k2 = ctx.rotation_key(HYBRID, 3, 2)
+        assert k1 is not k2
+
+    def test_unknown_method_rejected(self, ctx32_module):
+        with pytest.raises(ValueError):
+            ctx32_module.evaluation_key("magic", 2, "mult")

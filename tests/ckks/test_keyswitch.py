@@ -1,0 +1,197 @@
+"""Key-switching internals: decomposition, KeyMult, gadget digits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks import CkksContext, rns, toy_params
+from repro.ckks.keys import HYBRID, KLSS
+from repro.ckks.keyswitch.hybrid import (hybrid_decompose,
+                                         hybrid_key_switch,
+                                         key_mult_accumulate,
+                                         mod_down_pair)
+from repro.ckks.keyswitch.klss import (balanced_digits, klss_decompose,
+                                       klss_key_switch)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(toy_params(ring_degree=32, max_level=4, alpha=2,
+                                  prime_bits=28), seed=11)
+
+
+def random_eval_poly(ctx, level, seed=0):
+    rng = np.random.default_rng(seed)
+    moduli = ctx.moduli_at(level)
+    coeffs = [int(rng.integers(-10**6, 10**6))
+              for _ in range(ctx.params.ring_degree)]
+    return rns.from_big_ints(coeffs, moduli,
+                             ctx.params.ring_degree).to_eval()
+
+
+def switch_error(ctx, poly, delta0, delta1, source_coeffs):
+    """|| (d0 + d1 s) - poly * s_from ||_inf over the integers."""
+    s = ctx.secret_key.as_rns(poly.moduli)
+    source = rns.RnsPoly.from_int_coeffs(source_coeffs,
+                                         poly.moduli).to_eval()
+    lhs = delta0 + delta1 * s
+    rhs = poly.to_eval() * source
+    residual = rns.compose_crt((lhs - rhs).to_coeff())
+    return max(abs(v) for v in residual)
+
+
+class TestBalancedDigits:
+    def test_exact_recomposition(self):
+        for value in (0, 1, -1, 12345, -98765, 2**40 + 3, -(2**40) - 7):
+            digits = balanced_digits(value, 8, 8)
+            assert sum(d * (1 << (8 * j)) for j, d in enumerate(digits)) \
+                == value
+
+    def test_digit_range(self):
+        digits = balanced_digits(123456789, 8, 5)
+        assert all(-128 <= d < 128 for d in digits)
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(ValueError):
+            balanced_digits(2**32, 8, 2)
+
+    @given(st.integers(-(2**50), 2**50), st.integers(4, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_property_recomposition(self, value, v):
+        num = (value.bit_length() + 1) // v + 2
+        digits = balanced_digits(value, v, num)
+        assert sum(d * (1 << (v * j)) for j, d in enumerate(digits)) \
+            == value
+        assert all(abs(d) <= (1 << (v - 1)) + (1 << v)
+                   for d in digits)
+
+
+class TestHybridStages:
+    def test_decompose_shapes(self, ctx):
+        level = ctx.params.max_level
+        key = ctx.evaluation_key(HYBRID, level, "mult")
+        poly = random_eval_poly(ctx, level).to_coeff()
+        digits = hybrid_decompose(poly, key, ctx.params.alpha)
+        assert len(digits) == ctx.params.beta_at(level)
+        for d in digits:
+            assert d.moduli == key.moduli
+            assert d.form == rns.EVAL
+
+    def test_decompose_wrong_basis_rejected(self, ctx):
+        key = ctx.evaluation_key(HYBRID, 4, "mult")
+        poly = random_eval_poly(ctx, 2).to_coeff()
+        with pytest.raises(ValueError):
+            hybrid_decompose(poly, key, ctx.params.alpha)
+
+    def test_full_switch_error_small(self, ctx):
+        level = 3
+        key = ctx.evaluation_key(HYBRID, level, "mult")
+        poly = random_eval_poly(ctx, level, seed=1)
+        d0, d1 = hybrid_key_switch(poly, key, ctx.params.alpha)
+        error = switch_error(ctx, poly, d0, d1,
+                             ctx.secret_key.squared_coeffs())
+        assert error < 10**6  # << q0/2 ~ 5e8: decryptable headroom
+
+    def test_rotation_switch(self, ctx):
+        level = 3
+        g = 5
+        key = ctx.evaluation_key(HYBRID, level, ("galois", g))
+        poly = random_eval_poly(ctx, level, seed=2)
+        d0, d1 = hybrid_key_switch(poly, key, ctx.params.alpha)
+        error = switch_error(ctx, poly, d0, d1,
+                             ctx.secret_key.automorphism_coeffs(g))
+        assert error < 10**6
+
+    def test_keymult_linear_in_digits(self, ctx):
+        level = 3
+        key = ctx.evaluation_key(HYBRID, level, "mult")
+        poly = random_eval_poly(ctx, level, seed=3).to_coeff()
+        digits = hybrid_decompose(poly, key, ctx.params.alpha)
+        acc0, acc1 = key_mult_accumulate(digits, key)
+        # accumulating digit-by-digit must equal the one-shot sum
+        partial0 = partial1 = None
+        for d, (b, a) in zip(digits, key.parts):
+            t0, t1 = d * b, d * a
+            partial0 = t0 if partial0 is None else partial0 + t0
+            partial1 = t1 if partial1 is None else partial1 + t1
+        assert rns.compose_crt(acc0.to_coeff()) == \
+            rns.compose_crt(partial0.to_coeff())
+        assert rns.compose_crt(acc1.to_coeff()) == \
+            rns.compose_crt(partial1.to_coeff())
+
+    def test_too_many_digits_rejected(self, ctx):
+        key = ctx.evaluation_key(HYBRID, 1, "mult")
+        digits = [random_eval_poly(ctx, 1)] * (key.num_digits + 1)
+        with pytest.raises(ValueError):
+            key_mult_accumulate(digits, key)
+
+
+class TestKlssStages:
+    def test_decompose_digit_count(self, ctx):
+        level = 3
+        key = ctx.evaluation_key(KLSS, level, "mult")
+        poly = random_eval_poly(ctx, level).to_coeff()
+        digits = klss_decompose(poly, key)
+        assert len(digits) == key.num_digits
+
+    def test_decompose_recomposes(self, ctx):
+        """sum_j digit_j * 2^(vj) == poly over the integers."""
+        level = 2
+        key = ctx.evaluation_key(KLSS, level, "mult")
+        poly = random_eval_poly(ctx, level, seed=4).to_coeff()
+        digits = klss_decompose(poly, key)
+        v = key.digit_bits
+        n = poly.n
+        recombined = [0] * n
+        for j, d in enumerate(digits):
+            coeffs = rns.compose_crt(d.to_coeff().select_limbs(
+                range(len(poly.moduli))))
+            # each digit poly has small coeffs; reduce to centred ints
+            for i in range(n):
+                recombined[i] += coeffs[i] * (1 << (v * j))
+        original = rns.compose_crt(poly)
+        big_q = rns.product(poly.moduli)
+        for got, want in zip(recombined, original):
+            assert (got - want) % big_q == 0
+
+    def test_full_switch_error_small(self, ctx):
+        level = 3
+        key = ctx.evaluation_key(KLSS, level, "mult")
+        poly = random_eval_poly(ctx, level, seed=5)
+        d0, d1 = klss_key_switch(poly, key)
+        error = switch_error(ctx, poly, d0, d1,
+                             ctx.secret_key.squared_coeffs())
+        assert error < 10**6
+
+    def test_wrong_basis_rejected(self, ctx):
+        key = ctx.evaluation_key(KLSS, 4, "mult")
+        poly = random_eval_poly(ctx, 2).to_coeff()
+        with pytest.raises(ValueError):
+            klss_decompose(poly, key)
+
+
+class TestMethodEquivalence:
+    @pytest.mark.parametrize("level", [1, 2, 4])
+    def test_hybrid_and_klss_agree(self, ctx, level):
+        poly = random_eval_poly(ctx, level, seed=6)
+        hk = ctx.evaluation_key(HYBRID, level, "mult")
+        kk = ctx.evaluation_key(KLSS, level, "mult")
+        h0, h1 = hybrid_key_switch(poly, hk, ctx.params.alpha)
+        k0, k1 = klss_key_switch(poly, kk)
+        s = ctx.secret_key.as_rns(poly.moduli)
+        h_val = rns.compose_crt((h0 + h1 * s).to_coeff())
+        k_val = rns.compose_crt((k0 + k1 * s).to_coeff())
+        assert max(abs(a - b) for a, b in zip(h_val, k_val)) < 2 * 10**6
+
+
+class TestModDownPair:
+    def test_output_basis(self, ctx):
+        level = 3
+        key = ctx.evaluation_key(HYBRID, level, "mult")
+        poly = random_eval_poly(ctx, level, seed=7).to_coeff()
+        digits = hybrid_decompose(poly, key, ctx.params.alpha)
+        acc0, acc1 = key_mult_accumulate(digits, key)
+        d0, d1 = mod_down_pair(acc0, acc1, key.aux_count)
+        assert d0.moduli == ctx.moduli_at(level)
+        assert d1.moduli == ctx.moduli_at(level)
+        assert d0.form == rns.EVAL

@@ -1,0 +1,113 @@
+"""Encrypted linear algebra against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, linalg, toy_params
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(toy_params(ring_degree=64, max_level=6, alpha=2,
+                                  prime_bits=28, scale_bits=24),
+                       seed=42)
+
+
+def encrypt_vec(ctx, vec):
+    slots = ctx.params.num_slots
+    return ctx.encrypt(np.tile(vec, slots // len(vec)))
+
+
+class TestRotateAndSum:
+    def test_sums_all_slots(self, ctx):
+        v = np.array([1.0, 2.0, 3.0, 4.0, -1.0, 0.5, 2.5, -2.0])
+        ct = linalg.rotate_and_sum(ctx, encrypt_vec(ctx, v), 8)
+        got = ctx.decrypt(ct)[:8].real
+        assert np.allclose(got, np.sum(v), atol=1e-3)
+
+    def test_partial_block(self, ctx):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        ct = linalg.rotate_and_sum(ctx, encrypt_vec(ctx, v), 4)
+        got = ctx.decrypt(ct)[:4].real
+        assert np.allclose(got, 10.0, atol=1e-3)
+
+    def test_non_power_of_two_rejected(self, ctx):
+        ct = encrypt_vec(ctx, np.ones(4))
+        with pytest.raises(ValueError):
+            linalg.rotate_and_sum(ctx, ct, 3)
+
+
+class TestInnerProduct:
+    def test_against_numpy(self, ctx):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 8)
+        w = rng.uniform(-1, 1, 8)
+        ct = linalg.inner_product(ctx, encrypt_vec(ctx, x), w)
+        got = ctx.decrypt(ct)[0].real
+        assert abs(got - float(x @ w)) < 1e-2
+
+
+class TestMatvecBsgs:
+    @pytest.mark.parametrize("d,bs", [(4, 2), (8, 2), (8, 4)])
+    def test_against_numpy(self, ctx, d, bs):
+        rng = np.random.default_rng(d * 10 + bs)
+        mat = rng.uniform(-1, 1, (d, d))
+        x = rng.uniform(-1, 1, d)
+        ct = linalg.matvec_bsgs(ctx, mat, encrypt_vec(ctx, x),
+                                baby_steps=bs)
+        got = ctx.decrypt(ct)[:d].real
+        assert np.max(np.abs(got - mat @ x)) < 1e-2
+
+    def test_identity_matrix(self, ctx):
+        x = np.array([1.0, -2.0, 0.5, 3.0])
+        ct = linalg.matvec_bsgs(ctx, np.eye(4), encrypt_vec(ctx, x))
+        assert np.max(np.abs(ctx.decrypt(ct)[:4].real - x)) < 1e-2
+
+    def test_rejects_non_square(self, ctx):
+        with pytest.raises(ValueError):
+            linalg.matvec_bsgs(ctx, np.ones((2, 3)),
+                               encrypt_vec(ctx, np.ones(4)))
+
+    def test_rejects_non_power_of_two(self, ctx):
+        with pytest.raises(ValueError):
+            linalg.matvec_bsgs(ctx, np.ones((3, 3)),
+                               encrypt_vec(ctx, np.ones(4)))
+
+
+class TestPolynomialEvaluation:
+    def test_quadratic(self, ctx):
+        x = np.array([0.1, -0.5, 0.9, 0.3])
+        ct = linalg.evaluate_polynomial(ctx, encrypt_vec(ctx, x),
+                                        [1.0, -2.0, 0.5])
+        expected = 1.0 - 2.0 * x + 0.5 * x**2
+        got = ctx.decrypt(ct)[:4].real
+        assert np.max(np.abs(got - expected)) < 1e-2
+
+    def test_cubic(self, ctx):
+        x = np.array([0.2, -0.4, 0.6, -0.8])
+        coeffs = [0.5, 1.0, -0.25, 0.125]
+        ct = linalg.evaluate_polynomial(ctx, encrypt_vec(ctx, x), coeffs)
+        expected = sum(c * x**i for i, c in enumerate(coeffs))
+        got = ctx.decrypt(ct)[:4].real
+        assert np.max(np.abs(got - expected)) < 2e-2
+
+    def test_degree_zero_rejected(self, ctx):
+        ct = encrypt_vec(ctx, np.ones(4))
+        with pytest.raises(ValueError):
+            linalg.evaluate_polynomial(ctx, ct, [1.0])
+
+
+class TestSigmoid:
+    def test_coefficients_fit(self):
+        coeffs = linalg.sigmoid_coefficients(7)
+        xs = np.linspace(-4, 4, 33)
+        approx = sum(c * xs**i for i, c in enumerate(coeffs))
+        exact = 1 / (1 + np.exp(-xs))
+        assert np.max(np.abs(approx - exact)) < 0.02
+
+    def test_encrypted_sigmoid(self, ctx):
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        ct = linalg.apply_sigmoid(ctx, encrypt_vec(ctx, x), degree=3)
+        got = ctx.decrypt(ct)[:4].real
+        exact = 1 / (1 + np.exp(-x))
+        assert np.max(np.abs(got - exact)) < 0.12  # degree-3 fit limit

@@ -1,0 +1,110 @@
+"""Noise estimates must bound (and track) measured functional noise."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, noise, rns, toy_params
+from repro.ckks.params import SET_I, SET_II
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(toy_params(ring_degree=32, max_level=4, alpha=2,
+                                  prime_bits=28, scale_bits=28), seed=21)
+
+
+def measured_noise(ctx, ct, expected_slots):
+    """Absolute coefficient-domain error of a ciphertext."""
+    from repro.ckks import encoding
+    s = ctx.secret_key.as_rns(ct.moduli)
+    got = np.array(rns.compose_crt((ct.c0 + ct.c1 * s).to_coeff()),
+                   dtype=float)
+    ref = np.array([float(c) for c in encoding.encode_to_coeffs(
+        expected_slots, ctx.params.ring_degree, ct.scale)])
+    return float(np.max(np.abs(got - ref)))
+
+
+class TestFreshNoise:
+    def test_estimate_bounds_measurement(self, ctx):
+        v = np.array([0.5, -0.25, 1.0, 0.75])
+        estimate = noise.fresh_noise(ctx.params)
+        for seed in range(3):
+            ct = ctx.encrypt(np.tile(v, 4))
+            assert measured_noise(ctx, ct, np.tile(v, 4)) < estimate
+
+    def test_estimate_not_absurdly_loose(self, ctx):
+        v = np.tile(np.array([0.5, -0.25, 1.0, 0.75]), 4)
+        ct = ctx.encrypt(v)
+        m = measured_noise(ctx, ct, v)
+        assert noise.fresh_noise(ctx.params) < max(m, 1.0) * 1e4
+
+
+class TestKeySwitchNoise:
+    @pytest.mark.parametrize("method,estimator", [
+        ("hybrid", noise.hybrid_keyswitch_noise),
+        ("klss", noise.klss_keyswitch_noise)])
+    def test_rotation_noise_bounded(self, ctx, method, estimator):
+        v = np.tile(np.array([0.5, -0.25, 1.0, 0.75]), 4)
+        ct = ctx.encrypt(v)
+        rot = ctx.rotate(ct, 1, method=method)
+        m = measured_noise(ctx, rot, np.roll(v, -1))
+        bound = noise.fresh_noise(ctx.params) + \
+            estimator(ctx.params, ct.level)
+        assert m < bound
+
+
+class TestTracker:
+    def test_budget_decreases_through_depth(self):
+        t = noise.NoiseTracker(SET_II)
+        budgets = [t.budget_bits()]
+        for _ in range(3):
+            t.multiply()
+            t.rescale()
+            budgets.append(t.budget_bits())
+        assert all(b2 < b1 for b1, b2 in zip(budgets, budgets[1:]))
+
+    def test_level_bookkeeping(self):
+        t = noise.NoiseTracker(SET_II)
+        start = t.level
+        t.multiply().rescale()
+        assert t.level == start - 1
+
+    def test_rescale_at_level_zero_raises(self):
+        t = noise.NoiseTracker(toy_params(max_level=1))
+        t.rescale()
+        with pytest.raises(ValueError):
+            t.rescale()
+
+    def test_depth_capacity_full_sets(self):
+        # A unit-magnitude squaring chain loses ~1 bit per level (the
+        # cross-term doubles the noise), so a 36-bit scale sustains
+        # ~22 squarings; deeper circuits rely on smaller messages or
+        # the double-rescale discipline the paper adopts.
+        for params in (SET_I, SET_II):
+            t = noise.NoiseTracker(params)
+            assert 18 <= t.depth_capacity() <= params.max_level
+
+    def test_rotation_adds_less_than_mult(self):
+        a = noise.NoiseTracker(SET_II)
+        b = noise.NoiseTracker(SET_II)
+        a.rotate()
+        b.multiply()
+        assert a.noise < b.noise
+
+    def test_add_doubles_noise(self):
+        t = noise.NoiseTracker(SET_II)
+        before = t.noise
+        t.add()
+        assert t.noise == pytest.approx(2 * before)
+
+
+class TestMethodComparison:
+    def test_both_methods_keep_noise_manageable(self):
+        for params in (SET_I, SET_II):
+            for method in ("hybrid", "klss"):
+                ks = (noise.hybrid_keyswitch_noise(params, 20)
+                      if method == "hybrid" else
+                      noise.klss_keyswitch_noise(params, 20))
+                # well under the scale: key-switching must not eat
+                # message precision
+                assert ks < 2 ** params.scale_bits / 2 ** 10

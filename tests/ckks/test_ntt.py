@@ -1,0 +1,139 @@
+"""NTT correctness: inversion, convolution theorem, linearity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks import modmath, primes
+from repro.ckks.ntt import (NttPlan, bit_reverse_permutation,
+                            negacyclic_convolution_reference)
+
+N_SMALL = 32
+Q_SMALL = primes.ntt_primes(1, 28, N_SMALL)[0]
+Q_WIDE = primes.ntt_primes(1, 40, N_SMALL)[0]  # object-path plan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return NttPlan(N_SMALL, Q_SMALL)
+
+
+@pytest.fixture(scope="module")
+def wide_plan():
+    return NttPlan(N_SMALL, Q_WIDE)
+
+
+class TestPlanConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            NttPlan(24, Q_SMALL)
+
+    def test_rejects_unfriendly_modulus(self):
+        with pytest.raises(ValueError):
+            NttPlan(N_SMALL, 97)  # 97 - 1 not divisible by 64
+
+    def test_bit_reverse_is_involution(self):
+        for n in (2, 8, 64):
+            perm = bit_reverse_permutation(n)
+            assert np.array_equal(perm[perm], np.arange(n))
+
+
+class TestRoundTrip:
+    def test_forward_inverse_identity(self, plan, rng):
+        x = rng.integers(0, Q_SMALL, N_SMALL)
+        assert np.array_equal(plan.inverse(plan.forward(x)),
+                              np.mod(x, Q_SMALL))
+
+    def test_inverse_forward_identity(self, plan, rng):
+        x = rng.integers(0, Q_SMALL, N_SMALL)
+        assert np.array_equal(plan.forward(plan.inverse(x)),
+                              np.mod(x, Q_SMALL))
+
+    def test_object_path_roundtrip(self, wide_plan, rng):
+        x = [int(v) for v in rng.integers(0, 2**40 - 1, N_SMALL)]
+        x = modmath.asresidues(x, Q_WIDE)
+        back = wide_plan.inverse(wide_plan.forward(x))
+        assert all(int(a) == int(b) for a, b in zip(back, x))
+
+    def test_wrong_length_rejected(self, plan):
+        with pytest.raises(ValueError):
+            plan.forward(np.zeros(N_SMALL // 2, dtype=np.int64))
+
+
+class TestConvolutionTheorem:
+    def test_pointwise_equals_negacyclic(self, plan, rng):
+        a = rng.integers(0, Q_SMALL, N_SMALL)
+        b = rng.integers(0, Q_SMALL, N_SMALL)
+        via_ntt = plan.inverse(modmath.mul(plan.forward(a),
+                                           plan.forward(b), Q_SMALL))
+        ref = negacyclic_convolution_reference(a, b, Q_SMALL)
+        assert np.array_equal(via_ntt, ref)
+
+    def test_x_times_x_n_minus_1_is_minus_one(self, plan):
+        # X * X^(N-1) = X^N = -1 in the negacyclic ring.
+        x = modmath.zeros(N_SMALL, Q_SMALL)
+        x[1] = 1
+        y = modmath.zeros(N_SMALL, Q_SMALL)
+        y[N_SMALL - 1] = 1
+        prod = plan.inverse(modmath.mul(plan.forward(x),
+                                        plan.forward(y), Q_SMALL))
+        expected = modmath.zeros(N_SMALL, Q_SMALL)
+        expected[0] = Q_SMALL - 1
+        assert np.array_equal(prod, expected)
+
+    def test_multiplication_by_constant_poly(self, plan, rng):
+        a = rng.integers(0, Q_SMALL, N_SMALL)
+        c = modmath.zeros(N_SMALL, Q_SMALL)
+        c[0] = 5
+        prod = plan.inverse(modmath.mul(plan.forward(a),
+                                        plan.forward(c), Q_SMALL))
+        assert np.array_equal(prod, modmath.mul_scalar(a, 5, Q_SMALL))
+
+
+class TestLinearity:
+    def test_forward_is_linear(self, plan, rng):
+        a = rng.integers(0, Q_SMALL, N_SMALL)
+        b = rng.integers(0, Q_SMALL, N_SMALL)
+        lhs = plan.forward(np.mod(a + b, Q_SMALL))
+        rhs = modmath.add(plan.forward(a), plan.forward(b), Q_SMALL)
+        assert np.array_equal(lhs, rhs)
+
+    def test_forward_scalar_scaling(self, plan, rng):
+        a = rng.integers(0, Q_SMALL, N_SMALL)
+        lhs = plan.forward(modmath.mul_scalar(a, 11, Q_SMALL))
+        rhs = modmath.mul_scalar(plan.forward(a), 11, Q_SMALL)
+        assert np.array_equal(lhs, rhs)
+
+
+@pytest.mark.parametrize("n", [2, 4, 16, 128])
+def test_roundtrip_across_sizes(n, rng):
+    q = primes.ntt_primes(1, 24, n)[0]
+    plan = NttPlan(n, q)
+    x = rng.integers(0, q, n)
+    assert np.array_equal(plan.inverse(plan.forward(x)), np.mod(x, q))
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_property_convolution_commutes(seed):
+    rng = np.random.default_rng(seed)
+    plan = NttPlan(N_SMALL, Q_SMALL)
+    a = rng.integers(0, Q_SMALL, N_SMALL)
+    b = rng.integers(0, Q_SMALL, N_SMALL)
+    ab = plan.inverse(modmath.mul(plan.forward(a), plan.forward(b), Q_SMALL))
+    ba = plan.inverse(modmath.mul(plan.forward(b), plan.forward(a), Q_SMALL))
+    assert np.array_equal(ab, ba)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_parseval_style_energy(seed):
+    # The all-ones polynomial evaluates to sum of coefficients * psi^..
+    # A cheaper invariant: transform of zero is zero, of delta is
+    # a vector of roots (all nonzero).
+    rng = np.random.default_rng(seed)
+    plan = NttPlan(N_SMALL, Q_SMALL)
+    delta = modmath.zeros(N_SMALL, Q_SMALL)
+    delta[0] = int(rng.integers(1, Q_SMALL))
+    transformed = plan.forward(delta)
+    assert all(int(v) == int(delta[0]) for v in transformed)

@@ -1,0 +1,96 @@
+"""Tests for NTT-friendly prime generation and root finding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks import primes
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 268435009, (1 << 31) - 1, (1 << 61) - 1]
+KNOWN_COMPOSITES = [1, 4, 100, 268435009 * 3, (1 << 31) - 2,
+                    561, 41041, 825265]  # incl. Carmichael numbers
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert primes.is_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not primes.is_prime(c)
+
+    def test_negative_and_zero(self):
+        assert not primes.is_prime(0)
+        assert not primes.is_prime(-7)
+
+
+class TestNttPrimes:
+    @pytest.mark.parametrize("bits,n", [(20, 64), (28, 32), (36, 256),
+                                        (60, 1024)])
+    def test_congruence_and_size(self, bits, n):
+        found = primes.ntt_primes(3, bits, n)
+        assert len(found) == 3
+        for p in found:
+            assert p.bit_length() == bits
+            assert (p - 1) % (2 * n) == 0
+            assert primes.is_prime(p)
+
+    def test_distinctness(self):
+        found = primes.ntt_primes(8, 28, 64)
+        assert len(set(found)) == 8
+
+    def test_exclusion(self):
+        first = primes.ntt_primes(2, 28, 64)
+        more = primes.ntt_primes(2, 28, 64, exclude=set(first))
+        assert not set(first) & set(more)
+
+    def test_ascending_search(self):
+        down = primes.ntt_primes(1, 28, 64)[0]
+        up = primes.ntt_primes(1, 28, 64, descending_from_top=False)[0]
+        assert up != down
+        assert up.bit_length() == down.bit_length() == 28
+
+
+class TestRoots:
+    def test_primitive_root_generates(self):
+        q = 97
+        g = primes.primitive_root(q)
+        seen = {pow(g, k, q) for k in range(q - 1)}
+        assert len(seen) == q - 1
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_root_of_unity_order(self, n):
+        q = primes.ntt_primes(1, 24, n)[0]
+        w = primes.root_of_unity(2 * n, q)
+        assert pow(w, 2 * n, q) == 1
+        assert pow(w, n, q) == q - 1  # primitive: w^n = -1
+
+    def test_root_of_unity_bad_order(self):
+        with pytest.raises(ValueError):
+            primes.root_of_unity(7, 97)  # 7 does not divide 96
+
+
+@given(st.integers(2, 10**6))
+@settings(max_examples=200, deadline=None)
+def test_property_is_prime_matches_trial_division(n):
+    def trial(n):
+        if n < 2:
+            return False
+        d = 2
+        while d * d <= n:
+            if n % d == 0:
+                return False
+            d += 1
+        return True
+    assert primes.is_prime(n) == trial(n)
+
+
+@given(st.integers(0, 2**32))
+@settings(max_examples=100, deadline=None)
+def test_property_factorize_via_root_search(n):
+    # primitive_root exercises _factorize; check on small primes only.
+    if primes.is_prime(n % 997 + 3):
+        p = n % 997 + 3
+        g = primes.primitive_root(p)
+        assert pow(g, p - 1, p) == 1

@@ -1,0 +1,56 @@
+"""Security estimates: the paper's 128-bit claim for Set-I/Set-II."""
+
+import pytest
+
+from repro.ckks import security
+from repro.ckks.params import SET_I, SET_II, toy_params
+
+
+class TestModulusBudget:
+    def test_set_i_budget(self):
+        # 60 + 35*36 (Q) + 12*36 (P) = 1752 bits
+        assert security.total_modulus_bits(SET_I) == 1752
+
+    def test_set_ii_budget(self):
+        # 60 + 35*36 (Q) + 5*36 (P) = 1500 bits
+        assert security.total_modulus_bits(SET_II) == 1500
+
+
+class TestPaperClaim:
+    """Sec. 6.2: both sets achieve 128-bit security."""
+
+    @pytest.mark.parametrize("params", [SET_I, SET_II],
+                             ids=["Set-I", "Set-II"])
+    def test_he_standard_table(self, params):
+        assert security.meets_he_standard(params)
+
+    @pytest.mark.parametrize("params", [SET_I, SET_II],
+                             ids=["Set-I", "Set-II"])
+    def test_hermite_estimate_ballpark(self, params):
+        # The quick Hermite rule is conservative relative to the
+        # lattice estimator (no dimension-for-free etc.); ballpark
+        # >= 90 bits here corresponds to the standard's 128-bit row.
+        assert security.hermite_security_bits(params) >= 90
+
+    def test_report_structure(self):
+        report = security.security_report(SET_II)
+        assert report["log2_n"] == 16
+        assert report["log2_qp"] <= report["hes_128bit_budget"]
+
+
+class TestEstimatorBehaviour:
+    def test_bigger_modulus_less_secure(self):
+        small = SET_II
+        big = SET_II.with_(max_level=60)
+        assert security.hermite_security_bits(big) < \
+            security.hermite_security_bits(small)
+
+    def test_toy_params_are_insecure_and_flagged(self):
+        # The scaled-down functional sets are NOT secure — they must
+        # fail the standard check rather than silently pass.
+        toy = toy_params()
+        assert not security.meets_he_standard(toy)
+
+    def test_non_128_target_rejected(self):
+        with pytest.raises(ValueError):
+            security.meets_he_standard(SET_I, target_bits=192)

@@ -1,0 +1,61 @@
+"""Shared fixtures: toy CKKS contexts and common objects.
+
+Functional tests run scaled-down rings (N = 16..64) on the int64 fast
+path; the structure (digit grouping, special primes, gadget digits)
+matches the full-size sets.  Contexts are session-scoped — key
+generation is the expensive part — and tests never mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.ckks.params import SET_I, SET_II
+
+
+@pytest.fixture(scope="session")
+def params32():
+    return toy_params(ring_degree=32, max_level=4, alpha=2, prime_bits=28)
+
+
+@pytest.fixture(scope="session")
+def ctx32(params32):
+    return CkksContext(params32, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def params64():
+    return toy_params(ring_degree=64, max_level=6, alpha=3, prime_bits=26,
+                      scale_bits=26, klss_digit_bits=13)
+
+
+@pytest.fixture(scope="session")
+def ctx64(params64):
+    return CkksContext(params64, seed=99)
+
+
+@pytest.fixture(scope="session")
+def set_i():
+    return SET_I
+
+
+@pytest.fixture(scope="session")
+def set_ii():
+    return SET_II
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2024)
+
+
+def slot_vector(num_slots: int, length: int, rng=None, complex_vals=False):
+    """A repeating message vector compatible with the packing rules."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    base = rng.uniform(-2, 2, length)
+    if complex_vals:
+        base = base + 1j * rng.uniform(-2, 2, length)
+    return np.tile(base, num_slots // length), base

@@ -1,0 +1,151 @@
+"""Hemera: evk pool, key cache, history recorder, transfer report."""
+
+import pytest
+
+from repro.ckks.keys import HYBRID, KLSS
+from repro.ckks.params import SET_I, SET_II
+from repro.core.aether import Aether
+from repro.core.hemera import (EvkPool, Hemera, HistoryRecorder, KeyCache,
+                               KeyId)
+from repro.core.optrace import TraceBuilder
+
+
+def make_aether():
+    return Aether(SET_I, SET_II, key_storage_bytes=180e6,
+                  hbm_bandwidth=1e12, modops_per_second=1.2e13)
+
+
+def trace():
+    tb = TraceBuilder("t")
+    ct = tb.fresh_ct()
+    tb.rotations(ct, 20, [1, 2, 3], hoisted=True)
+    tb.hmult(ct, 18)
+    tb.hmult(ct, 16)
+    return tb.build()
+
+
+class TestEvkPool:
+    def test_lookup_is_stable(self):
+        pool = EvkPool(SET_I, SET_II)
+        k = KeyId(HYBRID, 20, "mult")
+        r1, r2 = pool.lookup(k), pool.lookup(k)
+        assert r1 is r2
+        assert len(pool) == 1
+
+    def test_addresses_do_not_overlap(self):
+        pool = EvkPool(SET_I, SET_II)
+        r1 = pool.lookup(KeyId(HYBRID, 20, "mult"))
+        r2 = pool.lookup(KeyId(HYBRID, 20, "rot", 1))
+        assert r2.hbm_address >= r1.hbm_address + int(r1.size_bytes)
+
+    def test_klss_keys_bigger(self):
+        pool = EvkPool(SET_I, SET_II)
+        h = pool.lookup(KeyId(HYBRID, 20, "mult"))
+        k = pool.lookup(KeyId(KLSS, 20, "mult"))
+        assert k.size_bytes > h.size_bytes
+
+    def test_level_group(self):
+        pool = EvkPool(SET_I, SET_II)
+        group = pool.level_group(12, HYBRID, [1, 2, 4])
+        assert len(group) == 4  # mult + 3 rotations
+
+
+class TestKeyCache:
+    def test_insert_and_contains(self):
+        cache = KeyCache(100.0)
+        k = KeyId(HYBRID, 5, "mult")
+        assert not cache.contains(k)
+        cache.insert(k, 40.0)
+        assert cache.contains(k)
+        assert cache.resident_bytes() == 40.0
+
+    def test_lru_eviction(self):
+        cache = KeyCache(100.0)
+        k1, k2, k3 = (KeyId(HYBRID, i, "mult") for i in (1, 2, 3))
+        cache.insert(k1, 40.0)
+        cache.insert(k2, 40.0)
+        cache.contains(k1)          # touch k1 -> k2 becomes LRU
+        cache.insert(k3, 40.0)
+        assert cache.contains(k1)
+        assert not cache.contains(k3) or not cache.contains(k2)
+
+    def test_oversized_key_not_inserted(self):
+        cache = KeyCache(10.0)
+        cache.insert(KeyId(HYBRID, 1, "mult"), 50.0)
+        assert cache.resident_bytes() == 0.0
+
+    def test_reinsert_is_noop(self):
+        cache = KeyCache(100.0)
+        k = KeyId(HYBRID, 1, "mult")
+        cache.insert(k, 40.0)
+        cache.insert(k, 40.0)
+        assert cache.resident_bytes() == 40.0
+
+
+class TestHistoryRecorder:
+    def test_predict_before_record_misses(self):
+        h = HistoryRecorder()
+        assert h.predict("HMult", 5) is None
+        assert h.misses == 1
+
+    def test_predict_after_record_hits(self):
+        h = HistoryRecorder()
+        h.record("HMult", 5, HYBRID, 1)
+        assert h.predict("HMult", 5) == (HYBRID, 1)
+        assert h.hits == 1
+
+    def test_record_overwrites(self):
+        h = HistoryRecorder()
+        h.record("HRot", 9, HYBRID, 2)
+        h.record("HRot", 9, KLSS, 1)
+        assert h.predict("HRot", 9) == (KLSS, 1)
+
+
+class TestHemeraManage:
+    def test_report_accounting_identity(self):
+        aether = make_aether()
+        t = trace()
+        config = aether.run(t)
+        hemera = Hemera(config, EvkPool(SET_I, SET_II),
+                        key_storage_bytes=180e6, hbm_bandwidth=1e12)
+        report = hemera.manage(t, aether)
+        assert report.total_bytes == pytest.approx(
+            sum(e.bytes_moved for e in report.events))
+        assert report.total_stall_s <= report.total_transfer_s
+        assert 0.0 <= report.hidden_fraction <= 1.0
+
+    def test_second_pass_hits_cache_and_history(self):
+        aether = make_aether()
+        t = trace()
+        config = aether.run(t)
+        hemera = Hemera(config, EvkPool(SET_I, SET_II),
+                        key_storage_bytes=500e6, hbm_bandwidth=1e12)
+        first = hemera.manage(t, aether)
+        second = hemera.manage(t, aether)
+        assert second.total_bytes < first.total_bytes or \
+            second.cache_hits > first.cache_hits
+        assert hemera.history.hits > 0
+
+    def test_batches_match_granularity(self):
+        aether = make_aether()
+        t = trace()
+        config = aether.run(t)
+        hemera = Hemera(config, EvkPool(SET_I, SET_II),
+                        key_storage_bytes=180e6, hbm_bandwidth=1e12)
+        report = hemera.manage(t, aether)
+        for event in report.events:
+            if event.bytes_moved:
+                elements = event.bytes_moved / hemera.word_bytes
+                assert event.batches >= elements / 256 / 2  # ekg halves
+
+    def test_ekg_factor_halves_traffic(self):
+        aether = make_aether()
+        t = trace()
+        config = aether.run(t)
+        pool = EvkPool(SET_I, SET_II)
+        with_ekg = Hemera(config, pool, 180e6, 1e12, use_ekg=True)
+        without = Hemera(config, EvkPool(SET_I, SET_II), 180e6, 1e12,
+                         use_ekg=False)
+        r1 = with_ekg.manage(t, aether)
+        r2 = without.manage(t, aether)
+        assert r1.total_bytes == pytest.approx(r2.total_bytes / 2)

@@ -1,0 +1,107 @@
+"""The operation-flow IR: ops, traces, builders, hoist groups."""
+
+import pytest
+
+from repro.core import optrace
+from repro.core.optrace import FheOp, OpTrace, TraceBuilder
+
+
+class TestFheOp:
+    def test_valid_kinds(self):
+        for kind in optrace.ALL_KINDS:
+            op = FheOp(kind=kind, level=3)
+            assert op.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FheOp(kind="Teleport", level=1)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            FheOp(kind=optrace.HMULT, level=-1)
+
+    def test_needs_key_switch(self):
+        assert FheOp(optrace.HMULT, 2).needs_key_switch
+        assert FheOp(optrace.HROT, 2).needs_key_switch
+        assert FheOp(optrace.CONJ, 2).needs_key_switch
+        assert not FheOp(optrace.PMULT, 2).needs_key_switch
+        assert not FheOp(optrace.RESCALE, 2).needs_key_switch
+
+    def test_with_creates_modified_copy(self):
+        op = FheOp(optrace.HROT, 5, rotation=3)
+        op2 = op.with_(level=4)
+        assert op2.level == 4 and op2.rotation == 3
+        assert op.level == 5
+
+
+class TestOpTrace:
+    def make(self):
+        tb = TraceBuilder("t")
+        ct = tb.fresh_ct()
+        tb.rotations(ct, 5, [1, 2, 3], hoisted=True, stage="A")
+        tb.hmult(ct, 4, stage="A")
+        tb.pmult(ct, 4, stage="B")
+        tb.rescale(ct, 4, stage="B")
+        return tb.build()
+
+    def test_len_iter_getitem(self):
+        trace = self.make()
+        assert len(trace) == 6
+        assert trace[0].kind == optrace.HROT
+        assert [op.kind for op in trace][-1] == optrace.RESCALE
+
+    def test_key_switch_ops(self):
+        trace = self.make()
+        assert len(trace.key_switch_ops()) == 4
+
+    def test_hoist_groups(self):
+        groups = self.make().hoist_groups()
+        assert len(groups) == 1
+        (_, ops), = groups.items()
+        assert [op.rotation for op in ops] == [1, 2, 3]
+
+    def test_histograms(self):
+        trace = self.make()
+        hist = trace.kind_histogram()
+        assert hist[optrace.HROT] == 3
+        assert hist[optrace.HMULT] == 1
+        levels = trace.level_histogram()
+        assert levels[5] == 3 and levels[4] == 1
+
+    def test_stages_and_slicing(self):
+        trace = self.make()
+        assert trace.stages() == ["A", "B"]
+        assert len(trace.slice_stage("B")) == 2
+
+    def test_concat_rebases_groups(self):
+        a, b = self.make(), self.make()
+        joined = a.concat(b)
+        assert len(joined.hoist_groups()) == 2
+
+    def test_repeated_rebases_groups(self):
+        trace = self.make().repeated(3)
+        assert len(trace) == 18
+        assert len(trace.hoist_groups()) == 3
+
+    def test_repeated_requires_positive(self):
+        with pytest.raises(ValueError):
+            self.make().repeated(0)
+
+
+class TestTraceBuilder:
+    def test_fresh_ct_increments(self):
+        tb = TraceBuilder()
+        assert tb.fresh_ct() == 0
+        assert tb.fresh_ct() == 1
+
+    def test_rotations_unhoisted(self):
+        tb = TraceBuilder()
+        tb.rotations(tb.fresh_ct(), 5, [1, 2], hoisted=False)
+        assert not tb.build().hoist_groups()
+
+    def test_distinct_hoist_groups(self):
+        tb = TraceBuilder()
+        ct = tb.fresh_ct()
+        tb.rotations(ct, 5, [1, 2])
+        tb.rotations(ct, 4, [1, 2])
+        assert len(tb.build().hoist_groups()) == 2

@@ -1,0 +1,132 @@
+"""Tunable-Bit Multiplier: bit-exactness, modes, usage accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tbm import (BASE_MULTIPLIERS_PER_TBM, MULT_REDUCTION,
+                            TunableBitMultiplier)
+
+
+@pytest.fixture()
+def tbm():
+    return TunableBitMultiplier()
+
+
+class TestConstruction:
+    def test_default_widths(self, tbm):
+        assert tbm.narrow_bits == 36
+        assert tbm.wide_bits == 60
+
+    def test_invalid_width_combinations(self):
+        with pytest.raises(ValueError):
+            TunableBitMultiplier(36, 36)     # wide must exceed narrow
+        with pytest.raises(ValueError):
+            TunableBitMultiplier(36, 80)     # > 2x narrow
+        with pytest.raises(ValueError):
+            TunableBitMultiplier(60, 36)
+
+    def test_alternative_widths(self):
+        t = TunableBitMultiplier(12, 24)
+        assert t.mul_wide(2**23, 2**23 + 5) == 2**23 * (2**23 + 5)
+
+    def test_structural_constants(self):
+        assert BASE_MULTIPLIERS_PER_TBM == 3
+        # 3 instead of 4 partial products (the paper rounds the
+        # saving up to "33%"; structurally it is 1 - 3/4).
+        assert MULT_REDUCTION == pytest.approx(0.25)
+
+
+class TestWideMode:
+    def test_exactness_edge_cases(self, tbm):
+        cases = [(0, 0), (1, 1), (2**60 - 1, 2**60 - 1),
+                 (2**36 - 1, 2**36 + 1), (2**59, 3), (1, 2**60 - 1)]
+        for a, b in cases:
+            assert tbm.mul_wide(a, b) == a * b
+
+    def test_out_of_range_rejected(self, tbm):
+        with pytest.raises(ValueError):
+            tbm.mul_wide(2**60, 1)
+        with pytest.raises(ValueError):
+            tbm.mul_wide(1, -1)
+
+    def test_uses_three_base_multipliers(self, tbm):
+        tbm.stats.reset()
+        tbm.mul_wide(123, 456)
+        assert tbm.stats.base_mult_uses == 3
+        assert tbm.stats.wide_ops == 1
+        assert tbm.stats.cycles == 1
+
+    def test_modmul_wide(self, tbm):
+        q = (1 << 59) - 55
+        assert tbm.modmul_wide(q - 1, q - 1, q) == (q - 1) ** 2 % q
+
+
+class TestNarrowMode:
+    def test_pair_exactness(self, tbm):
+        p, q = tbm.mul_narrow_pair((2**36 - 1, 3), (2**36 - 1, 5))
+        assert p == (2**36 - 1) ** 2
+        assert q == 15
+
+    def test_pair_uses_two_base_multipliers(self, tbm):
+        tbm.stats.reset()
+        tbm.mul_narrow_pair((1, 2), (3, 4))
+        assert tbm.stats.base_mult_uses == 2
+        assert tbm.stats.narrow_ops == 2
+        assert tbm.stats.cycles == 1
+
+    def test_single_narrow(self, tbm):
+        assert tbm.mul_narrow(12345, 6789) == 12345 * 6789
+
+    def test_narrow_out_of_range(self, tbm):
+        with pytest.raises(ValueError):
+            tbm.mul_narrow(2**36, 1)
+
+    def test_modmul_pair(self, tbm):
+        q1, q2 = 268435009, 268435459
+        a, b = 2**28 - 5, 2**27 + 11
+        p, q = tbm.modmul_narrow_pair((a, b), (b, a), (q1, q2))
+        assert p == a * b % q1
+        assert q == b * a % q2
+
+
+class TestThroughputAccounting:
+    def test_products_per_cycle(self, tbm):
+        assert tbm.products_per_cycle(wide=False) == 2
+        assert tbm.products_per_cycle(wide=True) == 1
+
+    def test_mixed_workload_counters(self, tbm):
+        tbm.stats.reset()
+        for _ in range(10):
+            tbm.mul_wide(7, 9)
+        for _ in range(5):
+            tbm.mul_narrow_pair((1, 2), (3, 4))
+        assert tbm.stats.cycles == 15
+        assert tbm.stats.base_mult_uses == 40
+        assert tbm.stats.wide_ops == 10
+        assert tbm.stats.narrow_ops == 10
+
+
+@given(st.integers(0, 2**60 - 1), st.integers(0, 2**60 - 1))
+@settings(max_examples=300, deadline=None)
+def test_property_wide_exact(a, b):
+    assert TunableBitMultiplier().mul_wide(a, b) == a * b
+
+
+@given(st.integers(0, 2**36 - 1), st.integers(0, 2**36 - 1),
+       st.integers(0, 2**36 - 1), st.integers(0, 2**36 - 1))
+@settings(max_examples=200, deadline=None)
+def test_property_narrow_pair_exact(a0, a1, b0, b1):
+    p, q = TunableBitMultiplier().mul_narrow_pair((a0, a1), (b0, b1))
+    assert p == a0 * b0 and q == a1 * b1
+
+
+@given(st.integers(13, 36), st.integers(0, 2**32))
+@settings(max_examples=100, deadline=None)
+def test_property_any_width_tbm(narrow, seed):
+    import random
+    rnd = random.Random(seed)
+    wide = rnd.randint(narrow + 1, 2 * narrow)
+    t = TunableBitMultiplier(narrow, wide)
+    a = rnd.getrandbits(wide) % (1 << wide)
+    b = rnd.getrandbits(wide) % (1 << wide)
+    assert t.mul_wide(a, b) == a * b

@@ -1,0 +1,148 @@
+"""Area/power models: Fig. 4 scaling, Table 3 roll-up, variants."""
+
+import pytest
+
+from repro.hw import area as hw_area
+from repro.hw import multiplier
+from repro.hw.accelerator import Accelerator
+from repro.hw.config import (FAST_CONFIG, FAST_36BIT_ALU, FAST_WITHOUT_TBM,
+                             cluster_sweep, fast_variant, memory_sweep)
+
+
+class TestFig4Scaling:
+    def test_60_vs_36_anchors(self):
+        """The paper's quoted 2.9x / 2.8x / 2.8x / 2.7x ratios."""
+        assert multiplier.multiplier_area(60) / \
+            multiplier.multiplier_area(36) == pytest.approx(2.9, rel=1e-6)
+        assert multiplier.multiplier_power(60) / \
+            multiplier.multiplier_power(36) == pytest.approx(2.8, rel=1e-6)
+        assert multiplier.multiplier_area(60, modular=False) / \
+            multiplier.multiplier_area(36, modular=False) == \
+            pytest.approx(2.8, rel=1e-6)
+        assert multiplier.multiplier_power(60, modular=False) / \
+            multiplier.multiplier_power(36, modular=False) == \
+            pytest.approx(2.7, rel=1e-6)
+
+    def test_monotone_in_bits(self):
+        widths = (24, 28, 32, 36, 48, 60, 64)
+        areas = [multiplier.multiplier_area(b) for b in widths]
+        assert areas == sorted(areas)
+
+    def test_relative_scaling_normalised(self):
+        rel = multiplier.relative_scaling((36, 60))
+        assert rel[36]["area"] == pytest.approx(1.0)
+        assert rel[60]["area"] == pytest.approx(2.9)
+
+    def test_booth_composition_overhead(self):
+        native = multiplier.multiplier_area(60)
+        booth = multiplier.booth_60_from_36_area()
+        assert booth / native == pytest.approx(1.275)
+        assert multiplier.booth_60_from_36_power() / \
+            multiplier.multiplier_power(60) == pytest.approx(1.30)
+
+    def test_tbm_overhead_vs_conventional_60(self):
+        tbm = multiplier.tbm_area()
+        conventional = multiplier.multiplier_area(60)
+        # +28% datapath +19% control
+        assert tbm / conventional == pytest.approx(1.28 * 1.19)
+
+
+class TestTable3:
+    PAPER_ROWS = hw_area.PAPER_TABLE3_AREA_MM2
+
+    def test_component_areas_within_tolerance(self):
+        rows = hw_area.table3()
+        for name, paper_area in self.PAPER_ROWS.items():
+            ours = rows[name]["area_mm2"]
+            assert ours == pytest.approx(paper_area, rel=0.05), name
+
+    def test_component_powers_within_tolerance(self):
+        rows = hw_area.table3()
+        for name, paper_power in hw_area.PAPER_TABLE3_POWER_W.items():
+            ours = rows[name]["power_w"]
+            assert ours == pytest.approx(paper_power, rel=0.05), name
+
+    def test_total_area_anchor(self):
+        assert hw_area.area_for(FAST_CONFIG) == pytest.approx(
+            hw_area.PAPER_TOTAL_AREA_MM2, rel=0.02)
+
+    def test_paper_total_power_inconsistency_documented(self):
+        """The paper's stated 337.5 W total does not equal the sum of
+        its own component rows (356.7 W); our total matches the rows.
+        """
+        row_sum = sum(hw_area.PAPER_TABLE3_POWER_W.values())
+        assert row_sum == pytest.approx(356.67, abs=0.5)
+        ours = hw_area.table3()["Total"]["power_w"]
+        assert ours == pytest.approx(row_sum, rel=0.02)
+
+
+class TestVariantScaling:
+    def test_eight_clusters_area_ratio(self):
+        """Fig. 13b: 8 clusters cost ~1.37x the area."""
+        four = hw_area.area_for(FAST_CONFIG)
+        eight = hw_area.area_for(fast_variant("8C", clusters=8))
+        assert 1.3 < eight / four < 1.5   # paper: 1.37x
+
+    def test_two_clusters_cheaper(self):
+        two = hw_area.area_for(fast_variant("2C", clusters=2))
+        assert two < hw_area.area_for(FAST_CONFIG)
+
+    def test_memory_sweep_monotone(self):
+        areas = [hw_area.area_for(c)
+                 for c in memory_sweep([128, 256, 384])]
+        assert areas == sorted(areas)
+
+    def test_no_tbm_datapath_smaller(self):
+        # A fixed 60-bit multiplier is smaller than a TBM.
+        assert hw_area.area_for(FAST_WITHOUT_TBM) < \
+            hw_area.area_for(FAST_CONFIG)
+
+    def test_36bit_alu_smallest(self):
+        assert hw_area.area_for(FAST_36BIT_ALU) < \
+            hw_area.area_for(FAST_WITHOUT_TBM)
+
+
+class TestAccelerator:
+    def test_throughput_modes(self):
+        acc = Accelerator(FAST_CONFIG)
+        ntt = acc.unit_throughput("ntt")
+        assert ntt.narrow == ntt.wide            # uniform TBM slot rate
+        acc36 = Accelerator(FAST_36BIT_ALU)
+        assert acc36.unit_throughput("ntt").narrow == ntt.narrow / 2
+
+    def test_kernel_cycles_positive(self):
+        acc = Accelerator(FAST_CONFIG)
+        assert acc.kernel_cycles("ntt", 1e6, wide=False) > 0
+        assert acc.kernel_cycles("bconv", 0, wide=False) == 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Accelerator(FAST_CONFIG).unit_throughput("fft3d")
+
+    def test_supports_predicates(self):
+        assert Accelerator(FAST_CONFIG).supports("klss")
+        assert not Accelerator(FAST_36BIT_ALU).supports("klss")
+
+    def test_cluster_sweep_configs(self):
+        for config in cluster_sweep([2, 4, 8]):
+            acc = Accelerator(config)
+            assert acc.total_area_mm2() > 0
+            assert acc.total_peak_power_w() > 0
+
+    def test_register_file_bandwidth(self):
+        acc = Accelerator(FAST_CONFIG)
+        bw = acc.register_file.bandwidth_bytes_per_s()
+        assert bw == pytest.approx(1024 * 9 * 1e9)  # 72b/lane/cycle
+
+    def test_hbm_transfer_accounting(self):
+        acc = Accelerator(FAST_CONFIG)
+        stall = acc.hbm.record_key_transfer(1e9, window_s=0.5e-3)
+        assert stall == pytest.approx(0.5e-3)
+        assert acc.hbm.traffic.key_bytes == 1e9
+        acc.hbm.reset()
+        assert acc.hbm.traffic.total_bytes == 0
+
+    def test_noc_transpose_cycles(self):
+        acc = Accelerator(FAST_CONFIG)
+        cycles = acc.noc.transpose_cycles(1 << 16, 1, wide=True)
+        assert cycles == pytest.approx((1 << 16) / 512)

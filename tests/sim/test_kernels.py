@@ -1,0 +1,171 @@
+"""Lowering: op -> kernel stages, policies, hoist fusion."""
+
+import pytest
+
+from repro.ckks.keys import HYBRID, KLSS
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import SET_I, SET_II
+from repro.core import optrace
+from repro.core.aether import Aether
+from repro.core.optrace import FheOp, TraceBuilder
+from repro.sim.kernels import (KERNEL_DSU, Policy, lower_key_switch,
+                               lower_plain_op, lower_trace)
+
+
+def make_aether():
+    return Aether(SET_I, SET_II, key_storage_bytes=180e6,
+                  hbm_bandwidth=1e12, modops_per_second=1.2e13)
+
+
+class TestLowerKeySwitch:
+    def test_hybrid_stage_structure(self):
+        op = FheOp(optrace.HMULT, 20)
+        sched = lower_key_switch(op, HYBRID, 1, SET_I, 0.5)
+        assert len(sched.stages) == 3  # decompose, keymult, moddown
+        assert sched.keymult_stage == 1
+        assert sched.method == HYBRID
+
+    def test_rotation_adds_automorph_task(self):
+        op = FheOp(optrace.HROT, 20, rotation=4)
+        sched = lower_key_switch(op, HYBRID, 1, SET_I, 0.5)
+        kernels = [t.kernel for t in sched.stages[1]]
+        assert "automorph" in kernels
+
+    def test_hmult_has_no_automorph(self):
+        op = FheOp(optrace.HMULT, 20)
+        sched = lower_key_switch(op, HYBRID, 1, SET_I, 0.5)
+        kernels = [t.kernel for stage in sched.stages for t in stage]
+        assert "automorph" not in kernels
+
+    def test_total_modops_match_cost_model(self):
+        op = FheOp(optrace.HMULT, 20)
+        sched = lower_key_switch(op, HYBRID, 1, SET_I, 0.5)
+        expected = cost.hybrid_keyswitch_ops(SET_I, 20).total
+        assert sched.total_modops == pytest.approx(expected)
+
+    def test_klss_total_matches_cost_model(self):
+        op = FheOp(optrace.HMULT, 20)
+        sched = lower_key_switch(op, KLSS, 1, SET_II, 0.5)
+        expected = cost.klss_keyswitch_ops(SET_II, 20).total
+        assert sched.total_modops == pytest.approx(expected)
+
+    def test_klss_mixes_precisions(self):
+        op = FheOp(optrace.HMULT, 20)
+        sched = lower_key_switch(op, KLSS, 1, SET_II, 0.5)
+        flags = {t.wide for stage in sched.stages for t in stage}
+        assert flags == {True, False}
+
+    def test_hybrid_all_narrow(self):
+        op = FheOp(optrace.HMULT, 20)
+        sched = lower_key_switch(op, HYBRID, 1, SET_I, 0.5)
+        assert all(not t.wide for stage in sched.stages for t in stage)
+
+    def test_hoisted_batch_shares_decompose(self):
+        op = FheOp(optrace.HROT, 20, rotation=1)
+        batch = lower_key_switch(op, HYBRID, 3, SET_I, 0.5,
+                                 batch_rotations=3,
+                                 rotations=(1, 2, 3))
+        single = lower_key_switch(op, HYBRID, 1, SET_I, 0.5)
+        shared = cost.hybrid_decompose_ops(SET_I, 20).total
+        assert batch.total_modops == pytest.approx(
+            3 * single.total_modops - 2 * shared)
+        assert batch.rotations == (1, 2, 3)
+
+    def test_minks_regen_adds_ntt_work(self):
+        op = FheOp(optrace.HMULT, 20)
+        plain = lower_key_switch(op, HYBRID, 1, SET_I, 0.5)
+        regen = lower_key_switch(op, HYBRID, 1, SET_I, 0.5,
+                                 minks_regen=True)
+        assert regen.total_modops > plain.total_modops
+
+    def test_key_bytes_scale_with_batch(self):
+        op = FheOp(optrace.HROT, 20, rotation=1)
+        batch = lower_key_switch(op, HYBRID, 2, SET_I, 0.5,
+                                 batch_rotations=2, rotations=(1, 2))
+        assert batch.key_bytes == pytest.approx(
+            2 * batch.key_bytes_per_key)
+
+
+class TestLowerPlainOps:
+    def test_pmult_has_oflimb_stage(self):
+        sched = lower_plain_op(FheOp(optrace.PMULT, 10), SET_I)
+        assert len(sched.stages) == 2
+        kernels = [t.kernel for t in sched.stages[0]]
+        assert "ntt" in kernels and "bconv" in kernels
+
+    def test_rescale_rides_dsu(self):
+        sched = lower_plain_op(FheOp(optrace.RESCALE, 10), SET_I)
+        assert sched.stages[0][0].kernel == KERNEL_DSU
+
+    def test_modraise_extends_basis(self):
+        sched = lower_plain_op(FheOp(optrace.MOD_RAISE, 35), SET_I)
+        kernels = {t.kernel for t in sched.stages[0]}
+        assert kernels == {"ntt", "bconv"}
+
+    @pytest.mark.parametrize("kind", [optrace.HADD, optrace.PADD,
+                                      optrace.CADD, optrace.CMULT])
+    def test_elementwise_ops(self, kind):
+        sched = lower_plain_op(FheOp(kind, 10), SET_I)
+        assert sched.stages[0][0].kernel == "elementwise"
+
+    def test_keyswitch_kind_rejected(self):
+        with pytest.raises(ValueError):
+            lower_plain_op(FheOp(optrace.HMULT, 10), SET_I)
+
+
+class TestPolicies:
+    def unit(self):
+        aether = make_aether()
+        tb = TraceBuilder()
+        tb.rotations(tb.fresh_ct(), 10, [1, 2, 3, 4])
+        return aether.decision_units(tb.build())[0]
+
+    def test_hybrid_only(self):
+        assert Policy("hybrid-only").decide(self.unit()) == (HYBRID, 1)
+
+    def test_hoisting_only(self):
+        assert Policy("hoisting-only").decide(self.unit()) == (HYBRID, 4)
+
+    def test_klss_only(self):
+        assert Policy("klss-only").decide(self.unit()) == (KLSS, 1)
+
+    def test_aether_requires_config(self):
+        with pytest.raises(ValueError):
+            Policy("aether").decide(self.unit())
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            Policy("random").decide(self.unit())
+
+
+class TestLowerTrace:
+    def build(self):
+        tb = TraceBuilder("t")
+        ct = tb.fresh_ct()
+        tb.rotations(ct, 12, [1, 2, 3, 4], hoisted=True)
+        tb.hmult(ct, 10)
+        tb.pmult(ct, 10)
+        tb.rescale(ct, 10)
+        return tb.build()
+
+    def test_one_schedule_per_op_unhoisted(self):
+        trace = self.build()
+        scheds = lower_trace(trace, make_aether(), Policy("hybrid-only"))
+        assert len(scheds) == len(trace)
+
+    def test_hoisting_fuses_schedules(self):
+        trace = self.build()
+        scheds = lower_trace(trace, make_aether(), Policy("hoisting-only"))
+        # 4 rotations fuse into 1 schedule: 4 ops become 1.
+        assert len(scheds) == len(trace) - 3
+        fused = [s for s in scheds if s.hoisting == 4]
+        assert len(fused) == 1
+        assert fused[0].rotations == (1, 2, 3, 4)
+
+    def test_aether_policy_roundtrip(self):
+        trace = self.build()
+        aether = make_aether()
+        config = aether.run(trace)
+        scheds = lower_trace(trace, aether, Policy("aether", config))
+        assert sum(max(1, s.hoisting) if s.op.needs_key_switch else 0
+                   for s in scheds) >= 5

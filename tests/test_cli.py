@@ -1,0 +1,39 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_bootstrap_command(self, capsys):
+        assert main(["bootstrap"]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap:" in out and "ms" in out
+
+    def test_bootstrap_policy_flag(self, capsys):
+        assert main(["bootstrap", "--policy", "hybrid-only"]) == 0
+        assert "hybrid-only" in capsys.readouterr().out
+
+    def test_bootstrap_cluster_flag(self, capsys):
+        assert main(["bootstrap", "--clusters", "8"]) == 0
+        assert "FAST-8C" in capsys.readouterr().out
+
+    def test_table5_command(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "FAST (ours)" in out and "SHARP" in out
+
+    def test_decide_command(self, capsys):
+        assert main(["decide"]) == 0
+        out = capsys.readouterr().out
+        assert "config file:" in out
+
+    def test_security_command(self, capsys):
+        assert main(["security"]) == 0
+        out = capsys.readouterr().out
+        assert "Set-I" in out and "hes_128bit_budget" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

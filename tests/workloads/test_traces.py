@@ -1,0 +1,126 @@
+"""Workload trace generators: structure, level budgets, composition."""
+
+import pytest
+
+from repro.ckks.params import SET_II, toy_params
+from repro.core import optrace
+from repro.workloads import bootstrap_trace, helr_trace, resnet20_trace
+from repro.workloads.bootstrap import bootstrap_shape
+from repro.workloads.helr import helr_iteration
+
+
+class TestBootstrapTrace:
+    def test_stage_order(self):
+        trace = bootstrap_trace()
+        assert trace.stages() == ["ModRaise", "CoeffToSlot", "EvalMod",
+                                  "SlotToCoeff"]
+
+    def test_level_budget_lands_on_leff(self):
+        # The generator asserts internally; just confirm it builds
+        # and the lowest key-switch level is >= L_eff.
+        trace = bootstrap_trace()
+        levels = [op.level for op in trace.key_switch_ops()]
+        assert min(levels) >= SET_II.effective_level
+        assert max(levels) == SET_II.max_level
+
+    def test_modraise_first(self):
+        trace = bootstrap_trace()
+        assert trace[0].kind == optrace.MOD_RAISE
+
+    def test_has_conjugation(self):
+        hist = bootstrap_trace().kind_histogram()
+        assert hist[optrace.CONJ] == 1
+
+    def test_rotations_dominate_keyswitches(self):
+        shape = bootstrap_shape()
+        assert shape.rotations > shape.hmults  # HRot-heavy: Sec. 3.1
+
+    def test_hoist_groups_per_matrix(self):
+        trace = bootstrap_trace()
+        groups = trace.hoist_groups()
+        assert len(groups) == 6  # 3 CtS + 3 StC matrices
+
+    def test_thin_bootstrap_smaller(self):
+        full = bootstrap_trace(slots_fraction=1.0)
+        thin = bootstrap_trace(slots_fraction=0.5)
+        assert len(thin) < len(full)
+        assert len(thin.key_switch_ops()) < len(full.key_switch_ops())
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            bootstrap_trace(slots_fraction=0.0)
+        with pytest.raises(ValueError):
+            bootstrap_trace(slots_fraction=1.5)
+
+    def test_toy_params_supported(self):
+        params = toy_params(max_level=31, boot_levels=27,
+                            ring_degree=32, alpha=2)
+        trace = bootstrap_trace(params)
+        assert len(trace) > 0
+
+    def test_double_rescale_convention(self):
+        # with double rescale, each matrix stage burns two primes
+        trace = bootstrap_trace()
+        cts_levels = sorted({op.level for op in trace
+                             if op.stage == "CoeffToSlot"
+                             and op.kind == optrace.HROT}, reverse=True)
+        assert cts_levels == [35, 33, 31]
+
+
+class TestHelrTrace:
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            helr_iteration(batch=512)
+
+    def test_1024_heavier_than_256(self):
+        t256 = helr_trace(batch=256)
+        t1024 = helr_trace(batch=1024)
+        assert len(t1024) > len(t256)
+
+    def test_iteration_stages(self):
+        stages = helr_iteration(batch=256).stages()
+        assert stages == ["Gradient", "Sigmoid", "Update"]
+
+    def test_includes_thin_bootstrap(self):
+        trace = helr_trace(batch=256)
+        assert "CoeffToSlot" in trace.stages()
+
+    def test_multi_iteration_repeats(self):
+        one = helr_trace(batch=256, iterations=1)
+        four = helr_trace(batch=256, iterations=4)
+        assert len(four) == 4 * len(one)
+        assert len(four.hoist_groups()) == 4 * len(one.hoist_groups())
+
+    def test_application_levels_at_leff(self):
+        iter_trace = helr_iteration(batch=256)
+        assert max(op.level for op in iter_trace) == \
+            SET_II.effective_level
+
+
+class TestResnetTrace:
+    def test_composition(self):
+        trace = resnet20_trace()
+        hist = trace.kind_histogram()
+        assert hist[optrace.HMULT] > 50    # ReLU + EvalMod mults
+        assert hist[optrace.HROT] > 300    # convs + DFT stages
+        assert hist[optrace.PMULT] > 500
+
+    def test_bootstrap_dominates(self):
+        """Sec. 7.2: bootstrapping is most of ResNet-20's time; at the
+        trace level most key-switches sit inside bootstrap stages."""
+        trace = resnet20_trace()
+        boot_stages = {"ModRaise", "CoeffToSlot", "EvalMod",
+                       "SlotToCoeff"}
+        ks = trace.key_switch_ops()
+        inside = sum(1 for op in ks if op.stage in boot_stages)
+        assert inside / len(ks) > 0.6
+
+    def test_has_conv_and_relu_stages(self):
+        stages = resnet20_trace().stages()
+        assert "Conv" in stages and "ReLU" in stages
+        assert "AvgPool" in stages and "FC" in stages
+
+    def test_levels_respect_budget(self):
+        trace = resnet20_trace()
+        assert all(op.level <= SET_II.max_level for op in trace)
+        assert all(op.level >= 0 for op in trace)
