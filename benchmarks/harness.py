@@ -1,0 +1,20 @@
+"""Repo-checkout entry point for the perf-regression harness.
+
+Equivalent to ``python -m repro bench``; this wrapper only makes
+``python benchmarks/harness.py`` work straight from a clone without
+installing the package (it prepends ``src/`` to ``sys.path``).
+The implementation lives in :mod:`repro.bench.harness`.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Commands
 ``table5``      workload latencies vs published baselines
 ``decide``      show Aether's decisions for the bootstrap trace
 ``security``    security report for the paper's parameter sets
+``bench``       perf-regression benchmarks; seeds ``BENCH_sim.json``
 """
 
 from __future__ import annotations
@@ -68,6 +69,11 @@ def cmd_decide(_args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import harness
+    return harness.run_cli(args)
+
+
 def cmd_security(_args) -> int:
     from repro.ckks import security
     from repro.ckks.params import SET_I, SET_II
@@ -94,10 +100,14 @@ def main(argv=None) -> int:
     sub.add_parser("table5", help="workload latency table")
     sub.add_parser("decide", help="show Aether's decisions")
     sub.add_parser("security", help="parameter security report")
+    bench = sub.add_parser(
+        "bench", help="perf-regression benchmarks -> BENCH_sim.json")
+    from repro.bench.harness import add_arguments  # stdlib-only import
+    add_arguments(bench)
     args = parser.parse_args(argv)
     return {"evaluate": cmd_evaluate, "bootstrap": cmd_bootstrap,
             "table5": cmd_table5, "decide": cmd_decide,
-            "security": cmd_security}[args.command](args)
+            "security": cmd_security, "bench": cmd_bench}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,19 @@
+"""``repro.bench`` — the perf-regression benchmark harness.
+
+Runs the Table 5 workloads (bootstrap, HELR training iterations,
+ResNet-20 trace slices) through the cycle simulator and writes
+``BENCH_sim.json`` (schema ``repro-bench/v1``): per-workload host
+wall-time, simulated latency, per-unit utilisation, Hemera cache-hit
+rate and HBM traffic.  That file is the regression baseline every
+perf-oriented PR is judged against — rerun with ``--baseline`` to
+compare a fresh run to a committed baseline.
+
+Entry points: ``python -m repro bench`` or
+``python benchmarks/harness.py``.
+"""
+
+from repro.bench.harness import (BENCH_SCHEMA, compare_reports,
+                                 run_benchmarks, write_report)
+
+__all__ = ["BENCH_SCHEMA", "compare_reports", "run_benchmarks",
+           "write_report"]

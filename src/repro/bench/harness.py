@@ -1,0 +1,253 @@
+"""The benchmark harness behind ``python -m repro bench``.
+
+Each workload is simulated ``--repeats`` times with tracing disabled
+(best wall time is reported, so one-off interpreter hiccups don't
+pollute the baseline); the simulated results themselves are
+deterministic and asserted identical across repeats.  ``--quick``
+slices the ResNet-20 trace to its opening ops, which keeps CI runs
+fast while still exercising every workload generator and both
+key-switching methods.
+
+``--chrome-trace``/``--obs-json`` rerun each workload once with the
+observability layer enabled *after* timing, so exported timelines
+never contaminate the wall-time numbers.
+
+Heavy imports stay inside functions so ``python -m repro --help``
+stays instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+BENCH_SCHEMA = "repro-bench/v1"
+DEFAULT_OUT = "BENCH_sim.json"
+QUICK_RESNET_OPS = 1500
+# Simulated latency is deterministic; any drift beyond numeric noise
+# is a real model change.  Wall time is host-dependent, so the bar is
+# deliberately loose and only catches order-of-magnitude slumps.
+DEFAULT_SIM_TOLERANCE = 0.01
+DEFAULT_WALL_TOLERANCE = 1.0
+
+
+def _slice_trace(trace, max_ops: int):
+    from repro.core.optrace import OpTrace
+    if len(trace) <= max_ops:
+        return trace
+    return OpTrace(list(trace)[:max_ops],
+                   name=f"{trace.name}[:{max_ops}]")
+
+
+def build_workloads(quick: bool = False) -> dict:
+    """Name -> OpTrace for the Table 5 workloads."""
+    from repro.workloads import bootstrap_trace, helr_trace, resnet20_trace
+    traces = {
+        "Bootstrap": bootstrap_trace(),
+        "HELR256": helr_trace(batch=256),
+        "HELR1024": helr_trace(batch=1024),
+        "ResNet-20": resnet20_trace(),
+    }
+    if quick:
+        traces["ResNet-20"] = _slice_trace(traces["ResNet-20"],
+                                           QUICK_RESNET_OPS)
+    return traces
+
+
+def _measure(engine, trace, repeats: int) -> dict:
+    """Simulate one workload; returns its BENCH record."""
+    walls = []
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run = engine.run(trace)
+        walls.append(time.perf_counter() - start)
+        if result is not None and run.total_s != result.total_s:
+            raise AssertionError(
+                f"simulation of {trace.name!r} is not deterministic")
+        result = run
+    return {
+        "wall_s": min(walls),
+        "wall_s_all": walls,
+        "sim_s": result.total_s,
+        "sim_ms": result.total_s * 1e3,
+        "num_trace_ops": len(trace),
+        "num_ops": result.num_ops,
+        "num_key_switches": result.num_key_switches,
+        "utilisation": {u: round(v, 6)
+                        for u, v in result.utilisation().items()},
+        "key_cache_hit_rate": result.key_cache_hit_rate,
+        "key_cache_hits": result.key_cache_hits,
+        "key_cache_misses": result.key_cache_misses,
+        "key_stall_s": result.key_stall_s,
+        "hbm_bytes": result.hbm_bytes,
+        "key_bytes": result.key_bytes,
+        "plaintext_bytes": result.plaintext_bytes,
+        "method_ops": dict(result.method_ops),
+        "stage_s": {k: v for k, v in sorted(result.stage_s.items())},
+    }
+
+
+def run_benchmarks(config=None, quick: bool = False,
+                   repeats: int = 3) -> dict:
+    """Run every workload; returns the full report dict."""
+    from repro import __version__, obs
+    from repro.hw.config import FAST_CONFIG
+    from repro.sim.engine import Engine
+
+    config = config or FAST_CONFIG
+    was_enabled = obs.enabled()
+    obs.configure(enabled=False)  # timing runs are never traced
+    try:
+        workloads = {}
+        for name, trace in build_workloads(quick).items():
+            # Fresh engine per workload: cold evk-cache, cold Aether —
+            # the regression numbers must not depend on run order.
+            workloads[name] = _measure(Engine(config), trace, repeats)
+    finally:
+        obs.configure(enabled=was_enabled)
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "repro_version": __version__,
+        "quick": quick,
+        "repeats": repeats,
+        "config": {
+            "name": config.name,
+            "clusters": config.clusters,
+            "hbm_bandwidth_bytes": config.hbm_bandwidth_bytes,
+            "key_storage_bytes": config.key_storage_bytes,
+            "onchip_memory_bytes": config.onchip_memory_bytes,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "workloads": workloads,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+
+
+def compare_reports(current: dict, baseline: dict,
+                    sim_tolerance: float = DEFAULT_SIM_TOLERANCE,
+                    wall_tolerance: float = DEFAULT_WALL_TOLERANCE
+                    ) -> list[str]:
+    """Regressions of ``current`` against ``baseline`` (worse only)."""
+    regressions: list[str] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, record in current.get("workloads", {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        for key, tolerance in (("sim_s", sim_tolerance),
+                               ("wall_s", wall_tolerance)):
+            now, ref = record.get(key), base.get(key)
+            if not ref or now is None:
+                continue
+            ratio = now / ref
+            if ratio > 1.0 + tolerance:
+                regressions.append(
+                    f"{name}: {key} {now:.6g} vs baseline {ref:.6g} "
+                    f"(+{(ratio - 1) * 100:.1f}%, "
+                    f"tolerance {tolerance * 100:.0f}%)")
+    return regressions
+
+
+def _export_traces(quick: bool, chrome_path: str | None,
+                   json_path: str | None) -> None:
+    """Post-timing traced rerun feeding the exporters."""
+    from repro import obs
+    from repro.sim.engine import Engine
+    obs.configure(enabled=True, reset=True)
+    try:
+        for name, trace in build_workloads(quick).items():
+            Engine().run(trace, name=name)
+        if chrome_path:
+            obs.dump_chrome_trace(chrome_path)
+        if json_path:
+            obs.dump_json(json_path)
+    finally:
+        obs.configure(enabled=False, reset=True)
+
+
+def _format_table(report: dict) -> str:
+    header = (f"{'workload':<12} {'wall ms':>9} {'sim ms':>9} "
+              f"{'ops':>7} {'nttu%':>6} {'hbm%':>6} {'evk hit%':>8}")
+    lines = [header, "-" * len(header)]
+    for name, r in report["workloads"].items():
+        util = r["utilisation"]
+        lines.append(
+            f"{name:<12} {r['wall_s'] * 1e3:>9.1f} {r['sim_ms']:>9.3f} "
+            f"{r['num_ops']:>7d} {util.get('nttu', 0):>6.0%} "
+            f"{util.get('hbm', 0):>6.0%} "
+            f"{r['key_cache_hit_rate']:>8.0%}")
+    return "\n".join(lines)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Bench CLI flags (shared by ``repro bench`` and the wrapper)."""
+    parser.add_argument("--quick", action="store_true",
+                        help="slice ResNet-20 for a fast CI-sized run")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"report path (default {DEFAULT_OUT})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per workload (best wins)")
+    parser.add_argument("--baseline", default=None,
+                        help="previous BENCH_*.json to regress against")
+    parser.add_argument("--sim-tolerance", type=float,
+                        default=DEFAULT_SIM_TOLERANCE,
+                        help="allowed relative simulated-latency growth")
+    parser.add_argument("--wall-tolerance", type=float,
+                        default=DEFAULT_WALL_TOLERANCE,
+                        help="allowed relative wall-time growth")
+    parser.add_argument("--chrome-trace", default=None, metavar="PATH",
+                        help="also write a chrome://tracing timeline")
+    parser.add_argument("--obs-json", default=None, metavar="PATH",
+                        help="also write the raw obs snapshot")
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    write_report(report, args.out)
+    print(_format_table(report))
+    print(f"\nwrote {args.out}"
+          + (" (quick mode)" if args.quick else ""))
+    if args.chrome_trace or args.obs_json:
+        _export_traces(args.quick, args.chrome_trace, args.obs_json)
+        for path in (args.chrome_trace, args.obs_json):
+            if path:
+                print(f"wrote {path}")
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressions = compare_reports(
+            report, baseline, sim_tolerance=args.sim_tolerance,
+            wall_tolerance=args.wall_tolerance)
+        if regressions:
+            print(f"\nREGRESSIONS vs {args.baseline}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"\nno regressions vs {args.baseline}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="FAST simulator perf-regression benchmarks")
+    add_arguments(parser)
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

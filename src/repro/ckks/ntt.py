@@ -20,9 +20,12 @@ int64 fast path and the exact object path (see
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.ckks import modmath, primes
+from repro.obs.tracer import get_tracer
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
@@ -76,6 +79,8 @@ class NttPlan:
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Coefficient form -> evaluation form (negacyclic NTT)."""
+        tracer = get_tracer()
+        start = perf_counter() if tracer.enabled else 0.0
         q = self.modulus
         a = modmath.asresidues(coeffs, q)
         if len(a) != self.n:
@@ -93,10 +98,15 @@ class NttPlan:
                 a[j1 + t:j1 + 2 * t] = modmath.sub(lo, prod, q)
                 a[j1:j1 + t] = modmath.add(lo, prod, q)
             m *= 2
+        if tracer.enabled:
+            tracer.count("ntt.forward")
+            tracer.observe("ntt.forward_s", perf_counter() - start)
         return a
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
         """Evaluation form -> coefficient form (inverse negacyclic NTT)."""
+        tracer = get_tracer()
+        start = perf_counter() if tracer.enabled else 0.0
         q = self.modulus
         a = modmath.asresidues(evals, q)
         if len(a) != self.n:
@@ -118,7 +128,11 @@ class NttPlan:
                 j1 += 2 * t
             t *= 2
             m = h
-        return modmath.mul(a, self._n_inv, q)
+        out = modmath.mul(a, self._n_inv, q)
+        if tracer.enabled:
+            tracer.count("ntt.inverse")
+            tracer.observe("ntt.inverse_s", perf_counter() - start)
+        return out
 
 
 def negacyclic_convolution_reference(a, b, modulus: int) -> np.ndarray:

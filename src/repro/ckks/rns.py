@@ -19,20 +19,47 @@ changes do not redo root searches.
 from __future__ import annotations
 
 from functools import lru_cache
+from time import perf_counter
 
 import numpy as np
 
 from repro.ckks import modmath
 from repro.ckks.ntt import NttPlan
+from repro.obs.tracer import get_tracer
 
 COEFF = "coeff"
 EVAL = "eval"
 
+# Bound on cached NTT plans.  Both paper parameter sets together touch
+# fewer than ~100 (N, q) pairs (36 + 12 primes for Set-I, 36 + 5 for
+# Set-II, plus KLSS wide bases), so 256 keeps every real working set
+# resident while stopping pathological callers (parameter sweeps,
+# fuzzers) from growing the table without limit.  Plans are pure
+# functions of (N, q): eviction only costs a rebuild, never
+# correctness — tests/ckks/test_plan_cache.py pins that down.
+PLAN_CACHE_MAXSIZE = 256
 
-@lru_cache(maxsize=None)
+
+@lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
 def get_plan(ring_degree: int, modulus: int) -> NttPlan:
-    """Shared NTT plan for one (N, q) pair."""
+    """Shared NTT plan for one (N, q) pair (bounded LRU cache)."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        start = perf_counter()
+        plan = NttPlan(ring_degree, modulus)
+        tracer.count("rns.plan_builds")
+        tracer.observe("rns.plan_build_s", perf_counter() - start)
+        return plan
     return NttPlan(ring_degree, modulus)
+
+
+def plan_cache_info():
+    """``functools`` cache statistics for the NTT-plan cache."""
+    return get_plan.cache_info()
+
+
+def clear_plan_cache() -> None:
+    get_plan.cache_clear()
 
 
 class RnsPoly:
@@ -216,6 +243,7 @@ def compose_crt(poly: RnsPoly) -> list[int]:
     """
     if poly.form != COEFF:
         poly = poly.to_coeff()
+    get_tracer().count("rns.compose_crt")
     big_q, q_hat, q_hat_inv = _crt_constants(poly.moduli)
     half = big_q // 2
     out = [0] * poly.n
@@ -253,6 +281,8 @@ def base_convert(poly: RnsPoly, target_moduli) -> RnsPoly:
     """
     if poly.form != COEFF:
         raise ValueError("base_convert expects coefficient form")
+    tracer = get_tracer()
+    start = perf_counter() if tracer.enabled else 0.0
     moduli = poly.moduli
     _, q_hat, q_hat_inv = _crt_constants(moduli)
     target = tuple(int(p) for p in target_moduli)
@@ -266,6 +296,9 @@ def base_convert(poly: RnsPoly, target_moduli) -> RnsPoly:
             acc = modmath.add(acc, modmath.mul_scalar(
                 modmath.asresidues(y, p), hat % p, p), p)
         out_limbs.append(acc)
+    if tracer.enabled:
+        tracer.count("rns.base_convert")
+        tracer.observe("rns.base_convert_s", perf_counter() - start)
     return RnsPoly(out_limbs, target, COEFF)
 
 
@@ -281,6 +314,7 @@ def mod_up(poly: RnsPoly, digit_indices: list[list[int]],
     """
     if poly.form != COEFF:
         raise ValueError("mod_up expects coefficient form")
+    get_tracer().count("rns.mod_up")
     full = tuple(int(q) for q in full_moduli)
     aux = tuple(int(p) for p in aux_moduli)
     extended = []
@@ -306,6 +340,7 @@ def mod_down(poly: RnsPoly, main_count: int) -> RnsPoly:
     """
     if poly.form != COEFF:
         raise ValueError("mod_down expects coefficient form")
+    get_tracer().count("rns.mod_down")
     q_moduli = poly.moduli[:main_count]
     p_moduli = poly.moduli[main_count:]
     if not p_moduli:

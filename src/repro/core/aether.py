@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.ckks.keys import HYBRID, KLSS
 from repro.ckks.keyswitch import cost
 from repro.ckks.params import CkksParams
@@ -282,7 +283,16 @@ class Aether:
     def build_mct(self, trace: OpTrace) -> list[tuple]:
         """The full MCT: (decision unit, candidate entries) pairs in
         execution order."""
-        return [(u, self.candidates(u)) for u in self.decision_units(trace)]
+        tracer = obs.get_tracer()
+        with tracer.span("aether.build_mct", trace=trace.name) as span:
+            mct = [(u, self.candidates(u))
+                   for u in self.decision_units(trace)]
+        if tracer.enabled:
+            candidates = sum(len(entries) for _, entries in mct)
+            span.set(units=len(mct), candidates=candidates)
+            tracer.count("aether.units", len(mct))
+            tracer.count("aether.candidates", candidates)
+        return mct
 
     # -- selection (STEP-1/2/3) --------------------------------------------
     def _key_names(self, unit: DecisionUnit, method: str) -> list[tuple]:
@@ -295,9 +305,15 @@ class Aether:
         return [(method, "rot", op.rotation) for op in unit.ops]
 
     def select(self, mct: list[tuple]) -> AetherConfig:
+        tracer = obs.get_tracer()
+        with tracer.span("aether.select", units=len(mct)):
+            return self._select(mct, tracer)
+
+    def _select(self, mct: list[tuple], tracer) -> AetherConfig:
         from collections import deque
 
         from repro.core.hemera import KeyCache
+        tracing = tracer.enabled
         config = AetherConfig()
         recent = deque(maxlen=PREFETCH_DEPTH)
         prev_window = float("inf")  # first keys load with the program
@@ -316,6 +332,9 @@ class Aether:
                 continue
             survivors = [e for e in unit_candidates
                          if e.key_bytes <= self.key_storage_bytes]  # STEP-1
+            if tracing:
+                tracer.count("aether.step1_dropped",
+                             len(unit_candidates) - len(survivors))
             if not survivors:
                 survivors = [min(unit_candidates,
                                  key=lambda e: e.key_bytes)]
@@ -331,6 +350,10 @@ class Aether:
             allowed = min(prev_window, slack)
             hidden = [e for e in survivors
                       if effective[id(e)] <= allowed]               # STEP-2
+            if tracing:
+                tracer.count("aether.step2_dropped",
+                             len(survivors) - len(hidden) if hidden
+                             else 0)
             if hidden:
                 survivors = hidden
             best = self._pick(survivors)                            # STEP-3
@@ -345,6 +368,9 @@ class Aether:
                 hoisting=best.hoisting, times=best.times,
                 delay_s=best.delay_s, key_bytes=best.key_bytes,
                 transfer_s=effective[id(best)])
+            if tracing:
+                tracer.count(f"aether.decision.{best.method}")
+                tracer.observe("aether.decision_delay_s", best.delay_s)
             recent.append(best.delay_s)
             prev_window = sum(recent)
         return config

@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.ckks.keys import HYBRID
 from repro.ckks.keyswitch import cost
 from repro.ckks.params import CkksParams
@@ -152,17 +153,27 @@ class HemeraReport:
 
 
 class KeyCache:
-    """On-chip key storage with LRU eviction (capacity in bytes)."""
+    """On-chip key storage with LRU eviction (capacity in bytes).
+
+    Tracks its own ``hits`` / ``misses`` / ``evictions`` tallies (one
+    ``contains`` probe is one lookup), which the simulator surfaces as
+    the Hemera cache-hit rate.
+    """
 
     def __init__(self, capacity_bytes: float):
         self.capacity = capacity_bytes
         self._resident: OrderedDict[KeyId, float] = OrderedDict()
         self.used = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def contains(self, key_id: KeyId) -> bool:
         if key_id in self._resident:
             self._resident.move_to_end(key_id)
+            self.hits += 1
             return True
+        self.misses += 1
         return False
 
     def insert(self, key_id: KeyId, size: float) -> None:
@@ -172,6 +183,7 @@ class KeyCache:
         while self.used + size > self.capacity and self._resident:
             _, evicted = self._resident.popitem(last=False)
             self.used -= evicted
+            self.evictions += 1
         if self.used + size <= self.capacity:
             self._resident[key_id] = size
             self.used += size
@@ -226,6 +238,9 @@ class Hemera:
         one used to produce the configuration file) and the compute
         windows against which transfers are overlapped.
         """
+        tracer = obs.get_tracer()
+        tracing = tracer.enabled
+        evictions_before = self.cache.evictions
         report = HemeraReport()
         window = float("inf")  # first transfer overlaps program load
         for unit in aether.decision_units(trace):
@@ -257,9 +272,29 @@ class Hemera:
             report.total_bytes += bytes_moved
             report.total_transfer_s += transfer_s
             report.total_stall_s += stall_s
+            if tracing:
+                tracer.count("hemera.cache_hits",
+                             len(records) - len(missing))
+                tracer.count("hemera.cache_misses", len(missing))
+                if prefetched:
+                    tracer.count("hemera.prefetch_hits")
+                if stall_s > 0:
+                    tracer.observe("hemera.stall_s", stall_s)
+                if transfer_s > 0:
+                    tracer.observe("hemera.transfer_s", transfer_s)
+                # Prefetch lead: slack between the hiding window and
+                # the transfer it must hide (inf window = program load).
+                if effective_window != float("inf"):
+                    tracer.observe("hemera.prefetch_lead_s",
+                                   effective_window - transfer_s)
             self.history.record(decision.kind, decision.level,
                                 decision.method, decision.hoisting)
             window = decision.delay_s
+        if tracing:
+            tracer.count("hemera.evictions",
+                         self.cache.evictions - evictions_before)
+            tracer.observe("hemera.hidden_fraction",
+                           report.hidden_fraction)
         return report
 
     def _batches(self, size_bytes: float) -> int:

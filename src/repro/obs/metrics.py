@@ -1,0 +1,109 @@
+"""Counter and histogram registry for the observability layer.
+
+Metrics are deliberately simple: a :class:`Counter` is one float, a
+:class:`Histogram` keeps running summary statistics plus power-of-two
+buckets (cheap, allocation-free observation).  The registry is a flat
+name -> instrument map; instruments are created on first use, so
+instrumented code never has to declare anything up front.
+
+All instruments are process-local and single-threaded, matching the
+simulator (the engine is a sequential event loop).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """A monotonically growing float, keyed by name."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Running summary statistics with power-of-two buckets.
+
+    ``observe`` keeps count/sum/min/max and increments the bucket for
+    ``floor(log2(value))``; non-positive values land in a dedicated
+    underflow bucket.  The buckets are enough to see an order-of-
+    magnitude shape (e.g. NTT wall times) without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exponent = math.frexp(value)[1] - 1 if value > 0 else -1075
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready digest of the distribution."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": None, "max": None, "buckets_pow2": {}}
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "min": self.min, "max": self.max,
+                "buckets_pow2": {str(e): c
+                                 for e, c in sorted(self.buckets.items())}}
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """Flat name -> instrument map with create-on-first-use."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def counters(self) -> dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> dict[str, dict]:
+        return {name: h.summary()
+                for name, h in sorted(self._histograms.items())}
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()

@@ -1,0 +1,212 @@
+"""Span-based event tracer for the simulator and the CKKS library.
+
+Two clock domains coexist:
+
+* ``WALL`` spans time real execution of host code (Aether analysis,
+  NTT calls, a whole ``Engine.run``) via ``time.perf_counter``;
+* ``SIM`` events carry *simulated* begin/duration seconds supplied by
+  the cycle simulator, one per kernel task, keyed by the hardware
+  unit they ran on (``track``) — exported to chrome-trace they render
+  the per-unit pipeline exactly as Fig. 10/11 reason about it.
+
+The tracer is **disabled by default** and designed for near-zero
+overhead in that state: hot loops guard on the ``enabled`` attribute
+(one attribute read), ``span()`` returns a shared no-op singleton and
+``count``/``observe``/``event`` early-return before touching any
+registry.  Enable with ``REPRO_TRACE=1`` in the environment or
+``obs.configure(enabled=True)``.
+
+Single-threaded by design, like the simulator it instruments.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+WALL = "wall"
+SIM = "sim"
+
+# Hard cap on retained span events: a runaway traced loop degrades to
+# counting dropped events instead of exhausting memory.
+DEFAULT_MAX_EVENTS = 2_000_000
+
+
+@dataclass
+class Span:
+    """One finished span/event record."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    clock: str = WALL
+    track: str | None = None
+    span_id: int = 0
+    parent_id: int | None = None
+    labels: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record = {"name": self.name, "start_s": self.start_s,
+                  "duration_s": self.duration_s, "clock": self.clock,
+                  "id": self.span_id}
+        if self.track is not None:
+            record["track"] = self.track
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        if self.labels:
+            record["labels"] = self.labels
+        return record
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **labels) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """A live wall-clock span; records itself on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "track", "labels", "span_id",
+                 "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 track: str | None, labels: dict):
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.labels = labels
+        self.span_id = tracer._new_id()
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+
+    def set(self, **labels) -> "_ActiveSpan":
+        self.labels.update(labels)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._stack.append(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self._tracer._record(Span(
+            name=self.name, start_s=self._start, duration_s=duration,
+            clock=WALL, track=self.track, span_id=self.span_id,
+            parent_id=self.parent_id, labels=self.labels))
+        return False
+
+
+class Tracer:
+    """Event/metric sink; one global instance serves the process."""
+
+    def __init__(self, enabled: bool = False,
+                 max_events: int = DEFAULT_MAX_EVENTS):
+        self.enabled = bool(enabled)
+        self.max_events = max_events
+        self.metrics = MetricsRegistry()
+        self.spans: list[Span] = []
+        self.dropped_events = 0
+        self._stack: list[int] = []
+        self._id = 0
+
+    # -- lifecycle ----------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics (keeps enabled state)."""
+        self.spans.clear()
+        self.metrics.reset()
+        self._stack.clear()
+        self.dropped_events = 0
+        self._id = 0
+
+    # -- recording ----------------------------------------------------
+    def _new_id(self) -> int:
+        self._id += 1
+        return self._id
+
+    def _record(self, span: Span) -> None:
+        if len(self.spans) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.spans.append(span)
+
+    def span(self, name: str, track: str | None = None, **labels):
+        """Context manager timing a wall-clock region (nestable)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _ActiveSpan(self, name, track, labels)
+
+    def event(self, name: str, start_s: float, duration_s: float,
+              track: str | None = None, clock: str = SIM,
+              **labels) -> None:
+        """Record a pre-timed event (simulated clock by default)."""
+        if not self.enabled:
+            return
+        self._record(Span(name=name, start_s=start_s,
+                          duration_s=duration_s, clock=clock, track=track,
+                          span_id=self._new_id(), labels=labels))
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter(name).add(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.metrics.histogram(name).observe(value)
+
+    # -- inspection ----------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return self.metrics.counters().get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of everything recorded so far."""
+        from repro.obs import export
+        return export.snapshot(self)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "") not in ("", "0", "false")
+
+
+_GLOBAL = Tracer(enabled=_env_enabled())
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer all instrumentation points share."""
+    return _GLOBAL
+
+
+def configure(enabled: bool | None = None,
+              reset: bool = False) -> Tracer:
+    """Adjust the global tracer; returns it for chaining."""
+    if reset:
+        _GLOBAL.reset()
+    if enabled is not None:
+        _GLOBAL.enabled = bool(enabled)
+    return _GLOBAL

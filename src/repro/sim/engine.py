@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.ckks.keys import HYBRID
 from repro.ckks.keyswitch import cost
 from repro.ckks.params import CkksParams, SET_I, SET_II
@@ -60,6 +61,13 @@ class SimulationResult:
     key_stall_s: float = 0.0
     num_ops: int = 0
     num_key_switches: int = 0
+    key_cache_hits: int = 0
+    key_cache_misses: int = 0
+
+    @property
+    def key_cache_hit_rate(self) -> float:
+        lookups = self.key_cache_hits + self.key_cache_misses
+        return self.key_cache_hits / lookups if lookups else 0.0
 
     def utilisation(self, total_override: float | None = None) -> dict:
         total = total_override or self.total_s
@@ -129,14 +137,18 @@ class Engine:
 
     # -- core loop ----------------------------------------------------------
     def run(self, trace, name: str | None = None) -> SimulationResult:
-        policy = self.make_policy(trace)
-        schedules = lower_trace(trace, self.aether, policy)
-        return self.run_schedules(schedules, name or trace.name)
+        tracer = obs.get_tracer()
+        with tracer.span("engine.run", trace=trace.name, ops=len(trace)):
+            policy = self.make_policy(trace)
+            schedules = lower_trace(trace, self.aether, policy)
+            return self.run_schedules(schedules, name or trace.name)
 
     def run_schedules(self, schedules: list[OpSchedule],
                       name: str) -> SimulationResult:
         acc = self.accelerator
         cfg = self.config
+        tracer = obs.get_tracer()
+        tracing = tracer.enabled  # hoisted: one branch per event below
         result = SimulationResult(name=name)
         unit_free: dict[str, float] = {u: 0.0 for u in UNIT_NAMES}
         hbm_free = 0.0
@@ -153,8 +165,11 @@ class Engine:
                 result.num_key_switches += max(1, schedule.hoisting)
                 result.method_ops[schedule.method] += \
                     max(1, schedule.hoisting)
-                missing = [k for k in self._key_identities(schedule)
+                identities = self._key_identities(schedule)
+                missing = [k for k in identities
                            if not key_cache.contains(k)]
+                result.key_cache_hits += len(identities) - len(missing)
+                result.key_cache_misses += len(missing)
                 if missing:
                     # Hemera's batch-wise prefetcher keeps the HBM
                     # channel as a work queue: the next key transfer
@@ -165,6 +180,10 @@ class Engine:
                     key_arrival = hbm_free
                     result.key_bytes += bytes_needed
                     result.unit_busy_s["hbm"] += duration
+                    if tracing:
+                        tracer.event("key-fetch", hbm_free - duration,
+                                     duration, track="hbm", op=op.kind,
+                                     keys=len(missing))
                     for k in missing:
                         key_cache.insert(k, schedule.key_bytes_per_key)
             # -- ciphertext working-set spills ---------------------------
@@ -185,6 +204,9 @@ class Engine:
                     operand_arrival = hbm_free
                     result.plaintext_bytes += spill
                     result.unit_busy_s["hbm"] += duration
+                    if tracing:
+                        tracer.event("spill-refill", hbm_free - duration,
+                                     duration, track="hbm", op=op.kind)
             # -- plaintext streaming for PMult --------------------------
             if op.kind == optrace.PMULT:
                 # OF-Limb: only the single stored limb streams in.
@@ -194,13 +216,19 @@ class Engine:
                 key_arrival = max(key_arrival, hbm_free)
                 result.plaintext_bytes += pt_bytes
                 result.unit_busy_s["hbm"] += duration
+                if tracing:
+                    tracer.event("pt-stream", hbm_free - duration,
+                                 duration, track="hbm", op=op.kind)
             # -- staged execution ---------------------------------------
             stage_ready = max(op_start, operand_arrival)
             first_stage_end = op_start
             for stage_idx, tasks in enumerate(schedule.stages):
                 if stage_idx == schedule.keymult_stage and key_arrival:
                     if key_arrival > stage_ready:
-                        result.key_stall_s += key_arrival - stage_ready
+                        stall = key_arrival - stage_ready
+                        result.key_stall_s += stall
+                        if tracing:
+                            tracer.observe("engine.key_stall_s", stall)
                         stage_ready = key_arrival
                 stage_end = stage_ready
                 for task in tasks:
@@ -221,6 +249,12 @@ class Engine:
                     unit_free[unit] = end
                     result.unit_busy_s[unit] += seconds
                     result.kernel_modops[task.kernel] += task.modops
+                    if tracing:
+                        tracer.event(task.kernel, begin, seconds,
+                                     track=unit, op=op.kind,
+                                     stage=task.label or
+                                     schedule.stage_label or "main",
+                                     wide=task.wide, modops=task.modops)
                     stage_end = max(stage_end, end)
                 if stage_idx == 0:
                     first_stage_end = stage_end
@@ -228,9 +262,22 @@ class Engine:
             op_end = stage_ready
             label = schedule.stage_label or "main"
             result.stage_s[label] += op_end - op_start
+            if tracing:
+                tracer.event(op.kind, op_start, op_end - op_start,
+                             track="op", stage=label,
+                             method=schedule.method, level=op.level,
+                             hoisting=schedule.hoisting)
             pipeline_ready = first_stage_end
             finish = max(finish, op_end)
         result.total_s = finish
+        if tracing:
+            tracer.count("engine.runs")
+            tracer.count("engine.ops", result.num_ops)
+            tracer.count("engine.key_switches", result.num_key_switches)
+            tracer.count("engine.key_cache_hits", result.key_cache_hits)
+            tracer.count("engine.key_cache_misses",
+                         result.key_cache_misses)
+            tracer.observe("engine.sim_total_s", result.total_s)
         return result
 
     def _key_identities(self, schedule: OpSchedule) -> list[tuple]:

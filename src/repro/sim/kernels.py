@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.ckks.keys import HYBRID, KLSS
 from repro.ckks.keyswitch import cost
 from repro.ckks.params import CkksParams
@@ -229,6 +230,22 @@ def lower_trace(trace: OpTrace, aether: Aether,
     Hoist groups whose decision says ``hoisting > 1`` are fused into
     batch schedules of that size; everything else lowers per-op.
     """
+    tracer = obs.get_tracer()
+    with tracer.span("sim.lower_trace", trace=trace.name,
+                     mode=policy.mode):
+        schedules = _lower_trace(trace, aether, policy)
+    if tracer.enabled:
+        tracer.count("lower.schedules", len(schedules))
+        for schedule in schedules:
+            if schedule.key_bytes > 0:
+                tracer.count(f"lower.method.{schedule.method}")
+                if schedule.hoisting > 1:
+                    tracer.count("lower.hoisted_batches")
+    return schedules
+
+
+def _lower_trace(trace: OpTrace, aether: Aether,
+                 policy: Policy) -> list[OpSchedule]:
     schedules: list[OpSchedule] = []
     unit_of_index: dict[int, object] = {}
     for unit in aether.decision_units(trace):

@@ -1,0 +1,102 @@
+"""Golden values pinning the key-switching cost model (Fig. 2).
+
+Aether's whole method policy hangs off these numbers: the hybrid-vs-
+KLSS crossover level decides which method wins where, and the
+per-kernel op counts decide how the delay model weighs NTTU vs KMU
+work.  A refactor that shifts any of them silently re-tunes the
+accelerator, so they are pinned exactly (the counts are closed-form
+integers — any drift is a semantic change, not noise).
+"""
+
+import pytest
+
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import SET_I, SET_II
+
+# First level (Fig. 2's x-axis) at which KLSS overtakes hybrid under
+# the paper's parameter sets, i.e. quantitative line >= 1.
+CROSSOVER_LEVEL = 12
+
+# Exact per-kernel modular-multiplication counts at three probe
+# levels (low / mid / top of the modulus chain).
+GOLDEN_KERNEL_OPS = {
+    ("hybrid", 5): {"ntt": 21233664.0, "bconv": 8257536.0,
+                    "keymult": 1572864.0, "elementwise": 786432.0},
+    ("hybrid", 20): {"ntt": 77856768.0, "bconv": 66650112.0,
+                     "keymult": 8650752.0, "elementwise": 2752512.0},
+    ("hybrid", 35): {"ntt": 141557760.0, "bconv": 145489920.0,
+                     "keymult": 18874368.0, "elementwise": 4718592.0},
+    ("klss", 5): {"ntt": 31850496.0, "bconv": 12189696.0,
+                  "keymult": 4718592.0, "elementwise": 3145728.0},
+    ("klss", 20): {"ntt": 84934656.0, "bconv": 39714816.0,
+                   "keymult": 23592960.0, "elementwise": 7471104.0},
+    ("klss", 35): {"ntt": 138018816.0, "bconv": 67239936.0,
+                   "keymult": 47185920.0, "elementwise": 11796480.0},
+}
+
+# Aether's decisions on the bootstrap trace with the default FAST
+# chip: the method mix of Fig. 11b's flow and the hoisting degrees.
+GOLDEN_BOOTSTRAP_MIX = {"hybrid": 57, "klss": 11}
+GOLDEN_BOOTSTRAP_UNITS = 32
+GOLDEN_BOOTSTRAP_HOISTS = {1, 7}
+
+
+def _params(method: str):
+    return SET_I if method == "hybrid" else SET_II
+
+
+class TestCrossover:
+    def test_crossover_level_is_pinned(self):
+        line = {level: cost.quantitative_line(SET_I, SET_II, level)
+                for level in range(1, 36)}
+        first_klss_win = min(l for l, v in line.items() if v >= 1.0)
+        assert first_klss_win == CROSSOVER_LEVEL
+
+    def test_hybrid_wins_every_level_below_crossover(self):
+        for level in range(1, CROSSOVER_LEVEL):
+            assert cost.quantitative_line(SET_I, SET_II, level) < 1.0, \
+                f"hybrid should win at level {level}"
+
+    def test_klss_wins_every_level_from_crossover_up(self):
+        for level in range(CROSSOVER_LEVEL, 36):
+            assert cost.quantitative_line(SET_I, SET_II, level) >= 1.0, \
+                f"KLSS should win at level {level}"
+
+
+class TestGoldenKernelOps:
+    @pytest.mark.parametrize("method,level",
+                             sorted(GOLDEN_KERNEL_OPS))
+    def test_per_kernel_counts(self, method, level):
+        ops = cost.keyswitch_ops(method, _params(method), level)
+        golden = GOLDEN_KERNEL_OPS[(method, level)]
+        assert ops.ntt == golden["ntt"]
+        assert ops.bconv == golden["bconv"]
+        assert ops.keymult == golden["keymult"]
+        assert ops.elementwise == golden["elementwise"]
+
+    @pytest.mark.parametrize("method,level",
+                             sorted(GOLDEN_KERNEL_OPS))
+    def test_totals_consistent(self, method, level):
+        ops = cost.keyswitch_ops(method, _params(method), level)
+        assert ops.total == sum(GOLDEN_KERNEL_OPS[(method,
+                                                   level)].values())
+
+
+class TestGoldenAetherPolicy:
+    """End-to-end pin: cost model -> Aether decisions on bootstrap."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        from repro.sim.engine import Engine
+        from repro.workloads import bootstrap_trace
+        return Engine().aether.run(bootstrap_trace())
+
+    def test_method_mix(self, config):
+        assert config.method_histogram() == GOLDEN_BOOTSTRAP_MIX
+
+    def test_decision_unit_count(self, config):
+        assert len(config.decisions) == GOLDEN_BOOTSTRAP_UNITS
+
+    def test_hoisting_degrees(self, config):
+        hoists = {d.hoisting for d in config.decisions.values()}
+        assert hoists == GOLDEN_BOOTSTRAP_HOISTS

@@ -1,0 +1,89 @@
+"""The bounded NTT-plan cache: eviction must never corrupt results."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import primes, rns
+from repro.ckks.rns import (PLAN_CACHE_MAXSIZE, RnsPoly, clear_plan_cache,
+                            get_plan, plan_cache_info)
+
+N = 8
+
+
+def _many_primes(count: int, bits: int = 18) -> list[int]:
+    """``count`` distinct NTT-friendly primes for ring degree N."""
+    found = primes.ntt_primes(count, bits, N)
+    assert len(set(found)) == count
+    return found
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestBound:
+    def test_cache_has_explicit_maxsize(self):
+        info = plan_cache_info()
+        assert info.maxsize == PLAN_CACHE_MAXSIZE
+        assert info.maxsize is not None and info.maxsize > 0
+
+    def test_maxsize_covers_paper_parameter_sets(self):
+        # Both parameter sets' primes (ciphertext chain + specials)
+        # must fit simultaneously with headroom for the KLSS wide
+        # bases — eviction thrash on real workloads would be a silent
+        # performance bug.
+        from repro.ckks.params import SET_I, SET_II
+        working_set = (SET_I.num_limbs_fresh + SET_I.num_special_primes
+                       + SET_II.num_limbs_fresh
+                       + SET_II.num_special_primes)
+        assert 2 * working_set <= PLAN_CACHE_MAXSIZE
+
+    def test_eviction_happens_beyond_maxsize(self):
+        for q in _many_primes(PLAN_CACHE_MAXSIZE + 8):
+            get_plan(N, q)
+        info = plan_cache_info()
+        assert info.currsize == PLAN_CACHE_MAXSIZE
+        assert info.misses >= PLAN_CACHE_MAXSIZE + 8
+
+
+class TestEvictionCorrectness:
+    def test_rebuilt_plan_matches_original_tables(self):
+        moduli = _many_primes(PLAN_CACHE_MAXSIZE + 4)
+        first = moduli[0]
+        original = get_plan(N, first)
+        reference_fwd = original.forward(np.arange(N))
+        for q in moduli[1:]:          # churn: evicts `first`
+            get_plan(N, q)
+        rebuilt = get_plan(N, first)
+        assert rebuilt is not original          # it really was evicted
+        assert rebuilt.modulus == first and rebuilt.n == N
+        np.testing.assert_array_equal(rebuilt.forward(np.arange(N)),
+                                      reference_fwd)
+        np.testing.assert_array_equal(
+            rebuilt._psi_rev, original._psi_rev)
+        np.testing.assert_array_equal(
+            rebuilt._psi_inv_rev, original._psi_inv_rev)
+
+    def test_roundtrip_survives_cache_churn(self):
+        moduli = _many_primes(PLAN_CACHE_MAXSIZE + 4)
+        rng = np.random.default_rng(7)
+        basis = tuple(moduli[:3])
+        coeffs = rng.integers(-(1 << 12), 1 << 12, size=N)
+        poly = RnsPoly.from_int_coeffs(coeffs, basis)
+        before = poly.to_eval()
+        for q in moduli[3:]:          # evict the basis plans
+            get_plan(N, q)
+        after = poly.to_eval()        # rebuilt plans must agree
+        for a, b in zip(before.limbs, after.limbs):
+            np.testing.assert_array_equal(a, b)
+        back = after.to_coeff()
+        for limb, orig in zip(back.limbs, poly.limbs):
+            np.testing.assert_array_equal(limb, orig)
+
+    def test_plans_for_same_pair_are_shared_until_evicted(self):
+        q = _many_primes(1)[0]
+        assert get_plan(N, q) is get_plan(N, q)
+        assert plan_cache_info().hits >= 1

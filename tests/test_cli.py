@@ -1,5 +1,7 @@
 """The `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -37,3 +39,66 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestBenchCommand:
+    """`repro bench` seeds the BENCH_sim.json regression baseline."""
+
+    @pytest.fixture(scope="class")
+    def report_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_sim.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(path)]) == 0
+        return path
+
+    def test_bench_quick_writes_schema(self, report_path):
+        data = json.loads(report_path.read_text())
+        assert data["schema"] == "repro-bench/v1"
+        assert data["quick"] is True
+        assert set(data["workloads"]) == {"Bootstrap", "HELR256",
+                                          "HELR1024", "ResNet-20"}
+
+    def test_bench_records_required_metrics(self, report_path):
+        from repro.sim.engine import UNIT_NAMES
+        data = json.loads(report_path.read_text())
+        for name, record in data["workloads"].items():
+            for key in ("wall_s", "sim_s", "sim_ms", "utilisation",
+                        "key_cache_hit_rate", "hbm_bytes",
+                        "key_stall_s", "method_ops"):
+                assert key in record, f"{name} missing {key}"
+            assert record["wall_s"] > 0 and record["sim_s"] > 0
+            assert set(record["utilisation"]) == set(UNIT_NAMES)
+            assert 0.0 <= record["key_cache_hit_rate"] <= 1.0
+
+    def test_bench_baseline_self_compare_passes(self, report_path,
+                                                tmp_path, capsys):
+        out = tmp_path / "BENCH_again.json"
+        # Wide wall tolerance: this asserts the *simulated* numbers
+        # are reproducible; host wall time is load-dependent noise.
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out),
+                     "--baseline", str(report_path),
+                     "--wall-tolerance", "50"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_detects_sim_regression(self, report_path, tmp_path,
+                                          capsys):
+        doctored = json.loads(report_path.read_text())
+        for record in doctored["workloads"].values():
+            record["sim_s"] *= 0.5  # pretend the baseline was 2x faster
+        baseline = tmp_path / "BENCH_doctored.json"
+        baseline.write_text(json.dumps(doctored))
+        out = tmp_path / "BENCH_now.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out),
+                     "--baseline", str(baseline)]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_bench_chrome_trace_export(self, tmp_path):
+        out = tmp_path / "BENCH.json"
+        trace = tmp_path / "timeline.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out),
+                     "--chrome-trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
