@@ -2,11 +2,14 @@
 
 Runs the Table 5 workloads (bootstrap, HELR training iterations,
 ResNet-20 trace slices) through the cycle simulator and writes
-``BENCH_sim.json`` (schema ``repro-bench/v1``): per-workload host
+``BENCH_sim.json`` (schema ``repro-bench/v2``): per-workload host
 wall-time, simulated latency, per-unit utilisation, Hemera cache-hit
-rate and HBM traffic.  That file is the regression baseline every
-perf-oriented PR is judged against — rerun with ``--baseline`` to
-compare a fresh run to a committed baseline.
+rate and HBM traffic, plus a ``micro`` section with modmul/NTT
+kernel microbenchmarks and a functional HELR-style step at toy or
+Set-II-shaped wide-word parameters (``--params toy|full``), including
+the width-path occupancy counters.  That file is the regression
+baseline every perf-oriented PR is judged against — rerun with
+``--baseline`` to compare a fresh run to a committed baseline.
 
 Entry points: ``python -m repro bench`` or
 ``python benchmarks/harness.py``.
@@ -14,6 +17,7 @@ Entry points: ``python -m repro bench`` or
 
 from repro.bench.harness import (BENCH_SCHEMA, compare_reports,
                                  run_benchmarks, write_report)
+from repro.bench.micro import run_micro, validate_micro
 
 __all__ = ["BENCH_SCHEMA", "compare_reports", "run_benchmarks",
-           "write_report"]
+           "run_micro", "validate_micro", "write_report"]

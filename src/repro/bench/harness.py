@@ -24,8 +24,9 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v1"
+BENCH_SCHEMA = "repro-bench/v2"
 DEFAULT_OUT = "BENCH_sim.json"
+DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
 # Simulated latency is deterministic; any drift beyond numeric noise
 # is a real model change.  Wall time is host-dependent, so the bar is
@@ -92,9 +93,11 @@ def _measure(engine, trace, repeats: int) -> dict:
 
 
 def run_benchmarks(config=None, quick: bool = False,
-                   repeats: int = 3) -> dict:
+                   repeats: int = 3,
+                   params_mode: str = DEFAULT_PARAMS_MODE) -> dict:
     """Run every workload; returns the full report dict."""
     from repro import __version__, obs
+    from repro.bench import micro
     from repro.hw.config import FAST_CONFIG
     from repro.sim.engine import Engine
 
@@ -107,6 +110,7 @@ def run_benchmarks(config=None, quick: bool = False,
             # Fresh engine per workload: cold evk-cache, cold Aether —
             # the regression numbers must not depend on run order.
             workloads[name] = _measure(Engine(config), trace, repeats)
+        micro_report = micro.run_micro(params_mode=params_mode, quick=quick)
     finally:
         obs.configure(enabled=was_enabled)
     return {
@@ -115,6 +119,7 @@ def run_benchmarks(config=None, quick: bool = False,
         "repro_version": __version__,
         "quick": quick,
         "repeats": repeats,
+        "params_mode": params_mode,
         "config": {
             "name": config.name,
             "clusters": config.clusters,
@@ -128,6 +133,7 @@ def run_benchmarks(config=None, quick: bool = False,
             "machine": platform.machine(),
         },
         "workloads": workloads,
+        "micro": micro_report,
     }
 
 
@@ -159,6 +165,45 @@ def compare_reports(current: dict, baseline: dict,
                     f"{name}: {key} {now:.6g} vs baseline {ref:.6g} "
                     f"(+{(ratio - 1) * 100:.1f}%, "
                     f"tolerance {tolerance * 100:.0f}%)")
+    regressions.extend(_compare_micro(current.get("micro") or {},
+                                      baseline.get("micro") or {},
+                                      wall_tolerance))
+    return regressions
+
+
+def _compare_micro(current: dict, baseline: dict,
+                   wall_tolerance: float) -> list[str]:
+    """Wall-time regressions in the microbenchmark section.
+
+    Only wall metrics measured at an identical configuration are
+    compared: the NTT sizes are fixed constants, while the functional
+    step is only comparable when ring degree and parameter mode match
+    (quick runs use a smaller functional ring).
+    """
+    if not current or not baseline:
+        return []
+    pairs = [("micro.ntt.wide_best_s",
+              current.get("ntt", {}).get("wide_best_s"),
+              baseline.get("ntt", {}).get("wide_best_s"))]
+    cur_f = current.get("functional", {})
+    base_f = baseline.get("functional", {})
+    if (cur_f.get("ring_degree") == base_f.get("ring_degree")
+            and cur_f.get("params_mode") == base_f.get("params_mode")):
+        pairs.append(("micro.functional.keygen_wall_s",
+                      cur_f.get("keygen_wall_s"),
+                      base_f.get("keygen_wall_s")))
+        pairs.append(("micro.functional.step_wall_s",
+                      cur_f.get("step_wall_s"), base_f.get("step_wall_s")))
+    regressions = []
+    for label, now, ref in pairs:
+        if not ref or now is None:
+            continue
+        ratio = now / ref
+        if ratio > 1.0 + wall_tolerance:
+            regressions.append(
+                f"{label}: {now:.6g} vs baseline {ref:.6g} "
+                f"(+{(ratio - 1) * 100:.1f}%, "
+                f"tolerance {wall_tolerance * 100:.0f}%)")
     return regressions
 
 
@@ -190,6 +235,28 @@ def _format_table(report: dict) -> str:
             f"{r['num_ops']:>7d} {util.get('nttu', 0):>6.0%} "
             f"{util.get('hbm', 0):>6.0%} "
             f"{r['key_cache_hit_rate']:>8.0%}")
+    micro = report.get("micro")
+    if micro:
+        ntt = micro["ntt"]
+        functional = micro["functional"]
+        paths = functional["width_paths"]
+        by_width = {w: sum(v for k, v in paths.items()
+                           if k.endswith("." + w))
+                    for w in ("narrow", "wide", "object")}
+        lines.append("")
+        lines.append(
+            f"micro: NTT N={ntt['ring_degree']} "
+            f"q{ntt['modulus_bits']} wide {ntt['wide_best_s'] * 1e3:.2f} ms"
+            f" vs object {ntt['object_best_s'] * 1e3:.2f} ms "
+            f"({ntt['speedup_wide36_vs_object']:.1f}x, "
+            f"bar {ntt['min_required_speedup']:.0f}x)")
+        lines.append(
+            f"micro: {functional['workload']} @ {functional['params']}: "
+            f"keygen {functional['keygen_wall_s'] * 1e3:.0f} ms, "
+            f"step {functional['step_wall_s'] * 1e3:.0f} ms, "
+            f"err {functional['max_slot_error']:.2e}, width paths "
+            f"narrow={by_width['narrow']} wide={by_width['wide']} "
+            f"object={by_width['object']}")
     return "\n".join(lines)
 
 
@@ -197,6 +264,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Bench CLI flags (shared by ``repro bench`` and the wrapper)."""
     parser.add_argument("--quick", action="store_true",
                         help="slice ResNet-20 for a fast CI-sized run")
+    parser.add_argument("--params", choices=("full", "toy"),
+                        default=DEFAULT_PARAMS_MODE,
+                        help="functional microbenchmark parameters: "
+                             "Set-II-shaped 36/60-bit wide-word primes "
+                             "(full) or narrow int64 toy primes (toy)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"report path (default {DEFAULT_OUT})")
     parser.add_argument("--repeats", type=int, default=3,
@@ -216,11 +288,19 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run_cli(args: argparse.Namespace) -> int:
-    report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    from repro.bench.micro import validate_micro
+    report = run_benchmarks(quick=args.quick, repeats=args.repeats,
+                            params_mode=args.params)
     write_report(report, args.out)
     print(_format_table(report))
     print(f"\nwrote {args.out}"
           + (" (quick mode)" if args.quick else ""))
+    violations = validate_micro(report["micro"])
+    if violations:
+        print("\nMICRO ACCEPTANCE VIOLATIONS:")
+        for line in violations:
+            print(f"  {line}")
+        return 1
     if args.chrome_trace or args.obs_json:
         _export_traces(args.quick, args.chrome_trace, args.obs_json)
         for path in (args.chrome_trace, args.obs_json):

@@ -1,0 +1,225 @@
+"""Arithmetic-kernel microbenchmarks for ``python -m repro bench``.
+
+Three sections feed the ``micro`` block of BENCH_sim.json:
+
+* ``modmul`` — element-wise modular multiplication at each width path
+  (narrow int64 / wide uint64 Barrett at 36, 60 and near-2^62 bits /
+  forced-object oracle), the software analogue of timing the TBM's
+  36-bit and 60-bit modes in isolation.
+* ``ntt`` — the N=4096 negacyclic NTT at a 36-bit prime on the wide
+  path versus the forced-object oracle (the configuration the
+  acceptance bar of ISSUE 2 names), plus the 60-bit wide transform.
+  The wide result is cross-checked element-wise against the oracle
+  before timing, so the reported speedup can never come from a
+  wrong answer.
+* ``functional`` — one HELR-style step (encrypt, PMult + rescale,
+  HMult/hybrid + rescale, HMult/KLSS + rescale, HRot, decrypt) at
+  either toy (``--params toy``) or Set-II-shaped wide-word parameters
+  (``--params full``).  It runs with the obs layer enabled and
+  records the width-path counter deltas — TBM mode occupancy,
+  Fig. 12 — which CI uses to assert that full-size parameters never
+  fall back onto the object path.
+
+Wall times are best-of-``reps`` to shrug off interpreter hiccups.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+# Acceptance bar: wide-path N=4096 NTT at a 36-bit prime must beat the
+# object-path oracle by at least this factor.
+MIN_NTT_SPEEDUP = 10.0
+# The functional step decrypt must land this close to the clear-text
+# result, or the kernels are fast but wrong.
+MAX_FUNCTIONAL_ERROR = 1e-2
+
+NTT_RING_DEGREE = 4096
+MODMUL_SIZE = 4096
+
+
+def _best(fn, reps: int) -> float:
+    walls = []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - start)
+    return min(walls)
+
+
+def _modmul_section(quick: bool) -> dict:
+    from repro.ckks import modmath, primes
+
+    reps = 3 if quick else 10
+    n = MODMUL_SIZE
+    rng = np.random.default_rng(2024)
+    cases = {}
+    q36 = primes.ntt_primes(1, 36, n)[0]
+    specs = [
+        ("narrow28", primes.ntt_primes(1, 28, n)[0], None),
+        ("wide36", q36, None),
+        ("wide60", primes.ntt_primes(1, 60, n)[0], None),
+        ("wide62", primes.ntt_primes(1, 62, n)[0], None),
+        ("object36", q36, modmath.OBJECT),
+    ]
+    for label, q, path in specs:
+        kernel = modmath.get_kernel(q, path)
+        a = kernel.asresidues(rng.integers(0, q, size=n).tolist())
+        b = kernel.asresidues(rng.integers(0, q, size=n).tolist())
+        best = _best(lambda: kernel.mul(a, b), reps)
+        cases[label] = {
+            "modulus_bits": q.bit_length(),
+            "path": kernel.path,
+            "n": n,
+            "best_s": best,
+            "ns_per_element": best / n * 1e9,
+        }
+    return {
+        "cases": cases,
+        "speedup_wide36_vs_object": (cases["object36"]["best_s"]
+                                     / cases["wide36"]["best_s"]),
+    }
+
+
+def _ntt_section(quick: bool) -> dict:
+    from repro.ckks import modmath, primes
+    from repro.ckks.ntt import NttPlan
+
+    n = NTT_RING_DEGREE
+    wide_reps = 5 if quick else 20
+    object_reps = 2 if quick else 3
+    rng = np.random.default_rng(4096)
+    q36 = primes.ntt_primes(1, 36, n)[0]
+    q60 = primes.ntt_primes(1, 60, n)[0]
+    wide_plan = NttPlan(n, q36)
+    oracle_plan = NttPlan(n, q36, path=modmath.OBJECT)
+    x = rng.integers(0, q36, size=n, dtype=np.uint64)
+    fw = wide_plan.forward(x)
+    fo = oracle_plan.forward(np.array(x.tolist(), dtype=object))
+    matches = all(int(a) == int(b) for a, b in zip(fw, fo))
+    wide_best = _best(lambda: wide_plan.forward(x), wide_reps)
+    object_best = _best(
+        lambda: oracle_plan.forward(np.array(x.tolist(), dtype=object)),
+        object_reps)
+    wide60_plan = NttPlan(n, q60)
+    x60 = rng.integers(0, q60, size=n, dtype=np.uint64)
+    wide60_best = _best(lambda: wide60_plan.forward(x60), wide_reps)
+    return {
+        "ring_degree": n,
+        "modulus_bits": q36.bit_length(),
+        "wide_matches_oracle": matches,
+        "wide_best_s": wide_best,
+        "object_best_s": object_best,
+        "wide60_best_s": wide60_best,
+        "speedup_wide36_vs_object": object_best / wide_best,
+        "min_required_speedup": MIN_NTT_SPEEDUP,
+    }
+
+
+def _functional_params(params_mode: str, quick: bool):
+    from repro.ckks.params import set_ii_mini, toy_params
+
+    if params_mode == "toy":
+        return toy_params(ring_degree=256, name="toy (narrow path)")
+    return set_ii_mini(ring_degree=1024 if quick else 4096)
+
+
+def _path_counters() -> dict:
+    from repro.obs.tracer import get_tracer
+    counters = get_tracer().metrics.counters()
+    return {name: int(value) for name, value in counters.items()
+            if name.startswith(("modmath.path.", "ntt.path."))}
+
+
+def _functional_section(params_mode: str, quick: bool) -> dict:
+    """One HELR-style step at real word widths, with path accounting."""
+    from repro import obs
+    from repro.ckks.context import CkksContext
+    from repro.ckks.keys import HYBRID, KLSS
+
+    params = _functional_params(params_mode, quick)
+    was_enabled = obs.enabled()
+    obs.configure(enabled=True, reset=True)
+    try:
+        before = _path_counters()
+        start = time.perf_counter()
+        ctx = CkksContext(params, seed=11)
+        top = params.max_level
+        ctx.evaluation_key(HYBRID, top, "mult")
+        ctx.evaluation_key(KLSS, top - 2, "mult")
+        ctx.rotation_key(HYBRID, top - 3, 1)
+        keygen_wall = time.perf_counter() - start
+
+        base = np.array([0.75, -1.25, 0.5, 1.5], dtype=np.complex128)
+        message = np.tile(base, params.num_slots // 4)
+        weights = np.full(params.num_slots, 0.5)
+        start = time.perf_counter()
+        ct = ctx.encrypt(message)
+        ct = ctx.rescale(ctx.multiply(ct, ct, method=HYBRID))
+        ct = ctx.rescale(ctx.multiply_plain(ct, ctx.plain_for(ct, weights)))
+        ct = ctx.rescale(ctx.multiply(ct, ct, method=KLSS))
+        ct = ctx.rotate(ct, 1, method=HYBRID)
+        expected = np.roll((message ** 2 * weights) ** 2, -1)
+        error = float(np.max(np.abs(ctx.decrypt(ct) - expected)))
+        step_wall = time.perf_counter() - start
+        after = _path_counters()
+    finally:
+        obs.configure(enabled=was_enabled, reset=True)
+    width_paths = {name: after.get(name, 0) - before.get(name, 0)
+                   for name in after}
+    return {
+        "workload": "HELR-mini step",
+        "params": params.name,
+        "params_mode": params_mode,
+        "ring_degree": params.ring_degree,
+        "prime_bits": params.prime_bits,
+        "klss_word_bits": params.klss_word_bits,
+        "keygen_wall_s": keygen_wall,
+        "step_wall_s": step_wall,
+        "max_slot_error": error,
+        "width_paths": width_paths,
+    }
+
+
+def run_micro(params_mode: str = "full", quick: bool = False) -> dict:
+    """The full ``micro`` block for the bench report."""
+    return {
+        "params_mode": params_mode,
+        "modmul": _modmul_section(quick),
+        "ntt": _ntt_section(quick),
+        "functional": _functional_section(params_mode, quick),
+    }
+
+
+def validate_micro(micro: dict) -> list[str]:
+    """Acceptance-bar violations in a ``micro`` block (empty = pass)."""
+    violations: list[str] = []
+    ntt = micro.get("ntt", {})
+    if not ntt.get("wide_matches_oracle", False):
+        violations.append("ntt: wide path disagrees with the object oracle")
+    speedup = ntt.get("speedup_wide36_vs_object", 0.0)
+    if speedup < MIN_NTT_SPEEDUP:
+        violations.append(
+            f"ntt: wide36 speedup {speedup:.1f}x is below the "
+            f"{MIN_NTT_SPEEDUP:.0f}x bar")
+    functional = micro.get("functional", {})
+    error = functional.get("max_slot_error")
+    if error is None or error > MAX_FUNCTIONAL_ERROR:
+        violations.append(
+            f"functional: slot error {error} exceeds {MAX_FUNCTIONAL_ERROR}")
+    if functional.get("params_mode") == "full":
+        paths = functional.get("width_paths", {})
+        object_hits = sum(v for k, v in paths.items()
+                          if k.endswith(".object"))
+        wide_hits = sum(v for k, v in paths.items() if k.endswith(".wide"))
+        if object_hits:
+            violations.append(
+                f"functional: {object_hits} kernel invocations fell back "
+                "onto the object path at full-size parameters")
+        if not wide_hits:
+            violations.append(
+                "functional: no kernel invocation took the wide path at "
+                "full-size parameters")
+    return violations

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.ckks import rns
 from repro.ckks.keys import KeySwitchKey, hybrid_digit_indices
 from repro.ckks.rns import RnsPoly
+from repro.obs.tracer import get_tracer
 
 
 def hybrid_decompose(poly: RnsPoly, key: KeySwitchKey,
@@ -68,6 +69,7 @@ def hybrid_key_switch(poly: RnsPoly, key: KeySwitchKey,
     Returns ``(delta0, delta1)`` in evaluation form over ``Q_l`` such
     that ``delta0 + delta1 * s ~= poly * s_from``.
     """
+    get_tracer().count("keyswitch.hybrid")
     coeff = poly.to_coeff()
     decomposed = hybrid_decompose(coeff, key, alpha)
     acc0, acc1 = key_mult_accumulate(decomposed, key)

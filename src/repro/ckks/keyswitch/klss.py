@@ -18,10 +18,13 @@ operations exactly as the paper does.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.ckks import rns
 from repro.ckks.keys import KeySwitchKey
 from repro.ckks.keyswitch.hybrid import key_mult_accumulate, mod_down_pair
 from repro.ckks.rns import RnsPoly
+from repro.obs.tracer import get_tracer
 
 
 def balanced_digits(value: int, digit_bits: int, num_digits: int) -> list[int]:
@@ -50,6 +53,32 @@ def balanced_digits(value: int, digit_bits: int, num_digits: int) -> list[int]:
     return digits
 
 
+def _balanced_digits_columns(values: list[int], digit_bits: int,
+                             num_digits: int) -> list[np.ndarray]:
+    """Column-wise :func:`balanced_digits` over a coefficient vector.
+
+    Returns ``num_digits`` object arrays, ``columns[j][i]`` being digit
+    ``j`` of ``values[i]``.  Same digits as the scalar routine (the
+    property tests cross-check the two) but each extraction step runs
+    as a whole-vector big-int pass instead of a per-coefficient loop.
+    """
+    base = 1 << digit_bits
+    half = base >> 1
+    v = np.empty(len(values), dtype=object)
+    v[:] = [int(c) for c in values]
+    columns = []
+    for _ in range(num_digits):
+        d = np.mod(v, base)
+        d = np.where(d >= half, d - base, d)
+        columns.append(d)
+        v = (v - d) >> digit_bits
+    bad = ~((v == 0) | (v == -1))
+    if bad.any():
+        raise ValueError("digit budget too small for value")
+    columns[-1] = np.where(v == -1, columns[-1] - base, columns[-1])
+    return columns
+
+
 def klss_decompose(poly: RnsPoly, key: KeySwitchKey) -> list[RnsPoly]:
     """Double decomposition: narrow limbs -> integers -> wide digits.
 
@@ -63,16 +92,10 @@ def klss_decompose(poly: RnsPoly, key: KeySwitchKey) -> list[RnsPoly]:
         raise ValueError("input basis does not match the key's Q basis")
     coeff = poly.to_coeff()
     big_coeffs = rns.compose_crt(coeff)
-    num_digits = key.num_digits
-    v = key.digit_bits
-    digit_coeffs = [[0] * poly.n for _ in range(num_digits)]
-    for i, c in enumerate(big_coeffs):
-        for j, d in enumerate(balanced_digits(c, v, num_digits)):
-            digit_coeffs[j][i] = d
-    out = []
-    for coeffs in digit_coeffs:
-        out.append(rns.from_big_ints(coeffs, key.moduli, poly.n).to_eval())
-    return out
+    columns = _balanced_digits_columns(big_coeffs, key.digit_bits,
+                                       key.num_digits)
+    return [rns.from_big_ints(col.tolist(), key.moduli, poly.n).to_eval()
+            for col in columns]
 
 
 def klss_key_switch(poly: RnsPoly, key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
@@ -81,6 +104,7 @@ def klss_key_switch(poly: RnsPoly, key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]
     ``delta0 + delta1 * s ~= poly * s_from`` with gadget noise bounded
     by ``num_digits * 2^(v-1) * ||e||``, removed by the ModDown by T.
     """
+    get_tracer().count("keyswitch.klss")
     decomposed = klss_decompose(poly, key)
     acc0, acc1 = key_mult_accumulate(decomposed, key)
     return mod_down_pair(acc0, acc1, key.aux_count)

@@ -1,15 +1,31 @@
-"""Vectorised modular arithmetic over a single prime modulus.
+"""Tunable-width vectorised modular arithmetic over a single prime.
 
 All polynomial limbs in this library are 1-D :class:`numpy.ndarray`
-objects holding coefficients reduced modulo one RNS prime.  Two
-representations are used, selected automatically per modulus:
+objects holding coefficients reduced modulo one RNS prime.  Three
+representations exist, selected automatically per modulus — the
+software analogue of the paper's Tunable-Bit Multiplier picking its
+datapath width per operation (Sec. 4.2, 36-bit vs 60-bit mode):
 
-* ``int64`` arrays when the modulus fits in 31 bits, so that a product
-  of two reduced residues fits in a signed 64-bit integer.  This is
-  the fast path used by all functional tests.
-* ``object`` arrays of Python integers otherwise (exact, arbitrary
-  precision).  This path is used when full-size 36/60-bit parameter
-  sets are exercised functionally.
+* ``narrow`` — ``int64`` arrays for moduli up to 31 bits, so that a
+  product of two reduced residues fits a signed 64-bit integer.  This
+  is the path the scaled-down toy parameter sets run on.
+* ``wide`` — ``uint64`` arrays for moduli up to 62 bits.  Products are
+  formed exactly as 128-bit (hi, lo) pairs via 32-bit-limb schoolbook
+  multiplication and reduced with a vectorised Barrett reduction
+  using the precomputed per-modulus constant ``floor(2^128 / q)``.
+  Multiplications by a fixed operand (twiddles, CRT scalars) use
+  Shoup's precomputed-quotient trick with a single lazy final
+  subtraction.  This is the path the paper's full-size 36/60-bit
+  parameter sets (Set-I/Set-II) run on.
+* ``object`` — arbitrary-precision Python integers.  Exactness oracle
+  for the wide kernels and the only path for moduli beyond 62 bits.
+
+Per-modulus constants live in a :class:`ModulusKernel` plan, cached by
+:func:`get_kernel`.  The module-level functions keep their historic
+``f(a, b, modulus)`` signatures and dispatch through the kernel.  When
+the observability layer is enabled, every kernel invocation bumps a
+``modmath.path.{narrow,wide,object}`` counter — the software analogue
+of TBM mode-occupancy statistics (Fig. 12).
 
 The functions here are deliberately free of any CKKS semantics; they
 are the software analogue of the accelerator's modular ALUs.
@@ -17,72 +33,389 @@ are the software analogue of the accelerator's modular ALUs.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
+
+from repro.obs.tracer import get_tracer
+
+NARROW = "narrow"
+WIDE = "wide"
+OBJECT = "object"
 
 # Largest modulus for which a*b of two reduced residues fits in int64.
 _INT64_SAFE_BITS = 31
+# Largest modulus for the split-limb Barrett path: the reduction needs
+# q < 2^62 so that the (< 3q) pre-subtraction remainder and the lazy
+# Shoup product (< 2q) both fit in uint64 with slack.
+_WIDE_SAFE_BITS = 62
+
+_PATH_RANK = {NARROW: 0, WIDE: 1, OBJECT: 2}
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+_U64_ZERO = np.uint64(0)
+
+# The process-global tracer is a stable singleton (obs.configure
+# mutates it in place), so one module-level reference is safe and
+# keeps the disabled-tracer cost to a single attribute read per op.
+_TRACER = get_tracer()
+
+
+def width_path(modulus: int) -> str:
+    """Auto-selected width path (``narrow``/``wide``/``object``)."""
+    bits = int(modulus).bit_length()
+    if bits <= _INT64_SAFE_BITS:
+        return NARROW
+    if bits <= _WIDE_SAFE_BITS:
+        return WIDE
+    return OBJECT
 
 
 def uses_int64(modulus: int) -> bool:
-    """Return True when residues mod ``modulus`` can use the int64 path."""
-    return modulus.bit_length() <= _INT64_SAFE_BITS
+    """Return True when residues mod ``modulus`` use the int64 path."""
+    return width_path(modulus) == NARROW
 
 
 def _dtype_for(modulus: int):
-    return np.int64 if uses_int64(modulus) else object
+    return get_kernel(modulus).dtype
 
+
+# -- 64x64 -> 128-bit building blocks (uint64 arrays) ---------------------
+
+def _mul128(a, b):
+    """Exact 128-bit product of uint64 operands as a (hi, lo) pair.
+
+    Schoolbook on 32-bit halves; every partial product and carry sum
+    fits uint64, so no wraparound occurs inside this function.
+    """
+    a0 = a & _MASK32
+    a1 = a >> _SHIFT32
+    b0 = b & _MASK32
+    b1 = b >> _SHIFT32
+    ll = a0 * b0
+    lh = a0 * b1
+    hl = a1 * b0
+    mid = (ll >> _SHIFT32) + (lh & _MASK32) + (hl & _MASK32)
+    lo = (ll & _MASK32) | ((mid & _MASK32) << _SHIFT32)
+    hi = a1 * b1 + (lh >> _SHIFT32) + (hl >> _SHIFT32) + (mid >> _SHIFT32)
+    return hi, lo
+
+
+def _mulhi(a, b):
+    """High 64 bits of the 128-bit product (skips lo-word assembly)."""
+    a0 = a & _MASK32
+    a1 = a >> _SHIFT32
+    b0 = b & _MASK32
+    b1 = b >> _SHIFT32
+    lh = a0 * b1
+    hl = a1 * b0
+    mid = ((a0 * b0) >> _SHIFT32) + (lh & _MASK32) + (hl & _MASK32)
+    return a1 * b1 + (lh >> _SHIFT32) + (hl >> _SHIFT32) + (mid >> _SHIFT32)
+
+
+def _barrett128(hi, lo, q, r_hi, r_lo):
+    """Reduce the 128-bit values ``hi * 2^64 + lo`` modulo ``q < 2^62``.
+
+    ``(r_hi, r_lo)`` is ``floor(2^128 / q)``.  The quotient estimate
+    ``floor(x * ratio / 2^128)`` is computed exactly (SEAL-style two
+    rounds with carry propagation) and undershoots ``floor(x / q)`` by
+    at most 1 for ``x < 2^124``, so the remainder lands in ``[0, 2q)``;
+    two conditional subtractions keep a safety margin.
+    """
+    carry = _mulhi(lo, r_lo)
+    t_hi, t_lo = _mul128(lo, r_hi)
+    s1 = t_lo + carry
+    c1 = s1 < t_lo
+    u_hi, u_lo = _mul128(hi, r_lo)
+    s2 = s1 + u_lo
+    c2 = s2 < u_lo
+    quotient = hi * r_hi + t_hi + u_hi + c1 + c2
+    r = lo - quotient * q          # exact in [0, 3q), mod-2^64 wraps cancel
+    r = np.where(r >= q, r - q, r)
+    return np.where(r >= q, r - q, r)
+
+
+class ModulusKernel:
+    """Per-modulus arithmetic plan: width path plus reduction constants.
+
+    The plan object is the software TBM: one kernel runs either the
+    narrow int64 datapath or the wide split-limb Barrett datapath (or
+    the exact object oracle), chosen once per modulus.  Residue arrays
+    handed to the binary ops are assumed reduced; :meth:`asresidues`
+    is the boundary that establishes that invariant.
+    """
+
+    __slots__ = ("modulus", "path", "dtype", "bits",
+                 "_q64", "_r_hi", "_r_lo", "_half")
+
+    def __init__(self, modulus: int, path: str | None = None):
+        modulus = int(modulus)
+        if modulus < 2:
+            raise ValueError("modulus must be at least 2")
+        auto = width_path(modulus)
+        if path is None:
+            path = auto
+        elif path not in _PATH_RANK:
+            raise ValueError(f"unknown width path {path!r}")
+        elif _PATH_RANK[path] < _PATH_RANK[auto]:
+            raise ValueError(
+                f"modulus {modulus} ({modulus.bit_length()} bits) does "
+                f"not fit the {path} path")
+        self.modulus = modulus
+        self.path = path
+        self.bits = modulus.bit_length()
+        self._half = modulus // 2
+        if path == NARROW:
+            self.dtype = np.int64
+        elif path == WIDE:
+            self.dtype = np.uint64
+            self._q64 = np.uint64(modulus)
+            ratio = (1 << 128) // modulus
+            self._r_hi = np.uint64(ratio >> 64)
+            self._r_lo = np.uint64(ratio & 0xFFFFFFFFFFFFFFFF)
+        else:
+            self.dtype = object
+
+    def __repr__(self) -> str:
+        return (f"ModulusKernel(modulus={self.modulus}, "
+                f"path={self.path!r}, bits={self.bits})")
+
+    # -- internals ----------------------------------------------------
+    def _tick(self) -> None:
+        if _TRACER.enabled:
+            _TRACER.count("modmath.path." + self.path)
+
+    def _scalar(self, value) -> int:
+        """A reduced plain-int scalar operand."""
+        return int(value) % self.modulus
+
+    def _coerce(self, a) -> np.ndarray:
+        """Ensure ``a`` is a residue array of this kernel's dtype."""
+        if isinstance(a, np.ndarray) and a.dtype == self.dtype:
+            return a
+        return self._asresidues(a, copy=False)
+
+    def _asresidues(self, values, copy: bool = True) -> np.ndarray:
+        q = self.modulus
+        if isinstance(values, np.ndarray):
+            arr = values
+        else:
+            arr = np.asarray(values)
+            if arr.dtype.kind == "f":
+                # numpy converts an int list to float64 (losing low
+                # bits) when any element lands in [2^63, 2^64); rebox
+                # from the original exact values.
+                boxed = np.empty(len(values), dtype=object)
+                boxed[:] = [int(v) for v in values]
+                arr = boxed
+        if self.path == OBJECT:
+            if arr.dtype != object:
+                boxed = np.empty(arr.size, dtype=object)
+                boxed[:] = arr.ravel().tolist()
+                arr = boxed
+            else:
+                arr = arr.ravel()
+            return np.mod(arr, q)
+        if arr.dtype == object:
+            # Single reduce-then-convert pass: one vectorised Python-%
+            # sweep, then a bulk dtype conversion (no per-element
+            # comprehension).
+            return np.mod(arr.ravel(), q).astype(self.dtype)
+        if arr.dtype == self.dtype and arr.ndim == 1:
+            # Fast path: already-reduced input needs at most a copy.
+            if self.path == WIDE:
+                reduced = bool((arr < self._q64).all())
+            else:
+                reduced = bool(((arr >= 0) & (arr < q)).all())
+            if reduced:
+                return arr.copy() if copy else arr
+        if self.path == WIDE:
+            if arr.dtype == np.uint64:
+                return np.mod(arr, self._q64)
+            return np.mod(arr.astype(np.int64, copy=False),
+                          q).astype(np.uint64)
+        return np.mod(arr.astype(np.int64, copy=True), q)
+
+    def _mul_scalar(self, a, scalar: int) -> np.ndarray:
+        s = self._scalar(scalar)
+        if self.path == WIDE:
+            w, w_shoup = self.shoup(s)
+            return self._mul_shoup(self._coerce(a), w, w_shoup)
+        return np.mod(a * s, self.modulus)
+
+    def _mul_shoup(self, a, w, w_shoup) -> np.ndarray:
+        q = self._q64
+        hi = _mulhi(a, w_shoup)
+        r = a * w - hi * q             # lazy: exact value in [0, 2q)
+        return np.where(r >= q, r - q, r)
+
+    # -- constructors / conversions -----------------------------------
+    def zeros(self, n: int) -> np.ndarray:
+        if self.path == OBJECT:
+            out = np.empty(n, dtype=object)
+            out[:] = 0
+            return out
+        return np.zeros(n, dtype=self.dtype)
+
+    def asresidues(self, values, copy: bool = True) -> np.ndarray:
+        """Coerce ints/arrays into a reduced residue vector.
+
+        With ``copy=False``, input that is already a reduced vector of
+        the kernel's dtype is returned as-is (no copy); callers opting
+        in must not mutate the result.
+        """
+        self._tick()
+        return self._asresidues(values, copy=copy)
+
+    def to_signed(self, a) -> np.ndarray:
+        """Map residues to the symmetric interval (-q/2, q/2]."""
+        self._tick()
+        half = self._half
+        if self.path == OBJECT:
+            return np.where(np.greater(a, half), a - self.modulus, a)
+        signed = a.astype(np.int64, copy=True)
+        signed[signed > half] -= self.modulus
+        return signed
+
+    # -- element-wise ring ops -----------------------------------------
+    def add(self, a, b) -> np.ndarray:
+        self._tick()
+        if isinstance(b, (int, np.integer)):
+            b = self._scalar(b)
+            if self.path == WIDE:
+                b = np.uint64(b)
+        if self.path == WIDE:
+            s = a + b                   # < 2^63: no wraparound
+            return np.where(s >= self._q64, s - self._q64, s)
+        return np.mod(a + b, self.modulus)
+
+    def sub(self, a, b) -> np.ndarray:
+        self._tick()
+        if isinstance(b, (int, np.integer)):
+            b = self._scalar(b)
+            if self.path == WIDE:
+                b = np.uint64(b)
+        if self.path == WIDE:
+            d = a + (self._q64 - b)     # in [0, 2q)
+            return np.where(d >= self._q64, d - self._q64, d)
+        return np.mod(a - b, self.modulus)
+
+    def neg(self, a) -> np.ndarray:
+        self._tick()
+        if self.path == WIDE:
+            return np.where(a == _U64_ZERO, _U64_ZERO, self._q64 - a)
+        return np.mod(-a, self.modulus)
+
+    def mul(self, a, b) -> np.ndarray:
+        """Element-wise ``(a * b) mod q``; ``b`` may be a scalar."""
+        self._tick()
+        if isinstance(b, (int, np.integer)):
+            return self._mul_scalar(a, int(b))
+        if self.path == WIDE:
+            hi, lo = _mul128(self._coerce(a), self._coerce(b))
+            return _barrett128(hi, lo, self._q64, self._r_hi, self._r_lo)
+        return np.mod(a * b, self.modulus)
+
+    def mul_scalar(self, a, scalar: int) -> np.ndarray:
+        self._tick()
+        return self._mul_scalar(a, int(scalar))
+
+    # -- Shoup fixed-operand multiplication (wide path) -----------------
+    def shoup(self, w: int) -> tuple[np.uint64, np.uint64]:
+        """Precompute ``(w, floor(w * 2^64 / q))`` for :meth:`mul_shoup`."""
+        w = self._scalar(w)
+        return np.uint64(w), np.uint64((w << 64) // self.modulus)
+
+    def shoup_table(self, table) -> np.ndarray:
+        """Vectorised Shoup companions for a table of residues."""
+        q = self.modulus
+        boxed = np.empty(len(table), dtype=object)
+        boxed[:] = [int(w) for w in table]
+        return ((boxed << 64) // q).astype(np.uint64)
+
+    def mul_shoup(self, a, w, w_shoup) -> np.ndarray:
+        """Lazy-reduction multiply by precomputed operands (wide only).
+
+        ``w``/``w_shoup`` come from :meth:`shoup` / :meth:`shoup_table`
+        (scalars or broadcastable arrays).  Exact result in [0, q).
+        """
+        if self.path != WIDE:
+            raise ValueError(f"mul_shoup requires the wide path, "
+                             f"not {self.path}")
+        self._tick()
+        return self._mul_shoup(a, w, w_shoup)
+
+    # -- sampling -------------------------------------------------------
+    def random_uniform(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._tick()
+        q = self.modulus
+        if self.path == NARROW:
+            return rng.integers(0, q, size=n, dtype=np.int64)
+        if self.path == WIDE:
+            return rng.integers(0, q, size=n, dtype=np.uint64)
+        words = (q.bit_length() + 62) // 63
+        out = np.empty(n, dtype=object)
+        for i in range(n):
+            v = 0
+            for _ in range(words):
+                v = (v << 63) | int(rng.integers(0, 1 << 63,
+                                                 dtype=np.uint64))
+            out[i] = v % q
+        return out
+
+
+@lru_cache(maxsize=1024)
+def get_kernel(modulus: int, path: str | None = None) -> ModulusKernel:
+    """Shared :class:`ModulusKernel` for one (modulus, path) pair."""
+    return ModulusKernel(modulus, path)
+
+
+# -- module-level functional API (historic signatures) --------------------
 
 def zeros(n: int, modulus: int) -> np.ndarray:
     """An all-zero residue vector of length ``n`` for ``modulus``."""
-    if uses_int64(modulus):
-        return np.zeros(n, dtype=np.int64)
-    out = np.empty(n, dtype=object)
-    out[:] = 0
-    return out
+    return get_kernel(modulus).zeros(n)
 
 
-def asresidues(values, modulus: int) -> np.ndarray:
+def asresidues(values, modulus: int, copy: bool = True) -> np.ndarray:
     """Coerce ``values`` (ints / array) into a reduced residue vector."""
-    if uses_int64(modulus):
-        arr = np.asarray(values)
-        if arr.dtype == object:
-            arr = np.array([int(v) % modulus for v in arr], dtype=np.int64)
-            return arr
-        return np.mod(arr.astype(np.int64, copy=True), modulus)
-    arr = np.array([int(v) % modulus for v in np.asarray(values).ravel()],
-                   dtype=object)
-    return arr
+    return get_kernel(modulus).asresidues(values, copy=copy)
 
 
-def add(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+def add(a: np.ndarray, b, modulus: int) -> np.ndarray:
     """Element-wise ``(a + b) mod modulus``."""
-    return np.mod(a + b, modulus)
+    return get_kernel(modulus).add(a, b)
 
 
-def sub(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+def sub(a: np.ndarray, b, modulus: int) -> np.ndarray:
     """Element-wise ``(a - b) mod modulus``."""
-    return np.mod(a - b, modulus)
+    return get_kernel(modulus).sub(a, b)
 
 
 def neg(a: np.ndarray, modulus: int) -> np.ndarray:
     """Element-wise ``(-a) mod modulus``."""
-    return np.mod(-a, modulus)
+    return get_kernel(modulus).neg(a)
 
 
 def mul(a: np.ndarray, b, modulus: int) -> np.ndarray:
     """Element-wise ``(a * b) mod modulus``; ``b`` may be a scalar.
 
-    On the int64 path the product of two reduced residues is at most
-    ``(2^31 - 1)^2 < 2^62`` so it never overflows.
+    Narrow path: the product of two reduced residues is at most
+    ``(2^31 - 1)^2 < 2^62`` so it never overflows int64.  Wide path:
+    exact 128-bit product + Barrett reduction.
     """
-    if isinstance(b, (int, np.integer)):
-        b = int(b) % modulus
-    return np.mod(a * b, modulus)
+    return get_kernel(modulus).mul(a, b)
 
 
 def mul_scalar(a: np.ndarray, scalar: int, modulus: int) -> np.ndarray:
     """Element-wise multiplication by a plain integer scalar."""
-    return mul(a, int(scalar) % modulus, modulus)
+    return get_kernel(modulus).mul_scalar(a, scalar)
+
+
+def mul_shoup(a: np.ndarray, w, w_shoup, modulus: int) -> np.ndarray:
+    """Wide-path lazy multiply by Shoup-precomputed operands."""
+    return get_kernel(modulus).mul_shoup(a, w, w_shoup)
 
 
 def pow_mod(base: int, exp: int, modulus: int) -> int:
@@ -101,34 +434,21 @@ def inv_mod(value: int, modulus: int) -> int:
 def to_signed(a: np.ndarray, modulus: int) -> np.ndarray:
     """Map residues to the symmetric interval (-q/2, q/2].
 
-    Returns a float64 array on the int64 path (safe: moduli on that
-    path are < 2^31) and an object array of Python ints otherwise.
-    Used when rounding/decoding and in ModDown error analysis.
+    Returns an int64 array on the narrow and wide paths (safe: moduli
+    there are < 2^62, so centred values fit a signed 64-bit integer)
+    and an object array of Python ints on the object path.  Used when
+    rounding/decoding and in ModDown error analysis.
     """
-    half = modulus // 2
-    if uses_int64(modulus):
-        signed = a.astype(np.int64, copy=True)
-        signed[signed > half] -= modulus
-        return signed
-    out = np.empty(len(a), dtype=object)
-    for i, v in enumerate(a):
-        v = int(v)
-        out[i] = v - modulus if v > half else v
-    return out
+    return get_kernel(modulus).to_signed(a)
 
 
 def random_uniform(n: int, modulus: int, rng: np.random.Generator) -> np.ndarray:
-    """Uniform residue vector, used for RLWE masks and evk ``a`` parts."""
-    if uses_int64(modulus):
-        return rng.integers(0, modulus, size=n, dtype=np.int64)
-    words = (modulus.bit_length() + 62) // 63
-    out = np.empty(n, dtype=object)
-    for i in range(n):
-        v = 0
-        for _ in range(words):
-            v = (v << 63) | int(rng.integers(0, 1 << 63, dtype=np.uint64))
-        out[i] = v % modulus
-    return out
+    """Uniform residue vector, used for RLWE masks and evk ``a`` parts.
+
+    Narrow/wide moduli sample directly into int64/uint64 arrays; only
+    the object path pays a per-element rejection loop.
+    """
+    return get_kernel(modulus).random_uniform(n, rng)
 
 
 def random_ternary(n: int, rng: np.random.Generator,

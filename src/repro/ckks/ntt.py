@@ -13,9 +13,14 @@ The implementation is the standard merged-twist radix-2 pair:
 * inverse: Gentleman-Sande butterflies on powers of ``psi^-1``
   followed by multiplication with ``N^-1``.
 
-Transforms are vectorised with numpy slicing and work on both the
-int64 fast path and the exact object path (see
-:mod:`repro.ckks.modmath`).
+Butterflies are stage-vectorised: each of the log2(N) stages reshapes
+the working array into an (m, 2t) matrix of butterfly groups and
+applies the whole stage as a handful of array-wide operations, so no
+Python loop runs per butterfly group.  The twiddle tables follow the
+plan's width path (see :mod:`repro.ckks.modmath`): int64 on the
+narrow path, uint64 with precomputed Shoup companions on the wide
+path (lazy-reduction mulmod butterflies), Python ints on the exact
+object path.
 """
 
 from __future__ import annotations
@@ -31,9 +36,11 @@ from repro.obs.tracer import get_tracer
 def bit_reverse_permutation(n: int) -> np.ndarray:
     """Index permutation reversing log2(n)-bit indices."""
     bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
     out = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        out[i] = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+    for _ in range(bits):
+        out = (out << 1) | (idx & 1)
+        idx >>= 1
     return out
 
 
@@ -46,12 +53,18 @@ class NttPlan:
         Power-of-two polynomial degree ``N``.
     modulus:
         NTT-friendly prime with ``modulus = 1 (mod 2N)``.
+    path:
+        Optional width-path override (e.g. ``modmath.OBJECT`` to force
+        the exact arbitrary-precision oracle for a modulus that would
+        auto-select a faster path).  Defaults to the modulus's
+        auto-selected path.
 
     The plan owns the bit-reversed twiddle tables; limbs transform
     in-place-style through :meth:`forward` / :meth:`inverse`.
     """
 
-    def __init__(self, ring_degree: int, modulus: int):
+    def __init__(self, ring_degree: int, modulus: int,
+                 path: str | None = None):
         if ring_degree & (ring_degree - 1):
             raise ValueError("ring degree must be a power of two")
         if (modulus - 1) % (2 * ring_degree) != 0:
@@ -59,11 +72,22 @@ class NttPlan:
                 f"modulus {modulus} is not NTT-friendly for N={ring_degree}")
         self.n = ring_degree
         self.modulus = modulus
+        self._kernel = modmath.get_kernel(modulus, path)
+        self.path = self._kernel.path
         psi = primes.root_of_unity(2 * ring_degree, modulus)
         psi_inv = modmath.inv_mod(psi, modulus)
         self._psi_rev = self._power_table(psi)
         self._psi_inv_rev = self._power_table(psi_inv)
         self._n_inv = modmath.inv_mod(ring_degree, modulus)
+        if self.path == modmath.WIDE:
+            kernel = self._kernel
+            self._psi_rev_shoup = kernel.shoup_table(self._psi_rev)
+            self._psi_inv_rev_shoup = kernel.shoup_table(self._psi_inv_rev)
+            self._n_inv_pair = kernel.shoup(self._n_inv)
+        else:
+            self._psi_rev_shoup = None
+            self._psi_inv_rev_shoup = None
+            self._n_inv_pair = None
 
     def _power_table(self, base: int) -> np.ndarray:
         """Powers base^0..base^(N-1) stored in bit-reversed order."""
@@ -74,32 +98,111 @@ class NttPlan:
             powers[i] = acc
             acc = acc * base % q
         rev = bit_reverse_permutation(n)
-        table = powers[rev]
-        return modmath.asresidues(table, q)
+        return self._kernel.asresidues(powers[rev])
 
-    def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """Coefficient form -> evaluation form (negacyclic NTT)."""
-        tracer = get_tracer()
-        start = perf_counter() if tracer.enabled else 0.0
+    def _stage_mul(self, values, twiddles, shoup):
+        """Butterfly-stage multiply: values (m, t) by twiddle column."""
+        if self.path == modmath.WIDE:
+            return self._kernel.mul_shoup(values, twiddles, shoup)
+        return np.mod(values * twiddles, self.modulus)
+
+    def _forward_stages(self, a: np.ndarray) -> None:
+        """Stage-vectorised Cooley-Tukey butterflies (narrow/wide)."""
+        kernel = self._kernel
+        wide = self.path == modmath.WIDE
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            view = a.reshape(m, 2 * t)
+            lo = view[:, :t]
+            hi = view[:, t:]
+            w = self._psi_rev[m:2 * m].reshape(m, 1)
+            ws = self._psi_rev_shoup[m:2 * m].reshape(m, 1) if wide else None
+            prod = self._stage_mul(hi, w, ws)
+            new_hi = kernel.sub(lo, prod)
+            view[:, :t] = kernel.add(lo, prod)
+            view[:, t:] = new_hi
+            m *= 2
+
+    def _inverse_stages(self, a: np.ndarray) -> None:
+        """Stage-vectorised Gentleman-Sande butterflies (narrow/wide)."""
+        kernel = self._kernel
+        wide = self.path == modmath.WIDE
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(h, 2 * t)
+            lo = view[:, :t]
+            hi = view[:, t:]
+            w = self._psi_inv_rev[h:2 * h].reshape(h, 1)
+            ws = (self._psi_inv_rev_shoup[h:2 * h].reshape(h, 1)
+                  if wide else None)
+            # diff must be taken before lo's slot is overwritten:
+            # lo/hi are views into the working array.
+            diff = kernel.sub(lo, hi)
+            view[:, :t] = kernel.add(lo, hi)
+            view[:, t:] = self._stage_mul(diff, w, ws)
+            t *= 2
+            m = h
+
+    # The object path keeps the textbook per-group loops below instead
+    # of sharing the stage-vectorised code: the oracle's value is that
+    # it is an independent, obviously-correct implementation, so a bug
+    # in the vectorised stages cannot cancel against itself when the
+    # property tests cross-check the two.
+
+    def _forward_groups(self, a: np.ndarray) -> None:
+        """Per-group Cooley-Tukey butterflies (object-path oracle)."""
         q = self.modulus
-        a = modmath.asresidues(coeffs, q)
-        if len(a) != self.n:
-            raise ValueError("limb length does not match the plan")
         t = self.n
         m = 1
         while m < self.n:
             t //= 2
             for i in range(m):
-                w = self._psi_rev[m + i]
+                w = int(self._psi_rev[m + i])
                 j1 = 2 * i * t
                 lo = a[j1:j1 + t]
                 hi = a[j1 + t:j1 + 2 * t]
-                prod = modmath.mul(hi, int(w), q)
-                a[j1 + t:j1 + 2 * t] = modmath.sub(lo, prod, q)
-                a[j1:j1 + t] = modmath.add(lo, prod, q)
+                prod = np.mod(hi * w, q)
+                a[j1 + t:j1 + 2 * t] = np.mod(lo - prod, q)
+                a[j1:j1 + t] = np.mod(lo + prod, q)
             m *= 2
+
+    def _inverse_groups(self, a: np.ndarray) -> None:
+        """Per-group Gentleman-Sande butterflies (object-path oracle)."""
+        q = self.modulus
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            j1 = 0
+            for i in range(h):
+                w = int(self._psi_inv_rev[h + i])
+                lo = a[j1:j1 + t]
+                hi = a[j1 + t:j1 + 2 * t]
+                diff = np.mod(lo - hi, q)
+                a[j1:j1 + t] = np.mod(lo + hi, q)
+                a[j1 + t:j1 + 2 * t] = np.mod(diff * w, q)
+                j1 += 2 * t
+            t *= 2
+            m = h
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient form -> evaluation form (negacyclic NTT)."""
+        tracer = get_tracer()
+        start = perf_counter() if tracer.enabled else 0.0
+        a = self._kernel.asresidues(coeffs)
+        if len(a) != self.n:
+            raise ValueError("limb length does not match the plan")
+        if self.path == modmath.OBJECT:
+            self._forward_groups(a)
+        else:
+            self._forward_stages(a)
         if tracer.enabled:
             tracer.count("ntt.forward")
+            tracer.count("ntt.path." + self.path)
             tracer.observe("ntt.forward_s", perf_counter() - start)
         return a
 
@@ -107,30 +210,21 @@ class NttPlan:
         """Evaluation form -> coefficient form (inverse negacyclic NTT)."""
         tracer = get_tracer()
         start = perf_counter() if tracer.enabled else 0.0
-        q = self.modulus
-        a = modmath.asresidues(evals, q)
+        kernel = self._kernel
+        a = kernel.asresidues(evals)
         if len(a) != self.n:
             raise ValueError("limb length does not match the plan")
-        t = 1
-        m = self.n
-        while m > 1:
-            h = m // 2
-            j1 = 0
-            for i in range(h):
-                w = self._psi_inv_rev[h + i]
-                lo = a[j1:j1 + t]
-                hi = a[j1 + t:j1 + 2 * t]
-                # diff must be taken before lo's slot is overwritten:
-                # lo/hi are views into the working array.
-                diff = modmath.sub(lo, hi, q)
-                a[j1:j1 + t] = modmath.add(lo, hi, q)
-                a[j1 + t:j1 + 2 * t] = modmath.mul(diff, int(w), q)
-                j1 += 2 * t
-            t *= 2
-            m = h
-        out = modmath.mul(a, self._n_inv, q)
+        if self.path == modmath.OBJECT:
+            self._inverse_groups(a)
+        else:
+            self._inverse_stages(a)
+        if self.path == modmath.WIDE:
+            out = kernel.mul_shoup(a, *self._n_inv_pair)
+        else:
+            out = kernel.mul(a, self._n_inv)
         if tracer.enabled:
             tracer.count("ntt.inverse")
+            tracer.count("ntt.path." + self.path)
             tracer.observe("ntt.inverse_s", perf_counter() - start)
         return out
 

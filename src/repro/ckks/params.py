@@ -11,6 +11,9 @@ Two kinds of parameter objects exist in this reproduction:
   functional scheme: the ring is smaller and the primes are narrower
   (so the int64 fast path applies), but the structure — digit size
   ``alpha``, special-modulus count, KLSS gadget width — is preserved.
+* :func:`set_ii_mini` sets, which keep Set-II's *real word lengths*
+  (36-bit scale primes, 60-bit KLSS gadget/T words) on the vectorised
+  wide uint64 path and shrink only the ring and chain length.
 """
 
 from __future__ import annotations
@@ -154,6 +157,43 @@ SET_II = CkksParams(
     double_rescale=True,
     name="Set-II (hybrid+KLSS, alpha=5, alpha~=9)",
 )
+
+
+def set_ii_mini(ring_degree: int = 4096, max_level: int = 6,
+                alpha: int | None = None, hamming_weight: int = 64,
+                boot_levels: int = 4,
+                name: str = "Set-II-mini (36-bit, wide path)") -> CkksParams:
+    """A Set-II-shaped set with the paper's *real word lengths*.
+
+    Unlike :func:`toy_params`, the primes keep Set-II's widths — 36-bit
+    scale primes, a wider first prime, 60-bit KLSS gadget digits and
+    wide T-basis primes — so every limb runs on the vectorised wide
+    (uint64 Barrett) path rather than the int64 toy path.  Only the
+    ring degree and chain length are reduced, which keeps functional
+    workloads affordable in software while exercising exactly the
+    arithmetic the paper's TBM executes in its 36-bit and 60-bit
+    modes.
+    """
+    if alpha is None:
+        alpha = min(5, max_level + 1)
+    return CkksParams(
+        ring_degree=ring_degree,
+        max_level=max_level,
+        scale_bits=36,
+        prime_bits=36,
+        first_prime_bits=44,
+        alpha=alpha,
+        num_special_primes=alpha,
+        klss_alpha=alpha,
+        klss_alpha_tilde=3,
+        klss_digit_bits=60,
+        klss_word_bits=60,
+        hamming_weight=hamming_weight,
+        sigma=3.2,
+        boot_levels=boot_levels,
+        double_rescale=False,
+        name=name,
+    )
 
 
 def toy_params(ring_degree: int = 64, max_level: int = 6,

@@ -203,11 +203,14 @@ class RnsPoly:
         two_n = 2 * n
         idx = (np.arange(n, dtype=np.int64) * (galois_power % two_n)) % two_n
         dest = np.where(idx < n, idx, idx - n)
-        sign = np.where(idx < n, 1, -1)
+        negate = idx >= n
         out_limbs = []
         for limb, q in zip(poly.limbs, poly.moduli):
+            # np.where instead of a sign multiply: mixing an int64 sign
+            # array into a uint64 limb would silently promote to
+            # float64 and corrupt wide residues.
             out = modmath.zeros(n, q)
-            out[dest] = np.mod(limb * sign, q)
+            out[dest] = np.where(negate, modmath.neg(limb, q), limb)
             out_limbs.append(out)
         result = RnsPoly(out_limbs, self.moduli, COEFF)
         return result.to_eval() if was_eval else result
@@ -246,22 +249,25 @@ def compose_crt(poly: RnsPoly) -> list[int]:
     get_tracer().count("rns.compose_crt")
     big_q, q_hat, q_hat_inv = _crt_constants(poly.moduli)
     half = big_q // 2
-    out = [0] * poly.n
+    # One vectorised big-int pass per limb, deferring the expensive
+    # mod-Q reduction to a single sweep at the end (the accumulated
+    # magnitude stays below len(moduli) * q_max * Q).
+    acc = np.zeros(poly.n, dtype=object)
     for limb, q, hat, hat_inv in zip(poly.limbs, poly.moduli,
                                      q_hat, q_hat_inv):
         scale = hat * hat_inv % big_q
-        for i in range(poly.n):
-            out[i] = (out[i] + int(limb[i]) * scale) % big_q
-    return [v - big_q if v > half else v for v in out]
+        boxed = np.empty(poly.n, dtype=object)
+        boxed[:] = limb.tolist()
+        acc = acc + boxed * scale
+    acc = np.mod(acc, big_q)
+    return [int(v) - big_q if v > half else int(v) for v in acc]
 
 
 def from_big_ints(coeffs: list[int], moduli, n: int | None = None) -> RnsPoly:
     """Reduce big-integer coefficients into an RNS polynomial."""
     if n is None:
         n = len(coeffs)
-    limbs = []
-    for q in moduli:
-        limbs.append(modmath.asresidues([c % q for c in coeffs], q))
+    limbs = [modmath.asresidues(coeffs, q) for q in moduli]
     return RnsPoly(limbs, moduli, COEFF)
 
 

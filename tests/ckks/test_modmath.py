@@ -8,23 +8,43 @@ from repro.ckks import modmath
 
 Q31 = (1 << 31) - 1          # forces the int64 fast path boundary
 Q_SMALL = 268435009          # 28-bit NTT prime
-Q_BIG = (1 << 59) - 55       # forces the object path
+Q_BIG = (1 << 59) - 55       # takes the wide uint64 Barrett path
+Q_HUGE = (1 << 70) - 267     # beyond 62 bits: the object path
 
-moduli = pytest.mark.parametrize("q", [17, Q_SMALL, Q_BIG])
+moduli = pytest.mark.parametrize("q", [17, Q_SMALL, Q_BIG, Q_HUGE])
 
 
 class TestDtypeDispatch:
     def test_int64_path_for_small_modulus(self):
         assert modmath.uses_int64(Q_SMALL)
+        assert modmath.width_path(Q_SMALL) == modmath.NARROW
         assert modmath.zeros(4, Q_SMALL).dtype == np.int64
 
-    def test_object_path_for_large_modulus(self):
+    def test_wide_path_for_large_modulus(self):
         assert not modmath.uses_int64(Q_BIG)
-        assert modmath.zeros(4, Q_BIG).dtype == object
+        assert modmath.width_path(Q_BIG) == modmath.WIDE
+        assert modmath.zeros(4, Q_BIG).dtype == np.uint64
 
-    def test_boundary_is_31_bits(self):
+    def test_object_path_for_huge_modulus(self):
+        assert modmath.width_path(Q_HUGE) == modmath.OBJECT
+        assert modmath.zeros(4, Q_HUGE).dtype == object
+
+    def test_narrow_boundary_is_31_bits(self):
         assert modmath.uses_int64((1 << 31) - 1)
         assert not modmath.uses_int64(1 << 31)
+        assert modmath.width_path(1 << 31) == modmath.WIDE
+
+    def test_wide_boundary_is_62_bits(self):
+        assert modmath.width_path((1 << 62) - 1) == modmath.WIDE
+        assert modmath.width_path(1 << 62) == modmath.OBJECT
+
+    def test_kernel_path_override_only_widens(self):
+        oracle = modmath.ModulusKernel(Q_BIG, path=modmath.OBJECT)
+        assert oracle.dtype == object
+        with pytest.raises(ValueError):
+            modmath.ModulusKernel(Q_BIG, path=modmath.NARROW)
+        with pytest.raises(ValueError):
+            modmath.ModulusKernel(Q_HUGE, path=modmath.WIDE)
 
 
 @moduli
@@ -74,7 +94,7 @@ class TestBasicOps:
 
 class TestScalarHelpers:
     def test_inv_mod(self):
-        for q in (17, Q_SMALL, Q_BIG):
+        for q in (17, Q_SMALL, Q_BIG, Q_HUGE):
             for v in (1, 2, 12345 % q):
                 assert v * modmath.inv_mod(v, q) % q == 1
 
@@ -91,9 +111,16 @@ class TestScalarHelpers:
         signed = modmath.to_signed(a, q)
         assert [int(v) for v in signed] == [0, 1, 8, -8, -1]
 
-    def test_to_signed_object_path(self):
+    def test_to_signed_wide_path(self):
         a = modmath.asresidues([Q_BIG - 1, 5], Q_BIG)
         signed = modmath.to_signed(a, Q_BIG)
+        assert signed.dtype == np.int64
+        assert int(signed[0]) == -1
+        assert int(signed[1]) == 5
+
+    def test_to_signed_object_path(self):
+        a = modmath.asresidues([Q_HUGE - 1, 5], Q_HUGE)
+        signed = modmath.to_signed(a, Q_HUGE)
         assert int(signed[0]) == -1
         assert int(signed[1]) == 5
 
@@ -114,7 +141,7 @@ class TestSamplers:
 
 
 @given(st.lists(st.integers(-10**12, 10**12), min_size=1, max_size=32),
-       st.sampled_from([17, Q_SMALL, Q_BIG]))
+       st.sampled_from([17, Q_SMALL, Q_BIG, Q_HUGE]))
 @settings(max_examples=60, deadline=None)
 def test_property_asresidues_congruent(values, q):
     arr = modmath.asresidues(values, q)
@@ -123,7 +150,7 @@ def test_property_asresidues_congruent(values, q):
         assert 0 <= int(r) < q
 
 
-@given(st.integers(2, 40), st.sampled_from([Q_SMALL, Q_BIG]),
+@given(st.integers(2, 40), st.sampled_from([Q_SMALL, Q_BIG, Q_HUGE]),
        st.integers(0, 2**32 - 1))
 @settings(max_examples=40, deadline=None)
 def test_property_mul_commutative(n, q, seed):
@@ -135,7 +162,7 @@ def test_property_mul_commutative(n, q, seed):
     assert all(int(x) == int(y) for x, y in zip(ab, ba))
 
 
-@given(st.integers(2, 24), st.sampled_from([Q_SMALL, Q_BIG]),
+@given(st.integers(2, 24), st.sampled_from([Q_SMALL, Q_BIG, Q_HUGE]),
        st.integers(0, 2**32 - 1))
 @settings(max_examples=40, deadline=None)
 def test_property_distributive(n, q, seed):

@@ -10,7 +10,7 @@ from repro.ckks.ntt import (NttPlan, bit_reverse_permutation,
 
 N_SMALL = 32
 Q_SMALL = primes.ntt_primes(1, 28, N_SMALL)[0]
-Q_WIDE = primes.ntt_primes(1, 40, N_SMALL)[0]  # object-path plan
+Q_WIDE = primes.ntt_primes(1, 40, N_SMALL)[0]  # wide uint64-path plan
 
 
 @pytest.fixture(scope="module")
@@ -49,11 +49,20 @@ class TestRoundTrip:
         assert np.array_equal(plan.forward(plan.inverse(x)),
                               np.mod(x, Q_SMALL))
 
-    def test_object_path_roundtrip(self, wide_plan, rng):
+    def test_wide_path_roundtrip(self, wide_plan, rng):
+        assert wide_plan.path == modmath.WIDE
         x = [int(v) for v in rng.integers(0, 2**40 - 1, N_SMALL)]
         x = modmath.asresidues(x, Q_WIDE)
         back = wide_plan.inverse(wide_plan.forward(x))
         assert all(int(a) == int(b) for a, b in zip(back, x))
+
+    def test_forced_object_plan_matches_wide(self, wide_plan, rng):
+        oracle = NttPlan(N_SMALL, Q_WIDE, path=modmath.OBJECT)
+        assert oracle.path == modmath.OBJECT
+        x = [int(v) for v in rng.integers(0, Q_WIDE, N_SMALL)]
+        fw = wide_plan.forward(modmath.asresidues(x, Q_WIDE))
+        fo = oracle.forward(np.array(x, dtype=object))
+        assert [int(v) for v in fw] == [int(v) for v in fo]
 
     def test_wrong_length_rejected(self, plan):
         with pytest.raises(ValueError):

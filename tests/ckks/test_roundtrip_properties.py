@@ -100,6 +100,68 @@ class TestCrtRoundtrip:
             compose_crt(poly)
 
 
+class TestSetIIShapedRoundtrip:
+    """The same invariants at a real 36-bit Set-II-shaped basis.
+
+    Everything here runs on the wide uint64 Barrett path — this is the
+    word length the paper's TBM spends its 36-bit mode on, and the one
+    the old int64-only fast path used to push onto object arrays.
+    """
+
+    N = 64
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ntt_roundtrip_at_36_bits(self, seed):
+        q = ntt_primes(1, 36, self.N)[0]
+        plan = NttPlan(self.N, q)
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, q, size=self.N, dtype=np.uint64)
+        got = plan.inverse(plan.forward(x))
+        assert [int(v) for v in got] == [int(v) for v in x]
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_convolution_theorem_at_36_bits(self, seed):
+        from repro.ckks import modmath
+        q = ntt_primes(1, 36, 16)[0]
+        plan = NttPlan(16, q)
+        rng = np.random.default_rng(seed)
+        a = [int(v) for v in rng.integers(0, q, size=16)]
+        b = [int(v) for v in rng.integers(0, q, size=16)]
+        # The raw `(fa * fb) % q` of the narrow test would wrap in
+        # uint64; wide products must go through modmath.mul.
+        via_ntt = plan.inverse(modmath.mul(
+            plan.forward(modmath.asresidues(a, q)),
+            plan.forward(modmath.asresidues(b, q)), q))
+        want = negacyclic_convolution_reference(a, b, q)
+        assert [int(v) for v in via_ntt] == [int(v) for v in want]
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_crt_roundtrip_on_wide_basis(self, seed):
+        import random
+        moduli = tuple(ntt_primes(1, 44, self.N)
+                       + ntt_primes(3, 36, self.N))
+        big_q = rns.product(moduli)
+        rng = random.Random(seed)
+        coeffs = [rng.randrange(-(big_q // 2) + 1, big_q // 2 + 1)
+                  for _ in range(self.N)]
+        poly = from_big_ints(coeffs, moduli, self.N)
+        assert compose_crt(poly) == coeffs
+        assert compose_crt(poly.to_eval().to_coeff()) == coeffs
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_encrypted_multiply_at_set_ii_mini(self, seed):
+        from repro.ckks.context import CkksContext
+        from repro.ckks.params import set_ii_mini
+        params = set_ii_mini(ring_degree=self.N, max_level=4,
+                             boot_levels=2)
+        ctx = CkksContext(params, seed=seed)
+        rng = np.random.default_rng(seed)
+        message = rng.normal(size=params.num_slots)
+        ct = ctx.encrypt(message)
+        got = ctx.decrypt(ctx.rescale(ctx.multiply(ct, ct)))
+        np.testing.assert_allclose(got.real, message ** 2, atol=1e-4)
+
+
 class TestEncodeDecodeRoundtrip:
     SCALE = float(1 << 30)
 
