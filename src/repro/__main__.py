@@ -8,6 +8,7 @@ Commands
 ``decide``      show Aether's decisions for the bootstrap trace
 ``security``    security report for the paper's parameter sets
 ``bench``       perf-regression benchmarks; seeds ``BENCH_sim.json``
+``sched``       dataflow-scheduled multi-cluster run + scaling curve
 """
 
 from __future__ import annotations
@@ -74,6 +75,48 @@ def cmd_bench(args) -> int:
     return harness.run_cli(args)
 
 
+def cmd_sched(args) -> int:
+    from repro.hw.config import FAST_CONFIG
+    from repro.sched import (FunctionalExecutor, ScheduledEngine,
+                             serial_reference)
+    from repro.workloads import bootstrap_trace, helr_trace
+
+    traces = {"helr256": lambda: helr_trace(batch=256),
+              "helr1024": lambda: helr_trace(batch=1024),
+              "bootstrap": bootstrap_trace}
+    trace = traces[args.workload]()
+    counts = [int(c) for c in str(args.clusters).split(",") if c]
+    serial = serial_reference(FAST_CONFIG).run(trace)
+    print(f"{trace.name}: serial 1-pipeline {serial.total_s * 1e3:.3f} ms")
+    for count in counts:
+        config = FAST_CONFIG.with_(name=f"FAST-{count}C", clusters=count)
+        result = ScheduledEngine(config).run(trace)
+        result.serial_total_s = serial.total_s
+        stalls = result.stalls
+        print(f"  {count} cluster(s): {result.total_s * 1e3:.3f} ms  "
+              f"speedup {result.speedup:.2f}x  "
+              f"occupancy {result.mean_occupancy():.0%}  "
+              f"violations {result.dependency_violations}")
+        print(f"    stalls: dep {stalls['dependency_s'] * 1e6:.1f} us, "
+              f"evk {stalls['evk_s'] * 1e6:.1f} us, "
+              f"structural {stalls['structural_s'] * 1e6:.1f} us")
+        if count == counts[-1]:
+            stats = result.graph_stats
+            print(f"    graph: {stats['nodes']} nodes, "
+                  f"{stats['edges']} edges, depth {stats['depth']}, "
+                  f"{stats['ciphertext_chains']} chains, "
+                  f"avg parallelism {stats['avg_parallelism']:.1f}")
+    if args.verify:
+        check = FunctionalExecutor().verify(trace, workers=args.workers)
+        mode = "multiprocess" if check.parallel else "inline fallback"
+        print(f"  executor ({mode}, {check.workers} workers): "
+              f"{check.num_ops} ops over {check.num_cts} ciphertexts -> "
+              f"bit_exact={check.bit_exact}")
+        if not check.bit_exact:
+            return 1
+    return 0
+
+
 def cmd_security(_args) -> int:
     from repro.ckks import security
     from repro.ckks.params import SET_I, SET_II
@@ -104,10 +147,22 @@ def main(argv=None) -> int:
         "bench", help="perf-regression benchmarks -> BENCH_sim.json")
     from repro.bench.harness import add_arguments  # stdlib-only import
     add_arguments(bench)
+    sched = sub.add_parser(
+        "sched", help="dataflow-scheduled multi-cluster simulation")
+    sched.add_argument("--workload", default="helr256",
+                       choices=["helr256", "helr1024", "bootstrap"])
+    sched.add_argument("--clusters", default="1,2,4,8",
+                       help="comma-separated cluster counts")
+    sched.add_argument("--verify", action="store_true",
+                       help="also run the multiprocess functional "
+                            "executor bit-exactness check")
+    sched.add_argument("--workers", type=int, default=2,
+                       help="process-pool size for --verify")
     args = parser.parse_args(argv)
     return {"evaluate": cmd_evaluate, "bootstrap": cmd_bootstrap,
             "table5": cmd_table5, "decide": cmd_decide,
-            "security": cmd_security, "bench": cmd_bench}[args.command](args)
+            "security": cmd_security, "bench": cmd_bench,
+            "sched": cmd_sched}[args.command](args)
 
 
 if __name__ == "__main__":

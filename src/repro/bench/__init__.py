@@ -2,14 +2,17 @@
 
 Runs the Table 5 workloads (bootstrap, HELR training iterations,
 ResNet-20 trace slices) through the cycle simulator and writes
-``BENCH_sim.json`` (schema ``repro-bench/v2``): per-workload host
+``BENCH_sim.json`` (schema ``repro-bench/v3``): per-workload host
 wall-time, simulated latency, per-unit utilisation, Hemera cache-hit
-rate and HBM traffic, plus a ``micro`` section with modmul/NTT
-kernel microbenchmarks and a functional HELR-style step at toy or
+rate and HBM traffic; a ``micro`` section with modmul/NTT kernel
+microbenchmarks and a functional HELR-style step at toy or
 Set-II-shaped wide-word parameters (``--params toy|full``), including
-the width-path occupancy counters.  That file is the regression
-baseline every perf-oriented PR is judged against — rerun with
-``--baseline`` to compare a fresh run to a committed baseline.
+the width-path occupancy counters; and a ``sched`` section with the
+cluster-scaling speedup curve (``--clusters`` axis) of the dataflow
+scheduler plus a multiprocess executor bit-exactness check.  That
+file is the regression baseline every perf-oriented PR is judged
+against — rerun with ``--baseline`` to compare a fresh run to a
+committed baseline.
 
 Entry points: ``python -m repro bench`` or
 ``python benchmarks/harness.py``.
@@ -18,6 +21,8 @@ Entry points: ``python -m repro bench`` or
 from repro.bench.harness import (BENCH_SCHEMA, compare_reports,
                                  run_benchmarks, write_report)
 from repro.bench.micro import run_micro, validate_micro
+from repro.bench.sched import run_sched, scaling_curve, validate_sched
 
 __all__ = ["BENCH_SCHEMA", "compare_reports", "run_benchmarks",
-           "run_micro", "validate_micro", "write_report"]
+           "run_micro", "run_sched", "scaling_curve", "validate_micro",
+           "validate_sched", "write_report"]

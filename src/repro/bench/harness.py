@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v2"
+BENCH_SCHEMA = "repro-bench/v3"
 DEFAULT_OUT = "BENCH_sim.json"
 DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
@@ -94,14 +94,16 @@ def _measure(engine, trace, repeats: int) -> dict:
 
 def run_benchmarks(config=None, quick: bool = False,
                    repeats: int = 3,
-                   params_mode: str = DEFAULT_PARAMS_MODE) -> dict:
+                   params_mode: str = DEFAULT_PARAMS_MODE,
+                   clusters=None) -> dict:
     """Run every workload; returns the full report dict."""
     from repro import __version__, obs
-    from repro.bench import micro
+    from repro.bench import micro, sched
     from repro.hw.config import FAST_CONFIG
     from repro.sim.engine import Engine
 
     config = config or FAST_CONFIG
+    clusters = tuple(clusters or sched.DEFAULT_CLUSTERS)
     was_enabled = obs.enabled()
     obs.configure(enabled=False)  # timing runs are never traced
     try:
@@ -111,6 +113,7 @@ def run_benchmarks(config=None, quick: bool = False,
             # the regression numbers must not depend on run order.
             workloads[name] = _measure(Engine(config), trace, repeats)
         micro_report = micro.run_micro(params_mode=params_mode, quick=quick)
+        sched_report = sched.run_sched(quick=quick, clusters=clusters)
     finally:
         obs.configure(enabled=was_enabled)
     return {
@@ -134,6 +137,7 @@ def run_benchmarks(config=None, quick: bool = False,
         },
         "workloads": workloads,
         "micro": micro_report,
+        "sched": sched_report,
     }
 
 
@@ -168,6 +172,39 @@ def compare_reports(current: dict, baseline: dict,
     regressions.extend(_compare_micro(current.get("micro") or {},
                                       baseline.get("micro") or {},
                                       wall_tolerance))
+    regressions.extend(_compare_sched(current.get("sched") or {},
+                                      baseline.get("sched") or {},
+                                      sim_tolerance))
+    return regressions
+
+
+def _compare_sched(current: dict, baseline: dict,
+                   sim_tolerance: float) -> list[str]:
+    """Scheduled-latency regressions per (workload, cluster count).
+
+    Simulated numbers only — deterministic, so growth past the
+    tolerance is a real scheduler/model change.
+    """
+    if not current or not baseline:
+        return []
+    regressions = []
+    base_workloads = baseline.get("workloads", {})
+    for name, record in current.get("workloads", {}).items():
+        base_points = {p.get("clusters"): p
+                       for p in base_workloads.get(name, {})
+                       .get("points", [])}
+        for point in record.get("points", []):
+            ref = base_points.get(point.get("clusters"), {}).get("sim_s")
+            now = point.get("sim_s")
+            if not ref or now is None:
+                continue
+            ratio = now / ref
+            if ratio > 1.0 + sim_tolerance:
+                regressions.append(
+                    f"sched.{name}@{point['clusters']}C: sim_s "
+                    f"{now:.6g} vs baseline {ref:.6g} "
+                    f"(+{(ratio - 1) * 100:.1f}%, "
+                    f"tolerance {sim_tolerance * 100:.0f}%)")
     return regressions
 
 
@@ -257,6 +294,20 @@ def _format_table(report: dict) -> str:
             f"err {functional['max_slot_error']:.2e}, width paths "
             f"narrow={by_width['narrow']} wide={by_width['wide']} "
             f"object={by_width['object']}")
+    sched = report.get("sched")
+    if sched:
+        lines.append("")
+        for name, record in sched["workloads"].items():
+            speedups = " ".join(
+                f"{p['clusters']}C={p['speedup']:.2f}x"
+                for p in record["points"])
+            lines.append(f"sched: {name:<10} {speedups}")
+        executor = sched["executor"]
+        lines.append(
+            f"sched: executor {executor['trace']} "
+            f"({executor['num_ops']} ops, {executor['workers']} workers)"
+            f" bit_exact={executor['bit_exact']}"
+            f" parallel={executor['parallel']}")
     return "\n".join(lines)
 
 
@@ -273,6 +324,9 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help=f"report path (default {DEFAULT_OUT})")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per workload (best wins)")
+    parser.add_argument("--clusters", default="1,2,4,8",
+                        help="comma-separated cluster counts for the "
+                             "scheduler scaling curve")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_*.json to regress against")
     parser.add_argument("--sim-tolerance", type=float,
@@ -289,15 +343,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_cli(args: argparse.Namespace) -> int:
     from repro.bench.micro import validate_micro
+    from repro.bench.sched import validate_sched
+    clusters = tuple(int(c) for c in str(args.clusters).split(",") if c)
     report = run_benchmarks(quick=args.quick, repeats=args.repeats,
-                            params_mode=args.params)
+                            params_mode=args.params, clusters=clusters)
     write_report(report, args.out)
     print(_format_table(report))
     print(f"\nwrote {args.out}"
           + (" (quick mode)" if args.quick else ""))
-    violations = validate_micro(report["micro"])
+    violations = validate_micro(report["micro"]) \
+        + validate_sched(report["sched"])
     if violations:
-        print("\nMICRO ACCEPTANCE VIOLATIONS:")
+        print("\nACCEPTANCE VIOLATIONS:")
         for line in violations:
             print(f"  {line}")
         return 1

@@ -1,0 +1,113 @@
+"""Scheduler benchmarks: the cluster-scaling curve and its gate.
+
+``run_sched`` produces the ``sched`` section of ``BENCH_sim.json``
+(schema v3): for HELR256 and full bootstrapping, the scheduled
+latency at each cluster count on the ``--clusters`` axis, against the
+serial one-pipeline reference — the Fig. 13(b)-shaped speedup curve —
+plus one multiprocess functional-executor bit-exactness check.
+
+``validate_sched`` is the CI acceptance gate:
+
+* ≥ :data:`MIN_SPEEDUP_4C` simulated speedup at 4 clusters on every
+  measured workload (the paper's scalable-parallelism claim);
+* zero dependency violations at every point;
+* the 1-cluster schedule within :data:`ONE_CLUSTER_TOLERANCE` of the
+  serial engine (the timing model agrees with the reference);
+* the parallel functional execution bit-exact with serial.
+"""
+
+from __future__ import annotations
+
+MIN_SPEEDUP_4C = 2.0
+ONE_CLUSTER_TOLERANCE = 0.01
+DEFAULT_CLUSTERS = (1, 2, 4, 8)
+# The executor proves ordering on real residues; one iteration's ops
+# are plenty (every op kind, dozens of ciphertext chains).
+EXECUTOR_WORKERS = 2
+
+
+def _scaling_record(trace, clusters) -> dict:
+    from repro.sched import DataflowGraph, cluster_scaling
+    curve = cluster_scaling(trace, counts=tuple(clusters))
+    graph = DataflowGraph.from_trace(trace)
+    return {
+        "num_trace_ops": len(trace),
+        "serial_s": curve["serial_s"],
+        "graph": graph.stats(),
+        "points": curve["points"],
+    }
+
+
+def _executor_record() -> dict:
+    from repro.sched import FunctionalExecutor
+    from repro.workloads import helr
+    trace = helr.helr_iteration()
+    check = FunctionalExecutor().verify(trace,
+                                        workers=EXECUTOR_WORKERS)
+    return {
+        "trace": trace.name,
+        "bit_exact": check.bit_exact,
+        "parallel": check.parallel,
+        "workers": check.workers,
+        "num_cts": check.num_cts,
+        "num_ops": check.num_ops,
+        "num_nodes": check.num_nodes,
+    }
+
+
+def run_sched(quick: bool = False,
+              clusters=DEFAULT_CLUSTERS) -> dict:
+    """The ``sched`` benchmark section (same shape in quick mode —
+    both workload traces are CI-sized already)."""
+    from repro.workloads import bootstrap_trace, helr_trace
+    del quick  # traces are small; the section is identical either way
+    workloads = {
+        "HELR256": helr_trace(batch=256),
+        "Bootstrap": bootstrap_trace(),
+    }
+    return {
+        "clusters_axis": list(clusters),
+        "workloads": {name: _scaling_record(trace, clusters)
+                      for name, trace in workloads.items()},
+        "executor": _executor_record(),
+    }
+
+
+def validate_sched(section: dict) -> list[str]:
+    """Acceptance violations of one ``sched`` section (empty = pass)."""
+    violations: list[str] = []
+    for name, record in section.get("workloads", {}).items():
+        for point in record.get("points", []):
+            count = point.get("clusters")
+            speedup = point.get("speedup") or 0.0
+            if point.get("dependency_violations"):
+                violations.append(
+                    f"sched.{name}@{count}C: "
+                    f"{point['dependency_violations']} dependency "
+                    f"violations in the schedule")
+            if count == 4 and speedup < MIN_SPEEDUP_4C:
+                violations.append(
+                    f"sched.{name}@4C: speedup {speedup:.2f}x below "
+                    f"the {MIN_SPEEDUP_4C:.0f}x acceptance bar")
+            if count == 1 and \
+                    abs(speedup - 1.0) > ONE_CLUSTER_TOLERANCE:
+                violations.append(
+                    f"sched.{name}@1C: schedule deviates "
+                    f"{abs(speedup - 1.0):.1%} from the serial engine "
+                    f"(tolerance {ONE_CLUSTER_TOLERANCE:.0%})")
+    executor = section.get("executor")
+    if executor is not None and not executor.get("bit_exact"):
+        violations.append(
+            "sched.executor: parallel functional execution is not "
+            "bit-exact with serial")
+    return violations
+
+
+def scaling_curve(section: dict) -> dict:
+    """Compact ``{workload: {clusters: speedup}}`` view of a section
+    (the artifact CI uploads)."""
+    return {
+        name: {point["clusters"]: point["speedup"]
+               for point in record.get("points", [])}
+        for name, record in section.get("workloads", {}).items()
+    }

@@ -391,5 +391,5 @@ class Aether:
         return cost.evk_bytes(method, params, level, hoisting=1)
 
     def run(self, trace: OpTrace) -> AetherConfig:
-        """The whole offline pass: analyse, then select."""
-        return self.select(self.build_mct(trace))
+        """The whole offline pass: validate, analyse, then select."""
+        return self.select(self.build_mct(trace.check()))

@@ -78,11 +78,19 @@ class FheOp:
 
 
 class OpTrace:
-    """An ordered FHE operation flow with query helpers."""
+    """An ordered FHE operation flow with query helpers.
 
-    def __init__(self, ops: Iterable[FheOp] = (), name: str = "trace"):
+    ``declared_cts`` optionally records the ciphertext ids the
+    producing :class:`TraceBuilder` allocated; when present,
+    :meth:`validate` treats any other id as a read-before-write.
+    Hand-assembled traces leave it ``None`` (first use defines).
+    """
+
+    def __init__(self, ops: Iterable[FheOp] = (), name: str = "trace",
+                 declared_cts: set[int] | None = None):
         self.ops: list[FheOp] = list(ops)
         self.name = name
+        self.declared_cts = declared_cts
 
     def append(self, op: FheOp) -> None:
         self.ops.append(op)
@@ -130,38 +138,144 @@ class OpTrace:
         return OpTrace([op for op in self.ops if op.stage == stage],
                        name=f"{self.name}:{stage}")
 
+    def _ct_stride(self) -> int:
+        """One past the largest ciphertext id this trace references."""
+        used = [op.ct_id for op in self.ops]
+        if self.declared_cts:
+            used.extend(self.declared_cts)
+        return (max(used) + 1) if used else 0
+
     def concat(self, other: "OpTrace", name: str | None = None) -> "OpTrace":
-        """Concatenate traces; hoist-group ids of ``other`` are
-        re-based so groups never merge across the seam."""
+        """Concatenate traces; hoist-group ids *and ciphertext ids* of
+        ``other`` are re-based so groups never merge across the seam
+        and ciphertexts of the two halves never alias (aliasing would
+        fabricate def-use dependencies — and level jumps — between
+        unrelated operations)."""
         own_groups = [op.hoist_group for op in self.ops
                       if op.hoist_group is not None]
         offset = (max(own_groups) + 1) if own_groups else 0
-        rebased = [op if op.hoist_group is None
-                   else op.with_(hoist_group=op.hoist_group + offset)
+        ct_offset = self._ct_stride()
+        rebased = [op.with_(ct_id=op.ct_id + ct_offset)
+                   if op.hoist_group is None
+                   else op.with_(ct_id=op.ct_id + ct_offset,
+                                 hoist_group=op.hoist_group + offset)
                    for op in other.ops]
+        declared = None
+        if self.declared_cts is not None or other.declared_cts is not None:
+            own = (self.declared_cts
+                   if self.declared_cts is not None
+                   else {op.ct_id for op in self.ops})
+            theirs = (other.declared_cts
+                      if other.declared_cts is not None
+                      else {op.ct_id for op in other.ops})
+            declared = set(own) | {ct + ct_offset for ct in theirs}
         return OpTrace(self.ops + rebased,
-                       name=name or f"{self.name}+{other.name}")
+                       name=name or f"{self.name}+{other.name}",
+                       declared_cts=declared)
 
     def repeated(self, times: int, name: str | None = None) -> "OpTrace":
         """The trace repeated ``times`` times (training iterations).
 
-        Hoist-group ids are re-based per repetition so groups never
-        merge across iterations, and fresh op objects are created.
+        Hoist-group and ciphertext ids are re-based per repetition so
+        groups never merge and each iteration's ciphertexts stay
+        distinct (each iteration consumes freshly bootstrapped
+        ciphertexts), and fresh op objects are created.
         """
         if times < 1:
             raise ValueError("times must be positive")
         group_ids = [op.hoist_group for op in self.ops
                      if op.hoist_group is not None]
         stride = (max(group_ids) + 1) if group_ids else 0
+        ct_stride = self._ct_stride()
         ops: list[FheOp] = []
         for rep in range(times):
             for op in self.ops:
-                if op.hoist_group is None:
-                    ops.append(op.with_())
-                else:
-                    ops.append(op.with_(
-                        hoist_group=op.hoist_group + rep * stride))
-        return OpTrace(ops, name=name or f"{self.name}x{times}")
+                changes = {"ct_id": op.ct_id + rep * ct_stride}
+                if op.hoist_group is not None:
+                    changes["hoist_group"] = op.hoist_group + rep * stride
+                ops.append(op.with_(**changes))
+        declared = None
+        if self.declared_cts is not None:
+            declared = {ct + rep * ct_stride
+                        for rep in range(times)
+                        for ct in self.declared_cts}
+        return OpTrace(ops, name=name or f"{self.name}x{times}",
+                       declared_cts=declared)
+
+    # -- integrity ---------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Integrity violations of the trace (empty list = clean).
+
+        Checks, per the single-writer ciphertext-versioning convention
+        (every op reads and rewrites its primary ``ct_id``):
+
+        * ciphertext ids are non-negative, and — when the trace
+          declares its allocated ids — never read before allocation;
+        * per-ciphertext levels are monotonically non-increasing,
+          except across a ModRaise (the only level-raising op);
+        * hoist groups are well-formed: rotation/conjugation members
+          only, one shared ciphertext and level, and no interleaved
+          op on the same ciphertext inside the group's index span
+          (fusing the group must not reorder same-ct dependencies).
+        """
+        violations: list[str] = []
+        last_level: dict[int, int] = {}
+        groups: dict[int, list[int]] = defaultdict(list)
+        for index, op in enumerate(self.ops):
+            if op.ct_id < 0:
+                violations.append(
+                    f"op {index} ({op.kind}): negative ct_id {op.ct_id}")
+                continue
+            if (self.declared_cts is not None
+                    and op.ct_id not in self.declared_cts):
+                violations.append(
+                    f"op {index} ({op.kind}): unknown ct_id {op.ct_id} "
+                    f"read before any allocation")
+            prev = last_level.get(op.ct_id)
+            if prev is not None and op.level > prev \
+                    and op.kind != MOD_RAISE:
+                violations.append(
+                    f"op {index} ({op.kind}): level rises {prev} -> "
+                    f"{op.level} on ct {op.ct_id} without ModRaise")
+            last_level[op.ct_id] = op.level
+            if op.hoist_group is not None:
+                groups[op.hoist_group].append(index)
+        for group_id, indices in groups.items():
+            members = [self.ops[i] for i in indices]
+            first = members[0]
+            if any(m.kind not in (HROT, CONJ) for m in members):
+                violations.append(
+                    f"hoist group {group_id}: non-rotation member")
+            if any(m.ct_id != first.ct_id for m in members):
+                violations.append(
+                    f"hoist group {group_id}: members span several "
+                    f"ciphertexts")
+            if any(m.level != first.level for m in members):
+                violations.append(
+                    f"hoist group {group_id}: members span several levels")
+            member_set = set(indices)
+            for i in range(indices[0], indices[-1] + 1):
+                if i not in member_set \
+                        and self.ops[i].ct_id == first.ct_id:
+                    violations.append(
+                        f"hoist group {group_id}: op {i} "
+                        f"({self.ops[i].kind}) on ct {first.ct_id} "
+                        f"interleaves the group")
+                    break
+        return violations
+
+    def check(self) -> "OpTrace":
+        """Raise :class:`ValueError` on the first integrity violation;
+        returns the trace for chaining."""
+        violations = self.validate()
+        if violations:
+            preview = "; ".join(violations[:5])
+            more = len(violations) - 5
+            if more > 0:
+                preview += f"; ... {more} more"
+            raise ValueError(
+                f"trace {self.name!r} failed validation: {preview}")
+        return self
 
 
 class TraceBuilder:
@@ -178,13 +292,14 @@ class TraceBuilder:
     """
 
     def __init__(self, name: str = "trace"):
-        self.trace = OpTrace(name=name)
+        self.trace = OpTrace(name=name, declared_cts=set())
         self._next_ct = 0
         self._next_group = 0
 
     def fresh_ct(self) -> int:
         ct_id = self._next_ct
         self._next_ct += 1
+        self.trace.declared_cts.add(ct_id)
         return ct_id
 
     def add(self, kind: str, level: int, ct_id: int | None = None,

@@ -90,6 +90,18 @@ class ChipConfig:
     def with_(self, **changes) -> "ChipConfig":
         return replace(self, **changes)
 
+    def per_cluster(self) -> "ChipConfig":
+        """The single-cluster slice of this design point.
+
+        The dataflow scheduler times each operation on one cluster's
+        units (1/``clusters`` of the chip-wide throughput) and runs
+        the clusters concurrently; the memory system (HBM channel,
+        on-chip key reserve) stays shared at full capacity.
+        """
+        if self.clusters == 1:
+            return self
+        return self.with_(name=f"{self.name}/cluster", clusters=1)
+
 
 FAST_CONFIG = ChipConfig(name="FAST")
 

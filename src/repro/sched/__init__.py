@@ -1,0 +1,39 @@
+"""Dataflow scheduling and the parallel cluster runtime (Sec. 5).
+
+The serial engine (:mod:`repro.sim.engine`) executes traces in
+program order on one idealised ganged pipeline.  This package lifts
+the trace into an explicit dependency DAG and exploits it:
+
+* :mod:`repro.sched.graph` — ``OpTrace`` -> dataflow DAG via def-use
+  chains over ciphertext versions, with hoist-group fusion;
+* :mod:`repro.sched.scheduler` — critical-path list scheduling onto
+  per-cluster pipelines sharing the HBM channel and key cache;
+* :mod:`repro.sched.simulate` — the :class:`ScheduledEngine` wrapper
+  reporting occupancy, stall breakdowns and speedup vs serial;
+* :mod:`repro.sched.executor` — a multiprocess functional executor
+  proving the dependency discipline bit-exactly on real residues.
+"""
+
+from repro.sched.executor import ExecutionCheck, FunctionalExecutor
+from repro.sched.graph import DataflowGraph, GraphNode
+from repro.sched.scheduler import (ClusterScheduler, ClusterTimeline,
+                                   NodeTiming, ScheduleTimeline)
+from repro.sched.simulate import (ClusterReport, ScheduledEngine,
+                                  ScheduledResult, cluster_scaling,
+                                  serial_reference)
+
+__all__ = [
+    "ClusterReport",
+    "ClusterScheduler",
+    "ClusterTimeline",
+    "DataflowGraph",
+    "ExecutionCheck",
+    "FunctionalExecutor",
+    "GraphNode",
+    "NodeTiming",
+    "ScheduleTimeline",
+    "ScheduledEngine",
+    "ScheduledResult",
+    "cluster_scaling",
+    "serial_reference",
+]

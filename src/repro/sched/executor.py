@@ -1,0 +1,282 @@
+"""Functional multiprocess executor: dependency proof by execution.
+
+The cycle model asserts the cluster schedule respects the dataflow
+DAG; this module *proves* it on real data.  Every ciphertext becomes a
+small RNS polynomial (``limbs x N`` residue matrix over NTT-friendly
+wide-path primes, exercising PR 2's vectorised kernels), and every
+trace op becomes a deterministic, order-sensitive transform of its
+ciphertext:
+
+* plain ops apply an element-wise affine map ``x -> a*x + b`` with
+  per-op pseudorandom ``a``/``b`` (affine maps do not commute);
+* key-switch ops apply the affine map in the NTT domain
+  (forward -> affine -> inverse), which does not commute with the
+  coefficient-domain maps;
+* rotations additionally apply the negacyclic shift ``x -> X^r * x``
+  (a signed permutation, non-commuting with non-constant affines).
+
+Running the DAG out of order therefore yields different bits with
+overwhelming probability.  :meth:`FunctionalExecutor.verify` executes
+the trace twice — serially in program order, and in parallel across a
+fork-based process pool over one shared-memory residue arena, with
+nodes dispatched purely by DAG readiness — and compares bit-for-bit.
+Each node touches only its own ciphertext's rows and the DAG chains
+same-ciphertext nodes, so concurrent nodes never alias: bit-equality
+demonstrates the dependency discipline end to end.
+
+When the platform cannot fork a pool (restricted sandboxes), the
+parallel run degrades to in-process execution in DAG order — still a
+reordering of the program, just not a concurrent one — and reports
+``parallel=False``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import obs
+from repro.ckks import modmath, primes
+from repro.ckks.ntt import NttPlan
+from repro.core.optrace import OpTrace
+
+from repro.sched.graph import DataflowGraph, GraphNode
+
+_MIX = 0x9E3779B97F4A7C15  # golden-ratio odd constant for seed mixing
+
+
+def _rng(seed: int, *parts: int) -> np.random.Generator:
+    """Deterministic per-(op, limb) generator, identical everywhere."""
+    return np.random.default_rng(
+        [seed, *(int(p) & 0xFFFFFFFFFFFFFFFF for p in parts), _MIX])
+
+
+# -- per-process kernel context (workers rebuild it on first use) --------
+
+_CTX: dict | None = None
+
+
+def _build_context(moduli: tuple[int, ...], ring_degree: int,
+                   seed: int) -> dict:
+    return {
+        "moduli": moduli,
+        "n": ring_degree,
+        "seed": seed,
+        "kernels": [modmath.get_kernel(q) for q in moduli],
+        "plans": [NttPlan(ring_degree, q) for q in moduli],
+    }
+
+
+def _init_worker(moduli: tuple[int, ...], ring_degree: int,
+                 seed: int) -> None:
+    global _CTX
+    _CTX = _build_context(moduli, ring_degree, seed)
+
+
+def _apply_op(ct: np.ndarray, index: int, rotation: int,
+              needs_key_switch: bool, ctx: dict) -> None:
+    """Apply op ``index``'s transform to ciphertext rows in place."""
+    n = ctx["n"]
+    seed = ctx["seed"]
+    for j, (kernel, plan) in enumerate(zip(ctx["kernels"],
+                                           ctx["plans"])):
+        q = kernel.modulus
+        rng = _rng(seed, index, j)
+        scale = 1 + int(rng.integers(0, q - 1))  # nonzero: stays invertible
+        offset = kernel.asresidues(
+            rng.integers(0, q, size=n, dtype=np.uint64))
+        limb = ct[j]
+        if needs_key_switch:
+            evals = plan.forward(limb)
+            evals = kernel.add(kernel.mul_scalar(evals, scale), offset)
+            limb = plan.inverse(evals)
+        else:
+            limb = kernel.add(kernel.mul_scalar(limb, scale), offset)
+        r = rotation % n if rotation else 0
+        if r:
+            limb = np.roll(limb, r)
+            limb[:r] = kernel.neg(limb[:r])
+        ct[j] = limb
+
+
+def _run_node(shm_name: str, shape: tuple, slot: int,
+              items: list[tuple]) -> int:
+    """Pool task: apply one node's ops to its ciphertext slot."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        arena = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+        ct = arena[slot]
+        for index, rotation, needs_ks in items:
+            _apply_op(ct, index, rotation, needs_ks, _CTX)
+    finally:
+        shm.close()
+    return slot
+
+
+@dataclass
+class ExecutionCheck:
+    """Result of one serial-vs-parallel bit-exactness run."""
+
+    bit_exact: bool
+    parallel: bool
+    workers: int
+    num_cts: int
+    num_ops: int
+    num_nodes: int
+    mismatched_cts: list = field(default_factory=list)
+
+
+class FunctionalExecutor:
+    """Executes traces functionally, serially or across processes."""
+
+    def __init__(self, ring_degree: int = 256, num_limbs: int = 3,
+                 prime_bits: int = 36, seed: int = 20250806):
+        self.ring_degree = ring_degree
+        self.seed = seed
+        self.moduli = tuple(primes.ntt_primes(
+            num_limbs, prime_bits, ring_degree))
+        self._ctx = _build_context(self.moduli, ring_degree, seed)
+
+    # -- state -------------------------------------------------------------
+    def _ct_ids(self, trace: OpTrace) -> list[int]:
+        return sorted({op.ct_id for op in trace})
+
+    def _fresh_ct(self, ct_id: int) -> np.ndarray:
+        ct = np.empty((len(self.moduli), self.ring_degree),
+                      dtype=np.uint64)
+        for j, kernel in enumerate(self._ctx["kernels"]):
+            rng = _rng(self.seed, -1 - ct_id, j)
+            ct[j] = kernel.asresidues(rng.integers(
+                0, kernel.modulus, size=self.ring_degree,
+                dtype=np.uint64))
+        return ct
+
+    def initial_state(self, trace: OpTrace) -> dict[int, np.ndarray]:
+        return {ct: self._fresh_ct(ct) for ct in self._ct_ids(trace)}
+
+    # -- serial reference --------------------------------------------------
+    def run_serial(self, trace: OpTrace) -> dict[int, np.ndarray]:
+        """Program-order execution: the ground truth."""
+        state = self.initial_state(trace)
+        for index, op in enumerate(trace):
+            _apply_op(state[op.ct_id], index, op.rotation,
+                      op.needs_key_switch, self._ctx)
+        return state
+
+    # -- parallel execution ------------------------------------------------
+    @staticmethod
+    def _node_items(node: GraphNode) -> list[tuple]:
+        return [(index, op.rotation, op.needs_key_switch)
+                for index, op in zip(node.indices, node.ops)]
+
+    def run_parallel(self, trace: OpTrace,
+                     graph: DataflowGraph | None = None,
+                     workers: int = 2
+                     ) -> tuple[dict[int, np.ndarray], bool]:
+        """DAG-ready-order execution over a process pool.
+
+        Returns ``(final state, ran_concurrently)``; the second item is
+        False when the pool could not be created and the run fell back
+        to in-process DAG-order execution.
+        """
+        if graph is None:
+            graph = DataflowGraph.from_trace(trace)
+        ct_ids = self._ct_ids(trace)
+        slots = {ct: i for i, ct in enumerate(ct_ids)}
+        try:
+            return self._run_pool(trace, graph, ct_ids, slots, workers)
+        except (OSError, ValueError, PermissionError):
+            obs.get_tracer().count("sched.executor.pool_fallback")
+            state = self._run_inline(trace, graph)
+            return state, False
+
+    def _run_pool(self, trace, graph, ct_ids, slots,
+                  workers) -> tuple[dict[int, np.ndarray], bool]:
+        shape = (len(ct_ids), len(self.moduli), self.ring_degree)
+        nbytes = int(np.prod(shape)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 8))
+        pool = None
+        try:
+            arena = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+            for ct in ct_ids:
+                arena[slots[ct]] = self._fresh_ct(ct)
+            ctx = multiprocessing.get_context("fork")
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self.moduli, self.ring_degree, self.seed))
+            indegree = {n.node_id: len(n.preds) for n in graph.nodes}
+            ready = [nid for nid, deg in indegree.items() if deg == 0]
+            in_flight = {}
+            done = 0
+            while done < len(graph.nodes):
+                while ready:
+                    nid = ready.pop()
+                    node = graph.node(nid)
+                    future = pool.submit(
+                        _run_node, shm.name, shape,
+                        slots[node.ct_id], self._node_items(node))
+                    in_flight[future] = nid
+                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    nid = in_flight.pop(future)
+                    future.result()  # surface worker exceptions
+                    done += 1
+                    for succ in graph.node(nid).succs:
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            ready.append(succ)
+            state = {ct: arena[slots[ct]].copy() for ct in ct_ids}
+            return state, True
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+            shm.close()
+            shm.unlink()
+
+    def _run_inline(self, trace, graph) -> dict[int, np.ndarray]:
+        """Fallback: DAG-order (not program-order) in-process run."""
+        state = self.initial_state(trace)
+        for nid in graph.topological_order():
+            node = graph.node(nid)
+            ct = state[node.ct_id]
+            for index, rotation, needs_ks in self._node_items(node):
+                _apply_op(ct, index, rotation, needs_ks, self._ctx)
+        return state
+
+    # -- the proof ---------------------------------------------------------
+    def verify(self, trace: OpTrace,
+               graph: DataflowGraph | None = None,
+               workers: int = 2) -> ExecutionCheck:
+        """Serial vs parallel bit-exactness on one trace."""
+        tracer = obs.get_tracer()
+        with tracer.span("sched.executor.verify", trace=trace.name,
+                         workers=workers):
+            if graph is None:
+                graph = DataflowGraph.from_trace(trace)
+            serial = self.run_serial(trace)
+            parallel, concurrent = self.run_parallel(
+                trace, graph, workers=workers)
+            mismatched = [ct for ct in serial
+                          if not np.array_equal(serial[ct], parallel[ct])]
+            check = ExecutionCheck(
+                bit_exact=not mismatched, parallel=concurrent,
+                workers=workers, num_cts=len(serial),
+                num_ops=len(trace), num_nodes=len(graph.nodes),
+                mismatched_cts=mismatched)
+        if tracer.enabled:
+            tracer.count("sched.executor.verifications")
+            if not check.bit_exact:
+                tracer.count("sched.executor.mismatches")
+        return check
+
+
+def default_workers() -> int:
+    """A conservative worker count for the verification runs."""
+    return max(2, min(4, (os.cpu_count() or 2) // 2))

@@ -1,0 +1,251 @@
+"""Dataflow-graph lowering: ``OpTrace`` -> explicit dependency DAG.
+
+The trace IR follows single-writer ciphertext versioning: every
+operation reads its primary ``ct_id`` and writes the next version of
+it.  Def-use chains over those versions are therefore the complete
+dependency relation the trace encodes, and lowering is a single
+ordered walk: each op depends on the previous writer of its
+ciphertext.  Hoist groups fuse into one node per group (they share a
+decomposition, so they schedule as a unit); when the graph is built
+from Aether's lowered schedules, each *hoist batch* becomes one node
+instead, mirroring exactly what the cycle model executes.
+
+CiFlow (PAPERS.md) applies the same op-graph dataflow analysis to
+key-switching; here it is what exposes the cluster-level parallelism
+of Sec. 5 — operations on unrelated ciphertext chains may run on
+different clusters concurrently.
+
+Validation rejects cyclic graphs (impossible under def-use lowering
+unless a fused group interleaves same-ciphertext ops — the trace
+validator catches that first) and level rises along edges without a
+ModRaise, the graph-level form of :meth:`OpTrace.validate`'s
+per-ciphertext monotonicity rule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.core import optrace
+from repro.core.optrace import FheOp, OpTrace
+
+
+@dataclass
+class GraphNode:
+    """One schedulable unit: a single op, or a fused hoist batch."""
+
+    node_id: int
+    indices: tuple[int, ...]
+    ops: tuple[FheOp, ...]
+    preds: list[int] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    # The lowered kernel schedule, attached by ``from_schedules``.
+    schedule: object | None = None
+
+    @property
+    def first(self) -> FheOp:
+        return self.ops[0]
+
+    @property
+    def kind(self) -> str:
+        return self.first.kind
+
+    @property
+    def level(self) -> int:
+        return self.first.level
+
+    @property
+    def ct_id(self) -> int:
+        return self.first.ct_id
+
+    @property
+    def needs_key_switch(self) -> bool:
+        return self.first.needs_key_switch
+
+    def __repr__(self) -> str:
+        return (f"GraphNode({self.node_id}, {self.kind}, "
+                f"ct={self.ct_id}, l={self.level}, "
+                f"x{len(self.ops)})")
+
+
+class DataflowGraph:
+    """The dependency DAG of one trace, in trace-index node order."""
+
+    def __init__(self, nodes: list[GraphNode], name: str = "graph"):
+        self.nodes = nodes
+        self.name = name
+        self.num_edges = sum(len(n.preds) for n in nodes)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: OpTrace,
+                   partition: list[tuple[int, ...]] | None = None
+                   ) -> "DataflowGraph":
+        """Lower a validated trace; hoist groups fuse into one node.
+
+        ``partition`` overrides the node grouping with explicit cells
+        of trace indices (each cell becomes one node); by default every
+        complete hoist group is one cell and every other op its own.
+        """
+        trace.check()
+        if partition is None:
+            partition = cls._default_partition(trace)
+        return cls._build(trace, partition, schedules=None)
+
+    @classmethod
+    def from_schedules(cls, trace: OpTrace,
+                       schedules: list) -> "DataflowGraph":
+        """Lower against Aether's lowered op schedules: one node per
+        :class:`~repro.sim.kernels.OpSchedule` (so a hoist group split
+        into several batches becomes several chained nodes)."""
+        trace.check()
+        partition = [tuple(s.indices) for s in schedules]
+        return cls._build(trace, partition, schedules=schedules)
+
+    @staticmethod
+    def _default_partition(trace: OpTrace) -> list[tuple[int, ...]]:
+        groups: dict[int, list[int]] = {}
+        cells: list[tuple[int, ...]] = []
+        for index, op in enumerate(trace):
+            if op.hoist_group is not None:
+                members = groups.get(op.hoist_group)
+                if members is None:
+                    members = []
+                    groups[op.hoist_group] = members
+                    cells.append(members)  # placeholder, filled below
+                members.append(index)
+            else:
+                cells.append((index,))
+        return [tuple(cell) if isinstance(cell, list) else cell
+                for cell in cells]
+
+    @classmethod
+    def _build(cls, trace: OpTrace, partition: list[tuple[int, ...]],
+               schedules: list | None) -> "DataflowGraph":
+        tracer = obs.get_tracer()
+        with tracer.span("sched.lower_graph", trace=trace.name):
+            owner: dict[int, int] = {}
+            nodes: list[GraphNode] = []
+            order = sorted(range(len(partition)),
+                           key=lambda i: min(partition[i]))
+            for node_id, cell_index in enumerate(order):
+                cell = tuple(sorted(partition[cell_index]))
+                node = GraphNode(
+                    node_id=node_id, indices=cell,
+                    ops=tuple(trace[i] for i in cell),
+                    schedule=(schedules[cell_index]
+                              if schedules is not None else None))
+                nodes.append(node)
+                for i in cell:
+                    if i in owner:
+                        raise ValueError(
+                            f"trace index {i} appears in two nodes")
+                    owner[i] = node_id
+            if len(owner) != len(trace):
+                missing = sorted(set(range(len(trace))) - set(owner))
+                raise ValueError(
+                    f"partition does not cover trace indices {missing[:5]}")
+            last_writer: dict[int, int] = {}
+            for index in range(len(trace)):
+                node_id = owner[index]
+                ct = trace[index].ct_id
+                prev = last_writer.get(ct)
+                if prev is not None and prev != node_id:
+                    node = nodes[node_id]
+                    if prev not in node.preds:
+                        node.preds.append(prev)
+                        nodes[prev].succs.append(node_id)
+                last_writer[ct] = node_id
+            graph = cls(nodes, name=trace.name)
+            graph.check()
+        if tracer.enabled:
+            tracer.count("sched.graph.nodes", len(graph.nodes))
+            tracer.count("sched.graph.edges", graph.num_edges)
+        return graph
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> GraphNode:
+        return self.nodes[node_id]
+
+    def sources(self) -> list[GraphNode]:
+        return [n for n in self.nodes if not n.preds]
+
+    def topological_order(self) -> list[int]:
+        """Kahn's algorithm, smallest node id first (deterministic)."""
+        indegree = {n.node_id: len(n.preds) for n in self.nodes}
+        frontier = deque(sorted(nid for nid, d in indegree.items()
+                                if d == 0))
+        order: list[int] = []
+        while frontier:
+            nid = frontier.popleft()
+            order.append(nid)
+            for succ in self.nodes[nid].succs:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self.nodes):
+            raise ValueError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def critical_path(self, weight) -> dict[int, float]:
+        """Longest downstream path per node, *including* its own
+        weight — the priority function of the list scheduler.
+
+        ``weight`` maps a :class:`GraphNode` to its estimated
+        duration in seconds.
+        """
+        length: dict[int, float] = {}
+        for nid in reversed(self.topological_order()):
+            node = self.nodes[nid]
+            downstream = max((length[s] for s in node.succs), default=0.0)
+            length[nid] = weight(node) + downstream
+        return length
+
+    def stats(self) -> dict:
+        """Shape summary: node/edge counts, chain depth, parallelism."""
+        depth_of: dict[int, int] = {}
+        for nid in self.topological_order():
+            node = self.nodes[nid]
+            depth_of[nid] = 1 + max((depth_of[p] for p in node.preds),
+                                    default=0)
+        depth = max(depth_of.values(), default=0)
+        chains = len({n.ct_id for n in self.nodes})
+        return {
+            "nodes": len(self.nodes),
+            "edges": self.num_edges,
+            "depth": depth,
+            "ciphertext_chains": chains,
+            "avg_parallelism": (len(self.nodes) / depth) if depth else 0.0,
+        }
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Graph integrity violations (empty list = clean)."""
+        violations: list[str] = []
+        try:
+            self.topological_order()
+        except ValueError as exc:
+            violations.append(str(exc))
+        for node in self.nodes:
+            for pred in node.preds:
+                producer = self.nodes[pred]
+                if node.level > producer.level \
+                        and node.kind != optrace.MOD_RAISE:
+                    violations.append(
+                        f"edge {producer.node_id}->{node.node_id}: level "
+                        f"rises {producer.level} -> {node.level} on ct "
+                        f"{node.ct_id} without ModRaise")
+        return violations
+
+    def check(self) -> "DataflowGraph":
+        violations = self.validate()
+        if violations:
+            preview = "; ".join(violations[:5])
+            raise ValueError(
+                f"dataflow graph {self.name!r} invalid: {preview}")
+        return self

@@ -1,0 +1,400 @@
+"""Critical-path list scheduling of a dataflow graph onto clusters.
+
+The chip's ``num_clusters`` clusters (Sec. 5) are modelled as
+independent pipelines, each with its own unit set (NTTU, BConvU, KMU,
+AutoU, DSU) at per-cluster throughput; the HBM channel and the
+on-chip evaluation-key store stay shared.  Per-cluster timing follows
+the serial engine's queueing semantics exactly — stages in order,
+tasks of one stage overlapping on different units, the next op
+entering a cluster once the previous one clears its first (decompose)
+stage — so a 1-cluster schedule reproduces the serial pipeline and
+every extra cluster buys only what the dataflow actually permits.
+
+Dispatch is time-ordered list scheduling: among the nodes whose
+dependencies allow the earliest start, the one with the longest
+remaining critical path wins (ties break on trace order), and it goes
+to the cluster that can accept it with the least idle gap.  A
+dependent node may start once all its producers have cleared their
+first stage — the limb-level forwarding the serial pipeline already
+models — but key-switch ops additionally stall at the KeyMult stage
+until Hemera's (shared, batched, work-queued) HBM channel reports
+their evaluation key resident.
+
+The stall taxonomy every run reports:
+
+* **dependency** — a cluster sat idle because the chosen op's
+  producers had not cleared their first stage yet;
+* **evk** — the KeyMult stage waited for its evaluation key;
+* **structural** — HBM operand/plaintext streaming delays plus
+  end-of-schedule drain (clusters idle while the last chains finish).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.ckks.keyswitch import cost
+from repro.ckks.params import CkksParams
+from repro.core import optrace
+from repro.core.hemera import KeyCache
+from repro.hw.accelerator import Accelerator, KERNEL_UNITS
+from repro.hw.config import ChipConfig
+from repro.sim.engine import (UNIT_NAMES, WORKING_SET_CIPHERTEXTS,
+                              key_identities)
+from repro.sim.kernels import KERNEL_DSU, OpSchedule
+
+from repro.sched.graph import DataflowGraph, GraphNode
+
+
+@dataclass
+class NodeTiming:
+    """When and where one graph node executed."""
+
+    node_id: int
+    cluster: int
+    start_s: float
+    end_s: float
+    first_stage_end_s: float
+    dep_ready_s: float
+    dep_stall_s: float = 0.0
+    evk_stall_s: float = 0.0
+    hbm_wait_s: float = 0.0
+
+
+@dataclass
+class ClusterTimeline:
+    """Per-cluster execution summary."""
+
+    cluster_id: int
+    ops: int = 0
+    busy_s: dict = field(default_factory=lambda: defaultdict(float))
+    first_start_s: float = 0.0
+    last_end_s: float = 0.0
+    dep_stall_s: float = 0.0
+    evk_stall_s: float = 0.0
+
+    def occupancy(self, makespan: float) -> float:
+        """Bottleneck-unit busy fraction of the whole makespan."""
+        if makespan <= 0:
+            return 0.0
+        compute = [v for u, v in self.busy_s.items() if u != "hbm"]
+        return max(compute, default=0.0) / makespan
+
+    def span_fraction(self, makespan: float) -> float:
+        """Fraction of the makespan the cluster had work in flight."""
+        if makespan <= 0:
+            return 0.0
+        return (self.last_end_s - self.first_start_s) / makespan
+
+
+@dataclass
+class ScheduleTimeline:
+    """The scheduler's full output for one graph."""
+
+    num_clusters: int
+    total_s: float = 0.0
+    timings: dict = field(default_factory=dict)   # node_id -> NodeTiming
+    clusters: list = field(default_factory=list)  # ClusterTimeline
+    order: list = field(default_factory=list)     # dispatch order
+    unit_busy_s: dict = field(default_factory=lambda: defaultdict(float))
+    kernel_modops: dict = field(default_factory=lambda: defaultdict(float))
+    method_ops: dict = field(default_factory=lambda: defaultdict(int))
+    stage_s: dict = field(default_factory=lambda: defaultdict(float))
+    key_bytes: float = 0.0
+    plaintext_bytes: float = 0.0
+    num_ops: int = 0
+    num_key_switches: int = 0
+    key_cache_hits: int = 0
+    key_cache_misses: int = 0
+    dep_stall_s: float = 0.0
+    evk_stall_s: float = 0.0
+    hbm_wait_s: float = 0.0
+
+    @property
+    def structural_stall_s(self) -> float:
+        """HBM streaming waits plus end-of-schedule drain idle."""
+        drain = sum(self.total_s - c.last_end_s for c in self.clusters)
+        return self.hbm_wait_s + drain
+
+    def stall_breakdown(self) -> dict:
+        return {
+            "dependency_s": self.dep_stall_s,
+            "evk_s": self.evk_stall_s,
+            "structural_s": self.structural_stall_s,
+        }
+
+    def violations(self) -> list[str]:
+        """Ordering violations (empty = dependency-safe schedule)."""
+        problems = []
+        for timing in self.timings.values():
+            if timing.start_s + 1e-12 < timing.dep_ready_s:
+                problems.append(
+                    f"node {timing.node_id} started {timing.start_s:.3e}s "
+                    f"before its producers allowed "
+                    f"({timing.dep_ready_s:.3e}s)")
+        return problems
+
+
+class ClusterScheduler:
+    """Schedules one dataflow graph onto ``config.clusters`` pipelines.
+
+    ``accelerator`` must be the *per-cluster* hardware model (one
+    cluster's unit throughputs); the scheduler replicates its unit set
+    per cluster and shares the HBM channel and key store across them.
+    """
+
+    def __init__(self, config: ChipConfig, hybrid_params: CkksParams,
+                 accelerator: Accelerator | None = None):
+        self.config = config
+        self.hybrid_params = hybrid_params
+        self.accelerator = accelerator or Accelerator(
+            config.per_cluster(), hybrid_params.ring_degree)
+        self.word_bytes = cost.NARROW_WORD_BYTES
+
+    # -- node cost estimation (priority function) --------------------------
+    def _task_seconds(self, task) -> float:
+        acc = self.accelerator
+        if task.kernel == KERNEL_DSU:
+            cycles = acc.aem.dsu.cycles_for_rescale(1, int(task.modops))
+        elif task.kernel == "automorph":
+            cycles = task.modops / acc.unit_throughput(
+                "automorph").at(task.wide)
+        else:
+            cycles = acc.kernel_cycles(task.kernel, task.modops, task.wide)
+        return acc.cycles_to_seconds(cycles)
+
+    def estimate_node_s(self, node: GraphNode) -> float:
+        """Contention-free node latency: sum of stage bottlenecks."""
+        schedule: OpSchedule = node.schedule
+        return sum(max((self._task_seconds(t) for t in stage), default=0.0)
+                   for stage in schedule.stages)
+
+    # -- the dispatch loop -------------------------------------------------
+    def run(self, graph: DataflowGraph) -> ScheduleTimeline:
+        tracer = obs.get_tracer()
+        with tracer.span("sched.schedule", graph=graph.name,
+                         clusters=self.config.clusters) as span:
+            timeline = self._run(graph)
+        if tracer.enabled:
+            span.set(total_s=timeline.total_s)
+            tracer.count("sched.dispatched", len(timeline.order))
+            tracer.observe("sched.dep_stall_s", timeline.dep_stall_s)
+            tracer.observe("sched.evk_stall_s", timeline.evk_stall_s)
+            tracer.observe("sched.total_s", timeline.total_s)
+        return timeline
+
+    def _run(self, graph: DataflowGraph) -> ScheduleTimeline:
+        num_clusters = self.config.clusters
+        timeline = ScheduleTimeline(num_clusters=num_clusters)
+        timeline.clusters = [ClusterTimeline(c)
+                             for c in range(num_clusters)]
+        pipeline_ready = [0.0] * num_clusters
+        unit_free = [{u: 0.0 for u in UNIT_NAMES}
+                     for _ in range(num_clusters)]
+        hbm_free = 0.0
+        key_cache = KeyCache(self.config.key_storage_bytes)
+        if num_clusters == 1:
+            # One pipeline has no parallelism to exploit: dispatch in
+            # program order, which reproduces the serial engine's
+            # timeline exactly (the dependency constraint is subsumed
+            # by in-order limb pipelining).  List scheduling below
+            # kicks in only when reordering can buy overlap.
+            return self._run_in_order(graph, timeline, pipeline_ready,
+                                      unit_free, hbm_free, key_cache)
+        priority = graph.critical_path(self.estimate_node_s)
+        pending = {n.node_id: len(n.preds) for n in graph.nodes}
+        # Two-heap dispatch: ``waiting`` orders dependency-released
+        # nodes by the time their producers allow them to start;
+        # ``released`` holds nodes startable "now", ordered by
+        # critical-path priority (longest first, trace order on ties).
+        waiting: list = []   # (dep_ready, node_id)
+        released: list = []  # (-priority, node_id)
+        dep_ready: dict[int, float] = {}
+        for node in graph.nodes:
+            if pending[node.node_id] == 0:
+                dep_ready[node.node_id] = 0.0
+                heapq.heappush(released, (-priority[node.node_id],
+                                          node.node_id))
+        scheduled = 0
+        total_nodes = len(graph.nodes)
+        finish = 0.0
+        while scheduled < total_nodes:
+            t_free = min(pipeline_ready)
+            while waiting and waiting[0][0] <= t_free:
+                ready_t, nid = heapq.heappop(waiting)
+                heapq.heappush(released, (-priority[nid], nid))
+            if not released:
+                # Every startable node waits on producers: advance to
+                # the earliest dependency-release time.
+                ready_t, nid = heapq.heappop(waiting)
+                heapq.heappush(released, (-priority[nid], nid))
+                while waiting and waiting[0][0] <= ready_t:
+                    t2, nid2 = heapq.heappop(waiting)
+                    heapq.heappush(released, (-priority[nid2], nid2))
+            _, node_id = heapq.heappop(released)
+            node = graph.nodes[node_id]
+            ready = dep_ready[node_id]
+            cluster = self._pick_cluster(pipeline_ready, ready)
+            timing = self._execute(
+                node, cluster, ready, pipeline_ready, unit_free,
+                hbm_free, key_cache, timeline)
+            hbm_free = timing.pop("hbm_free")
+            node_timing: NodeTiming = timing["timing"]
+            timeline.timings[node_id] = node_timing
+            timeline.order.append(node_id)
+            finish = max(finish, node_timing.end_s)
+            scheduled += 1
+            for succ in node.succs:
+                pending[succ] -= 1
+                if pending[succ] == 0:
+                    # Limb-level forwarding: a consumer may enter its
+                    # cluster once every producer cleared its first
+                    # stage (same rule the serial pipeline applies to
+                    # successive ops).
+                    ready_at = max(
+                        timeline.timings[p].first_stage_end_s
+                        for p in graph.nodes[succ].preds)
+                    dep_ready[succ] = ready_at
+                    heapq.heappush(waiting, (ready_at, succ))
+        timeline.total_s = finish
+        return timeline
+
+    def _run_in_order(self, graph: DataflowGraph,
+                      timeline: ScheduleTimeline,
+                      pipeline_ready: list[float],
+                      unit_free: list[dict], hbm_free: float,
+                      key_cache: KeyCache) -> ScheduleTimeline:
+        finish = 0.0
+        for node in graph.nodes:
+            ready = max((timeline.timings[p].first_stage_end_s
+                         for p in node.preds), default=0.0)
+            timing = self._execute(node, 0, ready, pipeline_ready,
+                                   unit_free, hbm_free, key_cache,
+                                   timeline)
+            hbm_free = timing.pop("hbm_free")
+            node_timing: NodeTiming = timing["timing"]
+            timeline.timings[node.node_id] = node_timing
+            timeline.order.append(node.node_id)
+            finish = max(finish, node_timing.end_s)
+        timeline.total_s = finish
+        return timeline
+
+    @staticmethod
+    def _pick_cluster(pipeline_ready: list[float], ready: float) -> int:
+        """Best-fit cluster: latest pipeline that is still free by the
+        node's dependency-release time (least idle waste); if none is,
+        the earliest-free pipeline."""
+        best, best_key = 0, None
+        for c, free in enumerate(pipeline_ready):
+            if free <= ready:
+                key = (1, free)   # feasible: prefer the latest-free
+            else:
+                key = (0, -free)  # infeasible: prefer the earliest-free
+            if best_key is None or key > best_key:
+                best, best_key = c, key
+        return best
+
+    # -- one node's execution (serial-engine timing semantics) -------------
+    def _execute(self, node: GraphNode, cluster: int, dep_ready: float,
+                 pipeline_ready: list[float], unit_free: list[dict],
+                 hbm_free: float, key_cache: KeyCache,
+                 timeline: ScheduleTimeline) -> dict:
+        acc = self.accelerator
+        cfg = self.config
+        schedule: OpSchedule = node.schedule
+        op = schedule.op
+        cluster_state = timeline.clusters[cluster]
+        op_start = max(pipeline_ready[cluster], dep_ready)
+        dep_stall = max(0.0, dep_ready - pipeline_ready[cluster])
+        timeline.num_ops += 1
+        # -- evaluation-key traffic (shared HBM work queue) ---------------
+        key_arrival = 0.0
+        if schedule.key_bytes > 0:
+            timeline.num_key_switches += max(1, schedule.hoisting)
+            timeline.method_ops[schedule.method] += \
+                max(1, schedule.hoisting)
+            identities = key_identities(schedule, cfg.use_minks)
+            missing = [k for k in identities if not key_cache.contains(k)]
+            timeline.key_cache_hits += len(identities) - len(missing)
+            timeline.key_cache_misses += len(missing)
+            if missing:
+                bytes_needed = schedule.key_bytes_per_key * len(missing)
+                duration = bytes_needed / cfg.hbm_bandwidth_bytes
+                hbm_free = hbm_free + duration
+                key_arrival = hbm_free
+                timeline.key_bytes += bytes_needed
+                timeline.unit_busy_s["hbm"] += duration
+                for k in missing:
+                    key_cache.insert(k, schedule.key_bytes_per_key)
+        # -- ciphertext working-set spills --------------------------------
+        operand_arrival = 0.0
+        if schedule.key_bytes > 0:
+            data_region = cfg.onchip_memory_bytes - cfg.key_storage_bytes
+            ws = WORKING_SET_CIPHERTEXTS * cost.ciphertext_bytes(
+                self.hybrid_params, op.level)
+            spill = max(0.0, ws - data_region)
+            if spill > 0:
+                duration = spill / cfg.hbm_bandwidth_bytes
+                hbm_free = hbm_free + duration
+                operand_arrival = hbm_free
+                timeline.plaintext_bytes += spill
+                timeline.unit_busy_s["hbm"] += duration
+        # -- plaintext streaming for PMult --------------------------------
+        if op.kind == optrace.PMULT:
+            pt_bytes = self.hybrid_params.ring_degree * self.word_bytes
+            duration = pt_bytes / cfg.hbm_bandwidth_bytes
+            hbm_free = hbm_free + duration
+            key_arrival = max(key_arrival, hbm_free)
+            timeline.plaintext_bytes += pt_bytes
+            timeline.unit_busy_s["hbm"] += duration
+        # -- staged execution on this cluster's units ---------------------
+        stage_ready = max(op_start, operand_arrival)
+        hbm_wait = max(0.0, operand_arrival - op_start)
+        evk_stall = 0.0
+        first_stage_end = op_start
+        free = unit_free[cluster]
+        for stage_idx, tasks in enumerate(schedule.stages):
+            if stage_idx == schedule.keymult_stage and key_arrival:
+                if key_arrival > stage_ready:
+                    evk_stall += key_arrival - stage_ready
+                    stage_ready = key_arrival
+            stage_end = stage_ready
+            for task in tasks:
+                unit = KERNEL_UNITS.get(task.kernel, task.kernel)
+                if task.kernel == KERNEL_DSU:
+                    unit = "dsu"
+                seconds = self._task_seconds(task)
+                begin = max(stage_ready, free[unit])
+                end = begin + seconds
+                free[unit] = end
+                cluster_state.busy_s[unit] += seconds
+                timeline.unit_busy_s[unit] += seconds
+                timeline.kernel_modops[task.kernel] += task.modops
+                stage_end = max(stage_end, end)
+            if stage_idx == 0:
+                first_stage_end = stage_end
+            stage_ready = stage_end
+        op_end = stage_ready
+        label = schedule.stage_label or "main"
+        timeline.stage_s[label] += op_end - op_start
+        if cluster_state.ops == 0:
+            cluster_state.first_start_s = op_start
+        cluster_state.ops += 1
+        cluster_state.last_end_s = max(cluster_state.last_end_s, op_end)
+        cluster_state.dep_stall_s += dep_stall
+        cluster_state.evk_stall_s += evk_stall
+        timeline.dep_stall_s += dep_stall
+        timeline.evk_stall_s += evk_stall
+        timeline.hbm_wait_s += hbm_wait
+        pipeline_ready[cluster] = first_stage_end
+        return {
+            "hbm_free": hbm_free,
+            "timing": NodeTiming(
+                node_id=node.node_id, cluster=cluster, start_s=op_start,
+                end_s=op_end, first_stage_end_s=first_stage_end,
+                dep_ready_s=dep_ready, dep_stall_s=dep_stall,
+                evk_stall_s=evk_stall, hbm_wait_s=hbm_wait),
+        }

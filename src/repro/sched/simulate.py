@@ -1,0 +1,212 @@
+"""The scheduled execution path: serial core loop -> cluster timeline.
+
+:class:`ScheduledEngine` is the parallel counterpart of
+:class:`repro.sim.engine.Engine`.  It reuses the serial engine's
+whole front half — Aether's offline decisions, the kernel lowering of
+:mod:`repro.sim.kernels` — then replaces the in-order core loop with
+the dataflow DAG (:mod:`repro.sched.graph`) and the critical-path
+cluster scheduler (:mod:`repro.sched.scheduler`).
+
+The serial engine charges every kernel task at chip-aggregate
+throughput, i.e. it idealises all clusters ganging on each op with
+zero cost; the scheduled engine is the explicit model — each op runs
+on *one* cluster's units, and clusters overlap only where the
+dataflow permits.  ``speedup`` therefore reads against the serial
+one-pipeline execution (``Engine`` on the 1-cluster slice of the same
+design point): the classic T_serial / T_parallel, with the 1-cluster
+schedule reproducing T_serial as the degenerate case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.ckks.params import CkksParams, SET_I, SET_II
+from repro.hw.accelerator import Accelerator
+from repro.hw.config import ChipConfig, FAST_CONFIG
+from repro.sim.engine import Engine, SimulationResult, UNIT_NAMES
+from repro.sim.kernels import lower_trace
+
+from repro.sched.graph import DataflowGraph
+from repro.sched.scheduler import ClusterScheduler, ScheduleTimeline
+
+
+@dataclass
+class ClusterReport:
+    """One cluster's share of a scheduled run."""
+
+    cluster_id: int
+    ops: int
+    occupancy: float
+    span_fraction: float
+    busy_s: dict
+    dep_stall_s: float
+    evk_stall_s: float
+
+
+@dataclass
+class ScheduledResult:
+    """Everything one scheduled run produces."""
+
+    name: str
+    clusters: int
+    total_s: float
+    per_cluster: list = field(default_factory=list)
+    stalls: dict = field(default_factory=dict)
+    graph_stats: dict = field(default_factory=dict)
+    unit_busy_s: dict = field(default_factory=dict)
+    kernel_modops: dict = field(default_factory=dict)
+    method_ops: dict = field(default_factory=dict)
+    stage_s: dict = field(default_factory=dict)
+    key_bytes: float = 0.0
+    plaintext_bytes: float = 0.0
+    num_ops: int = 0
+    num_key_switches: int = 0
+    key_cache_hits: int = 0
+    key_cache_misses: int = 0
+    dependency_violations: int = 0
+    serial_total_s: float | None = None
+
+    @property
+    def hbm_bytes(self) -> float:
+        return self.key_bytes + self.plaintext_bytes
+
+    @property
+    def speedup(self) -> float | None:
+        """Speedup over serial one-pipeline execution (if measured)."""
+        if not self.serial_total_s or not self.total_s:
+            return None
+        return self.serial_total_s / self.total_s
+
+    @property
+    def key_cache_hit_rate(self) -> float:
+        lookups = self.key_cache_hits + self.key_cache_misses
+        return self.key_cache_hits / lookups if lookups else 0.0
+
+    def mean_occupancy(self) -> float:
+        if not self.per_cluster:
+            return 0.0
+        return sum(c.occupancy for c in self.per_cluster) / \
+            len(self.per_cluster)
+
+    def utilisation(self) -> dict:
+        """Chip-wide unit busy fractions (cluster-summed busy over
+        ``clusters * makespan`` — comparable to the serial engine's)."""
+        if self.total_s <= 0:
+            return {u: 0.0 for u in UNIT_NAMES}
+        return {u: self.unit_busy_s.get(u, 0.0) /
+                (self.total_s if u == "hbm"
+                 else self.total_s * self.clusters)
+                for u in UNIT_NAMES}
+
+
+class ScheduledEngine:
+    """Simulates traces on one design point with explicit clusters."""
+
+    def __init__(self, config: ChipConfig = FAST_CONFIG,
+                 hybrid_params: CkksParams = SET_I,
+                 klss_params: CkksParams = SET_II,
+                 policy_mode: str = "aether"):
+        self.config = config
+        # The serial engine supplies Aether, the policy machinery and
+        # the reference core loop; its accelerator stays chip-wide.
+        self.engine = Engine(config, hybrid_params, klss_params,
+                             policy_mode)
+        self.cluster_accelerator = Accelerator(
+            config.per_cluster(), hybrid_params.ring_degree)
+        self.scheduler = ClusterScheduler(
+            config, hybrid_params, accelerator=self.cluster_accelerator)
+
+    # -- pipeline stages ---------------------------------------------------
+    def lower(self, trace) -> DataflowGraph:
+        """Trace -> validated dataflow DAG with attached schedules."""
+        policy = self.engine.make_policy(trace)
+        schedules = lower_trace(trace, self.engine.aether, policy)
+        return DataflowGraph.from_schedules(trace, schedules)
+
+    def run(self, trace, name: str | None = None) -> ScheduledResult:
+        tracer = obs.get_tracer()
+        with tracer.span("sched.run", trace=trace.name,
+                         clusters=self.config.clusters):
+            graph = self.lower(trace)
+            timeline = self.scheduler.run(graph)
+            result = self._package(timeline, graph,
+                                   name or trace.name)
+        if tracer.enabled:
+            tracer.count("sched.runs")
+            tracer.observe("sched.sim_total_s", result.total_s)
+        return result
+
+    def run_with_serial(self, trace,
+                        name: str | None = None
+                        ) -> tuple[ScheduledResult, SimulationResult]:
+        """Scheduled run plus its serial one-pipeline reference."""
+        result = self.run(trace, name)
+        serial = serial_reference(self.config).run(trace, name)
+        result.serial_total_s = serial.total_s
+        return result, serial
+
+    def _package(self, timeline: ScheduleTimeline,
+                 graph: DataflowGraph, name: str) -> ScheduledResult:
+        makespan = timeline.total_s
+        per_cluster = [
+            ClusterReport(
+                cluster_id=c.cluster_id, ops=c.ops,
+                occupancy=c.occupancy(makespan),
+                span_fraction=c.span_fraction(makespan),
+                busy_s=dict(c.busy_s),
+                dep_stall_s=c.dep_stall_s, evk_stall_s=c.evk_stall_s)
+            for c in timeline.clusters]
+        return ScheduledResult(
+            name=name, clusters=timeline.num_clusters, total_s=makespan,
+            per_cluster=per_cluster,
+            stalls=timeline.stall_breakdown(),
+            graph_stats=graph.stats(),
+            unit_busy_s=dict(timeline.unit_busy_s),
+            kernel_modops=dict(timeline.kernel_modops),
+            method_ops=dict(timeline.method_ops),
+            stage_s=dict(timeline.stage_s),
+            key_bytes=timeline.key_bytes,
+            plaintext_bytes=timeline.plaintext_bytes,
+            num_ops=timeline.num_ops,
+            num_key_switches=timeline.num_key_switches,
+            key_cache_hits=timeline.key_cache_hits,
+            key_cache_misses=timeline.key_cache_misses,
+            dependency_violations=len(timeline.violations()))
+
+
+def serial_reference(config: ChipConfig = FAST_CONFIG,
+                     **engine_kwargs) -> Engine:
+    """The serial one-pipeline baseline for ``config``: the in-order
+    engine on the single-cluster slice of the same design point."""
+    return Engine(config.per_cluster(), **engine_kwargs)
+
+
+def cluster_scaling(trace, counts=(1, 2, 4, 8),
+                    config: ChipConfig = FAST_CONFIG,
+                    serial: SimulationResult | None = None) -> dict:
+    """Speedup curve: scheduled latency per cluster count vs serial.
+
+    Returns ``{"serial_s": ..., "points": [{clusters, sim_s, speedup,
+    occupancy, stalls}, ...]}`` — the Fig. 13(b)-shaped scaling data
+    the bench harness records.
+    """
+    if serial is None:
+        serial = serial_reference(config).run(trace)
+    points = []
+    for count in counts:
+        variant = config.with_(name=f"{config.name}-{count}C",
+                               clusters=count)
+        result = ScheduledEngine(variant).run(trace)
+        result.serial_total_s = serial.total_s
+        points.append({
+            "clusters": count,
+            "sim_s": result.total_s,
+            "speedup": result.speedup,
+            "mean_occupancy": result.mean_occupancy(),
+            "occupancy": [c.occupancy for c in result.per_cluster],
+            "stalls": result.stalls,
+            "dependency_violations": result.dependency_violations,
+        })
+    return {"serial_s": serial.total_s, "points": points}

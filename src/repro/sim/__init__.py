@@ -6,9 +6,25 @@ scheduled onto the accelerator's units with a queueing pipeline model
 power/energy and EDP (:mod:`repro.sim.metrics`).  Baseline
 accelerators for the comparison tables live in
 :mod:`repro.sim.baselines`.
+
+The parallel counterpart — the dataflow-scheduled multi-cluster
+execution path — lives in :mod:`repro.sched`; its
+:class:`~repro.sched.ScheduledEngine` and
+:class:`~repro.sched.ScheduledResult` re-export here lazily (the
+``sched`` package imports this one).
 """
 
 from repro.sim.engine import Engine, SimulationResult
 from repro.sim.kernels import lower_trace
 
-__all__ = ["Engine", "SimulationResult", "lower_trace"]
+__all__ = ["Engine", "ScheduledEngine", "ScheduledResult",
+           "SimulationResult", "lower_trace"]
+
+_SCHED_EXPORTS = ("ScheduledEngine", "ScheduledResult")
+
+
+def __getattr__(name: str):
+    if name in _SCHED_EXPORTS:
+        from repro import sched
+        return getattr(sched, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -25,7 +25,7 @@ per-stage-label latency breakdowns (Fig. 10), kernel op totals
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro import obs
 from repro.ckks.keys import HYBRID
@@ -44,6 +44,25 @@ UNIT_NAMES = ("nttu", "bconvu", "kmu", "autou", "dsu", "hbm")
 # decomposed digits' accumulators, BSGS partial sums) — Fig. 3b's
 # working-set convention.
 WORKING_SET_CIPHERTEXTS = 4
+
+
+def key_identities(schedule: OpSchedule, use_minks: bool) -> list[tuple]:
+    """One identity per evaluation key the op needs.
+
+    With Min-KS (ARK key reuse) the level is not part of the identity,
+    so a rotation key fetched once serves every level.  Shared by the
+    serial engine and the cluster scheduler so both charge identical
+    evk traffic for the same schedule.
+    """
+    op = schedule.op
+    level_part = () if use_minks else (op.level,)
+    if op.kind == optrace.HMULT:
+        return [(schedule.method, "mult", *level_part)]
+    if op.kind == optrace.CONJ:
+        return [(schedule.method, "conj", *level_part)]
+    rotations = schedule.rotations or (op.rotation,)
+    return [(schedule.method, "rot", r, *level_part)
+            for r in rotations]
 
 
 @dataclass
@@ -127,13 +146,26 @@ class Engine:
         return Policy(self.policy_mode)
 
     def _constrain_config(self, config: AetherConfig) -> AetherConfig:
-        """Clamp decisions to what the chip variant supports."""
-        for decision in config.decisions.values():
-            if not self.config.supports_klss and decision.method != HYBRID:
-                decision.method = HYBRID
+        """Clamp decisions to what the chip variant supports.
+
+        Returns a fresh config with copied decisions: the input may be
+        shared (cached, or reused across engine variants), and clamping
+        it in place would corrupt later runs on chips that *do*
+        support KLSS/hoisting.
+        """
+        constrained = AetherConfig()
+        for unit_id, decision in config.decisions.items():
+            method = decision.method
+            hoisting = decision.hoisting
+            if not self.config.supports_klss and method != HYBRID:
+                method = HYBRID
             if not self.config.supports_hoisting:
-                decision.hoisting = 1
-        return config
+                hoisting = 1
+            if (method, hoisting) != (decision.method, decision.hoisting):
+                decision = replace(decision, method=method,
+                                   hoisting=hoisting)
+            constrained.decisions[unit_id] = decision
+        return constrained
 
     # -- core loop ----------------------------------------------------------
     def run(self, trace, name: str | None = None) -> SimulationResult:
@@ -281,17 +313,4 @@ class Engine:
         return result
 
     def _key_identities(self, schedule: OpSchedule) -> list[tuple]:
-        """One identity per key the op needs.
-
-        With Min-KS (ARK key reuse) the level is not part of the
-        identity, so a rotation key fetched once serves every level.
-        """
-        op = schedule.op
-        level_part = () if self.config.use_minks else (op.level,)
-        if op.kind == optrace.HMULT:
-            return [(schedule.method, "mult", *level_part)]
-        if op.kind == optrace.CONJ:
-            return [(schedule.method, "conj", *level_part)]
-        rotations = schedule.rotations or (op.rotation,)
-        return [(schedule.method, "rot", r, *level_part)
-                for r in rotations]
+        return key_identities(schedule, self.config.use_minks)

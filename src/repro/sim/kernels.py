@@ -56,6 +56,9 @@ class OpSchedule:
     rotations: tuple = ()
     keymult_stage: int = 0
     stage_label: str = ""
+    # Trace positions this schedule covers (one index, or a fused
+    # hoist batch's members) — the dataflow graph aligns on these.
+    indices: tuple = ()
 
     @property
     def total_modops(self) -> float:
@@ -256,7 +259,9 @@ def _lower_trace(trace: OpTrace, aether: Aether,
         if index in handled:
             continue
         if not op.needs_key_switch:
-            schedules.append(lower_plain_op(op, aether.hybrid_params))
+            plain = lower_plain_op(op, aether.hybrid_params)
+            plain.indices = (index,)
+            schedules.append(plain)
             continue
         unit = unit_of_index[index]
         method, hoisting = policy.decide(unit)
@@ -268,15 +273,19 @@ def _lower_trace(trace: OpTrace, aether: Aether,
             members = list(zip(unit.indices, unit.ops))
             for start in range(0, len(members), hoisting):
                 batch = members[start:start + hoisting]
-                schedules.append(lower_key_switch(
+                fused = lower_key_switch(
                     batch[0][1], method, hoisting, params,
                     aether.key_size_factor, batch_rotations=len(batch),
                     rotations=tuple(m.rotation for _, m in batch),
-                    stored_key_bytes=stored, minks_regen=regen))
+                    stored_key_bytes=stored, minks_regen=regen)
+                fused.indices = tuple(i for i, _ in batch)
+                schedules.append(fused)
                 handled.update(i for i, _ in batch)
         else:
-            schedules.append(lower_key_switch(
+            single = lower_key_switch(
                 op, method, 1, params, aether.key_size_factor,
-                stored_key_bytes=stored, minks_regen=regen))
+                stored_key_bytes=stored, minks_regen=regen)
+            single.indices = (index,)
+            schedules.append(single)
             handled.add(index)
     return schedules

@@ -88,6 +88,85 @@ class TestOpTrace:
             self.make().repeated(0)
 
 
+class TestValidate:
+    def test_clean_trace_validates(self):
+        trace = TestOpTrace().make()
+        assert trace.validate() == []
+        assert trace.check() is trace
+
+    def test_negative_ct_id_flagged(self):
+        trace = OpTrace([FheOp(optrace.HADD, 3, ct_id=-2)])
+        assert any("negative ct_id" in v for v in trace.validate())
+
+    def test_unknown_ct_id_flagged_when_declared(self):
+        tb = TraceBuilder("t")
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 5)
+        tb.trace.append(FheOp(optrace.HADD, 5, ct_id=99))
+        assert any("unknown ct_id 99" in v for v in tb.build().validate())
+
+    def test_unknown_ct_ok_without_declarations(self):
+        trace = OpTrace([FheOp(optrace.HADD, 5, ct_id=99)])
+        assert trace.validate() == []
+
+    def test_level_rise_flagged(self):
+        trace = OpTrace([FheOp(optrace.HMULT, 3, ct_id=0),
+                         FheOp(optrace.HADD, 5, ct_id=0)])
+        assert any("level rises" in v for v in trace.validate())
+
+    def test_mod_raise_may_raise_level(self):
+        trace = OpTrace([FheOp(optrace.RESCALE, 1, ct_id=0),
+                         FheOp(optrace.MOD_RAISE, 14, ct_id=0)])
+        assert trace.validate() == []
+
+    def test_level_rise_on_other_ct_independent(self):
+        trace = OpTrace([FheOp(optrace.HMULT, 3, ct_id=0),
+                         FheOp(optrace.HMULT, 9, ct_id=1)])
+        assert trace.validate() == []
+
+    def test_hoist_group_interleaved_same_ct_flagged(self):
+        trace = OpTrace([
+            FheOp(optrace.HROT, 5, ct_id=0, rotation=1, hoist_group=0),
+            FheOp(optrace.HADD, 5, ct_id=0),
+            FheOp(optrace.HROT, 5, ct_id=0, rotation=2, hoist_group=0),
+        ])
+        assert any("interleaves" in v for v in trace.validate())
+
+    def test_hoist_group_mixed_levels_flagged(self):
+        trace = OpTrace([
+            FheOp(optrace.HROT, 5, ct_id=0, rotation=1, hoist_group=0),
+            FheOp(optrace.HROT, 4, ct_id=0, rotation=2, hoist_group=0),
+        ])
+        assert any("several levels" in v for v in trace.validate())
+
+    def test_check_raises_with_preview(self):
+        trace = OpTrace([FheOp(optrace.HADD, 3, ct_id=-1)], name="bad")
+        with pytest.raises(ValueError, match="bad.*negative ct_id"):
+            trace.check()
+
+    def test_concat_rebases_ct_ids(self):
+        a, b = TestOpTrace().make(), TestOpTrace().make()
+        joined = a.concat(b)
+        assert joined.validate() == []
+        first_cts = {op.ct_id for op in list(joined)[:6]}
+        second_cts = {op.ct_id for op in list(joined)[6:]}
+        assert first_cts.isdisjoint(second_cts)
+
+    def test_repeated_rebases_ct_ids(self):
+        trace = TestOpTrace().make().repeated(3)
+        assert trace.validate() == []
+        assert len({op.ct_id for op in trace}) == 3
+
+    def test_all_workload_traces_validate(self):
+        from repro.workloads import (bootstrap_trace, helr_trace,
+                                     resnet20_trace)
+        for trace in (bootstrap_trace(), helr_trace(batch=256),
+                      helr_trace(batch=1024),
+                      helr_trace(batch=256, iterations=3),
+                      resnet20_trace()):
+            assert trace.validate() == [], trace.name
+
+
 class TestTraceBuilder:
     def test_fresh_ct_increments(self):
         tb = TraceBuilder()

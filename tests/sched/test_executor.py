@@ -1,0 +1,85 @@
+"""The functional executor: bit-exactness proves dependency order."""
+
+import numpy as np
+import pytest
+
+from repro.core.optrace import TraceBuilder
+from repro.sched.executor import FunctionalExecutor, _apply_op
+from repro.sched.graph import DataflowGraph
+from repro.workloads import helr
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return FunctionalExecutor(ring_degree=64, num_limbs=2)
+
+
+def small_trace():
+    tb = TraceBuilder("small")
+    for _ in range(3):
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 5)
+        tb.hrot(ct, 5, rotation=3)
+        tb.rescale(ct, 5)
+    return tb.build()
+
+
+class TestDeterminism:
+    def test_serial_runs_are_identical(self, executor):
+        trace = small_trace()
+        a, b = executor.run_serial(trace), executor.run_serial(trace)
+        assert all(np.array_equal(a[ct], b[ct]) for ct in a)
+
+    def test_transforms_are_order_sensitive(self, executor):
+        """Swapping two dependent ops must change the bits — otherwise
+        bit-equality would prove nothing about ordering."""
+        trace = small_trace()
+        state = executor.initial_state(trace)
+        forward = state[0].copy()
+        _apply_op(forward, 0, 0, True, executor._ctx)   # HMult
+        _apply_op(forward, 1, 3, True, executor._ctx)   # HRot
+        swapped = state[0].copy()
+        _apply_op(swapped, 1, 3, True, executor._ctx)
+        _apply_op(swapped, 0, 0, True, executor._ctx)
+        assert not np.array_equal(forward, swapped)
+
+    def test_ops_change_the_ciphertext(self, executor):
+        trace = small_trace()
+        before = executor.initial_state(trace)
+        after = executor.run_serial(trace)
+        assert all(not np.array_equal(before[ct], after[ct])
+                   for ct in before)
+
+
+class TestParallelBitExactness:
+    def test_small_trace_bit_exact(self, executor):
+        check = executor.verify(small_trace(), workers=2)
+        assert check.bit_exact
+        assert check.mismatched_cts == []
+        assert check.num_cts == 3
+
+    def test_helr_iteration_bit_exact(self, executor):
+        trace = helr.helr_iteration()
+        check = executor.verify(trace, workers=2)
+        assert check.bit_exact
+        assert check.num_ops == len(trace)
+
+    def test_fused_graph_bit_exact(self, executor):
+        """Hoist-fused nodes execute their members in trace order."""
+        tb = TraceBuilder("fused")
+        ct = tb.fresh_ct()
+        tb.rotations(ct, 5, [1, 2, 4], hoisted=True)
+        tb.hmult(ct, 5)
+        trace = tb.build()
+        graph = DataflowGraph.from_trace(trace)
+        assert len(graph) == 2
+        check = executor.verify(trace, graph=graph, workers=2)
+        assert check.bit_exact
+
+    def test_inline_fallback_matches_serial(self, executor):
+        trace = small_trace()
+        graph = DataflowGraph.from_trace(trace)
+        serial = executor.run_serial(trace)
+        inline = executor._run_inline(trace, graph)
+        assert all(np.array_equal(serial[ct], inline[ct])
+                   for ct in serial)

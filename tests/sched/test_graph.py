@@ -1,0 +1,131 @@
+"""Dataflow-graph lowering: def-use chains, fusion, validation."""
+
+import pytest
+
+from repro.core import optrace
+from repro.core.optrace import FheOp, OpTrace, TraceBuilder
+from repro.sched.graph import DataflowGraph
+from repro.workloads import bootstrap_trace, helr_trace
+
+
+def chain_trace():
+    """One ciphertext, four dependent ops."""
+    tb = TraceBuilder("chain")
+    ct = tb.fresh_ct()
+    tb.hmult(ct, 5)
+    tb.rescale(ct, 5)
+    tb.pmult(ct, 4)
+    tb.rescale(ct, 4)
+    return tb.build()
+
+
+def parallel_trace(chains: int = 3):
+    """Independent per-ciphertext chains (no cross edges)."""
+    tb = TraceBuilder("par")
+    for _ in range(chains):
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 5)
+        tb.rescale(ct, 5)
+    return tb.build()
+
+
+class TestLowering:
+    def test_chain_is_a_path(self):
+        graph = DataflowGraph.from_trace(chain_trace())
+        assert len(graph) == 4
+        assert graph.num_edges == 3
+        for node in graph.nodes[1:]:
+            assert node.preds == [node.node_id - 1]
+
+    def test_independent_chains_have_no_cross_edges(self):
+        graph = DataflowGraph.from_trace(parallel_trace(3))
+        assert len(graph.sources()) == 3
+        assert graph.num_edges == 3  # one edge inside each chain
+
+    def test_hoist_group_fuses_into_one_node(self):
+        tb = TraceBuilder("h")
+        ct = tb.fresh_ct()
+        tb.rotations(ct, 5, [1, 2, 4], hoisted=True)
+        tb.hmult(ct, 5)
+        graph = DataflowGraph.from_trace(tb.build())
+        assert len(graph) == 2
+        assert len(graph.nodes[0].ops) == 3
+        assert graph.nodes[1].preds == [0]
+
+    def test_unhoisted_rotations_stay_separate(self):
+        tb = TraceBuilder("u")
+        ct = tb.fresh_ct()
+        tb.rotations(ct, 5, [1, 2, 4], hoisted=False)
+        graph = DataflowGraph.from_trace(tb.build())
+        assert len(graph) == 3
+
+    def test_partition_must_cover_trace(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            DataflowGraph.from_trace(chain_trace(),
+                                     partition=[(0,), (1,), (2,)])
+
+    def test_partition_must_not_overlap(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            DataflowGraph.from_trace(
+                chain_trace(), partition=[(0, 1), (1, 2), (3,)])
+
+
+class TestValidation:
+    def test_level_rise_without_modraise_rejected(self):
+        trace = OpTrace([FheOp(optrace.HMULT, 3, ct_id=0),
+                         FheOp(optrace.HMULT, 7, ct_id=0)])
+        with pytest.raises(ValueError):
+            DataflowGraph.from_trace(trace)
+
+    def test_modraise_level_rise_allowed(self):
+        trace = OpTrace([FheOp(optrace.RESCALE, 0, ct_id=0),
+                         FheOp(optrace.MOD_RAISE, 14, ct_id=0)])
+        graph = DataflowGraph.from_trace(trace)
+        assert graph.validate() == []
+
+    def test_topological_order_is_complete_and_sorted(self):
+        graph = DataflowGraph.from_trace(helr_trace(batch=256))
+        order = graph.topological_order()
+        assert sorted(order) == list(range(len(graph)))
+        position = {nid: i for i, nid in enumerate(order)}
+        for node in graph.nodes:
+            for pred in node.preds:
+                assert position[pred] < position[node.node_id]
+
+
+class TestQueries:
+    def test_critical_path_includes_own_weight(self):
+        graph = DataflowGraph.from_trace(chain_trace())
+        lengths = graph.critical_path(lambda n: 1.0)
+        assert lengths == {0: 4.0, 1: 3.0, 2: 2.0, 3: 1.0}
+
+    def test_critical_path_takes_longest_branch(self):
+        # ct0: three chained ops; ct1: one op.  Each source's length
+        # is its own chain's depth.
+        trace = OpTrace([FheOp(optrace.HMULT, 5, ct_id=0),
+                         FheOp(optrace.RESCALE, 5, ct_id=0),
+                         FheOp(optrace.HADD, 4, ct_id=0),
+                         FheOp(optrace.HADD, 5, ct_id=1)])
+        graph = DataflowGraph.from_trace(trace)
+        lengths = graph.critical_path(lambda n: 1.0)
+        assert lengths[0] == 3.0 and lengths[3] == 1.0
+
+    def test_stats_shape(self):
+        graph = DataflowGraph.from_trace(bootstrap_trace())
+        stats = graph.stats()
+        assert stats["nodes"] > 100
+        assert stats["edges"] >= stats["nodes"] - stats["ciphertext_chains"]
+        assert stats["depth"] >= 1
+        assert stats["avg_parallelism"] > 1.0
+
+    def test_from_schedules_covers_trace(self):
+        from repro.sim.engine import Engine
+        trace = helr_trace(batch=256)
+        engine = Engine()
+        from repro.sim.kernels import lower_trace
+        schedules = lower_trace(trace, engine.aether,
+                                engine.make_policy(trace))
+        graph = DataflowGraph.from_schedules(trace, schedules)
+        covered = sorted(i for n in graph.nodes for i in n.indices)
+        assert covered == list(range(len(trace)))
+        assert all(n.schedule is not None for n in graph.nodes)

@@ -146,3 +146,31 @@ class TestPaperMagnitudes:
     def test_memory_bound_signature(self, boot_result):
         # Sec. 7.4: substantial HBM busy time.
         assert boot_result.utilisation()["hbm"] > 0.10
+
+
+class TestConstrainConfigPurity:
+    """_constrain_config must not mutate shared Aether decisions."""
+
+    def test_input_config_unmodified(self):
+        trace = bootstrap_trace()
+        full = Engine(FAST_CONFIG)
+        shared = full.aether.run(trace)
+        snapshot = {uid: (d.method, d.hoisting)
+                    for uid, d in shared.decisions.items()}
+        constrained = Engine(FAST_36BIT_ALU)._constrain_config(shared)
+        after = {uid: (d.method, d.hoisting)
+                 for uid, d in shared.decisions.items()}
+        assert after == snapshot
+        assert all(d.method == HYBRID
+                   for d in constrained.decisions.values())
+
+    def test_hoisting_clamp_copies(self):
+        trace = bootstrap_trace()
+        engine = Engine(fast_variant("noH", supports_hoisting=False))
+        shared = Engine(FAST_CONFIG).aether.run(trace)
+        hoisted_before = [d.hoisting for d in shared.decisions.values()]
+        constrained = engine._constrain_config(shared)
+        assert [d.hoisting for d in shared.decisions.values()] \
+            == hoisted_before
+        assert all(d.hoisting == 1
+                   for d in constrained.decisions.values())

@@ -40,6 +40,13 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_sched_command(self, capsys):
+        assert main(["sched", "--clusters", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "serial 1-pipeline" in out
+        assert "speedup" in out and "violations 0" in out
+        assert "graph:" in out
+
 
 class TestBenchCommand:
     """`repro bench` seeds the BENCH_sim.json regression baseline."""
@@ -53,7 +60,7 @@ class TestBenchCommand:
 
     def test_bench_quick_writes_schema(self, report_path):
         data = json.loads(report_path.read_text())
-        assert data["schema"] == "repro-bench/v2"
+        assert data["schema"] == "repro-bench/v3"
         assert data["quick"] is True
         assert set(data["workloads"]) == {"Bootstrap", "HELR256",
                                           "HELR1024", "ResNet-20"}
@@ -69,6 +76,34 @@ class TestBenchCommand:
             assert record["wall_s"] > 0 and record["sim_s"] > 0
             assert set(record["utilisation"]) == set(UNIT_NAMES)
             assert 0.0 <= record["key_cache_hit_rate"] <= 1.0
+
+    def test_bench_sched_section(self, report_path):
+        data = json.loads(report_path.read_text())
+        sched = data["sched"]
+        assert sched["clusters_axis"] == [1, 2, 4, 8]
+        assert set(sched["workloads"]) == {"HELR256", "Bootstrap"}
+        for name, record in sched["workloads"].items():
+            points = {p["clusters"]: p for p in record["points"]}
+            assert set(points) == {1, 2, 4, 8}, name
+            assert points[4]["speedup"] >= 2.0, name
+            assert abs(points[1]["speedup"] - 1.0) <= 0.01, name
+            assert all(p["dependency_violations"] == 0
+                       for p in points.values()), name
+        assert sched["executor"]["bit_exact"] is True
+
+    def test_bench_detects_sched_regression(self, report_path,
+                                            tmp_path, capsys):
+        doctored = json.loads(report_path.read_text())
+        for record in doctored["sched"]["workloads"].values():
+            for point in record["points"]:
+                point["sim_s"] *= 0.5
+        baseline = tmp_path / "BENCH_sched_doctored.json"
+        baseline.write_text(json.dumps(doctored))
+        out = tmp_path / "BENCH_now.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out), "--baseline", str(baseline),
+                     "--wall-tolerance", "50"]) == 1
+        assert "sched." in capsys.readouterr().out
 
     def test_bench_baseline_self_compare_passes(self, report_path,
                                                 tmp_path, capsys):
