@@ -2,12 +2,14 @@
 
 Runs the Table 5 workloads (bootstrap, HELR training iterations,
 ResNet-20 trace slices) through the cycle simulator and writes
-``BENCH_sim.json`` (schema ``repro-bench/v3``): per-workload host
+``BENCH_sim.json`` (schema ``repro-bench/v4``): per-workload host
 wall-time, simulated latency, per-unit utilisation, Hemera cache-hit
 rate and HBM traffic; a ``micro`` section with modmul/NTT kernel
-microbenchmarks and a functional HELR-style step at toy or
-Set-II-shaped wide-word parameters (``--params toy|full``), including
-the width-path occupancy counters; and a ``sched`` section with the
+microbenchmarks, the matrix-form base-conversion kernel against the
+per-pair scalar loop at Set-II-mini key-switch shapes (``bconv``),
+and a functional HELR-style step at toy or Set-II-shaped wide-word
+parameters (``--params toy|full``), including the width-path and
+conversion-path occupancy counters; and a ``sched`` section with the
 cluster-scaling speedup curve (``--clusters`` axis) of the dataflow
 scheduler plus a multiprocess executor bit-exactness check.  That
 file is the regression baseline every perf-oriented PR is judged

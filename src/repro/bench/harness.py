@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v3"
+BENCH_SCHEMA = "repro-bench/v4"
 DEFAULT_OUT = "BENCH_sim.json"
 DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
@@ -222,6 +222,14 @@ def _compare_micro(current: dict, baseline: dict,
     pairs = [("micro.ntt.wide_best_s",
               current.get("ntt", {}).get("wide_best_s"),
               baseline.get("ntt", {}).get("wide_best_s"))]
+    base_bconv = baseline.get("bconv", {}).get("cases", {})
+    for name, case in current.get("bconv", {}).get("cases", {}).items():
+        # The bconv ring degree and shapes are fixed constants, so the
+        # matrix-kernel wall is comparable across runs (v3 baselines
+        # simply lack the section and are skipped).
+        pairs.append((f"micro.bconv.{name}.matrix_best_s",
+                      case.get("matrix_best_s"),
+                      base_bconv.get(name, {}).get("matrix_best_s")))
     cur_f = current.get("functional", {})
     base_f = baseline.get("functional", {})
     if (cur_f.get("ring_degree") == base_f.get("ring_degree")
@@ -287,13 +295,27 @@ def _format_table(report: dict) -> str:
             f" vs object {ntt['object_best_s'] * 1e3:.2f} ms "
             f"({ntt['speedup_wide36_vs_object']:.1f}x, "
             f"bar {ntt['min_required_speedup']:.0f}x)")
+        bconv = micro.get("bconv")
+        if bconv:
+            per_case = " ".join(
+                f"{name}({case['k_in']}->{case['k_out']})="
+                f"{case['speedup']:.1f}x"
+                for name, case in bconv["cases"].items())
+            lines.append(
+                f"micro: BConv N={bconv['ring_degree']} matrix vs loop "
+                f"{bconv['speedup_aggregate']:.1f}x aggregate "
+                f"(bar {bconv['min_required_speedup']:.0f}x, "
+                f"bit_exact={bconv['bit_exact']}) {per_case}")
         lines.append(
             f"micro: {functional['workload']} @ {functional['params']}: "
             f"keygen {functional['keygen_wall_s'] * 1e3:.0f} ms, "
             f"step {functional['step_wall_s'] * 1e3:.0f} ms, "
             f"err {functional['max_slot_error']:.2e}, width paths "
             f"narrow={by_width['narrow']} wide={by_width['wide']} "
-            f"object={by_width['object']}")
+            f"object={by_width['object']}, bconv "
+            f"matrix={functional.get('bconv', {}).get('matrix', 0)} "
+            f"fallback="
+            f"{functional.get('bconv', {}).get('object_fallback', 0)}")
     sched = report.get("sched")
     if sched:
         lines.append("")

@@ -12,13 +12,23 @@ Three sections feed the ``micro`` block of BENCH_sim.json:
   The wide result is cross-checked element-wise against the oracle
   before timing, so the reported speedup can never come from a
   wrong answer.
+* ``bconv`` — the matrix-form base-conversion kernel (the software
+  BConvU) against the per-pair scalar loop it replaced, at the three
+  conversion shapes one Set-II-mini hybrid key-switch actually runs:
+  ModUp digit 0 (alpha limbs incl. the 44-bit first prime onto the
+  complement), ModUp digit 1 (the short tail digit onto the widest
+  target), and ModDown (specials back onto Q).  Results are
+  bit-exactness-checked against the oracle before timing, and the
+  plan-cache hit/miss counters are recorded from a separate traced
+  pass.
 * ``functional`` — one HELR-style step (encrypt, PMult + rescale,
   HMult/hybrid + rescale, HMult/KLSS + rescale, HRot, decrypt) at
   either toy (``--params toy``) or Set-II-shaped wide-word parameters
   (``--params full``).  It runs with the obs layer enabled and
   records the width-path counter deltas — TBM mode occupancy,
   Fig. 12 — which CI uses to assert that full-size parameters never
-  fall back onto the object path.
+  fall back onto the object path, plus the ``rns.bconv.*`` deltas
+  which must show zero object-path conversion fallbacks.
 
 Wall times are best-of-``reps`` to shrug off interpreter hiccups.
 """
@@ -32,12 +42,17 @@ import numpy as np
 # Acceptance bar: wide-path N=4096 NTT at a 36-bit prime must beat the
 # object-path oracle by at least this factor.
 MIN_NTT_SPEEDUP = 10.0
+# Acceptance bar: the matrix-form BConv kernel must beat the per-pair
+# scalar loop by at least this factor, aggregated over the Set-II-mini
+# key-switch shapes.
+MIN_BCONV_SPEEDUP = 5.0
 # The functional step decrypt must land this close to the clear-text
 # result, or the kernels are fast but wrong.
 MAX_FUNCTIONAL_ERROR = 1e-2
 
 NTT_RING_DEGREE = 4096
 MODMUL_SIZE = 4096
+BCONV_RING_DEGREE = 1024
 
 
 def _best(fn, reps: int) -> float:
@@ -118,6 +133,99 @@ def _ntt_section(quick: bool) -> dict:
     }
 
 
+def _bconv_bases(n: int):
+    """Set-II-mini prime chains, built exactly as the context builds them."""
+    from repro.ckks import primes
+    from repro.ckks.params import set_ii_mini
+
+    params = set_ii_mini(ring_degree=n)
+    used: set[int] = set()
+    first = primes.ntt_primes(1, params.first_prime_bits, n, exclude=used)
+    used.update(first)
+    scale = primes.ntt_primes(params.max_level, params.prime_bits, n,
+                              exclude=used)
+    used.update(scale)
+    specials = primes.ntt_primes(params.num_special_primes, params.prime_bits,
+                                 n, exclude=used)
+    return params, tuple(first + scale), tuple(specials)
+
+
+def _bconv_section(quick: bool) -> dict:
+    from repro import obs
+    from repro.ckks import modmath, rns
+
+    n = BCONV_RING_DEGREE
+    reps = 5 if quick else 15
+    inner = 4 if quick else 8
+    params, q_chain, specials = _bconv_bases(n)
+    alpha = params.alpha
+    # The three conversions a top-level hybrid key-switch actually runs.
+    shapes = {
+        "modup_digit0": (q_chain[:alpha], q_chain[alpha:] + specials),
+        "modup_digit1": (q_chain[alpha:], q_chain[:alpha] + specials),
+        "moddown": (specials, q_chain),
+    }
+    rng = np.random.default_rng(1024)
+    cases = {}
+    bit_exact = True
+    matrix_total = loop_total = 0.0
+    polys = {}
+    for label, (src, dst) in shapes.items():
+        poly = rns.RnsPoly([modmath.random_uniform(n, q, rng) for q in src],
+                           src, rns.COEFF)
+        polys[label] = poly
+        plan = rns.get_bconv_plan(src, dst)  # plan build is out of timing
+        got = plan.convert(poly.limbs)
+        want = rns.base_convert_reference(poly, dst)
+        exact = all(all(int(a) == int(b) for a, b in zip(x, y))
+                    for x, y in zip(got, want.limbs))
+        bit_exact = bit_exact and exact
+
+        def matrix_run(plan=plan, limbs=poly.limbs):
+            for _ in range(inner):
+                plan.convert(limbs)
+
+        def loop_run(poly=poly, dst=dst):
+            for _ in range(inner):
+                rns.base_convert_reference(poly, dst)
+
+        matrix_best = _best(matrix_run, reps) / inner
+        loop_best = _best(loop_run, reps) / inner
+        matrix_total += matrix_best
+        loop_total += loop_best
+        cases[label] = {
+            "k_in": len(src),
+            "k_out": len(dst),
+            "src_bits": sorted({q.bit_length() for q in src}),
+            "dst_bits": sorted({q.bit_length() for q in dst}),
+            "matrix_best_s": matrix_best,
+            "loop_best_s": loop_best,
+            "speedup": loop_best / matrix_best,
+            "bit_exact": exact,
+        }
+    # Plan-cache counters from a short traced pass (never mixed into
+    # the timing above: counter bumps would distort the matrix side).
+    was_enabled = obs.enabled()
+    obs.configure(enabled=True, reset=True)
+    try:
+        rns.clear_bconv_plan_cache()
+        for label, (src, dst) in shapes.items():
+            rns.base_convert(polys[label], dst)
+            rns.base_convert(polys[label], dst)
+        counters = _bconv_counters()
+    finally:
+        obs.configure(enabled=was_enabled, reset=True)
+    return {
+        "ring_degree": n,
+        "params": params.name,
+        "cases": cases,
+        "bit_exact": bit_exact,
+        "speedup_aggregate": loop_total / matrix_total,
+        "min_required_speedup": MIN_BCONV_SPEEDUP,
+        "plan_counters": counters,
+    }
+
+
 def _functional_params(params_mode: str, quick: bool):
     from repro.ckks.params import set_ii_mini, toy_params
 
@@ -133,6 +241,15 @@ def _path_counters() -> dict:
             if name.startswith(("modmath.path.", "ntt.path."))}
 
 
+def _bconv_counters() -> dict:
+    """``rns.bconv.*`` counter values, with the prefix stripped."""
+    from repro.obs.tracer import get_tracer
+    counters = get_tracer().metrics.counters()
+    prefix = "rns.bconv."
+    return {name[len(prefix):]: int(value)
+            for name, value in counters.items() if name.startswith(prefix)}
+
+
 def _functional_section(params_mode: str, quick: bool) -> dict:
     """One HELR-style step at real word widths, with path accounting."""
     from repro import obs
@@ -144,6 +261,7 @@ def _functional_section(params_mode: str, quick: bool) -> dict:
     obs.configure(enabled=True, reset=True)
     try:
         before = _path_counters()
+        bconv_before = _bconv_counters()
         start = time.perf_counter()
         ctx = CkksContext(params, seed=11)
         top = params.max_level
@@ -165,10 +283,13 @@ def _functional_section(params_mode: str, quick: bool) -> dict:
         error = float(np.max(np.abs(ctx.decrypt(ct) - expected)))
         step_wall = time.perf_counter() - start
         after = _path_counters()
+        bconv_after = _bconv_counters()
     finally:
         obs.configure(enabled=was_enabled, reset=True)
     width_paths = {name: after.get(name, 0) - before.get(name, 0)
                    for name in after}
+    bconv = {name: bconv_after.get(name, 0) - bconv_before.get(name, 0)
+             for name in bconv_after}
     return {
         "workload": "HELR-mini step",
         "params": params.name,
@@ -180,6 +301,7 @@ def _functional_section(params_mode: str, quick: bool) -> dict:
         "step_wall_s": step_wall,
         "max_slot_error": error,
         "width_paths": width_paths,
+        "bconv": bconv,
     }
 
 
@@ -189,6 +311,7 @@ def run_micro(params_mode: str = "full", quick: bool = False) -> dict:
         "params_mode": params_mode,
         "modmul": _modmul_section(quick),
         "ntt": _ntt_section(quick),
+        "bconv": _bconv_section(quick),
         "functional": _functional_section(params_mode, quick),
     }
 
@@ -204,6 +327,19 @@ def validate_micro(micro: dict) -> list[str]:
         violations.append(
             f"ntt: wide36 speedup {speedup:.1f}x is below the "
             f"{MIN_NTT_SPEEDUP:.0f}x bar")
+    bconv = micro.get("bconv", {})
+    if not bconv.get("bit_exact", False):
+        violations.append(
+            "bconv: matrix kernel disagrees with the object-path oracle")
+    bconv_speedup = bconv.get("speedup_aggregate", 0.0)
+    if bconv_speedup < MIN_BCONV_SPEEDUP:
+        violations.append(
+            f"bconv: aggregate speedup {bconv_speedup:.1f}x over the "
+            f"per-pair loop is below the {MIN_BCONV_SPEEDUP:.0f}x bar")
+    if bconv.get("plan_counters", {}).get("object_fallback"):
+        violations.append(
+            "bconv: conversions fell back onto the object path at "
+            "Set-II-mini shapes")
     functional = micro.get("functional", {})
     error = functional.get("max_slot_error")
     if error is None or error > MAX_FUNCTIONAL_ERROR:
@@ -222,4 +358,12 @@ def validate_micro(micro: dict) -> list[str]:
             violations.append(
                 "functional: no kernel invocation took the wide path at "
                 "full-size parameters")
+        conversions = functional.get("bconv", {})
+        if conversions.get("object_fallback"):
+            violations.append(
+                f"functional: {conversions['object_fallback']} base "
+                "conversions fell back onto the object path")
+        if not conversions.get("matrix"):
+            violations.append(
+                "functional: no base conversion took the matrix path")
     return violations

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ckks import rns
+from repro.ckks import modmath, rns
 from repro.ckks.keys import KeySwitchKey
 from repro.ckks.keyswitch.hybrid import key_mult_accumulate, mod_down_pair
 from repro.ckks.rns import RnsPoly
@@ -94,6 +94,17 @@ def klss_decompose(poly: RnsPoly, key: KeySwitchKey) -> list[RnsPoly]:
     big_coeffs = rns.compose_crt(coeff)
     columns = _balanced_digits_columns(big_coeffs, key.digit_bits,
                                        key.num_digits)
+    if key.digit_bits <= 62:
+        # Balanced digits stay below 1.5 * 2^digit_bits in magnitude,
+        # so the whole column fits int64 and each limb reduces as one
+        # vectorised pass; to_eval then batches every limb of the
+        # Q_l * T basis through a single stage-vectorised NTT call.
+        out = []
+        for col in columns:
+            col64 = col.astype(np.int64)
+            limbs = [modmath.asresidues(col64, q) for q in key.moduli]
+            out.append(RnsPoly(limbs, key.moduli, rns.COEFF).to_eval())
+        return out
     return [rns.from_big_ints(col.tolist(), key.moduli, poly.n).to_eval()
             for col in columns]
 

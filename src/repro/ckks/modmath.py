@@ -118,10 +118,16 @@ def _barrett128(hi, lo, q, r_hi, r_lo):
     """Reduce the 128-bit values ``hi * 2^64 + lo`` modulo ``q < 2^62``.
 
     ``(r_hi, r_lo)`` is ``floor(2^128 / q)``.  The quotient estimate
-    ``floor(x * ratio / 2^128)`` is computed exactly (SEAL-style two
-    rounds with carry propagation) and undershoots ``floor(x / q)`` by
-    at most 1 for ``x < 2^124``, so the remainder lands in ``[0, 2q)``;
-    two conditional subtractions keep a safety margin.
+    ``floor(x * ratio / 2^128)`` is computed exactly except for the
+    dropped low word of ``lo * r_lo`` (SEAL-style two rounds with
+    carry propagation).  For ``x < 2^126`` the estimate undershoots
+    ``floor(x / q)`` by at most 2 — one unit from the dropped word,
+    less than one from ``x * (2^128 mod q) / (q * 2^128) < x / 2^128
+    < 1/4`` — so the remainder lands in ``[0, 3q)`` and ``3q < 2^64``
+    still fits uint64; the two conditional subtractions finish the
+    job.  The BConv matrix kernel (:mod:`repro.ckks.rns`) leans on
+    the full ``x < 2^126`` range to accumulate several 124-bit
+    products between reductions.
     """
     carry = _mulhi(lo, r_lo)
     t_hi, t_lo = _mul128(lo, r_hi)
@@ -134,6 +140,33 @@ def _barrett128(hi, lo, q, r_hi, r_lo):
     r = lo - quotient * q          # exact in [0, 3q), mod-2^64 wraps cancel
     r = np.where(r >= q, r - q, r)
     return np.where(r >= q, r - q, r)
+
+
+# Public aliases for the batch kernels (BConv matrix stage, batched
+# multi-limb NTT).  All three broadcast: operands may be any mutually
+# broadcastable uint64 array shapes, e.g. a (N,) residue row against a
+# (k, 1) per-modulus column.
+mul128 = _mul128
+mulhi = _mulhi
+barrett128 = _barrett128
+
+
+def barrett_constants(modulus: int) -> tuple[np.uint64, np.uint64]:
+    """``floor(2^128 / q)`` as a uint64 (hi, lo) pair for :func:`barrett128`."""
+    ratio = (1 << 128) // int(modulus)
+    return np.uint64(ratio >> 64), np.uint64(ratio & 0xFFFFFFFFFFFFFFFF)
+
+
+def shoup_pair(w: int, modulus: int) -> tuple[np.uint64, np.uint64]:
+    """``(w mod q, floor(w * 2^64 / q))`` for lazy fixed-operand mulmod.
+
+    Unlike :meth:`ModulusKernel.shoup` this is path-agnostic — the
+    batch kernels run narrow moduli through the same uint64 datapath
+    as wide ones, where the Shoup trick is valid for any ``q < 2^62``.
+    """
+    q = int(modulus)
+    w = int(w) % q
+    return np.uint64(w), np.uint64((w << 64) // q)
 
 
 class ModulusKernel:

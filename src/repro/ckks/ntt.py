@@ -25,6 +25,7 @@ object path.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from time import perf_counter
 
 import numpy as np
@@ -227,6 +228,210 @@ class NttPlan:
             tracer.count("ntt.path." + self.path)
             tracer.observe("ntt.inverse_s", perf_counter() - start)
         return out
+
+
+# -- batched multi-limb transforms ----------------------------------------
+
+# Bound on cached batch plans: one entry per (N, basis) pair actually
+# transformed.  A full workload touches one basis per level per
+# key-switch flavour — a few dozen — and each entry only *references*
+# per-prime twiddle tables plus small stacked copies, so eviction
+# costs a restack, never a root search.
+BATCH_PLAN_CACHE_MAXSIZE = 64
+
+
+class BatchNttPlan:
+    """Stage-vectorised NTT over every limb of one RNS basis at once.
+
+    The per-limb :class:`NttPlan` loop spends most of its time in
+    Python dispatch: ``k`` limbs times ``log2 N`` stages times a
+    handful of kernel calls each.  This plan stacks all limbs whose
+    modulus fits the uint64 datapath (``q < 2^62`` — both the narrow
+    and wide width paths) into one ``(k, N)`` array and per-basis
+    ``(k, N)`` twiddle/Shoup tables, so each butterfly stage is a
+    single set of whole-batch numpy ops with the per-limb modulus
+    broadcast as a ``(k, 1, 1)`` column.  This is the software shape
+    of the accelerator's NTTU operating on a whole limb set per
+    ModUp digit.
+
+    Limbs over the exact ``object`` path (moduli beyond 62 bits) fall
+    back to their scalar plans; results are bit-identical to the
+    per-limb plans on every path.
+    """
+
+    def __init__(self, ring_degree: int, moduli: tuple[int, ...]):
+        # Imported lazily: rns imports NttPlan from this module at
+        # load time, but the shared bounded per-(N, q) plan cache
+        # lives there and must be reused so batch and scalar callers
+        # agree on tables.
+        from repro.ckks.rns import get_plan
+
+        self.n = int(ring_degree)
+        self.moduli = tuple(int(q) for q in moduli)
+        self._kernels = [modmath.get_kernel(q) for q in self.moduli]
+        self._batch_rows: list[int] = []     # limb positions in the stack
+        self._object_rows: list[int] = []    # limb positions on the oracle
+        self._scalar_plans = {}
+        psi, psi_shoup = [], []
+        psi_inv, psi_inv_shoup = [], []
+        n_inv_w, n_inv_ws, q_col = [], [], []
+        for i, q in enumerate(self.moduli):
+            plan = get_plan(self.n, q)
+            self._scalar_plans[i] = plan
+            kernel = self._kernels[i]
+            if kernel.path == modmath.OBJECT:
+                self._object_rows.append(i)
+                continue
+            self._batch_rows.append(i)
+            psi.append(np.asarray(plan._psi_rev, dtype=np.uint64))
+            psi_inv.append(np.asarray(plan._psi_inv_rev, dtype=np.uint64))
+            if kernel.path == modmath.WIDE:
+                psi_shoup.append(plan._psi_rev_shoup)
+                psi_inv_shoup.append(plan._psi_inv_rev_shoup)
+                w, ws = plan._n_inv_pair
+            else:
+                # Narrow plans keep int64 tables without Shoup
+                # companions; the uint64 lazy-Shoup butterflies are
+                # valid for any q < 2^62, so build companions here.
+                psi_shoup.append(kernel.shoup_table(plan._psi_rev))
+                psi_inv_shoup.append(kernel.shoup_table(plan._psi_inv_rev))
+                w, ws = modmath.shoup_pair(plan._n_inv, q)
+            n_inv_w.append(w)
+            n_inv_ws.append(ws)
+            q_col.append(np.uint64(q))
+        if self._batch_rows:
+            self._psi = np.stack(psi)
+            self._psi_shoup = np.stack(psi_shoup)
+            self._psi_inv = np.stack(psi_inv)
+            self._psi_inv_shoup = np.stack(psi_inv_shoup)
+            self._n_inv_w = np.array(n_inv_w, dtype=np.uint64).reshape(-1, 1)
+            self._n_inv_ws = np.array(n_inv_ws, dtype=np.uint64).reshape(-1, 1)
+            self._q = np.array(q_col, dtype=np.uint64).reshape(-1, 1)
+
+    # -- batched butterflies (uint64 lazy-Shoup datapath) ---------------
+    def _stack(self, limbs) -> np.ndarray:
+        a = np.empty((len(self._batch_rows), self.n), dtype=np.uint64)
+        for row, i in enumerate(self._batch_rows):
+            arr = self._kernels[i].asresidues(limbs[i], copy=False)
+            if len(arr) != self.n:
+                raise ValueError("limb length does not match the plan")
+            a[row] = arr
+        return a
+
+    def _unstack(self, a: np.ndarray, out: list) -> None:
+        for row, i in enumerate(self._batch_rows):
+            if self._kernels[i].dtype == np.int64:
+                out[i] = a[row].astype(np.int64)
+            else:
+                out[i] = a[row]
+
+    def _forward_stages(self, a: np.ndarray) -> None:
+        k = a.shape[0]
+        q = self._q[:, :, None]
+        t, m = self.n, 1
+        while m < self.n:
+            t //= 2
+            view = a.reshape(k, m, 2 * t)
+            lo = view[:, :, :t]
+            hi = view[:, :, t:]
+            w = self._psi[:, m:2 * m, None]
+            ws = self._psi_shoup[:, m:2 * m, None]
+            prod = hi * w - modmath.mulhi(hi, ws) * q   # lazy: [0, 2q)
+            prod = np.where(prod >= q, prod - q, prod)
+            s = lo + prod
+            d = lo + (q - prod)
+            view[:, :, :t] = np.where(s >= q, s - q, s)
+            view[:, :, t:] = np.where(d >= q, d - q, d)
+            m *= 2
+
+    def _inverse_stages(self, a: np.ndarray) -> np.ndarray:
+        k = a.shape[0]
+        q = self._q[:, :, None]
+        t, m = 1, self.n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(k, h, 2 * t)
+            lo = view[:, :, :t]
+            hi = view[:, :, t:]
+            w = self._psi_inv[:, h:2 * h, None]
+            ws = self._psi_inv_shoup[:, h:2 * h, None]
+            d = lo + (q - hi)
+            d = np.where(d >= q, d - q, d)
+            s = lo + hi
+            view[:, :, :t] = np.where(s >= q, s - q, s)
+            prod = d * w - modmath.mulhi(d, ws) * q
+            view[:, :, t:] = np.where(prod >= q, prod - q, prod)
+            t *= 2
+            m = h
+        qq = self._q
+        r = a * self._n_inv_w - modmath.mulhi(a, self._n_inv_ws) * qq
+        return np.where(r >= qq, r - qq, r)
+
+    # -- public API -----------------------------------------------------
+    def forward(self, limbs) -> list:
+        if len(limbs) != len(self.moduli):
+            raise ValueError("limb count does not match the basis")
+        tracer = get_tracer()
+        start = perf_counter() if tracer.enabled else 0.0
+        out: list = [None] * len(limbs)
+        if self._batch_rows:
+            a = self._stack(limbs)
+            self._forward_stages(a)
+            self._unstack(a, out)
+        for i in self._object_rows:
+            out[i] = self._scalar_plans[i].forward(limbs[i])
+        if tracer.enabled:
+            tracer.count("ntt.batch_forward")
+            for i in self._batch_rows:
+                tracer.count("ntt.path." + self._kernels[i].path)
+            tracer.observe("ntt.batch_forward_s", perf_counter() - start)
+        return out
+
+    def inverse(self, limbs) -> list:
+        if len(limbs) != len(self.moduli):
+            raise ValueError("limb count does not match the basis")
+        tracer = get_tracer()
+        start = perf_counter() if tracer.enabled else 0.0
+        out: list = [None] * len(limbs)
+        if self._batch_rows:
+            a = self._stack(limbs)
+            self._unstack(self._inverse_stages(a), out)
+        for i in self._object_rows:
+            out[i] = self._scalar_plans[i].inverse(limbs[i])
+        if tracer.enabled:
+            tracer.count("ntt.batch_inverse")
+            for i in self._batch_rows:
+                tracer.count("ntt.path." + self._kernels[i].path)
+            tracer.observe("ntt.batch_inverse_s", perf_counter() - start)
+        return out
+
+
+@lru_cache(maxsize=BATCH_PLAN_CACHE_MAXSIZE)
+def get_batch_plan(ring_degree: int, moduli: tuple[int, ...]) -> BatchNttPlan:
+    """Shared batch plan for one (N, basis) pair (bounded LRU cache)."""
+    return BatchNttPlan(ring_degree, moduli)
+
+
+def batch_plan_cache_info():
+    return get_batch_plan.cache_info()
+
+
+def clear_batch_plan_cache() -> None:
+    get_batch_plan.cache_clear()
+
+
+def transform_limbs(limbs, moduli, ring_degree: int,
+                    inverse: bool = False) -> list:
+    """Run every limb of one basis through a single batched NTT call.
+
+    ``limbs[i]`` must be a residue vector modulo ``moduli[i]``.
+    Returns the transformed limbs in basis order, bit-identical to
+    looping :meth:`NttPlan.forward` / :meth:`NttPlan.inverse` per
+    limb, but with one stage-vectorised pass over a ``(k, N)`` stack
+    instead of ``k`` separate transforms.
+    """
+    plan = get_batch_plan(int(ring_degree), tuple(int(q) for q in moduli))
+    return plan.inverse(limbs) if inverse else plan.forward(limbs)
 
 
 def negacyclic_convolution_reference(a, b, modulus: int) -> np.ndarray:

@@ -6,14 +6,19 @@ residue vector per prime.  This module provides
 
 * :class:`RnsPoly` — an RNS polynomial with coefficient/evaluation
   form tracking, element-wise ring ops, NTTs and automorphisms;
-* fast approximate base conversion (:func:`base_convert`), the
-  workhorse of ModUp/ModDown (the accelerator's BConvU);
+* fast approximate base conversion (:func:`base_convert`) executed by
+  a precomputed-matrix kernel (:class:`BConvPlan`), the workhorse of
+  ModUp/ModDown — the software analogue of the accelerator's BConvU
+  systolic arrays;
 * exact CRT composition/decomposition, used by the KLSS gadget
   decomposition and by decryption;
 * :func:`mod_up` / :func:`mod_down`, the hybrid key-switching stages.
 
-Plans (NTT tables) are cached per ``(N, q)`` so that repeated level
-changes do not redo root searches.
+Plans are cached and bounded: NTT tables per ``(N, q)``
+(:func:`get_plan`), conversion matrices per ``(source basis, target
+basis)`` pair (:func:`get_bconv_plan`), CRT constants per basis, so
+repeated level changes redo neither root searches nor modular
+inverses.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.ckks import modmath
-from repro.ckks.ntt import NttPlan
+from repro.ckks.ntt import NttPlan, transform_limbs
 from repro.obs.tracer import get_tracer
 
 COEFF = "coeff"
@@ -83,6 +88,11 @@ class RnsPoly:
         self.moduli = tuple(int(q) for q in moduli)
         if len(self.limbs) != len(self.moduli):
             raise ValueError("limb/modulus count mismatch")
+        if len(set(self.moduli)) != len(self.moduli):
+            # A repeated prime would silently mis-pair limbs wherever
+            # a basis is navigated by modulus *value* (mod_up builds
+            # the digit complement that way), so reject it outright.
+            raise ValueError("duplicate moduli in RNS basis")
         if form not in (COEFF, EVAL):
             raise ValueError(f"unknown form {form!r}")
         self.form = form
@@ -110,16 +120,26 @@ class RnsPoly:
     def to_eval(self) -> "RnsPoly":
         if self.form == EVAL:
             return self.copy()
-        limbs = [get_plan(self.n, q).forward(limb)
-                 for limb, q in zip(self.limbs, self.moduli)]
+        if len(self.limbs) > 1:
+            limbs = transform_limbs(self.limbs, self.moduli, self.n)
+        else:
+            limbs = [get_plan(self.n, q).forward(limb)
+                     for limb, q in zip(self.limbs, self.moduli)]
         return RnsPoly(limbs, self.moduli, EVAL)
 
     def to_coeff(self) -> "RnsPoly":
         if self.form == COEFF:
             return self.copy()
-        limbs = [get_plan(self.n, q).inverse(limb)
-                 for limb, q in zip(self.limbs, self.moduli)]
+        if len(self.limbs) > 1:
+            limbs = transform_limbs(self.limbs, self.moduli, self.n,
+                                    inverse=True)
+        else:
+            limbs = [get_plan(self.n, q).inverse(limb)
+                     for limb, q in zip(self.limbs, self.moduli)]
         return RnsPoly(limbs, self.moduli, COEFF)
+
+    # ``from_eval`` mirrors the accelerator's INTT direction name.
+    from_eval = to_coeff
 
     # -- ring operations ----------------------------------------------
     def _check_compatible(self, other: "RnsPoly") -> None:
@@ -218,9 +238,14 @@ class RnsPoly:
 
 # -- CRT helpers ----------------------------------------------------------
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
 def _crt_constants(moduli: tuple[int, ...]):
-    """Per-basis CRT constants: Q, Q/q_i, and (Q/q_i)^-1 mod q_i."""
+    """Per-basis CRT constants: Q, Q/q_i, and (Q/q_i)^-1 mod q_i.
+
+    Bounded like the NTT-plan cache: constants are pure functions of
+    the basis, so eviction only costs big-int recomputation, never
+    correctness (tests/ckks/test_plan_cache.py pins that down).
+    """
     big_q = 1
     for q in moduli:
         big_q *= q
@@ -228,6 +253,15 @@ def _crt_constants(moduli: tuple[int, ...]):
     q_hat_inv = tuple(modmath.inv_mod(h % q, q)
                       for h, q in zip(q_hat, moduli))
     return big_q, q_hat, q_hat_inv
+
+
+def crt_constants_cache_info():
+    """``functools`` cache statistics for the CRT-constants cache."""
+    return _crt_constants.cache_info()
+
+
+def clear_crt_constants_cache() -> None:
+    _crt_constants.cache_clear()
 
 
 def product(moduli) -> int:
@@ -273,6 +307,474 @@ def from_big_ints(coeffs: list[int], moduli, n: int | None = None) -> RnsPoly:
 
 # -- fast base conversion (BConv) -----------------------------------------
 
+class BConvPlan:
+    """Precomputed HPS base-conversion pipeline for one basis pair.
+
+    This is the software BConvU: everything that depends only on the
+    ``(source basis, target basis)`` pair is computed once —
+
+    * the element-wise stage scalars ``(Q/q_i)^{-1} mod q_i`` as Shoup
+      pairs (one lazy-reduction pass over the stacked ``(k_in, N)``
+      input, the KMU stage in FAST);
+    * the ``(k_out, k_in)`` residue matrix ``Q/q_i mod p_j`` (the
+      systolic-array weights), pre-split into ``PIECE_BITS``-wide
+      limb pieces and stacked into one block matrix per output scale;
+    * the target-side reduction constants (``2^64 mod p_j`` Shoup
+      pairs and Barrett ratios);
+    * the ModDown / rescale scalars ``(prod src)^{-1} mod p_j`` with
+      their Shoup companions, so :func:`mod_down` and
+      :func:`exact_rescale` never call ``inv_mod`` per invocation.
+
+    :meth:`convert` executes the conversion as a handful of
+    whole-array kernels.  The O(k_in * k_out * N) multiply-accumulate
+    core — the systolic array's job — runs as float64 matrix products
+    over the split pieces: with 22-bit pieces every partial product
+    fits 44 bits and a whole block-row dot product stays below the
+    2^53 float64 integer window, so BLAS does the accumulation
+    exactly at SIMD speed.  The piece sums are then recombined into a
+    lazily-carried 128-bit (hi, lo) split-limb accumulator — pieces
+    are shifted back by their scale, never individually reduced — and
+    a single vectorised Barrett/Shoup pass per target limb folds the
+    result into ``[0, p_j)``.
+
+    Any modulus beyond the 62-bit uint64 datapath (or a basis pair so
+    large the float64 window or the 128-bit accumulator would
+    overflow — see ``_matrix_feasible``) forces ``matrix_path =
+    False``; those conversions run the per-pair object-oracle loop
+    (:func:`base_convert_reference`) instead.
+    """
+
+    # Width of the split pieces fed to the float64 matrix products.
+    # Two 22-bit pieces multiply into 44 bits, leaving 53 - 44 = 9
+    # doubling levels of exact float64 headroom for the row-length
+    # accumulation (checked against the actual k_in below).
+    PIECE_BITS = 22
+
+    __slots__ = ("src_moduli", "dst_moduli", "k_in", "k_out",
+                 "src_product", "matrix_path", "total_bits",
+                 "_dst_kernels", "_ew_w", "_ew_ws", "_src_q",
+                 "_ew_float", "_ew_wf", "_src_qf",
+                 "_pieces_in", "_block_stack", "_shifts",
+                 "_reduce_float", "_vf_gemm", "_scales", "_dst_qf",
+                 "_dst_q", "_t64_w", "_t64_ws",
+                 "_down_inv", "_down_pairs", "_ws_pool")
+
+    def __init__(self, src_moduli, dst_moduli):
+        self.src_moduli = tuple(int(q) for q in src_moduli)
+        self.dst_moduli = tuple(int(p) for p in dst_moduli)
+        self.k_in = len(self.src_moduli)
+        self.k_out = len(self.dst_moduli)
+        big_q, q_hat, q_hat_inv = _crt_constants(self.src_moduli)
+        self.src_product = big_q
+        self._dst_kernels = [modmath.get_kernel(p) for p in self.dst_moduli]
+        self._ws_pool = []
+        self.matrix_path = self._matrix_feasible()
+        if self.matrix_path and self.k_in and self.k_out:
+            ew = [modmath.shoup_pair(inv, q)
+                  for inv, q in zip(q_hat_inv, self.src_moduli)]
+            self._ew_w = np.array([w for w, _ in ew],
+                                  dtype=np.uint64).reshape(-1, 1)
+            self._ew_ws = np.array([ws for _, ws in ew],
+                                   dtype=np.uint64).reshape(-1, 1)
+            self._src_q = np.array(self.src_moduli,
+                                   dtype=np.uint64).reshape(-1, 1)
+            self._dst_q = np.array(self.dst_moduli,
+                                   dtype=np.uint64).reshape(-1, 1)
+            t64 = [modmath.shoup_pair(1 << 64, p) for p in self.dst_moduli]
+            self._t64_w = np.array([w for w, _ in t64],
+                                   dtype=np.uint64).reshape(-1, 1)
+            self._t64_ws = np.array([ws for _, ws in t64],
+                                    dtype=np.uint64).reshape(-1, 1)
+            bits_in = max(q.bit_length() for q in self.src_moduli)
+            bits_out = max(p.bit_length() for p in self.dst_moduli)
+            b = self.PIECE_BITS
+            pieces_in = -(-bits_in // b)
+            pieces_mat = -(-bits_out // b)
+            # Float-quotient element-wise stage: x, w and x*w/q must
+            # all sit inside float64's exact window so the rounded
+            # quotient is within 1 of the true floor (see convert()).
+            self._ew_float = bits_in <= 51
+            if self._ew_float:
+                self._ew_wf = self._ew_w.astype(np.float64)
+                self._src_qf = self._src_q.astype(np.float64)
+            # Float-quotient final reduction: the row value is below
+            # k_in * 2^bits_in * p_j, so the absolute error of the
+            # float quotient (ncomp recombination roundings plus the
+            # p_j cast and the division, each 2^-53 relative) stays
+            # strictly below 1/2 — quotient within 1 of the true
+            # floor, remainder correctable in (0, 3 p_j) — exactly
+            # when this bit budget holds (2 bits of slack).
+            ncomp = max(1, pieces_in + pieces_mat - 1)
+            logk = (self.k_in - 1).bit_length()
+            self._reduce_float = (bits_in + logk
+                                  + (ncomp - 1).bit_length()) <= 50
+            # With a little more slack the quotient can come straight
+            # out of the matrix product: one extra k_out-row block of
+            # float(m_ji) * 2^(a*PIECE_BITS) accumulates the full
+            # (approximate) value per row, with relative error below
+            # (row length) * 2^-53 — still within 1 of the true floor
+            # when this tighter budget holds.
+            vf_rows = pieces_in * self.k_in
+            self._vf_gemm = (self._reduce_float
+                             and (bits_in + logk
+                                  + (vf_rows - 1).bit_length() + 2) <= 53)
+            if self._reduce_float:
+                self._dst_qf = self._dst_q.astype(np.float64)
+            self._build_matrix_blocks(q_hat)
+        # Hoisted ModDown/rescale scalars: (prod src)^-1 mod p_j.
+        # None when src and dst share a factor (never the case for
+        # the disjoint bases ModDown and rescale use).
+        try:
+            self._down_inv = tuple(modmath.inv_mod(big_q % p, p)
+                                   for p in self.dst_moduli)
+            self._down_pairs = tuple(
+                kernel.shoup(inv) if kernel.path == modmath.WIDE else None
+                for inv, kernel in zip(self._down_inv, self._dst_kernels))
+        except ValueError:
+            self._down_inv = None
+            self._down_pairs = None
+
+    def _matrix_feasible(self) -> bool:
+        """Whether the split-piece matrix kernel is exact for this pair."""
+        moduli = self.src_moduli + self.dst_moduli
+        if not self.k_in or not self.k_out:
+            return bool(moduli) and all(
+                modmath.width_path(q) != modmath.OBJECT for q in moduli)
+        if any(modmath.width_path(q) == modmath.OBJECT for q in moduli):
+            return False
+        b = self.PIECE_BITS
+        bits_in = max(q.bit_length() for q in self.src_moduli)
+        bits_out = max(p.bit_length() for p in self.dst_moduli)
+        pieces_in = -(-bits_in // b)
+        pieces_mat = -(-bits_out // b)
+        # Each block-row dot product sums min(pieces) * k_in exact
+        # 2b-bit products and must stay inside float64's 2^53 window.
+        rows = min(pieces_in, pieces_mat) * self.k_in
+        if 2 * b + (rows - 1).bit_length() > 53:
+            return False
+        # The recombined value sum_i y_i * m_ji must fit the 126-bit
+        # validity range of the final reduction's 128-bit accumulator.
+        self.total_bits = (bits_in + bits_out
+                           + (self.k_in - 1).bit_length())
+        return self.total_bits <= 126
+
+    def _build_matrix_blocks(self, q_hat) -> None:
+        """Split the residue matrix into piece-scale block matrices.
+
+        ``mat[j, i] = q_hat_i mod p_j`` is cut into ``PIECE_BITS``
+        pieces; block matrix ``s`` gathers every (input-piece a,
+        matrix-piece d) combination with ``a + d == s``, laid out so
+        one float64 product against the stacked input pieces yields
+        the whole ``2^(s * PIECE_BITS)``-scale component.  When the
+        quotient comes from the gemm too (``_vf_gemm``), a final
+        k_out-row block holding ``float(m_ji) * 2^(a*PIECE_BITS)``
+        is appended, and components that only feed bits >= 2^64 of
+        the value (zero modulo 2^64) are dropped.
+        """
+        b = self.PIECE_BITS
+        bits_in = max(q.bit_length() for q in self.src_moduli)
+        bits_out = max(p.bit_length() for p in self.dst_moduli)
+        self._pieces_in = -(-bits_in // b)
+        pieces_mat = -(-bits_out // b)
+        mat = np.array([[hat % p for hat in q_hat]
+                        for p in self.dst_moduli], dtype=np.uint64)
+        mat_pieces = [((mat >> np.uint64(d * b))
+                       & np.uint64((1 << b) - 1)).astype(np.float64)
+                      for d in range(pieces_mat)]
+        blocks = []
+        self._shifts = []
+        for s in range(self._pieces_in + pieces_mat - 1):
+            if self._vf_gemm and s * b >= 64:
+                break
+            block = np.zeros((self.k_out, self._pieces_in * self.k_in))
+            used = False
+            for a in range(self._pieces_in):
+                d = s - a
+                if 0 <= d < pieces_mat:
+                    block[:, a * self.k_in:(a + 1) * self.k_in] = \
+                        mat_pieces[d]
+                    used = True
+            if used:
+                blocks.append(block)
+                self._shifts.append(s * b)
+        self._scales = [float(1 << s) for s in self._shifts]
+        if self._vf_gemm:
+            # Quotient rows carry the 1/p_j scaling too, so the gemm
+            # yields v/p_j directly and convert() only floors it.
+            vf_block = np.empty((self.k_out, self._pieces_in * self.k_in))
+            matf = mat.astype(np.float64) / self._dst_qf
+            for a in range(self._pieces_in):
+                vf_block[:, a * self.k_in:(a + 1) * self.k_in] = \
+                    matf * float(1 << (a * b))
+            blocks.append(vf_block)
+        # One tall matrix so the whole multiply-accumulate runs as a
+        # single BLAS call; component s is rows [s*k_out, (s+1)*k_out).
+        self._block_stack = np.vstack(blocks)
+
+    def __repr__(self) -> str:
+        return (f"BConvPlan(k_in={self.k_in}, k_out={self.k_out}, "
+                f"matrix_path={self.matrix_path})")
+
+    def _workspace(self, n: int) -> dict:
+        """Check out a scratch-buffer set for length-``n`` inputs.
+
+        Buffers are pooled on the plan (list ``pop``/``append`` are
+        GIL-atomic, so concurrent converts simply allocate their own
+        set) — the steady state runs with zero large allocations.
+        """
+        try:
+            ws = self._ws_pool.pop()
+            if ws["n"] == n:
+                return ws
+        except IndexError:
+            pass
+        k_in, k_out = self.k_in, self.k_out
+        ws = {
+            "n": n,
+            "x": np.empty((k_in, n), dtype=np.uint64),
+            "y": np.empty((k_in, n), dtype=np.uint64),
+            "tq": np.empty((k_in, n), dtype=np.uint64),
+            "pieces": np.empty((self._pieces_in * k_in, n)),
+            "flat": np.empty((self._block_stack.shape[0], n)),
+            "lo": np.empty((k_out, n), dtype=np.uint64),
+            "quo": np.empty((k_out, n), dtype=np.uint64),
+            "tmpu": np.empty((k_out, n), dtype=np.uint64),
+            "tmpf": np.empty((k_out, n)),
+        }
+        if self._ew_float:
+            ws["xf"] = np.empty((k_in, n))
+        if not self._reduce_float:
+            ws["hi"] = np.empty((k_out, n), dtype=np.uint64)
+        return ws
+
+    def _release(self, ws: dict) -> None:
+        if len(self._ws_pool) < 4:
+            self._ws_pool.append(ws)
+
+    def _stack_input(self, limbs, n: int, out: np.ndarray) -> np.ndarray:
+        for i, q in enumerate(self.src_moduli):
+            arr = modmath.get_kernel(q).asresidues(limbs[i], copy=False)
+            if len(arr) != n:
+                raise ValueError("ragged limb lengths")
+            out[i] = arr
+        return out
+
+    def convert(self, limbs) -> list:
+        """Matrix-form conversion of stacked source limbs.
+
+        ``limbs[i]`` is a residue vector modulo ``src_moduli[i]``.
+        Returns one residue vector per target modulus (the kernel's
+        dtype for that modulus), bit-identical to
+        :func:`base_convert_reference`.
+        """
+        if not self.matrix_path:
+            raise ValueError("plan has no matrix path for this basis pair")
+        n = len(limbs[0]) if self.k_in else 0
+        if not self.k_in or not self.k_out:
+            return [kernel.zeros(n) for kernel in self._dst_kernels]
+        ws = self._workspace(n)
+        x = self._stack_input(limbs, n, ws["x"])
+        # Element-wise stage over the whole stack.  For limbs inside
+        # the float64 window the Barrett quotient floor(x*w / q) is
+        # computed in float (exact operands, one rounded product and
+        # one rounded division — off by at most 1 from the true
+        # floor), corrected back in uint64 arithmetic; wider limbs
+        # use the lazy-Shoup pass.
+        sq = self._src_q
+        y = ws["y"]
+        tq = ws["tq"]
+        if self._ew_float:
+            xf = ws["xf"]
+            xf[:] = x
+            np.multiply(xf, self._ew_wf, out=xf)
+            np.divide(xf, self._src_qf, out=xf)
+            np.floor(xf, out=xf)
+            tq[:] = xf
+            np.multiply(tq, sq, out=tq)
+            np.multiply(x, self._ew_w, out=y)
+            np.subtract(y, tq, out=y)
+            # y is x*w - quo*q in wrapping uint64, i.e. (-q, 2q);
+            # two branch-free conditional fix-ups via np.minimum
+            # (the wrong branch wraps around 2^64 and loses the min).
+            np.add(y, sq, out=tq)
+            np.minimum(y, tq, out=y)
+            np.subtract(y, sq, out=tq)
+            np.minimum(y, tq, out=y)
+        else:
+            np.multiply(modmath.mulhi(x, self._ew_ws), sq, out=tq)
+            np.multiply(x, self._ew_w, out=y)
+            np.subtract(y, tq, out=y)
+            y = np.where(y >= sq, y - sq, y)
+        # Matrix stage: split the scaled residues into float64 pieces
+        # and let BLAS run the exact multiply-accumulate — all scale
+        # components in one tall matrix product.  The a=0 piece needs
+        # no shift and the top piece needs no mask (y's leading bits
+        # run out first).
+        bp = self.PIECE_BITS
+        mask = np.uint64((1 << bp) - 1)
+        pieces = ws["pieces"]
+        top = self._pieces_in - 1
+        for a in range(self._pieces_in):
+            src = y
+            if a:
+                np.right_shift(y, np.uint64(a * bp), out=tq)
+                src = tq
+            if a < top:
+                np.bitwise_and(src, mask, out=tq)
+                src = tq
+            pieces[a * self.k_in:(a + 1) * self.k_in] = src
+        flat = ws["flat"]
+        np.matmul(self._block_stack, pieces, out=flat)
+        comps = [flat[s * self.k_out:(s + 1) * self.k_out]
+                 for s in range(len(self._shifts))]
+        pq = self._dst_q
+        lo = ws["lo"]
+        tmpu = ws["tmpu"]
+        lo[:] = comps[0]
+        if self._reduce_float:
+            # Recombine modulo 2^64 only (no carry tracking) and
+            # recover the quotient from the float components: every
+            # 2^(s*PIECE_BITS) scale is an exact float multiply, so
+            # the only roundings are the ncomp additions, the p_j
+            # cast and the division — within 1 of the true floor by
+            # the _reduce_float bit budget above.
+            if self._vf_gemm:
+                vf = flat[len(self._shifts) * self.k_out:]
+                for comp, shift in zip(comps[1:], self._shifts[1:]):
+                    tmpu[:] = comp
+                    np.left_shift(tmpu, np.uint64(shift), out=tmpu)
+                    np.add(lo, tmpu, out=lo)
+            else:
+                tmpf = ws["tmpf"]
+                vf = comps[0]
+                for comp, scale, shift in zip(comps[1:], self._scales[1:],
+                                              self._shifts[1:]):
+                    np.multiply(comp, scale, out=tmpf)
+                    np.add(vf, tmpf, out=vf)
+                    if shift < 64:
+                        tmpu[:] = comp
+                        np.left_shift(tmpu, np.uint64(shift), out=tmpu)
+                        np.add(lo, tmpu, out=lo)
+                np.divide(vf, self._dst_qf, out=vf)
+            np.floor(vf, out=vf)
+            quo = ws["quo"]
+            quo[:] = vf
+            np.multiply(quo, pq, out=quo)
+            np.subtract(lo, quo, out=lo)
+            # lo is v - quo*p in wrapping uint64, i.e. (-p, 2p); the
+            # same two branch-free np.minimum fix-ups as the
+            # element-wise stage fold it into [0, p).
+            np.add(lo, pq, out=tmpu)
+            np.minimum(lo, tmpu, out=lo)
+            np.subtract(lo, pq, out=tmpu)
+            np.minimum(lo, tmpu, out=lo)
+            acc = lo
+        else:
+            # Recombine into a lazily-carried 128-bit (hi, lo)
+            # accumulator, then one vectorised fold of hi with the
+            # precomputed 2^64 mod p_j Shoup pairs and a single
+            # division sweep per target limb.
+            hi = ws["hi"]
+            hi[:] = 0
+            down = ws["quo"]
+            for comp_f, shift in zip(comps[1:], self._shifts[1:]):
+                tmpu[:] = comp_f
+                if shift < 64:
+                    np.right_shift(tmpu, np.uint64(64 - shift), out=down)
+                    np.add(hi, down, out=hi)
+                    np.left_shift(tmpu, np.uint64(shift), out=tmpu)
+                    np.add(lo, tmpu, out=lo)
+                    hi += lo < tmpu
+                else:
+                    np.left_shift(tmpu, np.uint64(shift - 64), out=tmpu)
+                    np.add(hi, tmpu, out=hi)
+            r = hi * self._t64_w - modmath.mulhi(hi, self._t64_ws) * pq
+            acc = np.mod(np.mod(lo, pq) + r, pq)
+        out = []
+        for j, kernel in enumerate(self._dst_kernels):
+            row = acc[j]
+            out.append(row.astype(np.int64)
+                       if kernel.dtype == np.int64 else row.copy())
+        self._release(ws)
+        return out
+
+    def down_scale(self, limbs) -> list:
+        """Multiply limb ``j`` by the hoisted ``(prod src)^{-1} mod p_j``."""
+        if self._down_inv is None:
+            raise ValueError("source product not invertible in target basis")
+        out = []
+        for limb, kernel, inv, pair in zip(limbs, self._dst_kernels,
+                                           self._down_inv,
+                                           self._down_pairs):
+            if pair is not None:
+                out.append(kernel.mul_shoup(limb, *pair))
+            else:
+                out.append(kernel.mul_scalar(limb, inv))
+        return out
+
+
+@lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
+def _build_bconv_plan(src: tuple[int, ...],
+                      dst: tuple[int, ...]) -> BConvPlan:
+    return BConvPlan(src, dst)
+
+
+def get_bconv_plan(src_moduli, dst_moduli) -> BConvPlan:
+    """Shared :class:`BConvPlan` for one basis pair (bounded LRU cache).
+
+    When the observability layer is enabled, bumps
+    ``rns.bconv.plan_hit`` / ``rns.bconv.plan_miss``.
+    """
+    src = tuple(int(q) for q in src_moduli)
+    dst = tuple(int(p) for p in dst_moduli)
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _build_bconv_plan(src, dst)
+    hits_before = _build_bconv_plan.cache_info().hits
+    plan = _build_bconv_plan(src, dst)
+    if _build_bconv_plan.cache_info().hits > hits_before:
+        tracer.count("rns.bconv.plan_hit")
+    else:
+        tracer.count("rns.bconv.plan_miss")
+    return plan
+
+
+def bconv_plan_cache_info():
+    """``functools`` cache statistics for the BConv-plan cache."""
+    return _build_bconv_plan.cache_info()
+
+
+def clear_bconv_plan_cache() -> None:
+    _build_bconv_plan.cache_clear()
+
+
+def base_convert_reference(poly: RnsPoly, target_moduli) -> RnsPoly:
+    """Per-pair scalar-loop HPS conversion (the exactness oracle).
+
+    The pre-matrix implementation: element-wise stage per source limb,
+    then one scalar multiply-accumulate per (target, source) pair.  It
+    only goes through :mod:`modmath`'s per-modulus kernels, so it is
+    structurally independent of the matrix kernel and serves as its
+    bit-exactness oracle; it is also the only path for bases with
+    moduli beyond the 62-bit uint64 datapath.
+    """
+    if poly.form != COEFF:
+        raise ValueError("base_convert expects coefficient form")
+    moduli = poly.moduli
+    _, q_hat, q_hat_inv = _crt_constants(moduli)
+    target = tuple(int(p) for p in target_moduli)
+    scaled = [modmath.mul_scalar(limb, inv, q)
+              for limb, inv, q in zip(poly.limbs, q_hat_inv, moduli)]
+    out_limbs = []
+    for p in target:
+        acc = modmath.zeros(poly.n, p)
+        for y, q, hat in zip(scaled, moduli, q_hat):
+            acc = modmath.add(acc, modmath.mul_scalar(
+                modmath.asresidues(y, p), hat % p, p), p)
+        out_limbs.append(acc)
+    return RnsPoly(out_limbs, target, COEFF)
+
+
 def base_convert(poly: RnsPoly, target_moduli) -> RnsPoly:
     """HPS fast approximate base conversion ``Q-basis -> target basis``.
 
@@ -283,29 +785,29 @@ def base_convert(poly: RnsPoly, target_moduli) -> RnsPoly:
     ``x + e * Q (mod p_j)`` for a small integer ``e`` in ``[0, k)``;
     callers that need exactness (ModDown) correct for it structurally.
 
-    Input must be in coefficient form; output is in coefficient form.
+    Executed through the cached :class:`BConvPlan` matrix kernel;
+    bases with object-path moduli fall back to the scalar-loop oracle
+    (``rns.bconv.object_fallback`` counts those).  Input must be in
+    coefficient form; output is in coefficient form.
     """
     if poly.form != COEFF:
         raise ValueError("base_convert expects coefficient form")
     tracer = get_tracer()
     start = perf_counter() if tracer.enabled else 0.0
-    moduli = poly.moduli
-    _, q_hat, q_hat_inv = _crt_constants(moduli)
     target = tuple(int(p) for p in target_moduli)
-    # Element-wise stage on the source basis.
-    scaled = [modmath.mul_scalar(limb, inv, q)
-              for limb, inv, q in zip(poly.limbs, q_hat_inv, moduli)]
-    out_limbs = []
-    for p in target:
-        acc = modmath.zeros(poly.n, p)
-        for y, q, hat in zip(scaled, moduli, q_hat):
-            acc = modmath.add(acc, modmath.mul_scalar(
-                modmath.asresidues(y, p), hat % p, p), p)
-        out_limbs.append(acc)
+    plan = get_bconv_plan(poly.moduli, target)
+    if plan.matrix_path:
+        result = RnsPoly(plan.convert(poly.limbs), target, COEFF)
+        if tracer.enabled:
+            tracer.count("rns.bconv.matrix")
+    else:
+        result = base_convert_reference(poly, target)
+        if tracer.enabled:
+            tracer.count("rns.bconv.object_fallback")
     if tracer.enabled:
         tracer.count("rns.base_convert")
         tracer.observe("rns.base_convert_s", perf_counter() - start)
-    return RnsPoly(out_limbs, target, COEFF)
+    return result
 
 
 def mod_up(poly: RnsPoly, digit_indices: list[list[int]],
@@ -353,12 +855,12 @@ def mod_down(poly: RnsPoly, main_count: int) -> RnsPoly:
         raise ValueError("nothing to mod-down: no auxiliary limbs")
     aux_part = RnsPoly(poly.limbs[main_count:], p_moduli, COEFF)
     approx = base_convert(aux_part, q_moduli)
-    p_prod = product(p_moduli)
-    out_limbs = []
-    for limb, conv, q in zip(poly.limbs, approx.limbs, q_moduli):
-        diff = modmath.sub(limb, conv, q)
-        out_limbs.append(modmath.mul_scalar(diff, modmath.inv_mod(p_prod, q), q))
-    return RnsPoly(out_limbs, q_moduli, COEFF)
+    # The P^-1 mod q scalars (with Shoup companions) are hoisted into
+    # the conversion plan — no per-call inv_mod.
+    plan = get_bconv_plan(p_moduli, q_moduli)
+    diffs = [modmath.sub(limb, conv, q)
+             for limb, conv, q in zip(poly.limbs, approx.limbs, q_moduli)]
+    return RnsPoly(plan.down_scale(diffs), q_moduli, COEFF)
 
 
 def exact_rescale(poly: RnsPoly) -> RnsPoly:
@@ -373,9 +875,15 @@ def exact_rescale(poly: RnsPoly) -> RnsPoly:
         raise ValueError("cannot rescale a single-limb polynomial")
     last_q = poly.moduli[-1]
     last_limb = poly.limbs[-1]
-    out_limbs = []
-    for limb, q in zip(poly.limbs[:-1], poly.moduli[:-1]):
-        folded = modmath.asresidues(last_limb, q)
-        diff = modmath.sub(limb, folded, q)
-        out_limbs.append(modmath.mul_scalar(diff, modmath.inv_mod(last_q, q), q))
-    return RnsPoly(out_limbs, poly.moduli[:-1], COEFF)
+    front = poly.moduli[:-1]
+    # A single-limb conversion plan: its matrix stage is exactly the
+    # fold ``x mod q_i`` (HPS is exact for one source limb), and it
+    # hoists the q_last^-1 mod q_i scalars across calls.
+    plan = get_bconv_plan((last_q,), front)
+    if plan.matrix_path:
+        folded = plan.convert([last_limb])
+    else:
+        folded = [modmath.asresidues(last_limb, q) for q in front]
+    diffs = [modmath.sub(limb, fold, q)
+             for limb, fold, q in zip(poly.limbs, folded, front)]
+    return RnsPoly(plan.down_scale(diffs), front, COEFF)

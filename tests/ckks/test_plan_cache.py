@@ -87,3 +87,41 @@ class TestEvictionCorrectness:
         q = _many_primes(1)[0]
         assert get_plan(N, q) is get_plan(N, q)
         assert plan_cache_info().hits >= 1
+
+
+class TestCrtConstantsCache:
+    """The CRT-constants cache must be bounded like the NTT-plan cache."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        rns.clear_crt_constants_cache()
+        yield
+        rns.clear_crt_constants_cache()
+
+    def test_cache_has_explicit_maxsize(self):
+        info = rns.crt_constants_cache_info()
+        assert info.maxsize == PLAN_CACHE_MAXSIZE
+        assert info.maxsize is not None and info.maxsize > 0
+
+    def test_eviction_happens_beyond_maxsize(self):
+        pool = _many_primes(PLAN_CACHE_MAXSIZE + 9)
+        for i in range(PLAN_CACHE_MAXSIZE + 8):
+            rns._crt_constants((pool[i], pool[i + 1]))
+        info = rns.crt_constants_cache_info()
+        assert info.currsize == PLAN_CACHE_MAXSIZE
+        assert info.misses >= PLAN_CACHE_MAXSIZE + 8
+
+    def test_rebuilt_constants_survive_cache_churn(self):
+        pool = _many_primes(PLAN_CACHE_MAXSIZE + 9)
+        basis = tuple(pool[:3])
+        rng = np.random.default_rng(11)
+        coeffs = [int(v) for v in rng.integers(-(1 << 12), 1 << 12, size=N)]
+        poly = rns.from_big_ints(coeffs, basis, N)
+        before = rns.compose_crt(poly)
+        original = rns._crt_constants(basis)
+        for i in range(PLAN_CACHE_MAXSIZE + 8):   # churn: evicts `basis`
+            rns._crt_constants((pool[i], pool[i + 1]))
+        rebuilt = rns._crt_constants(basis)
+        assert rebuilt is not original            # it really was evicted
+        assert rebuilt == original                # same pure-function values
+        assert rns.compose_crt(poly) == before == coeffs

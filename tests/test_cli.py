@@ -60,10 +60,28 @@ class TestBenchCommand:
 
     def test_bench_quick_writes_schema(self, report_path):
         data = json.loads(report_path.read_text())
-        assert data["schema"] == "repro-bench/v3"
+        assert data["schema"] == "repro-bench/v4"
         assert data["quick"] is True
         assert set(data["workloads"]) == {"Bootstrap", "HELR256",
                                           "HELR1024", "ResNet-20"}
+
+    def test_bench_bconv_section(self, report_path):
+        data = json.loads(report_path.read_text())
+        bconv = data["micro"]["bconv"]
+        assert bconv["bit_exact"] is True
+        assert set(bconv["cases"]) == {"modup_digit0", "modup_digit1",
+                                       "moddown"}
+        for name, case in bconv["cases"].items():
+            assert case["matrix_best_s"] > 0 and case["loop_best_s"] > 0
+            assert case["bit_exact"] is True, name
+        assert bconv["speedup_aggregate"] >= bconv["min_required_speedup"]
+        counters = bconv["plan_counters"]
+        assert counters.get("plan_miss", 0) >= 3    # one per shape
+        assert counters.get("plan_hit", 0) >= 3     # second pass hits
+        assert counters.get("object_fallback", 0) == 0
+        functional = data["micro"]["functional"]
+        assert functional["bconv"].get("matrix", 0) > 0
+        assert functional["bconv"].get("object_fallback", 0) == 0
 
     def test_bench_records_required_metrics(self, report_path):
         from repro.sim.engine import UNIT_NAMES
