@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v4"
+BENCH_SCHEMA = "repro-bench/v5"
 DEFAULT_OUT = "BENCH_sim.json"
 DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
@@ -98,7 +98,7 @@ def run_benchmarks(config=None, quick: bool = False,
                    clusters=None) -> dict:
     """Run every workload; returns the full report dict."""
     from repro import __version__, obs
-    from repro.bench import micro, sched
+    from repro.bench import keyswitch, micro, sched
     from repro.hw.config import FAST_CONFIG
     from repro.sim.engine import Engine
 
@@ -113,6 +113,7 @@ def run_benchmarks(config=None, quick: bool = False,
             # the regression numbers must not depend on run order.
             workloads[name] = _measure(Engine(config), trace, repeats)
         micro_report = micro.run_micro(params_mode=params_mode, quick=quick)
+        keyswitch_report = keyswitch.run_keyswitch(quick=quick)
         sched_report = sched.run_sched(quick=quick, clusters=clusters)
     finally:
         obs.configure(enabled=was_enabled)
@@ -137,6 +138,7 @@ def run_benchmarks(config=None, quick: bool = False,
         },
         "workloads": workloads,
         "micro": micro_report,
+        "keyswitch": keyswitch_report,
         "sched": sched_report,
     }
 
@@ -172,9 +174,50 @@ def compare_reports(current: dict, baseline: dict,
     regressions.extend(_compare_micro(current.get("micro") or {},
                                       baseline.get("micro") or {},
                                       wall_tolerance))
+    regressions.extend(_compare_keyswitch(current.get("keyswitch") or {},
+                                          baseline.get("keyswitch") or {},
+                                          wall_tolerance))
     regressions.extend(_compare_sched(current.get("sched") or {},
                                       baseline.get("sched") or {},
                                       sim_tolerance))
+    return regressions
+
+
+def _compare_keyswitch(current: dict, baseline: dict,
+                       wall_tolerance: float) -> list[str]:
+    """Wall-time regressions in the keyswitch section.
+
+    The section's shapes (ring degree, rotation count, Set-II-mini
+    basis) are fixed constants, so the new-pipeline walls are
+    comparable across runs; pre-v5 baselines simply lack the section
+    and are skipped.
+    """
+    if not current or not baseline:
+        return []
+    pairs = [
+        ("keyswitch.auto.gather_best_s",
+         current.get("auto", {}).get("gather_best_s"),
+         baseline.get("auto", {}).get("gather_best_s")),
+        ("keyswitch.kmu.fused_best_s",
+         current.get("kmu", {}).get("fused_best_s"),
+         baseline.get("kmu", {}).get("fused_best_s")),
+        ("keyswitch.hoisted.pipeline_new_s",
+         current.get("hoisted", {}).get("pipeline_new_s"),
+         baseline.get("hoisted", {}).get("pipeline_new_s")),
+        ("keyswitch.hoisted.stage_new_s",
+         current.get("hoisted", {}).get("stage_new_s"),
+         baseline.get("hoisted", {}).get("stage_new_s")),
+    ]
+    regressions = []
+    for label, now, ref in pairs:
+        if not ref or now is None:
+            continue
+        ratio = now / ref
+        if ratio > 1.0 + wall_tolerance:
+            regressions.append(
+                f"{label}: {now:.6g} vs baseline {ref:.6g} "
+                f"(+{(ratio - 1) * 100:.1f}%, "
+                f"tolerance {wall_tolerance * 100:.0f}%)")
     return regressions
 
 
@@ -316,6 +359,37 @@ def _format_table(report: dict) -> str:
             f"matrix={functional.get('bconv', {}).get('matrix', 0)} "
             f"fallback="
             f"{functional.get('bconv', {}).get('object_fallback', 0)}")
+    keyswitch = report.get("keyswitch")
+    if keyswitch:
+        auto = keyswitch["auto"]
+        kmu = keyswitch["kmu"]
+        hoisted = keyswitch["hoisted"]
+        lines.append("")
+        lines.append(
+            f"keyswitch: AutoU gather N={auto['ring_degree']} "
+            f"k={auto['num_limbs']} {auto['gather_best_s'] * 1e6:.0f} us vs "
+            f"roundtrip {auto['roundtrip_best_s'] * 1e3:.2f} ms "
+            f"({auto['speedup']:.0f}x, bar {auto['min_required_speedup']:.0f}x,"
+            f" bit_exact={auto['bit_exact']})")
+        lines.append(
+            f"keyswitch: KMU fused d={kmu['num_digits']} tier={kmu['tier']} "
+            f"{kmu['fused_best_s'] * 1e3:.2f} ms vs loop "
+            f"{kmu['reference_best_s'] * 1e3:.2f} ms ({kmu['speedup']:.1f}x, "
+            f"bar {kmu['min_required_speedup']:.1f}x, "
+            f"bit_exact={kmu['bit_exact']})")
+        lines.append(
+            f"keyswitch: hoisted {hoisted['rotations']} rot @ "
+            f"{hoisted['params']}: stage {hoisted['stage_speedup']:.1f}x "
+            f"(bar {hoisted['min_required_stage_speedup']:.0f}x), pipeline "
+            f"{hoisted['pipeline_speedup']:.1f}x "
+            f"(bar {hoisted['min_required_pipeline_speedup']:.1f}x), "
+            f"loop_ntt_calls={hoisted['loop_ntt_calls']}, "
+            f"bit_exact={hoisted['bit_exact']}")
+        sweep = keyswitch.get("bsgs_sweep", {}).get("points", {})
+        if sweep:
+            lines.append("keyswitch: bsgs sweep " + " ".join(
+                f"{p['rotations']}rot={p['speedup']:.2f}x"
+                for p in sweep.values()))
     sched = report.get("sched")
     if sched:
         lines.append("")
@@ -364,6 +438,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run_cli(args: argparse.Namespace) -> int:
+    from repro.bench.keyswitch import validate_keyswitch
     from repro.bench.micro import validate_micro
     from repro.bench.sched import validate_sched
     clusters = tuple(int(c) for c in str(args.clusters).split(",") if c)
@@ -374,6 +449,7 @@ def run_cli(args: argparse.Namespace) -> int:
     print(f"\nwrote {args.out}"
           + (" (quick mode)" if args.quick else ""))
     violations = validate_micro(report["micro"]) \
+        + validate_keyswitch(report["keyswitch"]) \
         + validate_sched(report["sched"])
     if violations:
         print("\nACCEPTANCE VIOLATIONS:")

@@ -17,7 +17,9 @@ cost models that drive the accelerator study live in
 :mod:`repro.ckks.keyswitch.cost`.
 """
 
-from repro.ckks.params import CkksParams, SET_I, SET_II, toy_params
+from repro.ckks.params import (CkksParams, SET_I, SET_II, set_ii_mini,
+                               toy_params)
 from repro.ckks.context import CkksContext
 
-__all__ = ["CkksParams", "CkksContext", "SET_I", "SET_II", "toy_params"]
+__all__ = ["CkksParams", "CkksContext", "SET_I", "SET_II", "set_ii_mini",
+           "toy_params"]

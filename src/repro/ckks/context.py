@@ -321,6 +321,8 @@ class CkksContext:
 
     def _apply_galois(self, ct: Ciphertext, g: int,
                       method: str) -> Ciphertext:
+        # The ciphertext polys are in evaluation form, so both
+        # automorphisms are AutoPlan point gathers — no NTTs.
         key = self.evaluation_key(method, ct.level, ("galois", g))
         c0_rot = ct.c0.automorphism(g)
         c1_rot = ct.c1.automorphism(g)
@@ -329,14 +331,26 @@ class CkksContext:
 
     def hoisted_rotate(self, ct: Ciphertext, steps: Iterable[int],
                        method: str | None = None) -> list[Ciphertext]:
-        """Rotate by each step, sharing one decomposition (hoisting)."""
+        """Rotate by each step, sharing one decomposition (hoisting).
+
+        Repeated steps are computed once and returned as copies in
+        the requested order.
+        """
         steps = list(steps)
         method = self._resolve_method(method, "HRot", ct.level, len(steps))
         n = self.params.ring_degree
         galois = [encoding.rotation_galois_element(n, r) for r in steps]
+        unique = list(dict.fromkeys(galois))
         key_map = {g: self.evaluation_key(method, ct.level, ("galois", g))
-                   for g in galois}
-        return hoisted_rotations(ct, galois, key_map, self.params.alpha)
+                   for g in unique}
+        rotated = dict(zip(unique, hoisted_rotations(
+            ct, unique, key_map, self.params.alpha)))
+        seen: set[int] = set()
+        results = []
+        for g in galois:
+            results.append(rotated[g].copy() if g in seen else rotated[g])
+            seen.add(g)
+        return results
 
     # -- diagnostics -------------------------------------------------------
     def noise_infinity(self, ct: Ciphertext, expected) -> float:

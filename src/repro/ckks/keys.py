@@ -95,6 +95,18 @@ class KeySwitchKey:
     def num_digits(self) -> int:
         return len(self.parts)
 
+    def hoisting_profile(self) -> dict:
+        """The decomposition geometry hoisted rotations must agree on.
+
+        A shared decomposition of ``c1`` can only feed keys whose
+        method, basis and digit layout all match; anything else would
+        silently pair digits with the wrong key parts.  Field name ->
+        value, so a validator can report exactly what diverged.
+        """
+        return {"method": self.method, "moduli": self.moduli,
+                "aux_count": self.aux_count, "num_digits": self.num_digits,
+                "digit_bits": self.digit_bits}
+
     def size_bytes(self) -> int:
         """Storage footprint (two polys per digit, ceil(bits/8) per word)."""
         total = 0

@@ -5,8 +5,12 @@ hoisting, and the analytic modular-operation cost models that drive
 Fig. 2, Fig. 3, Fig. 11(b) and the Aether decision tool.
 """
 
-from repro.ckks.keyswitch.hybrid import hybrid_key_switch
+from repro.ckks.keyswitch.hybrid import (KeyMultPlan, get_key_mult_plan,
+                                         hybrid_key_switch)
 from repro.ckks.keyswitch.klss import klss_key_switch
-from repro.ckks.keyswitch.hoisting import hoisted_rotations
+from repro.ckks.keyswitch.hoisting import (hoisted_rotations,
+                                           hoisted_rotations_reference)
 
-__all__ = ["hybrid_key_switch", "klss_key_switch", "hoisted_rotations"]
+__all__ = ["KeyMultPlan", "get_key_mult_plan", "hybrid_key_switch",
+           "klss_key_switch", "hoisted_rotations",
+           "hoisted_rotations_reference"]

@@ -6,14 +6,48 @@ Each digit is extended onto the full ``Q_l * P`` basis (*ModUp*, heavy
 in NTTs), multiplied element-wise with its evaluation-key pair
 (*KeyMult*), and the accumulated pair is divided by ``P``
 (*ModDown*).
+
+The KeyMult stage runs through a cached :class:`KeyMultPlan` — the
+software analogue of FAST's KMU, a 3x256 output-stationary systolic
+array: the key's digit parts are stacked once into ``(2, d, k, N)``
+uint64 tensors, and the per-digit products are *accumulated lazily*
+(raw uint64 or 128-bit hi/lo split-limb sums) across all digits
+before a single reduction per limb, instead of reducing — and
+allocating two ``RnsPoly`` temporaries — per digit.
 """
 
 from __future__ import annotations
 
-from repro.ckks import rns
+import numpy as np
+
+from repro.ckks import modmath, rns
 from repro.ckks.keys import KeySwitchKey, hybrid_digit_indices
+from repro.ckks.ntt import transform_limbs
 from repro.ckks.rns import RnsPoly
 from repro.obs.tracer import get_tracer
+
+
+def digits_to_eval(digits: list[RnsPoly]) -> list[RnsPoly]:
+    """Forward-NTT every limb of every digit in one batched call.
+
+    The decomposed digits share one basis, so their limb stacks
+    concatenate into a single ``(d * k, N)`` batched transform — one
+    stage-vectorised pass instead of ``d`` separate ``to_eval`` calls.
+    Digits that do not share a coefficient-form basis fall back to
+    per-digit conversion (bit-identical either way).
+    """
+    if len(digits) <= 1:
+        return [d.to_eval() for d in digits]
+    moduli = digits[0].moduli
+    n = digits[0].n
+    if any(d.moduli != moduli or d.form != rns.COEFF or d.n != n
+           for d in digits):
+        return [d.to_eval() for d in digits]
+    flat = [limb for d in digits for limb in d.limbs]
+    evaluated = transform_limbs(flat, moduli * len(digits), n)
+    k = len(moduli)
+    return [RnsPoly(evaluated[j * k:(j + 1) * k], moduli, rns.EVAL)
+            for j in range(len(digits))]
 
 
 def hybrid_decompose(poly: RnsPoly, key: KeySwitchKey,
@@ -36,14 +70,165 @@ def hybrid_decompose(poly: RnsPoly, key: KeySwitchKey,
         raise ValueError(
             f"key has {key.num_digits} digits, input needs {len(digits)}")
     extended = rns.mod_up(poly, digits, q_moduli, p_moduli)
-    return [d.to_eval() for d in extended]
+    return digits_to_eval(extended)
 
 
-def key_mult_accumulate(decomposed: list[RnsPoly],
-                        key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
-    """KeyMult stage: ``(sum d_j b_j, sum d_j a_j)`` in eval form."""
-    if len(decomposed) > key.num_digits:
-        raise ValueError("more digits than key parts")
+# -- fused KeyMult (software KMU) -----------------------------------------
+
+class KeyMultPlan:
+    """Stacked-tensor KeyMult for one :class:`KeySwitchKey`.
+
+    Built once per key (see :func:`get_key_mult_plan`) and cached on
+    the key object.  The key's ``num_digits`` RLWE pairs are stacked
+    into two ``(d, k, N)`` uint64 weight tensors (``b`` and ``a``
+    halves), and :meth:`accumulate` computes ``sum_j digit_j * w_j``
+    with the reduction *deferred across all digits* — the
+    output-stationary dataflow of FAST's KMU systolic array.  Two
+    accumulation tiers, chosen from the worst-case bit budget
+    ``2 * max_bits + ceil(log2 d)``:
+
+    * ``u64`` (budget <= 64): raw wrapping-uint64 products summed
+      directly, one ``np.mod`` per limb at the end.  Covers narrow
+      (<= 31-bit) moduli at any realistic digit count.
+    * ``hilo`` (budget <= 126): exact 128-bit products via
+      :func:`repro.ckks.modmath.mul128` accumulated as a carry-tracked
+      (hi, lo) split-limb pair, one :func:`~repro.ckks.modmath.
+      barrett128` sweep per limb at the end.  Valid through 62-bit
+      moduli (the barrett128 range proof caps the accumulator at
+      ``2^126``).
+
+    Keys whose moduli exceed the uint64 datapath (or whose digit count
+    blows the 126-bit budget) get no plan; ``key_mult_accumulate``
+    falls back to the per-digit reference loop for those.
+    """
+
+    __slots__ = ("moduli", "num_digits", "n", "tier", "_w",
+                 "_q_col", "_r_hi", "_r_lo", "_kernels")
+
+    def __init__(self, key: KeySwitchKey):
+        self.moduli = key.moduli
+        self.num_digits = key.num_digits
+        self.n = key.parts[0][0].n
+        tier = _kmu_tier(key.moduli, key.num_digits)
+        if tier is None:
+            raise ValueError("key does not fit the fused KeyMult budgets")
+        self.tier = tier
+        k = len(self.moduli)
+        self._kernels = [modmath.get_kernel(q) for q in self.moduli]
+        self._w = np.empty((2, self.num_digits, k, self.n), dtype=np.uint64)
+        for j, (b_j, a_j) in enumerate(key.parts):
+            for half, part in enumerate((b_j, a_j)):
+                if part.form != rns.EVAL:
+                    raise ValueError("key parts must be in evaluation form")
+                for i, limb in enumerate(part.limbs):
+                    self._w[half, j, i] = limb
+        self._q_col = np.array(self.moduli, dtype=np.uint64).reshape(-1, 1)
+        consts = [modmath.barrett_constants(q) for q in self.moduli]
+        self._r_hi = np.array([c[0] for c in consts],
+                              dtype=np.uint64).reshape(-1, 1)
+        self._r_lo = np.array([c[1] for c in consts],
+                              dtype=np.uint64).reshape(-1, 1)
+
+    def stack(self, decomposed: list[RnsPoly]) -> np.ndarray:
+        """Stack decomposed digits into one ``(d, k, N)`` uint64 tensor."""
+        if len(decomposed) != self.num_digits:
+            raise ValueError(
+                f"key expects exactly {self.num_digits} digits, "
+                f"got {len(decomposed)}")
+        k = len(self.moduli)
+        out = np.empty((self.num_digits, k, self.n), dtype=np.uint64)
+        for j, digit in enumerate(decomposed):
+            if digit.form != rns.EVAL:
+                raise ValueError("decomposed digits must be in eval form")
+            if digit.moduli != self.moduli:
+                raise ValueError("digit basis does not match the key")
+            for i, limb in enumerate(digit.limbs):
+                out[j, i] = limb
+        return out
+
+    def accumulate(self, stacked: np.ndarray) -> tuple[RnsPoly, RnsPoly]:
+        """``(sum_j d_j b_j, sum_j d_j a_j)`` from a stacked digit tensor.
+
+        One lazy pass over all digits per half, a single reduction per
+        limb at the end — no per-digit temporaries.  Bit-identical to
+        :func:`key_mult_accumulate_reference`.
+        """
+        d, k, n = self.num_digits, len(self.moduli), self.n
+        if stacked.shape != (d, k, n):
+            raise ValueError("stacked digit tensor has the wrong shape")
+        halves = []
+        for w in self._w:                       # b-half then a-half
+            if self.tier == "u64":
+                acc = stacked[0] * w[0]
+                for j in range(1, d):
+                    acc += stacked[j] * w[j]
+                halves.append(np.mod(acc, self._q_col))
+            else:
+                hi, lo = modmath.mul128(stacked[0], w[0])
+                for j in range(1, d):
+                    p_hi, p_lo = modmath.mul128(stacked[j], w[j])
+                    lo = lo + p_lo
+                    hi = hi + p_hi + (lo < p_lo)    # carry out of lo
+                halves.append(modmath.barrett128(
+                    hi, lo, self._q_col, self._r_hi, self._r_lo))
+        out = []
+        for acc in halves:
+            limbs = [acc[i].astype(np.int64)
+                     if self._kernels[i].dtype == np.int64 else acc[i]
+                     for i in range(k)]
+            out.append(RnsPoly(limbs, self.moduli, rns.EVAL))
+        return out[0], out[1]
+
+
+def _kmu_tier(moduli, num_digits: int) -> str | None:
+    """Accumulation tier for a key's basis, or None when infeasible."""
+    if any(modmath.width_path(q) == modmath.OBJECT for q in moduli):
+        return None
+    bits = max(int(q).bit_length() for q in moduli)
+    budget = 2 * bits + max(0, num_digits - 1).bit_length()
+    if budget <= 64:
+        return "u64"
+    if budget <= 126:
+        return "hilo"
+    return None
+
+
+_NO_PLAN_YET = object()
+
+
+def get_key_mult_plan(key: KeySwitchKey) -> KeyMultPlan | None:
+    """Cached :class:`KeyMultPlan` for ``key`` (built on first use).
+
+    The plan is stored on the key object itself (keys are frozen but
+    carry a ``__dict__``), so its lifetime matches the key's — no
+    global cache to bound or invalidate.  Returns ``None`` for keys
+    outside the fused budgets.  When the observability layer is
+    enabled, bumps ``keyswitch.kmu.plan_hit`` / ``plan_miss``.
+    """
+    tracer = get_tracer()
+    cached = getattr(key, "_kmu_plan", _NO_PLAN_YET)
+    if cached is not _NO_PLAN_YET:
+        if tracer.enabled:
+            tracer.count("keyswitch.kmu.plan_hit")
+        return cached
+    if tracer.enabled:
+        tracer.count("keyswitch.kmu.plan_miss")
+    plan = (KeyMultPlan(key)
+            if _kmu_tier(key.moduli, key.num_digits) is not None else None)
+    object.__setattr__(key, "_kmu_plan", plan)
+    return plan
+
+
+def key_mult_accumulate_reference(
+        decomposed: list[RnsPoly],
+        key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
+    """Per-digit KeyMult loop (the bit-exactness oracle).
+
+    The pre-plan implementation: one reduced product and running sum
+    per digit, all through :class:`RnsPoly` arithmetic.  Structurally
+    independent of :class:`KeyMultPlan`'s lazy accumulation, and the
+    only path for keys over object-path moduli.
+    """
     acc0 = acc1 = None
     for digit, (b_j, a_j) in zip(decomposed, key.parts):
         term0 = digit * b_j
@@ -53,13 +238,140 @@ def key_mult_accumulate(decomposed: list[RnsPoly],
     return acc0, acc1
 
 
+def key_mult_accumulate(decomposed: list[RnsPoly],
+                        key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
+    """KeyMult stage: ``(sum d_j b_j, sum d_j a_j)`` in eval form.
+
+    Runs the fused :class:`KeyMultPlan` when the key fits the lazy
+    budgets, the reference loop otherwise.  Exactly ``key.num_digits``
+    digits are required: a shorter prefix would silently drop key
+    parts and compute a different (wrong) switch — callers that
+    legitimately have fewer digits must pad with zeros explicitly.
+    """
+    if len(decomposed) != key.num_digits:
+        raise ValueError(
+            f"key expects exactly {key.num_digits} digits, "
+            f"got {len(decomposed)}")
+    tracer = get_tracer()
+    plan = get_key_mult_plan(key)
+    if plan is not None:
+        if tracer.enabled:
+            tracer.count("keyswitch.kmu.fused")
+            tracer.count("keyswitch.kmu.tier." + plan.tier)
+        return plan.accumulate(plan.stack(decomposed))
+    if tracer.enabled:
+        tracer.count("keyswitch.kmu.object_fallback")
+    return key_mult_accumulate_reference(decomposed, key)
+
+
+def mod_down_batch(
+        pairs: list[tuple[RnsPoly, RnsPoly]],
+        aux_count: int) -> list[tuple[RnsPoly, RnsPoly]]:
+    """ModDown applied to many accumulator pairs over one shared basis.
+
+    ModDown only needs the *auxiliary* limbs in coefficient form (for
+    the P -> Q base conversion); the subtraction and the ``P^{-1}``
+    scaling are element-wise, so they commute with the NTT.  Every
+    half therefore stays in the evaluation domain on its Q limbs: per
+    half, only ``aux_count`` limbs ride the inverse transform instead
+    of the full ``k``, the conversion result is forward-NTT'd, and
+    the difference is taken point-wise in eval form.  Bit-identical
+    to :func:`repro.ckks.rns.mod_down` per half — the NTT is an exact
+    linear map mod q, so ``NTT((x - conv) * P^-1)`` equals
+    ``(NTT(x) - NTT(conv)) * P^-1`` residue for residue.
+
+    All pairs are processed together: one batched transform per
+    direction, one matrix conversion and one subtract/scale sweep per
+    limb, with the per-half vectors concatenated per modulus.  For a
+    hoisted batch of R rotations that is 2 NTT dispatches and
+    ``q_count`` element-wise sweeps total, not per rotation — the
+    stage-vectorised kernels amortise their per-stage dispatch
+    overhead over ``2R`` rows.
+
+    Requires evaluation form and a matrix/down-scale path; callers
+    fall back to :func:`mod_down_pair`'s coefficient pipeline
+    otherwise (see :func:`_mod_down_batch_ready`).
+    """
+    if not pairs:
+        return []
+    accs = [half for pair in pairs for half in pair]
+    moduli = accs[0].moduli
+    if any(a.moduli != moduli for a in accs):
+        raise ValueError("accumulator halves live on different bases")
+    if aux_count <= 0:
+        raise ValueError("nothing to mod-down: no auxiliary limbs")
+    q_count = len(moduli) - aux_count
+    q_moduli = moduli[:q_count]
+    p_moduli = moduli[q_count:]
+    n = accs[0].n
+    m = len(accs)
+    plan = rns.get_bconv_plan(p_moduli, q_moduli)
+    if any(a.form != rns.EVAL for a in accs) or not (
+            plan.matrix_path and plan.has_down_scale):
+        raise ValueError("batch requires eval form and a matrix path")
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("keyswitch.moddown.eval_batch")
+        tracer.count("keyswitch.moddown.eval_halves", m)
+        tracer.count("rns.bconv.matrix")    # one batched plan.convert
+    # Rows grouped by modulus so per-modulus slices stay contiguous:
+    # row i * m + h is half h's limb for modulus i.
+    aux_coeff = transform_limbs(
+        [acc.limbs[q_count + i] for i in range(aux_count) for acc in accs],
+        tuple(p for p in p_moduli for _ in range(m)), n, inverse=True)
+    stacked = [np.concatenate(aux_coeff[i * m:(i + 1) * m])
+               for i in range(aux_count)]
+    conv = plan.convert(stacked)            # q_count rows of length m*n
+    conv_eval = transform_limbs(
+        [conv[i][h * n:(h + 1) * n] for i in range(q_count)
+         for h in range(m)],
+        tuple(q for q in q_moduli for _ in range(m)), n)
+    diffs = []
+    for i, q in enumerate(q_moduli):
+        x = np.concatenate([acc.limbs[i] for acc in accs])
+        c = np.concatenate(conv_eval[i * m:(i + 1) * m])
+        diffs.append(modmath.sub(x, c, q))
+    scaled = plan.down_scale(diffs)         # q_count rows of length m*n
+    halves = [RnsPoly([scaled[i][h * n:(h + 1) * n]
+                       for i in range(q_count)], q_moduli, rns.EVAL)
+              for h in range(m)]
+    return [(halves[2 * j], halves[2 * j + 1]) for j in range(len(pairs))]
+
+
+def _mod_down_batch_ready(acc0: RnsPoly, acc1: RnsPoly,
+                          aux_count: int) -> bool:
+    """Whether a pair qualifies for the eval-domain batched ModDown."""
+    if acc0.form != rns.EVAL or acc1.form != rns.EVAL or aux_count <= 0:
+        return False
+    q_count = len(acc0.moduli) - aux_count
+    plan = rns.get_bconv_plan(acc0.moduli[q_count:], acc0.moduli[:q_count])
+    return plan.matrix_path and plan.has_down_scale
+
+
 def mod_down_pair(acc0: RnsPoly, acc1: RnsPoly,
                   aux_count: int) -> tuple[RnsPoly, RnsPoly]:
-    """ModDown stage applied to both halves; returns eval form."""
+    """ModDown stage applied to both halves; returns eval form.
+
+    Runs the eval-domain :func:`mod_down_batch` on the single pair
+    when the basis qualifies; otherwise (coefficient inputs, object
+    moduli, non-invertible aux product) falls back to the coefficient
+    pipeline, still sharing one batched transform per direction
+    between the halves.  Bit-identical either way.
+    """
+    if acc0.moduli != acc1.moduli:
+        raise ValueError("accumulator halves live on different bases")
+    if aux_count <= 0:
+        raise ValueError("nothing to mod-down: no auxiliary limbs")
+    if _mod_down_batch_ready(acc0, acc1, aux_count):
+        return mod_down_batch([(acc0, acc1)], aux_count)[0]
     q_count = len(acc0.moduli) - aux_count
-    out0 = rns.mod_down(acc0.to_coeff(), q_count).to_eval()
-    out1 = rns.mod_down(acc1.to_coeff(), q_count).to_eval()
-    return out0, out1
+    n = acc0.n
+    down0 = rns.mod_down(acc0.to_coeff(), q_count)
+    down1 = rns.mod_down(acc1.to_coeff(), q_count)
+    evaluated = transform_limbs(list(down0.limbs) + list(down1.limbs),
+                                down0.moduli + down1.moduli, n)
+    return (RnsPoly(evaluated[:q_count], down0.moduli, rns.EVAL),
+            RnsPoly(evaluated[q_count:], down1.moduli, rns.EVAL))
 
 
 def hybrid_key_switch(poly: RnsPoly, key: KeySwitchKey,

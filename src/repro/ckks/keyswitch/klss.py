@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.ckks import modmath, rns
 from repro.ckks.keys import KeySwitchKey
-from repro.ckks.keyswitch.hybrid import key_mult_accumulate, mod_down_pair
+from repro.ckks.keyswitch.hybrid import (digits_to_eval,
+                                         key_mult_accumulate, mod_down_pair)
 from repro.ckks.rns import RnsPoly
 from repro.obs.tracer import get_tracer
 
@@ -97,16 +98,17 @@ def klss_decompose(poly: RnsPoly, key: KeySwitchKey) -> list[RnsPoly]:
     if key.digit_bits <= 62:
         # Balanced digits stay below 1.5 * 2^digit_bits in magnitude,
         # so the whole column fits int64 and each limb reduces as one
-        # vectorised pass; to_eval then batches every limb of the
-        # Q_l * T basis through a single stage-vectorised NTT call.
+        # vectorised pass; digits_to_eval then batches every limb of
+        # *every* digit through a single stage-vectorised NTT call.
         out = []
         for col in columns:
             col64 = col.astype(np.int64)
             limbs = [modmath.asresidues(col64, q) for q in key.moduli]
-            out.append(RnsPoly(limbs, key.moduli, rns.COEFF).to_eval())
-        return out
-    return [rns.from_big_ints(col.tolist(), key.moduli, poly.n).to_eval()
-            for col in columns]
+            out.append(RnsPoly(limbs, key.moduli, rns.COEFF))
+        return digits_to_eval(out)
+    return digits_to_eval(
+        [rns.from_big_ints(col.tolist(), key.moduli, poly.n)
+         for col in columns])
 
 
 def klss_key_switch(poly: RnsPoly, key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:

@@ -84,7 +84,10 @@ def matvec_bsgs(ctx: CkksContext, matrix: np.ndarray, ct: Ciphertext,
 
     diagonals = {k: np.array([matrix[i, (i + k) % d] for i in range(d)])
                  for k in range(d)}
-    # Baby rotations of the input ciphertext: one hoisted batch.
+    # Baby rotations of the input ciphertext: one hoisted batch.  The
+    # decomposition of c1 is shared, and each extra baby step costs
+    # only an AutoPlan gather + fused KeyMult + ModDown — no NTTs
+    # before the ModDown (see repro.ckks.keyswitch.hoisting).
     baby_rots = [ct] + ctx.hoisted_rotate(ct, list(range(1, bs)),
                                           method=method)
     result = None

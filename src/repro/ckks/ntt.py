@@ -45,6 +45,23 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
     return out
 
 
+def eval_point_exponents(n: int) -> np.ndarray:
+    """Root exponents ``e(i)`` with ``forward(a)[i] = a(psi^e(i))``.
+
+    The merged-twist Cooley-Tukey network evaluates the input at every
+    odd power of the primitive 2N-th root ``psi`` (the negacyclic
+    points), emitting slot ``i`` at exponent ``2 * brv(i) + 1`` where
+    ``brv`` is :func:`bit_reverse_permutation`.  Automorphism plans
+    (:class:`repro.ckks.rns.AutoPlan`) lean on this ordering to turn
+    ``X -> X^g`` into a pure permutation of evaluation slots: slot
+    holding point ``psi^e`` must move to the slot holding
+    ``psi^(e * g mod 2N)``.
+    """
+    if n < 1 or n & (n - 1):
+        raise ValueError("ring degree must be a power of two")
+    return 2 * bit_reverse_permutation(n) + 1
+
+
 class NttPlan:
     """Precomputed tables for the negacyclic NTT of one prime.
 

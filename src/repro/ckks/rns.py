@@ -16,9 +16,10 @@ residue vector per prime.  This module provides
 
 Plans are cached and bounded: NTT tables per ``(N, q)``
 (:func:`get_plan`), conversion matrices per ``(source basis, target
-basis)`` pair (:func:`get_bconv_plan`), CRT constants per basis, so
-repeated level changes redo neither root searches nor modular
-inverses.
+basis)`` pair (:func:`get_bconv_plan`), automorphism index tables per
+``(N, g)`` (:func:`get_auto_plan` — the software AutoU), CRT constants
+per basis, so repeated level changes redo neither root searches nor
+modular inverses.
 """
 
 from __future__ import annotations
@@ -210,30 +211,137 @@ class RnsPoly:
     def automorphism(self, galois_power: int) -> "RnsPoly":
         """Apply ``X -> X^g`` with ``g = galois_power`` (odd, mod 2N).
 
-        Implemented in coefficient form: coefficient ``i`` moves to
-        position ``(i * g) mod 2N``, negated when the destination
-        falls in the upper half (since ``X^N = -1``).  This is the
-        functional model of the accelerator's AutoU.
+        This is the functional model of the accelerator's AutoU.  The
+        index tables come from the cached :class:`AutoPlan` for this
+        ``(N, g)`` pair:
+
+        * **evaluation form** — a pure gather of NTT points, zero
+          NTTs: slot ``i`` holds the value at root ``psi^(2 brv(i) +
+          1)`` (see :func:`repro.ckks.ntt.eval_point_exponents`), and
+          ``sigma_g`` permutes those points among themselves because
+          ``g`` is odd;
+        * **coefficient form** — coefficient ``i`` moves to position
+          ``(i * g) mod 2N``, negated when the destination falls in
+          the upper half (``X^N = -1``).  This path is the
+          bit-exactness oracle for the eval-domain gather.
         """
-        if galois_power % 2 == 0:
-            raise ValueError("Galois element must be odd")
-        was_eval = self.form == EVAL
-        poly = self.to_coeff() if was_eval else self.copy()
-        n = self.n
-        two_n = 2 * n
-        idx = (np.arange(n, dtype=np.int64) * (galois_power % two_n)) % two_n
-        dest = np.where(idx < n, idx, idx - n)
-        negate = idx >= n
+        plan = get_auto_plan(self.n, galois_power)
+        tracer = get_tracer()
+        if self.form == EVAL:
+            perm = plan.eval_perm
+            if perm is None:
+                # No point permutation exists (non-power-of-two ring,
+                # no NTT either): round-trip through the coeff oracle.
+                if tracer.enabled:
+                    tracer.count("rns.auto.eval_roundtrip")
+                return self.to_coeff().automorphism(galois_power).to_eval()
+            if tracer.enabled:
+                tracer.count("rns.auto.eval")
+            # Fancy-index gather per limb: works unchanged on every
+            # width path (int64 / uint64 / object arrays).
+            return RnsPoly([limb[perm] for limb in self.limbs],
+                           self.moduli, EVAL)
+        if tracer.enabled:
+            tracer.count("rns.auto.coeff")
+        dest = plan.coeff_dest
+        negate = plan.coeff_negate
         out_limbs = []
-        for limb, q in zip(poly.limbs, poly.moduli):
+        for limb, q in zip(self.limbs, self.moduli):
             # np.where instead of a sign multiply: mixing an int64 sign
             # array into a uint64 limb would silently promote to
             # float64 and corrupt wide residues.
-            out = modmath.zeros(n, q)
+            out = modmath.zeros(self.n, q)
             out[dest] = np.where(negate, modmath.neg(limb, q), limb)
             out_limbs.append(out)
-        result = RnsPoly(out_limbs, self.moduli, COEFF)
-        return result.to_eval() if was_eval else result
+        return RnsPoly(out_limbs, self.moduli, COEFF)
+
+
+# -- automorphism plans (software AutoU) ----------------------------------
+
+class AutoPlan:
+    """Precomputed index tables for ``X -> X^g`` on one ``(N, g)`` pair.
+
+    This is the software analogue of FAST's AutoU, which routes NTT
+    points through a Benes network instead of leaving the evaluation
+    domain.  Two table sets are built once and shared via the bounded
+    :func:`get_auto_plan` cache:
+
+    * ``eval_perm`` — the evaluation-domain permutation.  Slot ``i``
+      of a forward NTT holds the value at root ``psi^e(i)`` with
+      ``e(i) = 2 brv(i) + 1`` (:func:`~repro.ckks.ntt.
+      eval_point_exponents`).  Applying ``sigma_g: a(X) -> a(X^g)``
+      maps the value at point ``psi^e`` to the slot whose point is
+      ``psi^(e g mod 2N)`` — for odd ``g`` the odd exponents permute
+      among themselves, so ``out[i] = in[eval_perm[i]]`` with
+      ``eval_perm[i] = brv((e(i) * g mod 2N - 1) / 2)``.  A pure
+      gather: zero NTTs, exact on every width path.  ``None`` when
+      ``N`` is not a power of two (no evaluation form exists there).
+    * ``coeff_dest`` / ``coeff_negate`` — the coefficient-domain
+      scatter: coefficient ``i`` lands at ``(i g) mod 2N`` folded into
+      ``[0, N)`` with a sign flip in the upper half (``X^N = -1``).
+      Kept as the structurally independent bit-exactness oracle for
+      the gather, and as the only path for coefficient-form inputs.
+    """
+
+    __slots__ = ("n", "galois", "eval_perm", "coeff_dest", "coeff_negate")
+
+    def __init__(self, n: int, galois_power: int):
+        if galois_power % 2 == 0:
+            raise ValueError("Galois element must be odd")
+        self.n = int(n)
+        two_n = 2 * self.n
+        g = int(galois_power) % two_n
+        self.galois = g
+        idx = (np.arange(self.n, dtype=np.int64) * g) % two_n
+        self.coeff_dest = np.where(idx < n, idx, idx - n)
+        self.coeff_negate = idx >= n
+        if self.n >= 1 and not (self.n & (self.n - 1)):
+            from repro.ckks.ntt import (bit_reverse_permutation,
+                                        eval_point_exponents)
+            rev = bit_reverse_permutation(self.n)
+            target = (eval_point_exponents(self.n) * g) % two_n
+            self.eval_perm = rev[(target - 1) >> 1]
+        else:
+            self.eval_perm = None
+
+
+@lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
+def _build_auto_plan(n: int, galois: int) -> AutoPlan:
+    return AutoPlan(n, galois)
+
+
+def get_auto_plan(n: int, galois_power: int) -> AutoPlan:
+    """Shared :class:`AutoPlan` for one ``(N, g)`` pair (bounded LRU).
+
+    ``galois_power`` is normalised modulo ``2N`` before the cache
+    lookup, so equivalent elements share one entry.  When the
+    observability layer is enabled, bumps ``rns.auto.plan_hit`` /
+    ``rns.auto.plan_miss``.
+    """
+    n = int(n)
+    g = int(galois_power)
+    if g % 2 == 0:
+        raise ValueError("Galois element must be odd")
+    g %= 2 * n
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _build_auto_plan(n, g)
+    hits_before = _build_auto_plan.cache_info().hits
+    plan = _build_auto_plan(n, g)
+    if _build_auto_plan.cache_info().hits > hits_before:
+        tracer.count("rns.auto.plan_hit")
+    else:
+        tracer.count("rns.auto.plan_miss")
+    return plan
+
+
+def auto_plan_cache_info():
+    """``functools`` cache statistics for the automorphism-plan cache."""
+    return _build_auto_plan.cache_info()
+
+
+def clear_auto_plan_cache() -> None:
+    _build_auto_plan.cache_clear()
 
 
 # -- CRT helpers ----------------------------------------------------------
@@ -514,6 +622,11 @@ class BConvPlan:
     def __repr__(self) -> str:
         return (f"BConvPlan(k_in={self.k_in}, k_out={self.k_out}, "
                 f"matrix_path={self.matrix_path})")
+
+    @property
+    def has_down_scale(self) -> bool:
+        """Whether the hoisted ``(prod src)^{-1} mod p_j`` scalars exist."""
+        return self._down_inv is not None
 
     def _workspace(self, n: int) -> dict:
         """Check out a scratch-buffer set for length-``n`` inputs.

@@ -7,8 +7,13 @@ simulator (:mod:`repro.sim`), the Aether/Hemera runtime
 
 * **spans** — wall-clock regions (Aether's MCT build, one NTT call)
   and simulated-clock kernel-task events with unit/stage/op labels;
-* **counters / histograms** — NTT and BConv call counts, evk-cache
-  hits/misses, prefetch lead, key-stall time;
+* **counters / histograms** — NTT and BConv call counts, automorphism
+  paths (``rns.auto.eval`` point gathers vs ``rns.auto.coeff`` oracle,
+  plus ``rns.auto.plan_hit``/``plan_miss``), fused KeyMult activity
+  (``keyswitch.kmu.fused``/``object_fallback``/``plan_hit``/
+  ``plan_miss`` and per-tier counts), hoisting batches
+  (``keyswitch.hoisting.*``), evk-cache hits/misses, prefetch lead,
+  key-stall time;
 * **exporters** — a JSON snapshot (schema ``repro-obs/v1``) and a
   chrome-trace file rendering the per-unit pipeline timeline.
 

@@ -89,6 +89,73 @@ class TestEvictionCorrectness:
         assert plan_cache_info().hits >= 1
 
 
+class TestAutoPlanCache:
+    """The automorphism-plan cache: bounded, shared, eviction-safe."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        rns.clear_auto_plan_cache()
+        yield
+        rns.clear_auto_plan_cache()
+
+    def test_cache_has_explicit_maxsize(self):
+        info = rns.auto_plan_cache_info()
+        assert info.maxsize == PLAN_CACHE_MAXSIZE
+        assert info.maxsize is not None and info.maxsize > 0
+
+    def test_equivalent_elements_share_one_entry(self):
+        # g and g + 2N act identically, so they must normalise to one
+        # cache entry (a split cache would double the working set).
+        assert rns.get_auto_plan(N, 3) is rns.get_auto_plan(N, 3 + 2 * N)
+
+    def test_eviction_happens_beyond_maxsize(self):
+        # ring large enough that every odd g stays distinct mod 2N
+        for g in range(1, 2 * (PLAN_CACHE_MAXSIZE + 8), 2):
+            rns.get_auto_plan(1 << 10, g)
+        info = rns.auto_plan_cache_info()
+        assert info.currsize == PLAN_CACHE_MAXSIZE
+        assert info.misses >= PLAN_CACHE_MAXSIZE + 8
+
+    def test_rebuilt_plan_matches_original_tables(self):
+        original = rns.get_auto_plan(N, 5)
+        # churn with distinct odd elements at a larger ring so the
+        # (N, g) keys never collide with the probe entry
+        for g in range(1, 2 * (PLAN_CACHE_MAXSIZE + 4), 2):
+            rns.get_auto_plan(1 << 10, g)
+        rebuilt = rns.get_auto_plan(N, 5)
+        assert rebuilt is not original          # it really was evicted
+        np.testing.assert_array_equal(rebuilt.eval_perm,
+                                      original.eval_perm)
+        np.testing.assert_array_equal(rebuilt.coeff_dest,
+                                      original.coeff_dest)
+        np.testing.assert_array_equal(rebuilt.coeff_negate,
+                                      original.coeff_negate)
+
+    def test_automorphism_survives_cache_churn(self):
+        moduli = tuple(_many_primes(2))
+        rng = np.random.default_rng(3)
+        coeffs = rng.integers(-(1 << 12), 1 << 12, size=N)
+        poly = RnsPoly.from_int_coeffs(coeffs, moduli).to_eval()
+        before = poly.automorphism(5)
+        for g in range(1, 2 * (PLAN_CACHE_MAXSIZE + 4), 2):
+            rns.get_auto_plan(1 << 10, g)     # evict the (N, 5) plan
+        after = poly.automorphism(5)          # rebuilt plan must agree
+        for a, b in zip(before.limbs, after.limbs):
+            np.testing.assert_array_equal(a, b)
+
+    def test_hit_and_miss_counters(self):
+        from repro import obs
+        obs.configure(enabled=True, reset=True)
+        try:
+            rns.get_auto_plan(N, 7)
+            rns.get_auto_plan(N, 7)
+            counters = obs.snapshot(obs.get_tracer())["counters"]
+            assert counters["rns.auto.plan_miss"] == 1
+            assert counters["rns.auto.plan_hit"] == 1
+        finally:
+            obs.configure(enabled=False, reset=True)
+
+
 class TestCrtConstantsCache:
     """The CRT-constants cache must be bounded like the NTT-plan cache."""
 

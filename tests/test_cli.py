@@ -60,7 +60,7 @@ class TestBenchCommand:
 
     def test_bench_quick_writes_schema(self, report_path):
         data = json.loads(report_path.read_text())
-        assert data["schema"] == "repro-bench/v4"
+        assert data["schema"] == "repro-bench/v5"
         assert data["quick"] is True
         assert set(data["workloads"]) == {"Bootstrap", "HELR256",
                                           "HELR1024", "ResNet-20"}
@@ -108,6 +108,37 @@ class TestBenchCommand:
             assert all(p["dependency_violations"] == 0
                        for p in points.values()), name
         assert sched["executor"]["bit_exact"] is True
+
+    def test_bench_keyswitch_section(self, report_path):
+        data = json.loads(report_path.read_text())
+        ks = data["keyswitch"]
+        assert ks["auto"]["bit_exact"] is True
+        assert ks["auto"]["speedup"] >= ks["auto"]["min_required_speedup"]
+        assert ks["kmu"]["bit_exact"] is True
+        assert ks["kmu"]["speedup"] >= ks["kmu"]["min_required_speedup"]
+        hoisted = ks["hoisted"]
+        assert hoisted["bit_exact"] is True
+        assert hoisted["rotations"] >= 4
+        assert hoisted["loop_ntt_calls"] == 0
+        assert (hoisted["stage_speedup"]
+                >= hoisted["min_required_stage_speedup"])
+        assert (hoisted["pipeline_speedup"]
+                >= hoisted["min_required_pipeline_speedup"])
+
+    def test_bench_detects_keyswitch_regression(self, report_path,
+                                                tmp_path, capsys):
+        doctored = json.loads(report_path.read_text())
+        # --wall-tolerance 50 keeps load-dependent workload walls quiet,
+        # so the doctored baseline must be >51x faster to trip the gate
+        doctored["keyswitch"]["auto"]["gather_best_s"] *= 0.01
+        doctored["keyswitch"]["hoisted"]["stage_new_s"] *= 0.01
+        baseline = tmp_path / "BENCH_ks_doctored.json"
+        baseline.write_text(json.dumps(doctored))
+        out = tmp_path / "BENCH_now.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out), "--baseline", str(baseline),
+                     "--wall-tolerance", "50"]) == 1
+        assert "keyswitch." in capsys.readouterr().out
 
     def test_bench_detects_sched_regression(self, report_path,
                                             tmp_path, capsys):
