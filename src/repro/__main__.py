@@ -86,32 +86,58 @@ def cmd_sched(args) -> int:
               "bootstrap": bootstrap_trace}
     trace = traces[args.workload]()
     counts = [int(c) for c in str(args.clusters).split(",") if c]
+    streams = args.streams
     serial = serial_reference(FAST_CONFIG).run(trace)
     print(f"{trace.name}: serial 1-pipeline {serial.total_s * 1e3:.3f} ms")
     for count in counts:
         config = FAST_CONFIG.with_(name=f"FAST-{count}C", clusters=count)
-        result = ScheduledEngine(config).run(trace)
-        result.serial_total_s = serial.total_s
+        depth_kwargs = {} if args.pipeline_depth is None else \
+            {"pipeline_depth": args.pipeline_depth}
+        engine = ScheduledEngine(config, **depth_kwargs)
+        if streams > 1:
+            result = engine.run_streams(trace, streams)
+            result.serial_total_s = serial.total_s
+            print(f"  {count} cluster(s) x {streams} streams: "
+                  f"makespan {result.total_s * 1e3:.3f} ms  "
+                  f"amortized {result.amortized_s * 1e3:.3f} ms/stream  "
+                  f"({result.amortized_speedup:.2f}x)  "
+                  f"violations {result.dependency_violations}")
+            print(f"    prefetch: {result.prefetch_hits} hits / "
+                  f"{result.prefetch_misses} demand misses; "
+                  f"stolen ops {result.stolen_ops}")
+        else:
+            result = engine.run(trace)
+            result.serial_total_s = serial.total_s
+            print(f"  {count} cluster(s): {result.total_s * 1e3:.3f} ms  "
+                  f"speedup {result.speedup:.2f}x  "
+                  f"occupancy {result.mean_occupancy():.0%}  "
+                  f"violations {result.dependency_violations}")
         stalls = result.stalls
-        print(f"  {count} cluster(s): {result.total_s * 1e3:.3f} ms  "
-              f"speedup {result.speedup:.2f}x  "
-              f"occupancy {result.mean_occupancy():.0%}  "
-              f"violations {result.dependency_violations}")
         print(f"    stalls: dep {stalls['dependency_s'] * 1e6:.1f} us, "
               f"evk {stalls['evk_s'] * 1e6:.1f} us, "
               f"structural {stalls['structural_s'] * 1e6:.1f} us")
-        if count == counts[-1]:
+        if count == counts[-1] and streams == 1:
             stats = result.graph_stats
             print(f"    graph: {stats['nodes']} nodes, "
                   f"{stats['edges']} edges, depth {stats['depth']}, "
                   f"{stats['ciphertext_chains']} chains, "
                   f"avg parallelism {stats['avg_parallelism']:.1f}")
     if args.verify:
-        check = FunctionalExecutor().verify(trace, workers=args.workers)
-        mode = "multiprocess" if check.parallel else "inline fallback"
-        print(f"  executor ({mode}, {check.workers} workers): "
-              f"{check.num_ops} ops over {check.num_cts} ciphertexts -> "
-              f"bit_exact={check.bit_exact}")
+        executor = FunctionalExecutor()
+        if streams > 1:
+            check = executor.verify_streams([trace] * streams,
+                                            workers=args.workers)
+            mode = "multiprocess" if check.parallel else "inline fallback"
+            print(f"  executor ({mode}, {check.workers} workers): "
+                  f"{check.streams} streams, {check.num_ops} ops over "
+                  f"{check.num_cts} ciphertexts -> "
+                  f"bit_exact={check.bit_exact}")
+        else:
+            check = executor.verify(trace, workers=args.workers)
+            mode = "multiprocess" if check.parallel else "inline fallback"
+            print(f"  executor ({mode}, {check.workers} workers): "
+                  f"{check.num_ops} ops over {check.num_cts} "
+                  f"ciphertexts -> bit_exact={check.bit_exact}")
         if not check.bit_exact:
             return 1
     return 0
@@ -153,6 +179,12 @@ def main(argv=None) -> int:
                        choices=["helr256", "helr1024", "bootstrap"])
     sched.add_argument("--clusters", default="1,2,4,8",
                        help="comma-separated cluster counts")
+    sched.add_argument("--streams", type=int, default=1,
+                       help="independent ciphertext streams; >1 runs "
+                            "the software-pipelined throughput mode")
+    sched.add_argument("--pipeline-depth", type=int, default=None,
+                       help="throughput mode: max in-flight ops per "
+                            "cluster front end")
     sched.add_argument("--verify", action="store_true",
                        help="also run the multiprocess functional "
                             "executor bit-exactness check")

@@ -2,7 +2,7 @@
 
 Runs the Table 5 workloads (bootstrap, HELR training iterations,
 ResNet-20 trace slices) through the cycle simulator and writes
-``BENCH_sim.json`` (schema ``repro-bench/v5``): per-workload host
+``BENCH_sim.json`` (schema ``repro-bench/v6``): per-workload host
 wall-time, simulated latency, per-unit utilisation, Hemera cache-hit
 rate and HBM traffic; a ``micro`` section with modmul/NTT kernel
 microbenchmarks, the matrix-form base-conversion kernel against the
@@ -12,9 +12,13 @@ parameters (``--params toy|full``), including the width-path and
 conversion-path occupancy counters; a ``keyswitch`` section timing
 the eval-domain AutoPlan gather, the fused KeyMultPlan and hoisted
 rotations against their pre-plan reference pipelines (with a traced
-zero-NTT check on the hoisting loop); and a ``sched`` section with
+zero-NTT check on the hoisting loop); a ``sched`` section with
 the cluster-scaling speedup curve (``--clusters`` axis) of the
-dataflow scheduler plus a multiprocess executor bit-exactness check.
+dataflow scheduler plus a multiprocess executor bit-exactness check;
+and a ``throughput`` section with the Table-6-style
+clusters x streams amortized-speedup grid of the software-pipelined
+multi-stream scheduler plus a merged multi-stream executor
+bit-exactness check.
 That file is the regression baseline every perf-oriented PR is
 judged against — rerun with ``--baseline`` to compare a fresh run to
 a committed baseline.

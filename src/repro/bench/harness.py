@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v5"
+BENCH_SCHEMA = "repro-bench/v6"
 DEFAULT_OUT = "BENCH_sim.json"
 DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
@@ -115,6 +115,8 @@ def run_benchmarks(config=None, quick: bool = False,
         micro_report = micro.run_micro(params_mode=params_mode, quick=quick)
         keyswitch_report = keyswitch.run_keyswitch(quick=quick)
         sched_report = sched.run_sched(quick=quick, clusters=clusters)
+        throughput_report = sched.run_throughput(quick=quick,
+                                                 clusters=clusters)
     finally:
         obs.configure(enabled=was_enabled)
     return {
@@ -140,6 +142,7 @@ def run_benchmarks(config=None, quick: bool = False,
         "micro": micro_report,
         "keyswitch": keyswitch_report,
         "sched": sched_report,
+        "throughput": throughput_report,
     }
 
 
@@ -180,6 +183,37 @@ def compare_reports(current: dict, baseline: dict,
     regressions.extend(_compare_sched(current.get("sched") or {},
                                       baseline.get("sched") or {},
                                       sim_tolerance))
+    regressions.extend(_compare_throughput(
+        current.get("throughput") or {},
+        baseline.get("throughput") or {}, sim_tolerance))
+    return regressions
+
+
+def _compare_throughput(current: dict, baseline: dict,
+                        sim_tolerance: float) -> list[str]:
+    """Amortized-latency regressions per (clusters, streams) point.
+
+    Deterministic simulated numbers; pre-v6 baselines lack the
+    section and are skipped.
+    """
+    if not current or not baseline:
+        return []
+    base_points = {(p.get("clusters"), p.get("streams")): p
+                   for p in baseline.get("points", [])}
+    regressions = []
+    for point in current.get("points", []):
+        key = (point.get("clusters"), point.get("streams"))
+        ref = base_points.get(key, {}).get("amortized_s")
+        now = point.get("amortized_s")
+        if not ref or now is None:
+            continue
+        ratio = now / ref
+        if ratio > 1.0 + sim_tolerance:
+            regressions.append(
+                f"throughput@{key[0]}C/{key[1]}S: amortized_s "
+                f"{now:.6g} vs baseline {ref:.6g} "
+                f"(+{(ratio - 1) * 100:.1f}%, "
+                f"tolerance {sim_tolerance * 100:.0f}%)")
     return regressions
 
 
@@ -404,6 +438,22 @@ def _format_table(report: dict) -> str:
             f"({executor['num_ops']} ops, {executor['workers']} workers)"
             f" bit_exact={executor['bit_exact']}"
             f" parallel={executor['parallel']}")
+    throughput = report.get("throughput")
+    if throughput:
+        lines.append("")
+        for count in throughput["clusters_axis"]:
+            cells = " ".join(
+                f"{p['streams']}S={p['amortized_speedup']:.2f}x"
+                for p in throughput["points"]
+                if p["clusters"] == count)
+            lines.append(
+                f"throughput: {throughput['workload']} {count}C {cells}")
+        executor = throughput["executor"]
+        lines.append(
+            f"throughput: executor {executor['trace']} x"
+            f"{executor['streams']} streams ({executor['num_ops']} ops)"
+            f" bit_exact={executor['bit_exact']}"
+            f" parallel={executor['parallel']}")
     return "\n".join(lines)
 
 
@@ -440,7 +490,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 def run_cli(args: argparse.Namespace) -> int:
     from repro.bench.keyswitch import validate_keyswitch
     from repro.bench.micro import validate_micro
-    from repro.bench.sched import validate_sched
+    from repro.bench.sched import validate_sched, validate_throughput
     clusters = tuple(int(c) for c in str(args.clusters).split(",") if c)
     report = run_benchmarks(quick=args.quick, repeats=args.repeats,
                             params_mode=args.params, clusters=clusters)
@@ -450,7 +500,8 @@ def run_cli(args: argparse.Namespace) -> int:
           + (" (quick mode)" if args.quick else ""))
     violations = validate_micro(report["micro"]) \
         + validate_keyswitch(report["keyswitch"]) \
-        + validate_sched(report["sched"])
+        + validate_sched(report["sched"]) \
+        + validate_throughput(report["throughput"])
     if violations:
         print("\nACCEPTANCE VIOLATIONS:")
         for line in violations:

@@ -1,19 +1,31 @@
-"""Scheduler benchmarks: the cluster-scaling curve and its gate.
+"""Scheduler benchmarks: cluster scaling, streaming throughput, gates.
 
-``run_sched`` produces the ``sched`` section of ``BENCH_sim.json``
-(schema v3): for HELR256 and full bootstrapping, the scheduled
-latency at each cluster count on the ``--clusters`` axis, against the
-serial one-pipeline reference — the Fig. 13(b)-shaped speedup curve —
-plus one multiprocess functional-executor bit-exactness check.
+``run_sched`` produces the ``sched`` section of ``BENCH_sim.json``:
+for HELR256 and full bootstrapping, the scheduled latency at each
+cluster count on the ``--clusters`` axis, against the serial
+one-pipeline reference — the Fig. 13(b)-shaped speedup curve — plus
+one multiprocess functional-executor bit-exactness check.
 
-``validate_sched`` is the CI acceptance gate:
+``run_throughput`` (schema v6) produces the ``throughput`` section:
+the Table-6-style clusters x streams grid of the software-pipelined
+multi-stream scheduler on HELR256 — amortized per-stream time,
+utilisation and the stall taxonomy at every point (so throughput
+mode's deltas against latency mode stay visible) — plus one merged
+multi-stream executor bit-exactness check.
+
+``validate_sched`` / ``validate_throughput`` are the CI acceptance
+gates:
 
 * ≥ :data:`MIN_SPEEDUP_4C` simulated speedup at 4 clusters on every
   measured workload (the paper's scalable-parallelism claim);
-* zero dependency violations at every point;
-* the 1-cluster schedule within :data:`ONE_CLUSTER_TOLERANCE` of the
-  serial engine (the timing model agrees with the reference);
-* the parallel functional execution bit-exact with serial.
+* ≥ :data:`MIN_AMORTIZED` amortized speedup at the 4-cluster /
+  8-stream HELR256 point, with structural stalls under
+  :data:`MAX_STRUCTURAL_FRACTION` of cluster-time;
+* zero dependency violations at every point of both grids;
+* the 1-cluster latency schedule within
+  :data:`ONE_CLUSTER_TOLERANCE` of the serial engine;
+* the parallel (and merged multi-stream) functional executions
+  bit-exact with their serial references.
 """
 
 from __future__ import annotations
@@ -24,6 +36,18 @@ DEFAULT_CLUSTERS = (1, 2, 4, 8)
 # The executor proves ordering on real residues; one iteration's ops
 # are plenty (every op kind, dozens of ciphertext chains).
 EXECUTOR_WORKERS = 2
+
+# Throughput-mode gates (the Table-6-style grid): at the flagship
+# 4-cluster / 8-stream HELR256 point the amortized per-stream speedup
+# must clear MIN_AMORTIZED (vs 3.90x in latency mode — streaming must
+# buy what one program's dataflow cannot), with the structural stall
+# share of cluster-time under MAX_STRUCTURAL_FRACTION.
+MIN_AMORTIZED = 6.0
+MAX_STRUCTURAL_FRACTION = 0.05
+DEFAULT_STREAMS = (1, 2, 4, 8)
+GATE_CLUSTERS = 4
+GATE_STREAMS = 8
+EXECUTOR_STREAMS = 4
 
 
 def _scaling_record(trace, clusters) -> dict:
@@ -71,6 +95,98 @@ def run_sched(quick: bool = False,
                       for name, trace in workloads.items()},
         "executor": _executor_record(),
     }
+
+
+def _stream_executor_record() -> dict:
+    from repro.sched import FunctionalExecutor
+    from repro.workloads import helr
+    trace = helr.helr_iteration()
+    check = FunctionalExecutor().verify_streams(
+        [trace] * EXECUTOR_STREAMS, workers=EXECUTOR_WORKERS)
+    return {
+        "trace": trace.name,
+        "streams": check.streams,
+        "bit_exact": check.bit_exact,
+        "parallel": check.parallel,
+        "workers": check.workers,
+        "num_cts": check.num_cts,
+        "num_ops": check.num_ops,
+        "num_nodes": check.num_nodes,
+    }
+
+
+def run_throughput(quick: bool = False,
+                   clusters=DEFAULT_CLUSTERS,
+                   streams=DEFAULT_STREAMS) -> dict:
+    """The ``throughput`` benchmark section: the clusters x streams
+    amortized-speedup grid on HELR256 plus one merged multi-stream
+    executor bit-exactness check.  Quick mode keeps only the corners
+    (the 1C/1S sanity point and the gated 4C/8S flagship point)."""
+    from repro.sched import throughput_scaling
+    from repro.workloads import helr_trace
+    if quick:
+        clusters = tuple(c for c in clusters if c in (1, GATE_CLUSTERS))
+        streams = tuple(s for s in streams if s in (1, GATE_STREAMS))
+    trace = helr_trace(batch=256)
+    grid = throughput_scaling(trace, cluster_counts=tuple(clusters),
+                              stream_counts=tuple(streams))
+    for point in grid["points"]:
+        denominator = point["sim_s"] * point["clusters"]
+        point["structural_fraction"] = (
+            point["stalls"]["structural_s"] / denominator
+            if denominator else 0.0)
+    return {
+        "workload": "HELR256",
+        "clusters_axis": list(clusters),
+        "streams_axis": list(streams),
+        "serial_s": grid["serial_s"],
+        "points": grid["points"],
+        "executor": _stream_executor_record(),
+    }
+
+
+def validate_throughput(section: dict) -> list[str]:
+    """Acceptance violations of one ``throughput`` section."""
+    violations: list[str] = []
+    gated = False
+    for point in section.get("points", []):
+        count, streams = point.get("clusters"), point.get("streams")
+        label = f"throughput.{section.get('workload')}@{count}C/{streams}S"
+        if point.get("dependency_violations"):
+            violations.append(
+                f"{label}: {point['dependency_violations']} dependency "
+                f"violations in the schedule")
+        if count == GATE_CLUSTERS and streams == GATE_STREAMS:
+            gated = True
+            amortized = point.get("amortized_speedup") or 0.0
+            if amortized < MIN_AMORTIZED:
+                violations.append(
+                    f"{label}: amortized speedup {amortized:.2f}x below "
+                    f"the {MIN_AMORTIZED:.0f}x acceptance bar")
+            fraction = point.get("structural_fraction") or 0.0
+            if fraction >= MAX_STRUCTURAL_FRACTION:
+                violations.append(
+                    f"{label}: structural stalls {fraction:.1%} of "
+                    f"cluster-time (bar {MAX_STRUCTURAL_FRACTION:.0%})")
+    if not gated:
+        violations.append(
+            f"throughput: grid lacks the gated "
+            f"{GATE_CLUSTERS}C/{GATE_STREAMS}S point")
+    executor = section.get("executor")
+    if executor is not None and not executor.get("bit_exact"):
+        violations.append(
+            "throughput.executor: merged multi-stream execution is not "
+            "bit-exact with the independent serial runs")
+    return violations
+
+
+def throughput_grid(section: dict) -> dict:
+    """Compact ``{clusters: {streams: amortized_speedup}}`` view."""
+    grid: dict = {}
+    for point in section.get("points", []):
+        grid.setdefault(point["clusters"], {})[point["streams"]] = \
+            point["amortized_speedup"]
+    return grid
 
 
 def validate_sched(section: dict) -> list[str]:

@@ -158,11 +158,19 @@ class KeyCache:
     Tracks its own ``hits`` / ``misses`` / ``evictions`` tallies (one
     ``contains`` probe is one lookup), which the simulator surfaces as
     the Hemera cache-hit rate.
+
+    Keys may be *pinned* (ref-counted): pinned entries are skipped by
+    the eviction scan.  The throughput scheduler pins the keys of
+    in-flight and prefetched-but-unconsumed operations so a prefetch
+    under pressure can never evict a key a running node still needs;
+    an insert that cannot make room without touching pinned entries
+    is dropped (the later demand fetch re-charges the transfer).
     """
 
     def __init__(self, capacity_bytes: float):
         self.capacity = capacity_bytes
         self._resident: OrderedDict[KeyId, float] = OrderedDict()
+        self._pins: dict[KeyId, int] = {}
         self.used = 0.0
         self.hits = 0
         self.misses = 0
@@ -176,13 +184,36 @@ class KeyCache:
         self.misses += 1
         return False
 
+    def resident(self, key_id: KeyId) -> bool:
+        """Non-counting residency probe (no LRU touch, no tallies) —
+        for prefetch planning, which must not skew the hit-rate
+        statistics the demand path reports."""
+        return key_id in self._resident
+
+    def pin(self, key_id: KeyId) -> None:
+        """Protect a key from eviction (ref-counted)."""
+        self._pins[key_id] = self._pins.get(key_id, 0) + 1
+
+    def unpin(self, key_id: KeyId) -> None:
+        count = self._pins.get(key_id, 0)
+        if count <= 1:
+            self._pins.pop(key_id, None)
+        else:
+            self._pins[key_id] = count - 1
+
+    def pinned(self, key_id: KeyId) -> bool:
+        return key_id in self._pins
+
     def insert(self, key_id: KeyId, size: float) -> None:
         if key_id in self._resident:
             self._resident.move_to_end(key_id)
             return
-        while self.used + size > self.capacity and self._resident:
-            _, evicted = self._resident.popitem(last=False)
-            self.used -= evicted
+        while self.used + size > self.capacity:
+            victim = next((k for k in self._resident
+                           if k not in self._pins), None)
+            if victim is None:
+                break  # everything resident is pinned: drop the insert
+            self.used -= self._resident.pop(victim)
             self.evictions += 1
         if self.used + size <= self.capacity:
             self._resident[key_id] = size

@@ -35,6 +35,16 @@ ALL_KINDS = (HMULT, HROT, CONJ, PMULT, PADD, HADD, CMULT, CADD,
 KEY_SWITCH_KINDS = (HMULT, HROT, CONJ)
 
 
+class TraceValidationError(ValueError):
+    """A trace violated the single-writer versioning contract.
+
+    Raised by :meth:`OpTrace.check` — a named error (rather than a
+    bare ``ValueError``) so downstream lowering can distinguish
+    malformed *input* from bugs in the lowering itself.  Subclasses
+    ``ValueError`` for backward compatibility.
+    """
+
+
 @dataclass(frozen=True)
 class FheOp:
     """One operation of the trace.
@@ -265,15 +275,15 @@ class OpTrace:
         return violations
 
     def check(self) -> "OpTrace":
-        """Raise :class:`ValueError` on the first integrity violation;
-        returns the trace for chaining."""
+        """Raise :class:`TraceValidationError` on the first integrity
+        violation; returns the trace for chaining."""
         violations = self.validate()
         if violations:
             preview = "; ".join(violations[:5])
             more = len(violations) - 5
             if more > 0:
                 preview += f"; ... {more} more"
-            raise ValueError(
+            raise TraceValidationError(
                 f"trace {self.name!r} failed validation: {preview}")
         return self
 

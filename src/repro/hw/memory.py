@@ -8,10 +8,16 @@
 * :class:`HbmModel` — the off-chip interface: 1 TB/s, with transfer
   times and busy-time accounting used for the utilisation figure and
   the stall model.
+* :class:`EvkPrefetcher` — Hemera's double-buffered evaluation-key
+  prefetch: the throughput scheduler issues the key fetches of the
+  *next* scheduled key-switches while the current ones compute, so
+  the KeyMult stage finds its keys resident instead of stalling.
 """
 
 from __future__ import annotations
 
+import bisect
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.hw.config import ChipConfig
@@ -99,3 +105,206 @@ class HbmModel:
 
     def peak_power_w(self) -> float:
         return HBM_POWER_W * (self.bandwidth / 1e12)
+
+
+class UnitTimeline:
+    """Earliest-fit busy timeline of one pipelined resource.
+
+    The serial engine (and latency-mode scheduling) reserves
+    resources with a high-water-mark clock: every booking appends to
+    a FIFO, so an op's later stages leave bubbles no later request
+    can reclaim.  Throughput mode's point is that independent streams
+    *backfill* those bubbles — ``alloc`` books each request into the
+    earliest gap at or after its ready time, which is what a
+    scoreboarded unit (or a request-queued HBM channel) actually
+    does.  Used for the per-cluster compute units and for the shared
+    HBM channel, whose transfers would otherwise serialise in
+    dispatch order rather than in simulated-time order.
+    """
+
+    __slots__ = ("_starts", "_busy")
+
+    def __init__(self):
+        self._starts: list[float] = []
+        self._busy: list[tuple[float, float]] = []
+
+    def alloc(self, ready: float, duration: float) -> float:
+        """Book ``duration`` seconds at the earliest time >= ``ready``
+        with no overlap; returns the booked start time."""
+        busy = self._busy
+        i = bisect.bisect_left(self._starts, ready)
+        candidate = ready
+        if i and busy[i - 1][1] > candidate:
+            candidate = busy[i - 1][1]
+        while i < len(busy) and busy[i][0] < candidate + duration:
+            if busy[i][1] > candidate:
+                candidate = busy[i][1]
+            i += 1
+        self._starts.insert(i, candidate)
+        self._busy.insert(i, (candidate, candidate + duration))
+        return candidate
+
+    @property
+    def horizon(self) -> float:
+        """End of the last booked interval."""
+        return self._busy[-1][1] if self._busy else 0.0
+
+
+def hbm_transfer(hbm_free, request_s: float,
+                 duration: float) -> tuple[object, float]:
+    """Book one transfer on the shared HBM channel.
+
+    ``hbm_free`` is either the latency-mode FIFO clock (a float: the
+    transfer queues behind everything booked so far, regardless of
+    when it was requested) or a throughput-mode :class:`UnitTimeline`
+    (the transfer takes the earliest free slot at or after
+    ``request_s``).  Returns ``(updated hbm_free, arrival_s)``.
+    """
+    if isinstance(hbm_free, UnitTimeline):
+        return hbm_free, hbm_free.alloc(request_s, duration) + duration
+    hbm_free += duration
+    return hbm_free, hbm_free
+
+
+@dataclass
+class ClaimStats:
+    """What one :meth:`EvkPrefetcher.claim` found for its key group."""
+
+    arrival_s: float = 0.0
+    prefetch_hits: int = 0   # keys covered by an issued prefetch
+    cache_hits: int = 0      # keys simply resident on chip
+    demand_misses: int = 0   # keys fetched on demand at claim time
+    demand_bytes: float = 0.0
+
+
+class EvkPrefetcher:
+    """Double-buffered evaluation-key prefetch (Hemera front buffer).
+
+    A *slot* holds the key group of one upcoming key-switch node.
+    ``issue`` starts the HBM transfers for a group's missing keys the
+    moment the scheduler knows the node is next in line; ``claim``
+    resolves the group when the node actually executes, returning the
+    time its last key arrives (0 when everything was resident or
+    landed earlier) and fetching on demand whatever the buffer did
+    not cover.  With the default two slots this is classic double
+    buffering: one group feeding the running key-switch, one in
+    flight behind it.
+
+    Keys are pinned in the shared :class:`~repro.core.hemera.KeyCache`
+    from issue until the owning node retires (``unpin_group`` — the
+    scheduler calls it once the node's simulated interval has
+    passed), so prefetch pressure can never evict a key an in-flight
+    node still needs.
+    """
+
+    def __init__(self, cache, bandwidth_bytes: float, slots: int = 2):
+        if slots < 1:
+            raise ValueError("prefetcher needs at least one slot")
+        self.cache = cache
+        self.bandwidth = bandwidth_bytes
+        self.slots = slots
+        self._groups: OrderedDict[object, dict] = OrderedDict()
+        self._in_flight: dict = {}   # key -> arrival_s
+        self.issues = 0
+        self.hits = 0
+        self.misses = 0
+        self.issued_bytes = 0.0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._groups)
+
+    def can_issue(self, token) -> bool:
+        return token not in self._groups and \
+            len(self._groups) < self.slots
+
+    def issue(self, token, identities, bytes_per_key: float,
+              hbm_free, request_s: float = 0.0) -> tuple[object, float]:
+        """Prefetch one upcoming group's missing keys.
+
+        ``hbm_free`` is the shared HBM channel state (float clock or
+        :class:`UnitTimeline`); transfers are requested at
+        ``request_s``.  Returns ``(new hbm_free, bytes issued)``; a
+        no-op when the buffer is full or the token already issued.
+        """
+        if not self.can_issue(token):
+            return hbm_free, 0.0
+        arrivals: dict = {}
+        issued = 0.0
+        for key in identities:
+            if key in self._in_flight:
+                # Another slot already fetches it; share the transfer.
+                arrivals[key] = self._in_flight[key]
+                self.cache.pin(key)
+                continue
+            if self.cache.resident(key):
+                continue
+            hbm_free, arrival = hbm_transfer(
+                hbm_free, request_s, bytes_per_key / self.bandwidth)
+            self.cache.insert(key, bytes_per_key)
+            self.cache.pin(key)
+            self._in_flight[key] = arrival
+            arrivals[key] = arrival
+            issued += bytes_per_key
+        self._groups[token] = arrivals
+        self.issues += 1
+        self.issued_bytes += issued
+        return hbm_free, issued
+
+    def claim(self, token, identities, bytes_per_key: float,
+              hbm_free, request_s: float = 0.0
+              ) -> tuple[ClaimStats, object]:
+        """Resolve a node's key group at execution time.
+
+        Every key of the group leaves this call pinned (prefetched
+        keys keep their issue pin; the rest gain one); the scheduler
+        releases them with :meth:`unpin_group` when the node retires.
+        Demand fetches for uncovered keys are requested at
+        ``request_s`` on the shared channel.
+        """
+        group = self._groups.pop(token, None) or {}
+        stats = ClaimStats()
+        for key in identities:
+            if key in group:
+                # Own prefetch: the transfer stays registered in
+                # ``_in_flight`` until this node *retires*, so the
+                # other streams' aligned claims of the same group ride
+                # it instead of re-fetching — essential when one group
+                # exceeds the key store and could never go resident.
+                stats.arrival_s = max(stats.arrival_s, group.pop(key))
+                stats.prefetch_hits += 1   # pin transferred, not re-added
+            elif key in self._in_flight:
+                # In flight for an overlapping group: ride it.
+                stats.arrival_s = max(stats.arrival_s,
+                                      self._in_flight[key])
+                self.cache.pin(key)
+                stats.prefetch_hits += 1
+            elif self.cache.resident(key):
+                self.cache.pin(key)
+                stats.cache_hits += 1
+            else:
+                hbm_free, arrival = hbm_transfer(
+                    hbm_free, request_s, bytes_per_key / self.bandwidth)
+                stats.arrival_s = max(stats.arrival_s, arrival)
+                self.cache.insert(key, bytes_per_key)
+                self.cache.pin(key)
+                self._in_flight[key] = arrival
+                stats.demand_misses += 1
+                stats.demand_bytes += bytes_per_key
+        # Keys issued for this group but not in the claimed identity
+        # list (cannot happen when issue and claim share the same
+        # schedule, but stay safe): release their pins.
+        for key in group:
+            self._in_flight.pop(key, None)
+            self.cache.unpin(key)
+        self.hits += stats.prefetch_hits
+        self.misses += stats.demand_misses
+        return stats, hbm_free
+
+    def unpin_group(self, identities) -> None:
+        """Retire a node: release its keys' execution pins and drop
+        their in-flight registrations (a later claim must then find
+        the key resident or pay for a fresh transfer)."""
+        for key in identities:
+            self.cache.unpin(key)
+            self._in_flight.pop(key, None)

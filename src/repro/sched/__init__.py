@@ -6,34 +6,61 @@ the trace into an explicit dependency DAG and exploits it:
 
 * :mod:`repro.sched.graph` — ``OpTrace`` -> dataflow DAG via def-use
   chains over ciphertext versions, with hoist-group fusion;
+* :mod:`repro.sched.streams` — the multi-stream front end: K
+  independent ciphertext streams merged into one stream-tagged graph
+  for throughput scheduling;
 * :mod:`repro.sched.scheduler` — critical-path list scheduling onto
-  per-cluster pipelines sharing the HBM channel and key cache;
+  per-cluster pipelines sharing the HBM channel and key cache, in
+  ``latency`` (one program's makespan) and ``throughput``
+  (software-pipelined multi-stream) modes;
 * :mod:`repro.sched.simulate` — the :class:`ScheduledEngine` wrapper
-  reporting occupancy, stall breakdowns and speedup vs serial;
+  reporting occupancy, stall breakdowns and speedup vs serial, plus
+  the Table-6-style ``throughput_scaling`` grid;
 * :mod:`repro.sched.executor` — a multiprocess functional executor
-  proving the dependency discipline bit-exactly on real residues.
+  proving the dependency discipline bit-exactly on real residues,
+  per stream for merged multi-stream graphs.
 """
 
-from repro.sched.executor import ExecutionCheck, FunctionalExecutor
-from repro.sched.graph import DataflowGraph, GraphNode
-from repro.sched.scheduler import (ClusterScheduler, ClusterTimeline,
+from repro.sched.executor import (ExecutionCheck, FunctionalExecutor,
+                                  StreamExecutionCheck)
+from repro.sched.graph import (DataflowGraph, GraphNode,
+                               GraphValidationError)
+from repro.sched.scheduler import (DEFAULT_PIPELINE_DEPTH,
+                                   DEFAULT_PREFETCH_SLOTS,
+                                   ClusterScheduler, ClusterTimeline,
                                    NodeTiming, ScheduleTimeline)
 from repro.sched.simulate import (ClusterReport, ScheduledEngine,
-                                  ScheduledResult, cluster_scaling,
-                                  serial_reference)
+                                  ScheduledResult, ThroughputResult,
+                                  cluster_scaling, serial_reference,
+                                  throughput_scaling)
+from repro.sched.streams import (MultiStreamTrace, StreamMergeError,
+                                 merge_graphs, merge_streams,
+                                 replicate, replicate_graph)
 
 __all__ = [
     "ClusterReport",
     "ClusterScheduler",
     "ClusterTimeline",
+    "DEFAULT_PIPELINE_DEPTH",
+    "DEFAULT_PREFETCH_SLOTS",
     "DataflowGraph",
     "ExecutionCheck",
     "FunctionalExecutor",
     "GraphNode",
+    "GraphValidationError",
+    "MultiStreamTrace",
     "NodeTiming",
     "ScheduleTimeline",
     "ScheduledEngine",
     "ScheduledResult",
+    "StreamExecutionCheck",
+    "StreamMergeError",
+    "ThroughputResult",
     "cluster_scaling",
+    "merge_graphs",
+    "merge_streams",
+    "replicate",
+    "replicate_graph",
     "serial_reference",
+    "throughput_scaling",
 ]

@@ -106,14 +106,21 @@ def _apply_op(ct: np.ndarray, index: int, rotation: int,
 
 
 def _run_node(shm_name: str, shape: tuple, slot: int,
-              items: list[tuple]) -> int:
-    """Pool task: apply one node's ops to its ciphertext slot."""
+              items: list[tuple], seed: int | None = None) -> int:
+    """Pool task: apply one node's ops to its ciphertext slot.
+
+    ``seed`` overrides the worker context's base seed — merged
+    multi-stream runs replay stream ``s``'s nodes under that stream's
+    own seed, so each stream's bits match its independent serial run.
+    """
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         arena = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
         ct = arena[slot]
+        ctx = _CTX if seed is None or seed == _CTX["seed"] \
+            else {**_CTX, "seed": seed}
         for index, rotation, needs_ks in items:
-            _apply_op(ct, index, rotation, needs_ks, _CTX)
+            _apply_op(ct, index, rotation, needs_ks, ctx)
     finally:
         shm.close()
     return slot
@@ -132,6 +139,24 @@ class ExecutionCheck:
     mismatched_cts: list = field(default_factory=list)
 
 
+@dataclass
+class StreamExecutionCheck:
+    """Result of one merged-vs-independent multi-stream run.
+
+    ``mismatched`` lists ``(stream, local ciphertext id)`` pairs whose
+    merged-run bits differ from that stream's independent serial run.
+    """
+
+    bit_exact: bool
+    parallel: bool
+    workers: int
+    streams: int
+    num_cts: int
+    num_ops: int
+    num_nodes: int
+    mismatched: list = field(default_factory=list)
+
+
 class FunctionalExecutor:
     """Executes traces functionally, serially or across processes."""
 
@@ -147,27 +172,44 @@ class FunctionalExecutor:
     def _ct_ids(self, trace: OpTrace) -> list[int]:
         return sorted({op.ct_id for op in trace})
 
-    def _fresh_ct(self, ct_id: int) -> np.ndarray:
+    def stream_seed(self, stream: int) -> int:
+        """Stream ``s``'s independent data seed (stream 0 keeps the
+        base seed, so a 1-stream merged run equals the plain run)."""
+        return (self.seed ^ (stream * _MIX)) & 0xFFFFFFFFFFFFFFFF
+
+    def _fresh_ct(self, ct_id: int, seed: int | None = None) -> np.ndarray:
+        seed = self.seed if seed is None else seed
         ct = np.empty((len(self.moduli), self.ring_degree),
                       dtype=np.uint64)
         for j, kernel in enumerate(self._ctx["kernels"]):
-            rng = _rng(self.seed, -1 - ct_id, j)
+            rng = _rng(seed, -1 - ct_id, j)
             ct[j] = kernel.asresidues(rng.integers(
                 0, kernel.modulus, size=self.ring_degree,
                 dtype=np.uint64))
         return ct
 
-    def initial_state(self, trace: OpTrace) -> dict[int, np.ndarray]:
-        return {ct: self._fresh_ct(ct) for ct in self._ct_ids(trace)}
+    def initial_state(self, trace: OpTrace,
+                      seed: int | None = None) -> dict[int, np.ndarray]:
+        return {ct: self._fresh_ct(ct, seed)
+                for ct in self._ct_ids(trace)}
 
     # -- serial reference --------------------------------------------------
-    def run_serial(self, trace: OpTrace) -> dict[int, np.ndarray]:
+    def run_serial(self, trace: OpTrace,
+                   seed: int | None = None) -> dict[int, np.ndarray]:
         """Program-order execution: the ground truth."""
-        state = self.initial_state(trace)
+        ctx = self._ctx if seed is None or seed == self.seed \
+            else {**self._ctx, "seed": seed}
+        state = self.initial_state(trace, seed)
         for index, op in enumerate(trace):
             _apply_op(state[op.ct_id], index, op.rotation,
-                      op.needs_key_switch, self._ctx)
+                      op.needs_key_switch, ctx)
         return state
+
+    def run_serial_streams(self, streams) -> list[dict[int, np.ndarray]]:
+        """K independent program-order runs, stream ``s`` under
+        ``stream_seed(s)`` — the merged run's ground truth."""
+        return [self.run_serial(trace, seed=self.stream_seed(s))
+                for s, trace in enumerate(streams)]
 
     # -- parallel execution ------------------------------------------------
     @staticmethod
@@ -250,6 +292,101 @@ class FunctionalExecutor:
                 _apply_op(ct, index, rotation, needs_ks, self._ctx)
         return state
 
+    # -- merged multi-stream execution -------------------------------------
+    def _merged_graph(self, streams) -> "DataflowGraph":
+        from repro.sched.streams import merge_graphs
+        return merge_graphs([DataflowGraph.from_trace(t)
+                             for t in streams])
+
+    def run_merged(self, streams, graph: DataflowGraph | None = None,
+                   workers: int = 2
+                   ) -> tuple[list[dict[int, np.ndarray]], bool]:
+        """One DAG-ready-order run of K merged streams.
+
+        ``graph`` must be a stream-tagged merged graph whose node
+        ``indices`` and ciphertext ids are *local* to each stream
+        (what :func:`~repro.sched.streams.merge_graphs` and
+        :func:`~repro.sched.streams.replicate_graph` build); stream
+        ``s``'s nodes execute under ``stream_seed(s)``.  Returns the
+        per-stream final states plus the concurrency flag.
+        """
+        streams = list(getattr(streams, "streams", streams))
+        if graph is None:
+            graph = self._merged_graph(streams)
+        slots = {}
+        for nid in range(len(graph.nodes)):
+            node = graph.node(nid)
+            slots.setdefault((node.stream, node.ct_id), len(slots))
+        # Untouched ciphertexts still belong to the comparison.
+        for s, trace in enumerate(streams):
+            for ct in self._ct_ids(trace):
+                slots.setdefault((s, ct), len(slots))
+        try:
+            return self._run_merged_pool(streams, graph, slots, workers)
+        except (OSError, ValueError, PermissionError):
+            obs.get_tracer().count("sched.executor.pool_fallback")
+            return self._run_merged_inline(streams, graph, slots), False
+
+    def _run_merged_pool(self, streams, graph, slots,
+                         workers) -> tuple[list[dict], bool]:
+        shape = (len(slots), len(self.moduli), self.ring_degree)
+        nbytes = int(np.prod(shape)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 8))
+        pool = None
+        try:
+            arena = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+            for (s, ct), slot in slots.items():
+                arena[slot] = self._fresh_ct(ct, self.stream_seed(s))
+            ctx = multiprocessing.get_context("fork")
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self.moduli, self.ring_degree, self.seed))
+            indegree = {n.node_id: len(n.preds) for n in graph.nodes}
+            ready = [nid for nid, deg in indegree.items() if deg == 0]
+            in_flight = {}
+            done = 0
+            while done < len(graph.nodes):
+                while ready:
+                    nid = ready.pop()
+                    node = graph.node(nid)
+                    future = pool.submit(
+                        _run_node, shm.name, shape,
+                        slots[(node.stream, node.ct_id)],
+                        self._node_items(node),
+                        self.stream_seed(node.stream))
+                    in_flight[future] = nid
+                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    nid = in_flight.pop(future)
+                    future.result()  # surface worker exceptions
+                    done += 1
+                    for succ in graph.node(nid).succs:
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            ready.append(succ)
+            states = [{} for _ in streams]
+            for (s, ct), slot in slots.items():
+                states[s][ct] = arena[slot].copy()
+            return states, True
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+            shm.close()
+            shm.unlink()
+
+    def _run_merged_inline(self, streams, graph, slots) -> list[dict]:
+        states: list[dict] = [{} for _ in streams]
+        for (s, ct) in slots:
+            states[s][ct] = self._fresh_ct(ct, self.stream_seed(s))
+        for nid in graph.topological_order():
+            node = graph.node(nid)
+            ctx = {**self._ctx, "seed": self.stream_seed(node.stream)}
+            ct = states[node.stream][node.ct_id]
+            for index, rotation, needs_ks in self._node_items(node):
+                _apply_op(ct, index, rotation, needs_ks, ctx)
+        return states
+
     # -- the proof ---------------------------------------------------------
     def verify(self, trace: OpTrace,
                graph: DataflowGraph | None = None,
@@ -272,6 +409,44 @@ class FunctionalExecutor:
                 mismatched_cts=mismatched)
         if tracer.enabled:
             tracer.count("sched.executor.verifications")
+            if not check.bit_exact:
+                tracer.count("sched.executor.mismatches")
+        return check
+
+    def verify_streams(self, streams,
+                       graph: DataflowGraph | None = None,
+                       workers: int = 2) -> StreamExecutionCheck:
+        """Merged K-stream execution vs K independent serial runs.
+
+        The merged graph interleaves the streams' nodes arbitrarily
+        (subject to per-stream dependencies); bit-equality of every
+        stream's final state against its own independent program-order
+        run proves the merge fabricated no cross-stream coupling and
+        dropped no intra-stream ordering.
+        """
+        tracer = obs.get_tracer()
+        streams = list(getattr(streams, "streams", streams))
+        with tracer.span("sched.executor.verify_streams",
+                         streams=len(streams), workers=workers):
+            if graph is None:
+                graph = self._merged_graph(streams)
+            reference = self.run_serial_streams(streams)
+            merged, concurrent = self.run_merged(
+                streams, graph, workers=workers)
+            mismatched = [
+                (s, ct)
+                for s, ref in enumerate(reference)
+                for ct in ref
+                if not np.array_equal(ref[ct], merged[s][ct])]
+            check = StreamExecutionCheck(
+                bit_exact=not mismatched, parallel=concurrent,
+                workers=workers, streams=len(streams),
+                num_cts=sum(len(ref) for ref in reference),
+                num_ops=sum(len(t) for t in streams),
+                num_nodes=len(graph.nodes),
+                mismatched=mismatched)
+        if tracer.enabled:
+            tracer.count("sched.executor.stream_verifications")
             if not check.bit_exact:
                 tracer.count("sched.executor.mismatches")
         return check

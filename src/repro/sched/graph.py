@@ -32,9 +32,25 @@ from repro.core import optrace
 from repro.core.optrace import FheOp, OpTrace
 
 
+class GraphValidationError(ValueError):
+    """A dataflow graph (or the partition lowering to it) is invalid.
+
+    Raised on cyclic graphs, level rises without ModRaise, duplicate
+    or uncovered trace indices — a named error so fuzzers and callers
+    can tell rejected input from lowering bugs.  Subclasses
+    ``ValueError`` for backward compatibility.
+    """
+
+
 @dataclass
 class GraphNode:
-    """One schedulable unit: a single op, or a fused hoist batch."""
+    """One schedulable unit: a single op, or a fused hoist batch.
+
+    ``stream`` tags which independent ciphertext stream the node
+    belongs to (0 for single-stream graphs); ``indices`` stay *local*
+    to that stream's trace, so executors can replay each stream with
+    its own seed.
+    """
 
     node_id: int
     indices: tuple[int, ...]
@@ -43,6 +59,7 @@ class GraphNode:
     succs: list[int] = field(default_factory=list)
     # The lowered kernel schedule, attached by ``from_schedules``.
     schedule: object | None = None
+    stream: int = 0
 
     @property
     def first(self) -> FheOp:
@@ -65,9 +82,10 @@ class GraphNode:
         return self.first.needs_key_switch
 
     def __repr__(self) -> str:
+        tag = f", s{self.stream}" if self.stream else ""
         return (f"GraphNode({self.node_id}, {self.kind}, "
                 f"ct={self.ct_id}, l={self.level}, "
-                f"x{len(self.ops)})")
+                f"x{len(self.ops)}{tag})")
 
 
 class DataflowGraph:
@@ -140,12 +158,13 @@ class DataflowGraph:
                 nodes.append(node)
                 for i in cell:
                     if i in owner:
-                        raise ValueError(
-                            f"trace index {i} appears in two nodes")
+                        raise GraphValidationError(
+                            f"trace index {i} appears in two nodes "
+                            f"(duplicate write)")
                     owner[i] = node_id
             if len(owner) != len(trace):
                 missing = sorted(set(range(len(trace))) - set(owner))
-                raise ValueError(
+                raise GraphValidationError(
                     f"partition does not cover trace indices {missing[:5]}")
             last_writer: dict[int, int] = {}
             for index in range(len(trace)):
@@ -214,11 +233,12 @@ class DataflowGraph:
             depth_of[nid] = 1 + max((depth_of[p] for p in node.preds),
                                     default=0)
         depth = max(depth_of.values(), default=0)
-        chains = len({n.ct_id for n in self.nodes})
+        chains = len({(n.stream, n.ct_id) for n in self.nodes})
         return {
             "nodes": len(self.nodes),
             "edges": self.num_edges,
             "depth": depth,
+            "streams": len({n.stream for n in self.nodes}),
             "ciphertext_chains": chains,
             "avg_parallelism": (len(self.nodes) / depth) if depth else 0.0,
         }
@@ -246,6 +266,6 @@ class DataflowGraph:
         violations = self.validate()
         if violations:
             preview = "; ".join(violations[:5])
-            raise ValueError(
+            raise GraphValidationError(
                 f"dataflow graph {self.name!r} invalid: {preview}")
         return self

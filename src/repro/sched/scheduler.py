@@ -27,6 +27,21 @@ The stall taxonomy every run reports:
 * **evk** — the KeyMult stage waited for its evaluation key;
 * **structural** — HBM operand/plaintext streaming delays plus
   end-of-schedule drain (clusters idle while the last chains finish).
+
+Two dispatch modes share the per-node execution model:
+
+* **latency** (default, PR 3): critical-path list scheduling that
+  minimises one program's makespan, reproducing the serial pipeline
+  exactly at 1 cluster;
+* **throughput**: FPT-style software pipelining over stream-tagged
+  graphs (:mod:`repro.sched.streams`).  Each cluster admits up to
+  ``pipeline_depth`` operations into its front end (stream i+1's
+  early stages overlap stream i's tail instead of waiting for the
+  first stage to drain), streams get round-robin cluster affinity
+  with deterministic work-stealing when a pipeline idles, and a
+  double-buffered Hemera prefetcher
+  (:class:`~repro.hw.memory.EvkPrefetcher`) fetches the next
+  key-switches' keys while the current ones compute.
 """
 
 from __future__ import annotations
@@ -42,11 +57,21 @@ from repro.core import optrace
 from repro.core.hemera import KeyCache
 from repro.hw.accelerator import Accelerator, KERNEL_UNITS
 from repro.hw.config import ChipConfig
+from repro.hw.memory import EvkPrefetcher, UnitTimeline, hbm_transfer
 from repro.sim.engine import (UNIT_NAMES, WORKING_SET_CIPHERTEXTS,
                               key_identities)
 from repro.sim.kernels import KERNEL_DSU, OpSchedule
 
 from repro.sched.graph import DataflowGraph, GraphNode
+
+MODES = ("latency", "throughput")
+# Software-pipelined front-end depth: operations one cluster may have
+# simultaneously in flight before admission blocks.  Deep enough that
+# independent streams backfill each other's stage bubbles (amortized
+# speedup at 4 clusters / 8 streams saturates past ~24), shallow
+# enough to bound the in-flight working set.
+DEFAULT_PIPELINE_DEPTH = 32
+DEFAULT_PREFETCH_SLOTS = 2
 
 
 @dataclass
@@ -112,6 +137,11 @@ class ScheduleTimeline:
     dep_stall_s: float = 0.0
     evk_stall_s: float = 0.0
     hbm_wait_s: float = 0.0
+    mode: str = "latency"
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    prefetch_bytes: float = 0.0
+    stolen_ops: int = 0
 
     @property
     def structural_stall_s(self) -> float:
@@ -147,12 +177,23 @@ class ClusterScheduler:
     """
 
     def __init__(self, config: ChipConfig, hybrid_params: CkksParams,
-                 accelerator: Accelerator | None = None):
+                 accelerator: Accelerator | None = None,
+                 mode: str = "latency",
+                 pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+                 prefetch_slots: int = DEFAULT_PREFETCH_SLOTS):
+        if mode not in MODES:
+            raise ValueError(f"unknown scheduler mode {mode!r}; "
+                             f"expected one of {MODES}")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be positive")
         self.config = config
         self.hybrid_params = hybrid_params
         self.accelerator = accelerator or Accelerator(
             config.per_cluster(), hybrid_params.ring_degree)
         self.word_bytes = cost.NARROW_WORD_BYTES
+        self.mode = mode
+        self.pipeline_depth = pipeline_depth
+        self.prefetch_slots = prefetch_slots
 
     # -- node cost estimation (priority function) --------------------------
     def _task_seconds(self, task) -> float:
@@ -172,18 +213,61 @@ class ClusterScheduler:
         return sum(max((self._task_seconds(t) for t in stage), default=0.0)
                    for stage in schedule.stages)
 
+    def estimate_first_stage_s(self, node: GraphNode) -> float:
+        """Contention-free first (decompose) stage bottleneck."""
+        schedule: OpSchedule = node.schedule
+        if not schedule.stages:
+            return 0.0
+        return max((self._task_seconds(t) for t in schedule.stages[0]),
+                   default=0.0)
+
+    def pipelined_critical_path_s(self, graph: DataflowGraph) -> float:
+        """Lower bound on any legal makespan of ``graph`` here.
+
+        Under limb-level forwarding a consumer may start once every
+        producer clears its *first* stage, so along a dependency
+        chain each non-terminal node contributes at least its
+        first-stage bottleneck and the chain's last node its full
+        contention-free latency.  Queueing and stalls only add time;
+        every schedule this class produces satisfies
+        ``total_s >= pipelined_critical_path_s(graph)`` (the
+        property-test invariant).
+        """
+        down: dict[int, float] = {}
+        best = 0.0
+        for nid in reversed(graph.topological_order()):
+            node = graph.nodes[nid]
+            tail = max((down[s] for s in node.succs), default=None)
+            value = self.estimate_node_s(node)
+            if tail is not None:
+                value = max(value,
+                            self.estimate_first_stage_s(node) + tail)
+            down[nid] = value
+            best = max(best, value)
+        return best
+
     # -- the dispatch loop -------------------------------------------------
     def run(self, graph: DataflowGraph) -> ScheduleTimeline:
         tracer = obs.get_tracer()
         with tracer.span("sched.schedule", graph=graph.name,
-                         clusters=self.config.clusters) as span:
-            timeline = self._run(graph)
+                         clusters=self.config.clusters,
+                         mode=self.mode) as span:
+            if self.mode == "throughput":
+                timeline = self._run_throughput(graph)
+            else:
+                timeline = self._run(graph)
         if tracer.enabled:
             span.set(total_s=timeline.total_s)
             tracer.count("sched.dispatched", len(timeline.order))
             tracer.observe("sched.dep_stall_s", timeline.dep_stall_s)
             tracer.observe("sched.evk_stall_s", timeline.evk_stall_s)
             tracer.observe("sched.total_s", timeline.total_s)
+            if self.mode == "throughput":
+                tracer.count("hemera.prefetch.hit",
+                             timeline.prefetch_hits)
+                tracer.count("hemera.prefetch.miss",
+                             timeline.prefetch_misses)
+                tracer.count("sched.stolen_ops", timeline.stolen_ops)
         return timeline
 
     def _run(self, graph: DataflowGraph) -> ScheduleTimeline:
@@ -282,26 +366,199 @@ class ClusterScheduler:
         timeline.total_s = finish
         return timeline
 
+    # -- throughput mode: software-pipelined multi-stream dispatch ---------
+    def _run_throughput(self, graph: DataflowGraph) -> ScheduleTimeline:
+        """FPT-style streaming dispatch over a stream-tagged graph.
+
+        Differences from latency mode:
+
+        * **admission depth** — each cluster's front end holds at
+          most ``pipeline_depth`` operations in flight (admitted but
+          not yet drained): instead of draining one first stage per
+          admission, stream i+1's early stages overlap stream i's
+          tail, with unit booking on interval timelines
+          (:class:`UnitTimeline`) as the capacity limit;
+        * **stream affinity** — node ``n`` runs on cluster
+          ``n.stream % clusters`` (round-robin) unless another
+          cluster could start it strictly earlier, in which case the
+          idle cluster steals it (deterministically, lowest index);
+        * **evk prefetch** — a double-buffered
+          :class:`~repro.hw.memory.EvkPrefetcher` issues the next
+          scheduled key-switches' fetches while compute runs, and
+          pins in-flight keys against eviction.
+
+        Dispatch is plain priority order (longest remaining critical
+        path, ties to the lowest node id, i.e. the earliest stream):
+        a node is dispatched as soon as all its producers are, and
+        the earliest-fit unit timelines place its tasks — later
+        dispatches backfill earlier bubbles, so dispatch order need
+        not track simulated time.
+        """
+        num_clusters = self.config.clusters
+        timeline = ScheduleTimeline(num_clusters=num_clusters,
+                                    mode="throughput")
+        timeline.clusters = [ClusterTimeline(c)
+                             for c in range(num_clusters)]
+        pipeline_ready = [0.0] * num_clusters  # admission clocks
+        # Interval timelines, not high-water marks: streams backfill
+        # the unit bubbles other streams' stage structure leaves.
+        unit_free = [{u: UnitTimeline() for u in UNIT_NAMES}
+                     for _ in range(num_clusters)]
+        # The shared HBM channel is an interval timeline too: a
+        # transfer takes the earliest slot at or after its request
+        # time instead of queueing behind every earlier-dispatched
+        # transfer regardless of when it was needed.
+        hbm_free = UnitTimeline()
+        key_cache = KeyCache(self.config.key_storage_bytes)
+        prefetcher = EvkPrefetcher(key_cache,
+                                   self.config.hbm_bandwidth_bytes,
+                                   slots=self.prefetch_slots)
+        priority = graph.critical_path(self.estimate_node_s)
+        pending = {n.node_id: len(n.preds) for n in graph.nodes}
+        depth = self.pipeline_depth
+        # Per-cluster admission window: min-heap of the ``depth``
+        # LARGEST end times among admitted ops.  When the window is
+        # full the next op may be admitted at heap[0] — the instant
+        # the in-flight count drops below ``depth``.
+        windows: list[list[float]] = [[] for _ in range(num_clusters)]
+
+        def admission(c: int) -> float:
+            window = windows[c]
+            return window[0] if len(window) >= depth else 0.0
+
+        released: list = []  # (-priority, node_id): deps dispatched
+        ks_queue: list = []  # key-switch lookahead (prefetch)
+        issued: set = set()
+        ready_at: dict[int, float] = {}
+
+        def release(nid: int) -> None:
+            ready_at[nid] = max(
+                (timeline.timings[p].first_stage_end_s
+                 for p in graph.nodes[nid].preds), default=0.0)
+            heapq.heappush(released, (-priority[nid], nid))
+            if graph.nodes[nid].schedule.key_bytes > 0:
+                heapq.heappush(ks_queue, (-priority[nid], nid))
+
+        for node in graph.nodes:
+            if pending[node.node_id] == 0:
+                release(node.node_id)
+        # Execution pins held while a node is in flight in simulated
+        # time: (end_s, identities), released once the (monotone)
+        # dispatch watermark passes end_s.
+        live_pins: list = []
+        watermark = 0.0
+        finish = 0.0
+        while released:
+            _, node_id = heapq.heappop(released)
+            node = graph.nodes[node_id]
+            dep_ready = ready_at[node_id]
+            home = node.stream % num_clusters
+            cluster = home
+            start = max(admission(home), dep_ready)
+            # Work-stealing with hysteresis: affinity keeps a stream's
+            # ops on one cluster (their unit bookings interlock), so
+            # another cluster takes the node only when it would start
+            # it at least one first-stage earlier — i.e. the home
+            # pipeline is genuinely backlogged, not float-jittered.
+            margin = self.estimate_first_stage_s(node)
+            for c in range(num_clusters):
+                other = max(admission(c), dep_ready)
+                if other + margin < start:
+                    cluster, start = c, other
+            if cluster != home:
+                timeline.stolen_ops += 1
+            watermark = max(watermark, start)
+            while live_pins and live_pins[0][0] <= watermark:
+                _, identities = heapq.heappop(live_pins)
+                prefetcher.unpin_group(identities)
+            pipeline_ready[cluster] = admission(cluster)
+            timing = self._execute(
+                node, cluster, dep_ready, pipeline_ready,
+                unit_free, hbm_free, key_cache, timeline,
+                prefetcher=prefetcher)
+            hbm_free = timing.pop("hbm_free")
+            node_timing: NodeTiming = timing["timing"]
+            if timing["identities"]:
+                heapq.heappush(live_pins, (node_timing.end_s,
+                                           timing["identities"]))
+            timeline.timings[node_id] = node_timing
+            timeline.order.append(node_id)
+            finish = max(finish, node_timing.end_s)
+            window = windows[cluster]
+            heapq.heappush(window, node_timing.end_s)
+            if len(window) > depth:
+                heapq.heappop(window)
+            for succ in node.succs:
+                pending[succ] -= 1
+                if pending[succ] == 0:
+                    release(succ)
+            # Double-buffered lookahead: start the next scheduled
+            # key-switches' fetches behind the one just dispatched.
+            hbm_free = self._issue_prefetches(
+                graph, prefetcher, ks_queue, issued,
+                timeline, hbm_free, ready_at)
+        timeline.total_s = finish
+        timeline.prefetch_bytes = prefetcher.issued_bytes
+        return timeline
+
+    def _issue_prefetches(self, graph, prefetcher: EvkPrefetcher,
+                          ks_queue: list, issued: set,
+                          timeline: ScheduleTimeline,
+                          hbm_free, ready_at: dict):
+        """Issue fetches for the highest-priority released
+        key-switches that still lack one, while slots last.
+
+        Each fetch is requested at the consuming node's
+        dependency-ready time — when its producers clear their first
+        stage the front end provably knows the key is next, and the
+        transfer overlaps the node's remaining wait instead of
+        queueing at some unrelated dispatch-order time.
+        """
+        cfg = self.config
+        while ks_queue and prefetcher.outstanding < prefetcher.slots:
+            _, nid = heapq.heappop(ks_queue)
+            if nid in issued or nid in timeline.timings:
+                continue  # already prefetched or already executed
+            node = graph.nodes[nid]
+            schedule: OpSchedule = node.schedule
+            identities = key_identities(schedule, cfg.use_minks)
+            hbm_free, issued_bytes = prefetcher.issue(
+                nid, identities, schedule.key_bytes_per_key, hbm_free,
+                ready_at.get(nid, 0.0))
+            issued.add(nid)
+            if issued_bytes:
+                timeline.key_bytes += issued_bytes
+                timeline.unit_busy_s["hbm"] += \
+                    issued_bytes / cfg.hbm_bandwidth_bytes
+        return hbm_free
+
     @staticmethod
     def _pick_cluster(pipeline_ready: list[float], ready: float) -> int:
         """Best-fit cluster: latest pipeline that is still free by the
         node's dependency-release time (least idle waste); if none is,
-        the earliest-free pipeline."""
-        best, best_key = 0, None
-        for c, free in enumerate(pipeline_ready):
-            if free <= ready:
-                key = (1, free)   # feasible: prefer the latest-free
-            else:
-                key = (0, -free)  # infeasible: prefer the earliest-free
-            if best_key is None or key > best_key:
-                best, best_key = c, key
-        return best
+        the earliest-free pipeline.
+
+        Ties on equal free times break to the LOWEST cluster index,
+        explicitly: the selection must not depend on float identity
+        quirks or iteration incidentals, so the same trace always
+        yields the same timeline on every Python version (the
+        reproducibility regression test pins this).
+        """
+        feasible = [c for c, free in enumerate(pipeline_ready)
+                    if free <= ready]
+        if feasible:
+            best_free = max(pipeline_ready[c] for c in feasible)
+            return next(c for c in feasible
+                        if pipeline_ready[c] == best_free)
+        best_free = min(pipeline_ready)
+        return pipeline_ready.index(best_free)
 
     # -- one node's execution (serial-engine timing semantics) -------------
     def _execute(self, node: GraphNode, cluster: int, dep_ready: float,
                  pipeline_ready: list[float], unit_free: list[dict],
                  hbm_free: float, key_cache: KeyCache,
-                 timeline: ScheduleTimeline) -> dict:
+                 timeline: ScheduleTimeline,
+                 prefetcher: EvkPrefetcher | None = None) -> dict:
         acc = self.accelerator
         cfg = self.config
         schedule: OpSchedule = node.schedule
@@ -312,23 +569,45 @@ class ClusterScheduler:
         timeline.num_ops += 1
         # -- evaluation-key traffic (shared HBM work queue) ---------------
         key_arrival = 0.0
+        claimed: tuple = ()
         if schedule.key_bytes > 0:
             timeline.num_key_switches += max(1, schedule.hoisting)
             timeline.method_ops[schedule.method] += \
                 max(1, schedule.hoisting)
             identities = key_identities(schedule, cfg.use_minks)
-            missing = [k for k in identities if not key_cache.contains(k)]
-            timeline.key_cache_hits += len(identities) - len(missing)
-            timeline.key_cache_misses += len(missing)
-            if missing:
-                bytes_needed = schedule.key_bytes_per_key * len(missing)
-                duration = bytes_needed / cfg.hbm_bandwidth_bytes
-                hbm_free = hbm_free + duration
-                key_arrival = hbm_free
-                timeline.key_bytes += bytes_needed
-                timeline.unit_busy_s["hbm"] += duration
-                for k in missing:
-                    key_cache.insert(k, schedule.key_bytes_per_key)
+            if prefetcher is not None:
+                # Throughput mode: resolve the group through the
+                # double-buffered prefetcher.  Keys come back pinned;
+                # the dispatch loop unpins them once the node retires.
+                stats, hbm_free = prefetcher.claim(
+                    node.node_id, identities,
+                    schedule.key_bytes_per_key, hbm_free, op_start)
+                claimed = tuple(identities)
+                key_arrival = stats.arrival_s
+                timeline.key_cache_hits += \
+                    stats.cache_hits + stats.prefetch_hits
+                timeline.key_cache_misses += stats.demand_misses
+                timeline.prefetch_hits += stats.prefetch_hits
+                timeline.prefetch_misses += stats.demand_misses
+                if stats.demand_bytes:
+                    timeline.key_bytes += stats.demand_bytes
+                    timeline.unit_busy_s["hbm"] += \
+                        stats.demand_bytes / cfg.hbm_bandwidth_bytes
+            else:
+                missing = [k for k in identities
+                           if not key_cache.contains(k)]
+                timeline.key_cache_hits += len(identities) - len(missing)
+                timeline.key_cache_misses += len(missing)
+                if missing:
+                    bytes_needed = \
+                        schedule.key_bytes_per_key * len(missing)
+                    duration = bytes_needed / cfg.hbm_bandwidth_bytes
+                    hbm_free, key_arrival = hbm_transfer(
+                        hbm_free, op_start, duration)
+                    timeline.key_bytes += bytes_needed
+                    timeline.unit_busy_s["hbm"] += duration
+                    for k in missing:
+                        key_cache.insert(k, schedule.key_bytes_per_key)
         # -- ciphertext working-set spills --------------------------------
         operand_arrival = 0.0
         if schedule.key_bytes > 0:
@@ -338,16 +617,17 @@ class ClusterScheduler:
             spill = max(0.0, ws - data_region)
             if spill > 0:
                 duration = spill / cfg.hbm_bandwidth_bytes
-                hbm_free = hbm_free + duration
-                operand_arrival = hbm_free
+                hbm_free, operand_arrival = hbm_transfer(
+                    hbm_free, op_start, duration)
                 timeline.plaintext_bytes += spill
                 timeline.unit_busy_s["hbm"] += duration
         # -- plaintext streaming for PMult --------------------------------
         if op.kind == optrace.PMULT:
             pt_bytes = self.hybrid_params.ring_degree * self.word_bytes
             duration = pt_bytes / cfg.hbm_bandwidth_bytes
-            hbm_free = hbm_free + duration
-            key_arrival = max(key_arrival, hbm_free)
+            hbm_free, pt_arrival = hbm_transfer(
+                hbm_free, op_start, duration)
+            key_arrival = max(key_arrival, pt_arrival)
             timeline.plaintext_bytes += pt_bytes
             timeline.unit_busy_s["hbm"] += duration
         # -- staged execution on this cluster's units ---------------------
@@ -367,9 +647,13 @@ class ClusterScheduler:
                 if task.kernel == KERNEL_DSU:
                     unit = "dsu"
                 seconds = self._task_seconds(task)
-                begin = max(stage_ready, free[unit])
+                slot = free[unit]
+                if isinstance(slot, UnitTimeline):
+                    begin = slot.alloc(stage_ready, seconds)
+                else:
+                    begin = max(stage_ready, slot)
+                    free[unit] = begin + seconds
                 end = begin + seconds
-                free[unit] = end
                 cluster_state.busy_s[unit] += seconds
                 timeline.unit_busy_s[unit] += seconds
                 timeline.kernel_modops[task.kernel] += task.modops
@@ -392,6 +676,7 @@ class ClusterScheduler:
         pipeline_ready[cluster] = first_stage_end
         return {
             "hbm_free": hbm_free,
+            "identities": claimed,
             "timing": NodeTiming(
                 node_id=node.node_id, cluster=cluster, start_s=op_start,
                 end_s=op_end, first_stage_end_s=first_stage_end,

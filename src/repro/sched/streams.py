@@ -1,0 +1,169 @@
+"""Multi-stream front-end: K independent ciphertext streams, one graph.
+
+FPT (SNIPPETS.md Snippet 1) saturates its arithmetic units not by
+making one bootstrap faster but by *streaming* independent ones
+through throughput-balanced pipeline stages.  This module is the
+trace-level counterpart: it takes K independent streams (the same
+workload on independent data, or distinct traces) and presents them
+to the scheduler as one merged dataflow graph whose nodes carry a
+``stream`` tag.  Ciphertext ids are re-based per stream so chains of
+different streams never alias — aliasing would fabricate def-use
+dependencies between operations that are independent by construction.
+
+Node ``indices`` stay *local* to each stream's trace: the functional
+executor replays stream ``s`` with its own seed and its own op
+indices, so a merged run is comparable bit-for-bit against K
+independent serial runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.optrace import OpTrace
+
+from repro.sched.graph import DataflowGraph, GraphNode
+
+
+class StreamMergeError(ValueError):
+    """Streams cannot be merged into one graph.
+
+    Raised on cross-stream ciphertext-id collisions (when re-basing
+    is disabled) and on empty or inconsistent stream sets — a named
+    error so fuzzers can tell rejected input from merge bugs.
+    """
+
+
+@dataclass
+class MultiStreamTrace:
+    """K validated streams plus their merged, collision-free trace.
+
+    ``streams`` keep their original (local) ciphertext ids and op
+    indices; ``merged`` re-bases ciphertext ids by ``ct_stride`` per
+    stream so the usual def-use lowering applies to the union.
+    """
+
+    name: str
+    streams: list = field(default_factory=list)   # list[OpTrace]
+    merged: OpTrace | None = None
+    ct_stride: int = 0
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.streams)
+
+    def stream_of_ct(self, merged_ct_id: int) -> int:
+        return merged_ct_id // self.ct_stride if self.ct_stride else 0
+
+    def local_ct(self, merged_ct_id: int) -> int:
+        return merged_ct_id % self.ct_stride if self.ct_stride \
+            else merged_ct_id
+
+    def stream_cts(self, stream: int) -> list[int]:
+        """The local ciphertext ids stream ``stream`` touches."""
+        return sorted({op.ct_id for op in self.streams[stream]})
+
+
+def merge_streams(streams, name: str | None = None,
+                  rebase: bool = True) -> MultiStreamTrace:
+    """Merge independent per-stream traces into one trace.
+
+    Each stream is validated first (:class:`TraceValidationError`
+    propagates).  With ``rebase`` (the default) ciphertext ids are
+    shifted by one shared stride per stream, which makes collisions
+    impossible; with ``rebase=False`` the caller asserts the streams
+    already use disjoint ids, and any cross-stream collision raises
+    :class:`StreamMergeError` — a collision would chain unrelated
+    streams through a fabricated def-use edge and silently serialise
+    (or corrupt) them.
+    """
+    streams = list(streams)
+    if not streams:
+        raise StreamMergeError("cannot merge zero streams")
+    for trace in streams:
+        trace.check()
+    if not rebase:
+        seen: dict[int, int] = {}
+        for s, trace in enumerate(streams):
+            for ct in {op.ct_id for op in trace}:
+                owner = seen.setdefault(ct, s)
+                if owner != s:
+                    raise StreamMergeError(
+                        f"ciphertext id {ct} appears in streams "
+                        f"{owner} and {s} (cross-stream collision); "
+                        f"re-base ids or pass rebase=True")
+    stride = max((trace._ct_stride() for trace in streams), default=0)
+    merged_name = name or f"{streams[0].name}x{len(streams)}streams"
+    ops = []
+    group_offset = 0
+    for s, trace in enumerate(streams):
+        groups = [op.hoist_group for op in trace
+                  if op.hoist_group is not None]
+        for op in trace:
+            changes = {}
+            if rebase:
+                changes["ct_id"] = op.ct_id + s * stride
+            if op.hoist_group is not None:
+                changes["hoist_group"] = op.hoist_group + group_offset
+            ops.append(op.with_(**changes) if changes else op)
+        group_offset += (max(groups) + 1) if groups else 0
+    merged = OpTrace(ops, name=merged_name)
+    merged.check()
+    return MultiStreamTrace(name=merged_name, streams=streams,
+                            merged=merged,
+                            ct_stride=stride if rebase else 0)
+
+
+def replicate(trace: OpTrace, streams: int,
+              name: str | None = None) -> MultiStreamTrace:
+    """The common case: K streams of the same workload on
+    independent data."""
+    if streams < 1:
+        raise StreamMergeError("stream count must be positive")
+    return merge_streams([trace] * streams,
+                         name=name or f"{trace.name}x{streams}streams")
+
+
+def _copy_nodes(graph: DataflowGraph, stream: int,
+                offset: int) -> list[GraphNode]:
+    return [GraphNode(node_id=node.node_id + offset,
+                      indices=node.indices, ops=node.ops,
+                      preds=[p + offset for p in node.preds],
+                      succs=[s + offset for s in node.succs],
+                      schedule=node.schedule, stream=stream)
+            for node in graph.nodes]
+
+
+def merge_graphs(graphs, name: str | None = None) -> DataflowGraph:
+    """Union of per-stream DAGs as one stream-tagged graph.
+
+    Stream ``s``'s nodes keep their internal edges with node ids
+    shifted by the preceding streams' node counts; no cross-stream
+    edges exist (the streams are independent by construction).
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise StreamMergeError("cannot merge zero stream graphs")
+    nodes: list[GraphNode] = []
+    offset = 0
+    for stream, graph in enumerate(graphs):
+        nodes.extend(_copy_nodes(graph, stream, offset))
+        offset += len(graph.nodes)
+    merged_name = name or f"{graphs[0].name}x{len(graphs)}streams"
+    return DataflowGraph(nodes, name=merged_name).check()
+
+
+def replicate_graph(graph: DataflowGraph, streams: int,
+                    name: str | None = None) -> DataflowGraph:
+    """K stream-tagged copies of one lowered graph.
+
+    Identical workloads share Aether's lowering: the base trace is
+    lowered once and each stream reuses the attached
+    :class:`~repro.sim.kernels.OpSchedule` objects (they are
+    read-only to the scheduler), so the front-end costs O(nodes)
+    per extra stream instead of a full re-lowering.
+    """
+    if streams < 1:
+        raise StreamMergeError("stream count must be positive")
+    return merge_graphs([graph] * streams,
+                        name=name or f"{graph.name}x{streams}streams")

@@ -1,0 +1,224 @@
+"""Evk prefetch machinery: UnitTimeline, hbm_transfer, EvkPrefetcher.
+
+The invariants throughput mode leans on: earliest-fit booking never
+starts before the request, never overlaps, and backfills bubbles; the
+double-buffered prefetcher's hit/miss tallies stay truthful under
+eviction pressure; and a prefetch can never evict a key an in-flight
+node still needs (pins), even when the key store is too small for the
+working set.
+"""
+
+import pytest
+
+from repro.core.hemera import KeyCache
+from repro.hw.memory import (ClaimStats, EvkPrefetcher, UnitTimeline,
+                             hbm_transfer)
+
+BW = 100.0  # bytes/s: 1-byte key = 0.01 s transfer; easy arithmetic
+
+
+class TestUnitTimeline:
+    def test_alloc_never_starts_before_ready(self):
+        tl = UnitTimeline()
+        assert tl.alloc(5.0, 1.0) == 5.0
+        assert tl.horizon == 6.0
+
+    def test_fifo_when_contended(self):
+        tl = UnitTimeline()
+        assert tl.alloc(0.0, 2.0) == 0.0
+        assert tl.alloc(0.0, 2.0) == 2.0
+        assert tl.alloc(1.0, 1.0) == 4.0
+
+    def test_backfills_earlier_bubbles(self):
+        """The point of interval booking: a late-dispatched request
+        with an early ready time takes the hole, not the tail."""
+        tl = UnitTimeline()
+        tl.alloc(0.0, 1.0)    # [0, 1)
+        tl.alloc(3.0, 1.0)    # [3, 4)
+        assert tl.alloc(0.0, 2.0) == 1.0   # fills [1, 3)
+        assert tl.alloc(0.0, 1.5) == 4.0   # too big for any hole
+
+    def test_bookings_never_overlap(self):
+        tl = UnitTimeline()
+        requests = [(0.0, 0.7), (0.2, 0.3), (0.0, 1.1), (0.5, 0.4),
+                    (2.0, 0.2), (0.0, 0.6)]
+        intervals = sorted((tl.alloc(r, d), d) for r, d in requests)
+        for (a, da), (b, _) in zip(intervals, intervals[1:]):
+            assert a + da <= b + 1e-12
+
+    def test_empty_horizon_is_zero(self):
+        assert UnitTimeline().horizon == 0.0
+
+
+class TestHbmTransfer:
+    def test_float_clock_is_fifo(self):
+        """Latency mode: a float clock queues behind everything booked
+        so far, regardless of the request time."""
+        hbm, arrival = hbm_transfer(3.0, 0.0, 1.0)
+        assert (hbm, arrival) == (4.0, 4.0)
+
+    def test_unit_timeline_honours_request_time(self):
+        tl = UnitTimeline()
+        tl.alloc(0.0, 1.0)
+        tl.alloc(5.0, 1.0)
+        same, arrival = hbm_transfer(tl, 1.0, 2.0)
+        assert same is tl
+        assert arrival == 3.0   # booked into the [1, 5) hole
+
+
+def make(capacity=10.0, slots=2):
+    cache = KeyCache(capacity)
+    return cache, EvkPrefetcher(cache, BW, slots=slots)
+
+
+class TestPrefetchHitMissCounters:
+    def test_prefetched_group_claims_as_hits(self):
+        cache, pf = make()
+        hbm, issued = pf.issue("n1", ["k1", "k2"], 1.0, 0.0)
+        assert issued == 2.0
+        stats, hbm = pf.claim("n1", ["k1", "k2"], 1.0, hbm)
+        assert (stats.prefetch_hits, stats.demand_misses) == (2, 0)
+        assert stats.arrival_s == pytest.approx(0.02)
+        assert (pf.hits, pf.misses) == (2, 0)
+
+    def test_unissued_group_claims_as_demand_misses(self):
+        cache, pf = make()
+        stats, _ = pf.claim("n1", ["k1", "k2"], 1.0, 0.0)
+        assert (stats.prefetch_hits, stats.demand_misses) == (0, 2)
+        assert stats.demand_bytes == 2.0
+        assert (pf.hits, pf.misses) == (0, 2)
+
+    def test_resident_keys_are_cache_hits_not_prefetch_hits(self):
+        cache, pf = make()
+        cache.insert("k1", 1.0)
+        stats, _ = pf.claim("n1", ["k1"], 1.0, 0.0)
+        assert stats == ClaimStats(arrival_s=0.0, prefetch_hits=0,
+                                   cache_hits=1, demand_misses=0,
+                                   demand_bytes=0.0)
+
+    def test_counters_correct_under_eviction_pressure(self):
+        """Keys issued into a cache too small to retain them: every
+        claim must still tally truthfully (hits for covered keys,
+        misses for the overflow the buffer could not hold)."""
+        cache, pf = make(capacity=2.0)
+        hbm, issued = pf.issue("n1", ["a", "b", "c"], 1.0, 0.0)
+        assert issued == 3.0   # transfers charged even if "c" dropped
+        stats, hbm = pf.claim("n1", ["a", "b", "c"], 1.0, hbm)
+        assert stats.prefetch_hits == 3   # in-flight arrivals cover it
+        pf.unpin_group(["a", "b", "c"])
+        # Retired and (partly) evicted: the next claim of the key the
+        # store never accepted is a demand miss again.
+        stats, _ = pf.claim("n2", ["c"], 1.0, hbm)
+        assert stats.demand_misses + stats.cache_hits == 1
+        assert pf.hits == 3
+
+    def test_issue_is_noop_when_buffer_full(self):
+        cache, pf = make(slots=1)
+        pf.issue("n1", ["a"], 1.0, 0.0)
+        assert not pf.can_issue("n2")
+        hbm, issued = pf.issue("n2", ["b"], 1.0, 0.0)
+        assert issued == 0.0
+        assert pf.outstanding == 1
+
+    def test_reissue_same_token_is_noop(self):
+        cache, pf = make()
+        pf.issue("n1", ["a"], 1.0, 0.0)
+        _, issued = pf.issue("n1", ["a"], 1.0, 0.0)
+        assert issued == 0.0
+        assert pf.issues == 1
+
+    def test_at_least_one_slot_required(self):
+        with pytest.raises(ValueError, match="at least one slot"):
+            EvkPrefetcher(KeyCache(10.0), BW, slots=0)
+
+
+class TestPinningUnderPressure:
+    def test_prefetch_never_evicts_inflight_keys(self):
+        """The safety property: with the store full of pinned keys, a
+        new prefetch may be dropped but must never evict a key a
+        node in flight still needs."""
+        cache, pf = make(capacity=2.0)
+        hbm, _ = pf.issue("n1", ["a", "b"], 1.0, 0.0)
+        stats, hbm = pf.claim("n1", ["a", "b"], 1.0, hbm)
+        # Node n1 is in flight: a, b pinned.  Prefetch two more keys.
+        hbm, _ = pf.issue("n2", ["c", "d"], 1.0, hbm)
+        assert cache.resident("a") and cache.resident("b")
+        assert not cache.resident("c") and not cache.resident("d")
+        assert cache.evictions == 0
+
+    def test_unpin_releases_eviction_protection(self):
+        cache, pf = make(capacity=2.0)
+        hbm, _ = pf.issue("n1", ["a", "b"], 1.0, 0.0)
+        stats, hbm = pf.claim("n1", ["a", "b"], 1.0, hbm)
+        pf.unpin_group(["a", "b"])
+        hbm, _ = pf.issue("n2", ["c", "d"], 1.0, hbm)
+        assert cache.resident("c") and cache.resident("d")
+        assert cache.evictions == 2
+
+    def test_pins_are_ref_counted_across_groups(self):
+        """Two nodes sharing a key: the first retirement must not
+        strip the second node's protection."""
+        cache, pf = make(capacity=1.0)
+        stats, hbm = pf.claim("n1", ["a"], 1.0, 0.0)
+        stats, hbm = pf.claim("n2", ["a"], 1.0, hbm)
+        pf.unpin_group(["a"])          # n1 retires
+        assert cache.pinned("a")       # n2 still holds a pin
+        pf.unpin_group(["a"])          # n2 retires
+        assert not cache.pinned("a")
+
+    def test_inflight_transfer_shared_until_retirement(self):
+        """Aligned streams: claims of a group another node fetched
+        ride the same transfer (no duplicate HBM traffic) until the
+        owner retires — the essential behaviour when one hoisted
+        group exceeds the key store."""
+        cache, pf = make(capacity=1.0)   # can hold 1 of the 2 keys
+        hbm, issued = pf.issue("n1", ["a", "b"], 1.0, 0.0)
+        assert issued == 2.0
+        owner_stats, hbm = pf.claim("n1", ["a", "b"], 1.0, hbm)
+        rider_stats, hbm = pf.claim("n2", ["a", "b"], 1.0, hbm)
+        assert rider_stats.prefetch_hits == 2
+        assert rider_stats.demand_bytes == 0.0
+        assert rider_stats.arrival_s == owner_stats.arrival_s
+        pf.unpin_group(["a", "b"])   # n1 retires
+        pf.unpin_group(["a", "b"])   # n2 retires
+        # Registrations dropped at retirement: a fresh claim now pays.
+        fresh, _ = pf.claim("n3", ["a", "b"], 1.0, hbm)
+        assert fresh.demand_misses + fresh.cache_hits == 2
+        assert fresh.prefetch_hits == 0
+
+    def test_demand_fetch_registers_in_flight(self):
+        """Demand fetches share forward too: a second claim of a key
+        another node demand-fetched rides the transfer."""
+        cache, pf = make(capacity=0.5)   # nothing ever fits
+        first, hbm = pf.claim("n1", ["a"], 1.0, 0.0)
+        assert first.demand_misses == 1
+        second, _ = pf.claim("n2", ["a"], 1.0, hbm)
+        assert second.prefetch_hits == 1
+        assert second.demand_misses == 0
+        assert second.arrival_s == first.arrival_s
+
+
+class TestDoubleBuffering:
+    def test_two_slots_overlap_fetch_with_compute(self):
+        """Classic double buffering on a UnitTimeline channel: group 2
+        is issued at t=0 while group 1 executes, so its claim at
+        t=0.02 finds the keys already landed."""
+        cache, pf = make(capacity=10.0)
+        hbm = UnitTimeline()
+        hbm, _ = pf.issue("n1", ["a"], 1.0, hbm, request_s=0.0)
+        hbm, _ = pf.issue("n2", ["b"], 1.0, hbm, request_s=0.0)
+        assert pf.outstanding == 2
+        s1, hbm = pf.claim("n1", ["a"], 1.0, hbm)
+        s2, hbm = pf.claim("n2", ["b"], 1.0, hbm)
+        assert s1.arrival_s == pytest.approx(0.01)
+        assert s2.arrival_s == pytest.approx(0.02)
+        assert pf.outstanding == 0
+
+    def test_overlapping_group_rides_other_slots_transfer(self):
+        cache, pf = make(capacity=10.0)
+        hbm, first = pf.issue("n1", ["a", "b"], 1.0, 0.0)
+        hbm, second = pf.issue("n2", ["b", "c"], 1.0, hbm)
+        assert first == 2.0
+        assert second == 1.0   # "b" already in flight; only "c" paid
+        stats, _ = pf.claim("n2", ["b", "c"], 1.0, hbm)
+        assert stats.prefetch_hits == 2

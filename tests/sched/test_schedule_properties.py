@@ -1,0 +1,215 @@
+"""Property-based scheduler invariants over random dataflow DAGs.
+
+Hypothesis generates random-but-valid operation traces (varying chain
+widths, levels, hoist-group shapes and stream counts), lowers them
+through the real Aether pipeline and schedules them in both modes.
+Four invariants must hold for *every* generated schedule:
+
+* op-set preservation — every graph node is dispatched exactly once;
+* per-stream program order — each (stream, ciphertext) chain starts
+  in trace order;
+* zero dependency ``violations()`` — no node starts before its
+  producers allow;
+* makespan >= the pipelined critical path — the scheduler's own lower
+  bound on any legal schedule of the graph.
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optrace import HROT, TraceBuilder
+from repro.hw.config import FAST_CONFIG
+from repro.sched import ScheduledEngine, replicate_graph
+
+# Each example lowers and schedules a real trace (a few ms); keep the
+# example count CI-sized and the deadline off (first-call warmup).
+PROPERTY_SETTINGS = settings(max_examples=40, deadline=None)
+
+CLUSTER_COUNTS = st.sampled_from([1, 2, 4])
+STREAM_COUNTS = st.sampled_from([1, 2, 3])
+
+
+@functools.lru_cache(maxsize=None)
+def engine_at(clusters: int) -> ScheduledEngine:
+    config = FAST_CONFIG.with_(name=f"FAST-{clusters}C",
+                               clusters=clusters)
+    return ScheduledEngine(config)
+
+
+@st.composite
+def traces(draw):
+    """A random valid trace: several ciphertext chains of mixed op
+    kinds, monotone levels, and optional hoisted rotation groups."""
+    tb = TraceBuilder("property-trace")
+    num_chains = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(num_chains):
+        ct = tb.fresh_ct()
+        level = draw(st.integers(min_value=4, max_value=12))
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            kind = draw(st.sampled_from(
+                ["hmult", "pmult", "rescale", "hrot", "hoisted"]))
+            if kind == "hmult":
+                tb.hmult(ct, level)
+            elif kind == "pmult":
+                tb.pmult(ct, level)
+            elif kind == "rescale":
+                tb.rescale(ct, level)
+                level = max(1, level - 1)
+            elif kind == "hrot":
+                tb.hrot(ct, level,
+                        draw(st.integers(min_value=1, max_value=64)))
+            else:
+                amounts = draw(st.lists(
+                    st.integers(min_value=1, max_value=128),
+                    min_size=2, max_size=4, unique=True))
+                tb.rotations(ct, level, amounts, hoisted=True)
+    return tb.build().check()
+
+
+def schedule(trace, clusters: int, streams: int):
+    """Lower + schedule one generated trace; returns (graph, timeline,
+    scheduler)."""
+    engine = engine_at(clusters)
+    if streams > 1:
+        graph = replicate_graph(engine.lower_for_streams(trace),
+                                streams)
+        return graph, engine.throughput_scheduler.run(graph), \
+            engine.throughput_scheduler
+    graph = engine.lower(trace)
+    return graph, engine.scheduler.run(graph), engine.scheduler
+
+
+class TestOpSetPreservation:
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS,
+           streams=STREAM_COUNTS)
+    def test_every_node_dispatched_exactly_once(self, trace, clusters,
+                                                streams):
+        graph, timeline, _ = schedule(trace, clusters, streams)
+        node_ids = set(range(len(graph.nodes)))
+        assert set(timeline.timings) == node_ids
+        assert sorted(timeline.order) == sorted(node_ids)
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS,
+           streams=STREAM_COUNTS)
+    def test_trace_ops_covered(self, trace, clusters, streams):
+        """Node indices partition each stream's trace: no op dropped,
+        none duplicated."""
+        graph, _, _ = schedule(trace, clusters, streams)
+        per_stream: dict = {}
+        for node in graph.nodes:
+            per_stream.setdefault(node.stream, []).extend(node.indices)
+        assert len(per_stream) == streams
+        for indices in per_stream.values():
+            assert sorted(indices) == list(range(len(trace)))
+
+
+class TestProgramOrder:
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS,
+           streams=STREAM_COUNTS)
+    def test_per_stream_chains_start_in_order(self, trace, clusters,
+                                              streams):
+        graph, timeline, _ = schedule(trace, clusters, streams)
+        chains: dict = {}
+        for node in graph.nodes:
+            chains.setdefault((node.stream, node.ct_id),
+                              []).append(node.node_id)
+        for members in chains.values():
+            starts = [timeline.timings[nid].start_s
+                      for nid in sorted(members)]
+            assert all(a <= b + 1e-12
+                       for a, b in zip(starts, starts[1:])), starts
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS,
+           streams=STREAM_COUNTS)
+    def test_consumers_wait_for_producers(self, trace, clusters,
+                                          streams):
+        """Explicit edge check, independent of ``violations()``: every
+        consumer starts no earlier than each producer's first-stage
+        completion (limb-level forwarding)."""
+        graph, timeline, scheduler = schedule(trace, clusters, streams)
+        for node in graph.nodes:
+            start = timeline.timings[node.node_id].start_s
+            for pred in node.preds:
+                pred_timing = timeline.timings[pred]
+                first_stage = scheduler.estimate_first_stage_s(
+                    graph.nodes[pred])
+                assert start + 1e-12 >= \
+                    pred_timing.start_s + first_stage
+
+
+class TestDependencySafety:
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS,
+           streams=STREAM_COUNTS)
+    def test_zero_violations(self, trace, clusters, streams):
+        _, timeline, _ = schedule(trace, clusters, streams)
+        assert timeline.violations() == []
+
+
+class TestMakespanBound:
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS,
+           streams=STREAM_COUNTS)
+    def test_makespan_at_least_critical_path(self, trace, clusters,
+                                             streams):
+        graph, timeline, scheduler = schedule(trace, clusters, streams)
+        bound = scheduler.pipelined_critical_path_s(graph)
+        assert timeline.total_s + 1e-12 >= bound
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS)
+    def test_throughput_single_stream_matches_bound_direction(
+            self, trace, clusters):
+        """The bound also holds for a 1-stream throughput schedule
+        (backfilling may beat latency mode but never the DAG)."""
+        engine = engine_at(clusters)
+        graph = replicate_graph(engine.lower_for_streams(trace), 1)
+        timeline = engine.throughput_scheduler.run(graph)
+        bound = engine.throughput_scheduler.pipelined_critical_path_s(
+            graph)
+        assert timeline.total_s + 1e-12 >= bound
+
+
+class TestModeEquivalence:
+    @PROPERTY_SETTINGS
+    @given(trace=traces(), clusters=CLUSTER_COUNTS,
+           streams=STREAM_COUNTS)
+    def test_stream_copies_identical_work(self, trace, clusters,
+                                          streams):
+        """Replication must not alter any stream's op multiset."""
+        graph, _, _ = schedule(trace, clusters, streams)
+        kinds: dict = {}
+        for node in graph.nodes:
+            kinds.setdefault(node.stream, []).extend(
+                op.kind for op in node.ops)
+        reference = sorted(kinds[0])
+        for stream, ops in kinds.items():
+            assert sorted(ops) == reference, stream
+
+
+class TestGeneratorSoundness:
+    """The strategy itself must produce traces the validator accepts
+    (otherwise the suite silently tests nothing interesting)."""
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_generated_traces_validate(self, trace):
+        assert trace.validate() == []
+        assert len(trace) >= 1
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_generated_hoist_groups_are_rotations(self, trace):
+        for op in trace:
+            if op.hoist_group is not None:
+                assert op.kind == HROT
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

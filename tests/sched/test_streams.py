@@ -1,0 +1,123 @@
+"""Multi-stream front-end semantics: merge, replicate, stream tags."""
+
+import pytest
+
+from repro.core.optrace import TraceBuilder
+from repro.sched import (DataflowGraph, MultiStreamTrace, merge_graphs,
+                         merge_streams, replicate, replicate_graph)
+
+
+def chain_trace(name: str = "chain", chains: int = 2) -> "OpTrace":
+    tb = TraceBuilder(name)
+    for _ in range(chains):
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 7)
+        tb.rotations(ct, 7, [1, 3], hoisted=True)
+        tb.rescale(ct, 7)
+    return tb.build().check()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return chain_trace()
+
+
+class TestMergeStreams:
+    def test_merged_trace_validates(self, trace):
+        bundle = merge_streams([trace] * 3)
+        assert isinstance(bundle, MultiStreamTrace)
+        assert bundle.merged.validate() == []
+        assert len(bundle.merged) == 3 * len(trace)
+
+    def test_ciphertext_ids_rebased_per_stream(self, trace):
+        bundle = merge_streams([trace] * 3)
+        stride = bundle.ct_stride
+        assert stride == trace._ct_stride()
+        for s in range(3):
+            window = bundle.merged[s * len(trace):(s + 1) * len(trace)]
+            assert all(s * stride <= op.ct_id < (s + 1) * stride
+                       for op in window)
+
+    def test_ct_id_round_trip(self, trace):
+        bundle = merge_streams([trace] * 3)
+        for op in bundle.merged:
+            s = bundle.stream_of_ct(op.ct_id)
+            local = bundle.local_ct(op.ct_id)
+            assert 0 <= s < 3
+            assert local in set(bundle.stream_cts(s))
+
+    def test_hoist_groups_never_merge_across_streams(self, trace):
+        bundle = merge_streams([trace] * 3)
+        owner: dict = {}
+        for s in range(3):
+            window = bundle.merged[s * len(trace):(s + 1) * len(trace)]
+            for op in window:
+                if op.hoist_group is not None:
+                    owner.setdefault(op.hoist_group, s)
+                    assert owner[op.hoist_group] == s
+
+    def test_streams_keep_local_ids(self, trace):
+        """The per-stream traces inside the bundle are the originals
+        (local ids), which the executor replays independently."""
+        bundle = merge_streams([trace] * 2)
+        for stream in bundle.streams:
+            assert stream is trace
+
+    def test_replicate_names_the_bundle(self, trace):
+        bundle = replicate(trace, 4)
+        assert bundle.num_streams == 4
+        assert "x4streams" in bundle.name
+        assert bundle.name == bundle.merged.name
+
+
+class TestMergedGraphs:
+    def test_replicate_graph_copies_nodes(self, trace):
+        base = DataflowGraph.from_trace(trace)
+        merged = replicate_graph(base, 3)
+        assert len(merged.nodes) == 3 * len(base.nodes)
+        assert merged.num_edges == 3 * base.num_edges
+
+    def test_stream_tags_partition_nodes(self, trace):
+        base = DataflowGraph.from_trace(trace)
+        merged = replicate_graph(base, 3)
+        for node in merged.nodes:
+            assert node.stream == node.node_id // len(base.nodes)
+
+    def test_no_cross_stream_edges(self, trace):
+        base = DataflowGraph.from_trace(trace)
+        merged = replicate_graph(base, 3)
+        for node in merged.nodes:
+            for other in list(node.preds) + list(node.succs):
+                assert merged.node(other).stream == node.stream
+
+    def test_stats_report_stream_count(self, trace):
+        base = DataflowGraph.from_trace(trace)
+        stats = replicate_graph(base, 3).stats()
+        assert stats["streams"] == 3
+        assert stats["nodes"] == 3 * len(base.nodes)
+        assert base.stats()["streams"] == 1
+
+    def test_schedules_shared_not_copied(self, trace):
+        """Replication reuses the lowered schedules (read-only to the
+        scheduler) instead of re-lowering per stream."""
+        from repro.hw.config import FAST_CONFIG
+        from repro.sched import ScheduledEngine
+        engine = ScheduledEngine(FAST_CONFIG)
+        base = engine.lower_for_streams(trace)
+        merged = replicate_graph(base, 2)
+        for node in merged.nodes:
+            origin = base.nodes[node.node_id % len(base.nodes)]
+            assert node.schedule is origin.schedule
+
+    def test_merge_distinct_graphs(self, trace):
+        other = chain_trace("other", chains=1)
+        merged = merge_graphs([DataflowGraph.from_trace(trace),
+                               DataflowGraph.from_trace(other)])
+        streams = {node.stream for node in merged.nodes}
+        assert streams == {0, 1}
+
+    def test_replication_depth_unchanged(self, trace):
+        """Independent copies add width, never depth."""
+        base = DataflowGraph.from_trace(trace)
+        merged = replicate_graph(base, 4)
+        assert merged.stats()["depth"] == base.stats()["depth"]

@@ -1,0 +1,270 @@
+"""Fuzzing the OpTrace -> DataflowGraph lowering with malformed input.
+
+Every malformed trace must be *rejected with a named validation
+error* — :class:`TraceValidationError`, :class:`GraphValidationError`
+or :class:`StreamMergeError`, all ``ValueError`` subclasses — never
+silently lowered and never crashed with an anonymous exception.  The
+hypothesis section corrupts random valid traces and asserts the
+lowering either succeeds or raises exactly one of the named errors.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optrace import (HMULT, HROT, MOD_RAISE, PMULT, RESCALE,
+                                FheOp, OpTrace, TraceBuilder,
+                                TraceValidationError)
+from repro.sched import (DataflowGraph, GraphValidationError,
+                         StreamMergeError, merge_streams, replicate)
+
+NAMED_ERRORS = (TraceValidationError, GraphValidationError,
+                StreamMergeError)
+
+
+def valid_trace() -> OpTrace:
+    tb = TraceBuilder("fuzz-base")
+    for _ in range(2):
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 6)
+        tb.rotations(ct, 6, [1, 2], hoisted=True)
+        tb.rescale(ct, 6)
+    return tb.build().check()
+
+
+class TestMalformedOps:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            FheOp(kind="HBogus", level=3)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FheOp(kind=HMULT, level=-1)
+
+    def test_negative_ct_id_rejected(self):
+        trace = OpTrace([FheOp(kind=HMULT, level=3, ct_id=-2)])
+        with pytest.raises(TraceValidationError, match="negative ct_id"):
+            trace.check()
+
+
+class TestForwardReferences:
+    def test_unknown_ct_read_before_allocation(self):
+        """With declared ids, reading an undeclared ciphertext is a
+        forward reference and must raise."""
+        trace = OpTrace([FheOp(kind=HMULT, level=3, ct_id=7)],
+                        declared_cts={0, 1})
+        with pytest.raises(TraceValidationError,
+                           match="read before any allocation"):
+            trace.check()
+
+    def test_declared_ids_accepted(self):
+        trace = OpTrace([FheOp(kind=HMULT, level=3, ct_id=1)],
+                        declared_cts={0, 1})
+        assert trace.check() is trace
+
+    def test_undeclared_traces_define_on_first_use(self):
+        """Hand-assembled traces (declared_cts=None) keep the legacy
+        first-use-defines behaviour."""
+        trace = OpTrace([FheOp(kind=HMULT, level=3, ct_id=9)])
+        assert trace.validate() == []
+
+
+class TestLevelRegressions:
+    def test_level_rise_without_modraise(self):
+        trace = OpTrace([FheOp(kind=RESCALE, level=4, ct_id=0),
+                         FheOp(kind=HMULT, level=6, ct_id=0)])
+        with pytest.raises(TraceValidationError,
+                           match="without ModRaise"):
+            trace.check()
+
+    def test_level_rise_with_modraise_allowed(self):
+        trace = OpTrace([FheOp(kind=RESCALE, level=4, ct_id=0),
+                         FheOp(kind=MOD_RAISE, level=12, ct_id=0),
+                         FheOp(kind=HMULT, level=12, ct_id=0)])
+        assert trace.validate() == []
+
+    def test_rise_on_other_ciphertext_is_independent(self):
+        """Level tracking is per ciphertext: another chain's higher
+        level is not a regression."""
+        trace = OpTrace([FheOp(kind=RESCALE, level=4, ct_id=0),
+                         FheOp(kind=HMULT, level=9, ct_id=1)])
+        assert trace.validate() == []
+
+
+class TestHoistGroupShapes:
+    def test_non_rotation_member(self):
+        trace = OpTrace([
+            FheOp(kind=HROT, level=5, ct_id=0, rotation=1,
+                  hoist_group=0),
+            FheOp(kind=HMULT, level=5, ct_id=0, hoist_group=0)])
+        with pytest.raises(TraceValidationError,
+                           match="non-rotation member"):
+            trace.check()
+
+    def test_mixed_ciphertexts(self):
+        trace = OpTrace([
+            FheOp(kind=HROT, level=5, ct_id=0, rotation=1,
+                  hoist_group=0),
+            FheOp(kind=HROT, level=5, ct_id=1, rotation=2,
+                  hoist_group=0)])
+        with pytest.raises(TraceValidationError,
+                           match="several ciphertexts"):
+            trace.check()
+
+    def test_mixed_levels(self):
+        trace = OpTrace([
+            FheOp(kind=HROT, level=5, ct_id=0, rotation=1,
+                  hoist_group=0),
+            FheOp(kind=HROT, level=4, ct_id=0, rotation=2,
+                  hoist_group=0)])
+        with pytest.raises(TraceValidationError,
+                           match="several levels"):
+            trace.check()
+
+    def test_interleaved_same_ct_op(self):
+        """An op on the group's ciphertext inside the group's span
+        would be reordered by fusing — rejected."""
+        trace = OpTrace([
+            FheOp(kind=HROT, level=5, ct_id=0, rotation=1,
+                  hoist_group=0),
+            FheOp(kind=PMULT, level=5, ct_id=0),
+            FheOp(kind=HROT, level=5, ct_id=0, rotation=2,
+                  hoist_group=0)])
+        with pytest.raises(TraceValidationError,
+                           match="interleaves the group"):
+            trace.check()
+
+    def test_interleaved_other_ct_op_allowed(self):
+        trace = OpTrace([
+            FheOp(kind=HROT, level=5, ct_id=0, rotation=1,
+                  hoist_group=0),
+            FheOp(kind=PMULT, level=7, ct_id=1),
+            FheOp(kind=HROT, level=5, ct_id=0, rotation=2,
+                  hoist_group=0)])
+        assert trace.validate() == []
+
+
+class TestGraphPartitions:
+    def test_duplicate_write_rejected(self):
+        """One trace index owned by two nodes = a duplicate write."""
+        trace = valid_trace()
+        cells = [(i,) for i in range(len(trace))]
+        cells.append((0,))
+        with pytest.raises(GraphValidationError,
+                           match="duplicate write"):
+            DataflowGraph.from_trace(trace, partition=cells)
+
+    def test_uncovered_index_rejected(self):
+        trace = valid_trace()
+        cells = [(i,) for i in range(len(trace) - 1)]
+        with pytest.raises(GraphValidationError,
+                           match="does not cover"):
+            DataflowGraph.from_trace(trace, partition=cells)
+
+    def test_invalid_trace_rejected_before_lowering(self):
+        trace = OpTrace([FheOp(kind=RESCALE, level=4, ct_id=0),
+                         FheOp(kind=HMULT, level=6, ct_id=0)])
+        with pytest.raises(TraceValidationError):
+            DataflowGraph.from_trace(trace)
+
+
+class TestCrossStreamCollisions:
+    def test_collision_without_rebase(self):
+        """Two streams sharing a ciphertext id must be rejected when
+        re-basing is disabled — an aliased id would chain independent
+        streams through a fabricated def-use edge."""
+        trace = valid_trace()
+        with pytest.raises(StreamMergeError,
+                           match="cross-stream collision"):
+            merge_streams([trace, trace], rebase=False)
+
+    def test_disjoint_ids_merge_without_rebase(self):
+        a = valid_trace()
+        tb = TraceBuilder("disjoint")
+        tb._next_ct = a._ct_stride()
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 5)
+        b = tb.build().check()
+        bundle = merge_streams([a, b], rebase=False)
+        assert bundle.merged.validate() == []
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(StreamMergeError, match="zero streams"):
+            merge_streams([])
+
+    def test_nonpositive_replication_rejected(self):
+        with pytest.raises(StreamMergeError, match="positive"):
+            replicate(valid_trace(), 0)
+
+    def test_invalid_stream_rejected_at_merge(self):
+        bad = OpTrace([FheOp(kind=RESCALE, level=4, ct_id=0),
+                       FheOp(kind=HMULT, level=6, ct_id=0)])
+        with pytest.raises(TraceValidationError):
+            merge_streams([valid_trace(), bad])
+
+    def test_named_errors_are_value_errors(self):
+        """The contract fuzzers rely on: every rejection is a
+        ``ValueError`` subclass with a distinct name."""
+        for error in NAMED_ERRORS:
+            assert issubclass(error, ValueError)
+        assert len({e.__name__ for e in NAMED_ERRORS}) == 3
+
+
+@st.composite
+def corrupted_traces(draw):
+    """A valid trace with one random corruption (possibly harmless)."""
+    base = list(valid_trace())
+    index = draw(st.integers(min_value=0, max_value=len(base) - 1))
+    op = base[index]
+    corruption = draw(st.sampled_from(
+        ["raise_level", "alias_ct", "steal_group", "drop_op",
+         "duplicate_op", "shuffle"]))
+    if corruption == "raise_level":
+        base[index] = op.with_(level=op.level + draw(
+            st.integers(min_value=1, max_value=8)))
+    elif corruption == "alias_ct":
+        base[index] = op.with_(ct_id=draw(
+            st.integers(min_value=0, max_value=3)))
+    elif corruption == "steal_group":
+        if op.kind in (HROT,):
+            base[index] = op.with_(hoist_group=draw(
+                st.integers(min_value=0, max_value=2)))
+        else:
+            base[index] = op.with_(hoist_group=0)
+    elif corruption == "drop_op":
+        del base[index]
+    elif corruption == "duplicate_op":
+        base.insert(index, op)
+    else:
+        order = draw(st.permutations(range(len(base))))
+        base = [base[i] for i in order]
+    return OpTrace(base, name="fuzz-corrupted")
+
+
+class TestFuzzLowering:
+    @settings(max_examples=200, deadline=None)
+    @given(trace=corrupted_traces(), streams=st.integers(1, 3))
+    def test_lowering_accepts_or_raises_named_error(self, trace,
+                                                    streams):
+        """The lowering pipeline never crashes anonymously: corrupted
+        traces either still validate (harmless corruption) or raise
+        one of the three named validation errors."""
+        try:
+            graph = DataflowGraph.from_trace(trace)
+            bundle = replicate(trace, streams)
+            merged = DataflowGraph.from_trace(bundle.merged)
+        except NAMED_ERRORS:
+            return
+        assert graph.validate() == []
+        assert merged.validate() == []
+        assert len(merged.nodes) == streams * len(graph.nodes)
+
+    @settings(max_examples=100, deadline=None)
+    @given(trace=corrupted_traces())
+    def test_validate_and_check_agree(self, trace):
+        """``check()`` raises iff ``validate()`` reports violations."""
+        problems = trace.validate()
+        if problems:
+            with pytest.raises(TraceValidationError):
+                trace.check()
+        else:
+            assert trace.check() is trace

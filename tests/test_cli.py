@@ -60,7 +60,7 @@ class TestBenchCommand:
 
     def test_bench_quick_writes_schema(self, report_path):
         data = json.loads(report_path.read_text())
-        assert data["schema"] == "repro-bench/v5"
+        assert data["schema"] == "repro-bench/v6"
         assert data["quick"] is True
         assert set(data["workloads"]) == {"Bootstrap", "HELR256",
                                           "HELR1024", "ResNet-20"}
