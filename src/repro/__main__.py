@@ -9,6 +9,7 @@ Commands
 ``security``    security report for the paper's parameter sets
 ``bench``       perf-regression benchmarks; seeds ``BENCH_sim.json``
 ``sched``       dataflow-scheduled multi-cluster run + scaling curve
+``opt``         whole-trace dataflow optimiser report for one workload
 """
 
 from __future__ import annotations
@@ -85,6 +86,14 @@ def cmd_sched(args) -> int:
               "helr1024": lambda: helr_trace(batch=1024),
               "bootstrap": bootstrap_trace}
     trace = traces[args.workload]()
+    if args.opt:
+        from repro.ckks.params import SET_II
+        from repro.opt import optimise_trace
+        trace = optimise_trace(trace, SET_II)
+        stats = trace.stats
+        print(f"dataflow optimiser: NTT limb transforms "
+              f"{stats.ntt_before} -> {stats.ntt_after} "
+              f"(-{stats.reduction_pct:.1f}%)")
     counts = [int(c) for c in str(args.clusters).split(",") if c]
     streams = args.streams
     serial = serial_reference(FAST_CONFIG).run(trace)
@@ -143,6 +152,28 @@ def cmd_sched(args) -> int:
     return 0
 
 
+def cmd_opt(args) -> int:
+    from repro.ckks.params import SET_II
+    from repro.opt import optimise_trace
+    from repro.opt.stats import stats_report
+    from repro.workloads import bootstrap_trace, helr_trace
+
+    traces = {"helr256": lambda: helr_trace(batch=256),
+              "helr1024": lambda: helr_trace(batch=1024),
+              "bootstrap": bootstrap_trace}
+    trace = optimise_trace(traces[args.workload](), SET_II)
+    stats = trace.stats
+    if args.stats:
+        print(stats_report(stats))
+    else:
+        print(f"{stats.trace}: NTT limb transforms "
+              f"{stats.ntt_before} -> {stats.ntt_after} "
+              f"(-{stats.ntt_removed}, {stats.reduction_pct:.1f}%), "
+              f"{stats.fused_nodes} fused key-switches, "
+              f"{stats.merged_rescales} merged rescales")
+    return 0 if stats.ntt_after < stats.ntt_before else 1
+
+
 def cmd_security(_args) -> int:
     from repro.ckks import security
     from repro.ckks.params import SET_I, SET_II
@@ -190,11 +221,21 @@ def main(argv=None) -> int:
                             "executor bit-exactness check")
     sched.add_argument("--workers", type=int, default=2,
                        help="process-pool size for --verify")
+    sched.add_argument("--opt", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="run the whole-trace dataflow optimiser "
+                            "before lowering (--no-opt disables)")
+    opt = sub.add_parser(
+        "opt", help="whole-trace dataflow optimiser report")
+    opt.add_argument("--workload", default="helr256",
+                     choices=["helr256", "helr1024", "bootstrap"])
+    opt.add_argument("--stats", action="store_true",
+                     help="print the per-pass rewrite breakdown")
     args = parser.parse_args(argv)
     return {"evaluate": cmd_evaluate, "bootstrap": cmd_bootstrap,
             "table5": cmd_table5, "decide": cmd_decide,
             "security": cmd_security, "bench": cmd_bench,
-            "sched": cmd_sched}[args.command](args)
+            "sched": cmd_sched, "opt": cmd_opt}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,151 @@
+"""Kernel-cost calibration: measured seconds per modular operation.
+
+``python -m repro bench --calibrate`` times the *actual* software
+kernels — the stage-vectorised batched NTT, the matrix-form BConv, the
+fused KeyMult plan and raw element-wise modmuls — at Set-II-mini
+shapes, divides each wall time by the analytic modular-operation count
+the cost model assigns to that exact shape, and writes the resulting
+:class:`~repro.ckks.keyswitch.cost.MeasuredKernelCosts` to
+``CALIBRATION.json`` together with the re-pinned Fig. 2
+hybrid-vs-KLSS crossover.
+
+The unit costs differ between kernels (the NTT's strided butterflies
+run slower per modmul than BLAS-backed BConv MACs), which is exactly
+why the measured crossover can sit at a different level than the
+count-based one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.ckks.keyswitch import cost
+from repro.ckks.keyswitch.cost import MeasuredKernelCosts
+
+CALIBRATION_SCHEMA = "repro-calibration/v1"
+DEFAULT_OUT = "CALIBRATION.json"
+CALIBRATE_RING_DEGREE = 1024
+
+
+def _best(fn, reps: int) -> float:
+    walls = []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - start)
+    return min(walls)
+
+
+def _calibration_setup(n: int):
+    """Set-II-mini context pieces reused across the kernel timings."""
+    from repro.bench.micro import _bconv_bases
+    params, q_chain, specials = _bconv_bases(n)
+    return params, q_chain, specials
+
+
+def calibrate_kernel_costs(ring_degree: int = CALIBRATE_RING_DEGREE,
+                           reps: int = 5,
+                           inner: int = 4) -> MeasuredKernelCosts:
+    """Time each kernel class; return seconds-per-modop unit costs."""
+    from repro.ckks import modmath, rns
+    from repro.ckks.ntt import transform_limbs
+
+    n = ring_degree
+    params, q_chain, specials = _calibration_setup(n)
+    rng = np.random.default_rng(7)
+    k = len(q_chain)
+
+    # NTT: one batched forward pass over the full Q chain.
+    limbs = [modmath.random_uniform(n, q, rng) for q in q_chain]
+    ntt_wall = _best(
+        lambda: [transform_limbs(limbs, q_chain, n) for _ in range(inner)],
+        reps) / inner
+    ntt_unit = ntt_wall / (k * cost.ntt_ops(n))
+
+    # BConv: the ModDown shape (specials -> Q) on the matrix path.
+    src = specials
+    poly = rns.RnsPoly([modmath.random_uniform(n, q, rng) for q in src],
+                       src, rns.COEFF)
+    plan = rns.get_bconv_plan(src, q_chain)
+    bconv_wall = _best(
+        lambda: [plan.convert(poly.limbs) for _ in range(inner)],
+        reps) / inner
+    bconv_unit = bconv_wall / cost.bconv_ops(n, len(src), len(q_chain))
+
+    # KeyMult: the fused plan at the top-level hybrid shape.
+    from repro.ckks.context import CkksContext
+    from repro.ckks.keys import HYBRID
+    from repro.ckks.keyswitch.hybrid import get_key_mult_plan
+    ctx = CkksContext(params, seed=13)
+    level = params.max_level
+    key = ctx.evaluation_key(HYBRID, level, "mult")
+    kmu_plan = get_key_mult_plan(key)
+    shape = cost.HybridShape.at_level(params, level)
+    stacked = rng.integers(
+        0, 2 ** 30, size=(key.num_digits, len(key.moduli), n),
+        dtype=np.uint64)
+    if kmu_plan is not None:
+        kmu_wall = _best(
+            lambda: [kmu_plan.accumulate(stacked) for _ in range(inner)],
+            reps) / inner
+    else:  # pragma: no cover - mini params always fit the fused budgets
+        kmu_wall = bconv_wall
+    kmu_unit = kmu_wall / (2.0 * shape.beta * (shape.k + shape.p) * n)
+
+    # Element-wise: one full-width modular multiply per limb.
+    q = q_chain[0]
+    kernel = modmath.get_kernel(q)
+    a = modmath.random_uniform(n, q, rng)
+    b = modmath.random_uniform(n, q, rng)
+    ew_wall = _best(
+        lambda: [kernel.mul(a, b) for _ in range(inner)], reps) / inner
+    ew_unit = ew_wall / n
+
+    return MeasuredKernelCosts(
+        ntt=ntt_unit, bconv=bconv_unit, keymult=kmu_unit,
+        elementwise=ew_unit,
+        meta=(("ring_degree", n), ("params", params.name),
+              ("reps", reps)))
+
+
+def calibration_report(ring_degree: int = CALIBRATE_RING_DEGREE,
+                       reps: int = 5) -> dict:
+    """Measured unit costs plus the re-pinned Fig. 2 crossover."""
+    from repro.ckks.params import SET_I, SET_II
+
+    costs = calibrate_kernel_costs(ring_degree=ring_degree, reps=reps)
+    analytic = cost.crossover_level(SET_I, SET_II)
+    measured = cost.crossover_level(SET_I, SET_II, costs=costs)
+    levels = {}
+    for level in (5, 15, 25, 35):
+        levels[str(level)] = {
+            "analytic_ratio": cost.quantitative_line(SET_I, SET_II, level),
+            "measured_ratio": cost.measured_quantitative_line(
+                SET_I, SET_II, level, costs),
+        }
+    return {
+        "schema": CALIBRATION_SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "kernel_costs": costs.as_dict(),
+        "crossover": {
+            "analytic_level": analytic,
+            "measured_level": measured,
+            "levels": levels,
+        },
+    }
+
+
+def load_calibration(path: str) -> MeasuredKernelCosts:
+    """Read a ``CALIBRATION.json`` back into injectable unit costs."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return MeasuredKernelCosts.from_dict(data["kernel_costs"])
+
+
+def write_calibration(report: dict, path: str = DEFAULT_OUT) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")

@@ -1,0 +1,236 @@
+"""Dataflow-optimiser benchmarks: NTT deltas, bit-exactness, fusion.
+
+``run_dataflow`` produces the ``dataflow`` section of
+``BENCH_sim.json`` (schema v7):
+
+* per-workload (HELR256, Bootstrap) optimiser statistics — NTT limb
+  transforms before/after, per-pass rewrite counts, fused key-switch
+  nodes — together with the 4-cluster scheduled latency of the
+  optimised trace against the unoptimised one;
+* one functional-executor bit-exactness check on an *optimised*
+  trace (the op list is provably identical, and the parallel
+  execution must match serial on real residues);
+* a fused-vs-sequential ``multiply_rescale`` comparison at
+  Set-II-mini shapes: the fused ModDown+Rescale kernel against the
+  classic ModDown-then-exact-rescale pipeline, with slot errors and
+  wall times for both paths;
+* plan-cache eviction counters after the whole section ran — the
+  fused kernel's conversion bases are canonicalised like the
+  sequential path's, so the bounded plan caches must not thrash.
+
+``validate_dataflow`` is the CI acceptance gate: a *strict* NTT drop
+on every measured workload, bit-exact parallel execution, the
+optimised schedule no slower than the baseline schedule, fused-path
+slot error within :data:`MAX_FUSED_ERROR`, the fused kernel actually
+engaged, and zero plan-cache evictions.
+"""
+
+from __future__ import annotations
+
+import time
+
+# The simulated latency is deterministic; the optimised trace may
+# legitimately tie the baseline (HELR's cancelled conversions live on
+# rescale ops the hardware model already executes in the evaluation
+# domain) but must never exceed it.
+SIM_SLACK = 1e-9
+GATE_CLUSTERS = 4
+EXECUTOR_WORKERS = 2
+# Matches MAX_FUNCTIONAL_ERROR in bench.micro: the fused kernel's
+# rounding slack differs from sequential by < 1 ulp per limb, far
+# inside the CKKS noise floor.
+MAX_FUSED_ERROR = 1e-2
+FUSED_REPS = 3
+
+
+def _optimiser_record(trace) -> dict:
+    """Optimise one workload trace; stats + sim-latency comparison."""
+    from repro.ckks.params import SET_II
+    from repro.hw.config import FAST_CONFIG
+    from repro.opt import optimise_trace
+    from repro.sched import ScheduledEngine
+
+    opt = optimise_trace(trace, SET_II)
+    config = FAST_CONFIG.with_(name=f"FAST-{GATE_CLUSTERS}C",
+                               clusters=GATE_CLUSTERS)
+    base_sim = ScheduledEngine(config).run(trace).total_s
+    opt_sim = ScheduledEngine(config).run(opt).total_s
+    non_unity = sum(1 for pair in opt.ntt_factors.values()
+                    if pair[1] > 0 and pair[0] != pair[1])
+    record = opt.stats.as_dict()
+    record.update({
+        "ops_identical": list(opt.ops) == list(trace.ops),
+        "base_sim_s": base_sim,
+        "opt_sim_s": opt_sim,
+        "scaled_schedules": non_unity,
+    })
+    return record
+
+
+def _executor_record() -> dict:
+    """Bit-exactness of the parallel execution of an optimised trace."""
+    from repro.ckks.params import SET_II
+    from repro.opt import optimise_trace
+    from repro.sched import FunctionalExecutor
+    from repro.workloads import helr
+
+    trace = optimise_trace(helr.helr_iteration(), SET_II)
+    check = FunctionalExecutor().verify(trace, workers=EXECUTOR_WORKERS)
+    return {
+        "trace": trace.name,
+        "optimised": bool(getattr(trace, "optimised", False)),
+        "ntt_limb_calls_removed": trace.stats.ntt_removed,
+        "bit_exact": check.bit_exact,
+        "parallel": check.parallel,
+        "workers": check.workers,
+        "num_cts": check.num_cts,
+        "num_ops": check.num_ops,
+        "num_nodes": check.num_nodes,
+    }
+
+
+def _fused_rescale_record(quick: bool) -> dict:
+    """Fused vs sequential ``multiply * rescale`` at Set-II-mini."""
+    import numpy as np
+
+    from repro import obs
+    from repro.obs.tracer import get_tracer
+    from repro.ckks.context import CkksContext
+    from repro.ckks.keys import HYBRID
+    from repro.ckks.params import set_ii_mini
+
+    del quick  # the 1024-ring mini basis is CI-sized already
+    params = set_ii_mini(ring_degree=1024)
+    ctx = CkksContext(params, seed=11)
+    base = np.array([0.75, -1.25, 0.5, 1.5], dtype=np.complex128)
+    message = np.tile(base, params.num_slots // 4)
+    expected = message ** 2
+    ct = ctx.encrypt(message)
+    ctx.evaluation_key(HYBRID, params.max_level, "mult")  # warm keygen
+
+    def _best(fn):
+        walls, out = [], None
+        for _ in range(FUSED_REPS):
+            start = time.perf_counter()
+            out = fn()
+            walls.append(time.perf_counter() - start)
+        return min(walls), out
+
+    seq_wall, seq_ct = _best(
+        lambda: ctx.rescale(ctx.multiply(ct, ct, method=HYBRID)))
+    was_enabled = obs.enabled()
+    obs.configure(enabled=True, reset=True)
+    try:
+        fused_wall, fused_ct = _best(
+            lambda: ctx.multiply_rescale(ct, ct, method=HYBRID))
+        counters = get_tracer().metrics.counters()
+        fused_calls = int(counters.get(
+            "keyswitch.moddown.fused_rescale", 0))
+    finally:
+        obs.configure(enabled=was_enabled, reset=True)
+    seq_err = float(np.max(np.abs(ctx.decrypt(seq_ct) - expected)))
+    fused_err = float(np.max(np.abs(ctx.decrypt(fused_ct) - expected)))
+    return {
+        "params": params.name,
+        "ring_degree": params.ring_degree,
+        "level_before": ct.level,
+        "level_after": fused_ct.level,
+        "levels_match": fused_ct.level == seq_ct.level,
+        "scales_match": abs(fused_ct.scale / seq_ct.scale - 1.0) < 1e-12,
+        "sequential_best_s": seq_wall,
+        "fused_best_s": fused_wall,
+        "speedup": seq_wall / fused_wall if fused_wall else 0.0,
+        "sequential_max_error": seq_err,
+        "fused_max_error": fused_err,
+        "fused_kernel_calls": fused_calls,
+    }
+
+
+def run_dataflow(quick: bool = False) -> dict:
+    """The ``dataflow`` benchmark section."""
+    from repro.ckks import rns
+    from repro.workloads import bootstrap_trace, helr_trace
+
+    workloads = {
+        "HELR256": helr_trace(batch=256),
+        "Bootstrap": bootstrap_trace(),
+    }
+    section = {
+        "gate_clusters": GATE_CLUSTERS,
+        "workloads": {name: _optimiser_record(trace)
+                      for name, trace in workloads.items()},
+        "executor": _executor_record(),
+        "fused_rescale": _fused_rescale_record(quick),
+        "plan_cache_evictions": rns.plan_cache_evictions(),
+    }
+    return section
+
+
+def validate_dataflow(section: dict) -> list[str]:
+    """Acceptance violations of one ``dataflow`` section (empty = pass)."""
+    violations: list[str] = []
+    for name, record in section.get("workloads", {}).items():
+        before = record.get("ntt_limb_calls_before", 0)
+        after = record.get("ntt_limb_calls_after", before)
+        if after >= before:
+            violations.append(
+                f"dataflow.{name}: NTT limb transforms did not strictly "
+                f"drop ({before} -> {after})")
+        if not record.get("ops_identical", False):
+            violations.append(
+                f"dataflow.{name}: optimised trace changed the op list")
+        base_sim = record.get("base_sim_s")
+        opt_sim = record.get("opt_sim_s")
+        if base_sim is not None and opt_sim is not None and \
+                opt_sim > base_sim + SIM_SLACK:
+            violations.append(
+                f"dataflow.{name}: optimised schedule slower than "
+                f"baseline ({opt_sim:.6g}s vs {base_sim:.6g}s)")
+    executor = section.get("executor")
+    if executor is not None:
+        if not executor.get("bit_exact"):
+            violations.append(
+                "dataflow.executor: parallel execution of the optimised "
+                "trace is not bit-exact with serial")
+        if not executor.get("optimised"):
+            violations.append(
+                "dataflow.executor: check did not run on an optimised "
+                "trace")
+    fused = section.get("fused_rescale")
+    if fused is not None:
+        for key in ("sequential_max_error", "fused_max_error"):
+            error = fused.get(key, float("inf"))
+            if error > MAX_FUSED_ERROR:
+                violations.append(
+                    f"dataflow.fused_rescale: {key} {error:.2e} exceeds "
+                    f"the {MAX_FUSED_ERROR:.0e} bound")
+        if not fused.get("fused_kernel_calls"):
+            violations.append(
+                "dataflow.fused_rescale: fused ModDown+Rescale kernel "
+                "never engaged (fell back to the sequential path)")
+        if not fused.get("levels_match") or not fused.get("scales_match"):
+            violations.append(
+                "dataflow.fused_rescale: fused path disagrees with the "
+                "sequential path on level/scale bookkeeping")
+    for cache, evictions in (section.get("plan_cache_evictions")
+                             or {}).items():
+        if evictions:
+            violations.append(
+                f"dataflow.plan_cache: {evictions} evictions in the "
+                f"{cache} plan cache (working set must stay resident)")
+    return violations
+
+
+def dataflow_stats(section: dict) -> dict:
+    """Compact per-workload view (the artifact CI uploads)."""
+    return {
+        name: {
+            "ntt_before": record.get("ntt_limb_calls_before"),
+            "ntt_after": record.get("ntt_limb_calls_after"),
+            "reduction_pct": round(record.get("reduction_pct", 0.0), 2),
+            "fused_nodes": record.get("fused_nodes"),
+            "passes": {entry["name"]: entry["rewrites"]
+                       for entry in record.get("passes", [])},
+        }
+        for name, record in section.get("workloads", {}).items()
+    }

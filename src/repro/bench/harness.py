@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v6"
+BENCH_SCHEMA = "repro-bench/v7"
 DEFAULT_OUT = "BENCH_sim.json"
 DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
@@ -98,7 +98,7 @@ def run_benchmarks(config=None, quick: bool = False,
                    clusters=None) -> dict:
     """Run every workload; returns the full report dict."""
     from repro import __version__, obs
-    from repro.bench import keyswitch, micro, sched
+    from repro.bench import dataflow, keyswitch, micro, sched
     from repro.hw.config import FAST_CONFIG
     from repro.sim.engine import Engine
 
@@ -117,6 +117,7 @@ def run_benchmarks(config=None, quick: bool = False,
         sched_report = sched.run_sched(quick=quick, clusters=clusters)
         throughput_report = sched.run_throughput(quick=quick,
                                                  clusters=clusters)
+        dataflow_report = dataflow.run_dataflow(quick=quick)
     finally:
         obs.configure(enabled=was_enabled)
     return {
@@ -143,6 +144,7 @@ def run_benchmarks(config=None, quick: bool = False,
         "keyswitch": keyswitch_report,
         "sched": sched_report,
         "throughput": throughput_report,
+        "dataflow": dataflow_report,
     }
 
 
@@ -186,6 +188,41 @@ def compare_reports(current: dict, baseline: dict,
     regressions.extend(_compare_throughput(
         current.get("throughput") or {},
         baseline.get("throughput") or {}, sim_tolerance))
+    regressions.extend(_compare_dataflow(current.get("dataflow") or {},
+                                         baseline.get("dataflow") or {},
+                                         wall_tolerance))
+    return regressions
+
+
+def _compare_dataflow(current: dict, baseline: dict,
+                      wall_tolerance: float) -> list[str]:
+    """Dataflow-optimiser regressions against a baseline report.
+
+    The NTT limb counts are exact integers over fixed workload traces,
+    so *any* growth is a real optimiser regression; the fused-kernel
+    wall gets the loose host-dependent tolerance.  Pre-v7 baselines
+    lack the section and are skipped.
+    """
+    if not current or not baseline:
+        return []
+    regressions = []
+    base_workloads = baseline.get("workloads", {})
+    for name, record in current.get("workloads", {}).items():
+        ref = base_workloads.get(name, {}).get("ntt_limb_calls_after")
+        now = record.get("ntt_limb_calls_after")
+        if ref is None or now is None:
+            continue
+        if now > ref:
+            regressions.append(
+                f"dataflow.{name}: ntt_limb_calls_after {now} vs "
+                f"baseline {ref} (optimiser lost rewrites)")
+    now = current.get("fused_rescale", {}).get("fused_best_s")
+    ref = baseline.get("fused_rescale", {}).get("fused_best_s")
+    if ref and now is not None and now / ref > 1.0 + wall_tolerance:
+        regressions.append(
+            f"dataflow.fused_rescale: fused_best_s {now:.6g} vs "
+            f"baseline {ref:.6g} (+{(now / ref - 1) * 100:.1f}%, "
+            f"tolerance {wall_tolerance * 100:.0f}%)")
     return regressions
 
 
@@ -454,6 +491,31 @@ def _format_table(report: dict) -> str:
             f"{executor['streams']} streams ({executor['num_ops']} ops)"
             f" bit_exact={executor['bit_exact']}"
             f" parallel={executor['parallel']}")
+    dataflow = report.get("dataflow")
+    if dataflow:
+        lines.append("")
+        for name, record in dataflow["workloads"].items():
+            passes = " ".join(
+                f"{entry['name']}={entry['rewrites']}"
+                for entry in record.get("passes", []))
+            lines.append(
+                f"dataflow: {name:<10} NTT "
+                f"{record['ntt_limb_calls_before']} -> "
+                f"{record['ntt_limb_calls_after']} "
+                f"(-{record['reduction_pct']:.1f}%) {passes}")
+        fused = dataflow["fused_rescale"]
+        lines.append(
+            f"dataflow: fused rescale @ {fused['params']}: "
+            f"{fused['fused_best_s'] * 1e3:.2f} ms vs sequential "
+            f"{fused['sequential_best_s'] * 1e3:.2f} ms "
+            f"({fused['speedup']:.2f}x, err {fused['fused_max_error']:.2e}, "
+            f"kernel calls {fused['fused_kernel_calls']})")
+        executor = dataflow["executor"]
+        lines.append(
+            f"dataflow: executor {executor['trace']} optimised "
+            f"(-{executor['ntt_limb_calls_removed']} NTT limbs) "
+            f"bit_exact={executor['bit_exact']} "
+            f"evictions={dataflow['plan_cache_evictions']}")
     return "\n".join(lines)
 
 
@@ -485,12 +547,22 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="also write a chrome://tracing timeline")
     parser.add_argument("--obs-json", default=None, metavar="PATH",
                         help="also write the raw obs snapshot")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="measure per-modop kernel unit costs and "
+                             "the re-pinned Fig. 2 crossover; writes "
+                             "CALIBRATION.json and skips the benchmarks")
+    parser.add_argument("--calibration-out", default=None, metavar="PATH",
+                        help="calibration report path "
+                             "(default CALIBRATION.json)")
 
 
 def run_cli(args: argparse.Namespace) -> int:
+    from repro.bench.dataflow import validate_dataflow
     from repro.bench.keyswitch import validate_keyswitch
     from repro.bench.micro import validate_micro
     from repro.bench.sched import validate_sched, validate_throughput
+    if getattr(args, "calibrate", False):
+        return _run_calibration(args)
     clusters = tuple(int(c) for c in str(args.clusters).split(",") if c)
     report = run_benchmarks(quick=args.quick, repeats=args.repeats,
                             params_mode=args.params, clusters=clusters)
@@ -501,7 +573,8 @@ def run_cli(args: argparse.Namespace) -> int:
     violations = validate_micro(report["micro"]) \
         + validate_keyswitch(report["keyswitch"]) \
         + validate_sched(report["sched"]) \
-        + validate_throughput(report["throughput"])
+        + validate_throughput(report["throughput"]) \
+        + validate_dataflow(report["dataflow"])
     if violations:
         print("\nACCEPTANCE VIOLATIONS:")
         for line in violations:
@@ -524,6 +597,30 @@ def run_cli(args: argparse.Namespace) -> int:
                 print(f"  {line}")
             return 1
         print(f"\nno regressions vs {args.baseline}")
+    return 0
+
+
+def _run_calibration(args: argparse.Namespace) -> int:
+    """``bench --calibrate``: measured unit costs -> CALIBRATION.json."""
+    from repro.bench import calibrate
+    report = calibrate.calibration_report()
+    path = getattr(args, "calibration_out", None) or calibrate.DEFAULT_OUT
+    calibrate.write_calibration(report, path)
+    costs = report["kernel_costs"]
+    print("measured kernel unit costs (s/modop):")
+    for name in ("ntt", "bconv", "keymult", "elementwise"):
+        print(f"  {name:<12} {costs[name]:.3e}")
+    crossover = report["crossover"]
+    analytic = crossover["analytic_level"]
+    measured = crossover["measured_level"]
+    print(f"Fig. 2 crossover (hybrid loses to KLSS above): "
+          f"analytic level {analytic}, measured "
+          f"{'level ' + str(measured) if measured is not None else 'never'}")
+    for level, ratios in crossover["levels"].items():
+        print(f"  level {level:>2}: analytic ratio "
+              f"{ratios['analytic_ratio']:.2f}, measured "
+              f"{ratios['measured_ratio']:.2f}")
+    print(f"\nwrote {path}")
     return 0
 
 

@@ -26,7 +26,13 @@ from repro.ckks import encoding, keys, modmath, primes, rns
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.keys import HYBRID, KLSS, KeySwitchKey, SecretKey
 from repro.ckks.keyswitch.hoisting import hoisted_rotations
-from repro.ckks.keyswitch.hybrid import hybrid_key_switch
+from repro.ckks.keyswitch.hybrid import (
+    _mod_down_rescale_ready,
+    hybrid_decompose,
+    hybrid_key_switch,
+    key_mult_accumulate,
+    mod_down_rescale_pair,
+)
 from repro.ckks.keyswitch.klss import klss_key_switch
 from repro.ckks.params import CkksParams
 from repro.ckks.rns import RnsPoly
@@ -297,6 +303,48 @@ class CkksContext:
 
     def square(self, ct: Ciphertext, method: str | None = None) -> Ciphertext:
         return self.multiply(ct, ct, method=method)
+
+    def multiply_rescale(self, a: Ciphertext, b: Ciphertext,
+                         method: str | None = None,
+                         rescales: int = 1) -> Ciphertext:
+        """HMult immediately followed by ``rescales`` rescale(s).
+
+        The hybrid path runs the fused ModDown+Rescale kernel
+        (:func:`~repro.ckks.keyswitch.hybrid.mod_down_rescale_pair`):
+        the dropped primes join the ModDown's auxiliary basis, so the
+        rescale's four full-basis transforms and its base conversion
+        disappear into the key-switch tail — the executable form of
+        the trace optimiser's ``merge_rescale`` rewrite.  Where the
+        fused kernel does not apply (KLSS, object-path moduli,
+        ``rescales >= level``), falls back to ``multiply`` followed by
+        ``rescale`` — same ciphertext up to the documented sub-unit
+        rounding difference between ``round(round(z/P)/D)`` and
+        ``round(z/(P*D))``.
+        """
+        if rescales < 1:
+            raise ValueError("need at least one rescale to fuse")
+        a, b = self._align(a, b)
+        method = self._resolve_method(method, "HMult", a.level)
+        if method == HYBRID and a.level >= rescales:
+            key = self.evaluation_key(HYBRID, a.level, "mult")
+            d2 = a.c1 * b.c1
+            decomposed = hybrid_decompose(
+                d2.to_coeff(), key, self.params.alpha)
+            acc0, acc1 = key_mult_accumulate(decomposed, key)
+            if _mod_down_rescale_ready(acc0, acc1, key.aux_count,
+                                       rescales):
+                d0 = a.c0 * b.c0
+                d1 = a.c0 * b.c1 + a.c1 * b.c0
+                c0, c1 = mod_down_rescale_pair(
+                    acc0, acc1, d0, d1, key.aux_count, rescales)
+                scale = a.scale * b.scale
+                for q in a.moduli[a.level + 1 - rescales:a.level + 1]:
+                    scale /= q
+                return Ciphertext(c0, c1, scale, a.level - rescales)
+        out = self.multiply(a, b, method=method)
+        for _ in range(rescales):
+            out = self.rescale(out)
+        return out
 
     def _key_switch(self, poly: RnsPoly, key: KeySwitchKey, method: str):
         if method == HYBRID:

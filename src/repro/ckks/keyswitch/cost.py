@@ -312,6 +312,95 @@ def quantitative_line(hybrid_params: CkksParams, klss_params: CkksParams,
     return hyb / kls
 
 
+# -- measured kernel costs (calibration injection) ---------------------------
+
+@dataclass(frozen=True)
+class MeasuredKernelCosts:
+    """Micro-measured seconds per modular operation, per kernel class.
+
+    Produced by :func:`repro.bench.calibrate.calibrate_kernel_costs`
+    (``python -m repro bench --calibrate``) from timed runs of the
+    *actual* software kernels — batched NTT stages, the BConv matrix
+    path, the fused KeyMult plan and raw element-wise modmuls — and
+    injected here to turn the analytic :class:`KernelOps` counts into
+    wall-clock estimates.  Keeping the counts and the unit costs
+    separate means the Fig. 2 study can be re-pinned on measured
+    numbers without touching the closed-form models.
+    """
+
+    ntt: float          # seconds per NTT-butterfly modmul
+    bconv: float        # seconds per BConv MAC modmul
+    keymult: float      # seconds per KeyMult modmul
+    elementwise: float  # seconds per element-wise modmul
+    meta: tuple = ()    # provenance key-value pairs, e.g. ring degree
+
+    def seconds(self, ops: KernelOps) -> float:
+        """Wall-clock estimate for one analytic op count."""
+        return (ops.ntt * self.ntt + ops.bconv * self.bconv
+                + ops.keymult * self.keymult
+                + ops.elementwise * self.elementwise)
+
+    def as_dict(self) -> dict:
+        return {"ntt": self.ntt, "bconv": self.bconv,
+                "keymult": self.keymult,
+                "elementwise": self.elementwise,
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MeasuredKernelCosts":
+        return cls(ntt=float(data["ntt"]), bconv=float(data["bconv"]),
+                   keymult=float(data["keymult"]),
+                   elementwise=float(data["elementwise"]),
+                   meta=tuple(sorted(dict(data.get("meta", {})).items())))
+
+
+def keyswitch_seconds(method: str, params: CkksParams, level: int,
+                      costs: MeasuredKernelCosts,
+                      hoisting: int = 1) -> float:
+    """Measured-cost estimate of one key-switch in seconds."""
+    return costs.seconds(keyswitch_ops(method, params, level, hoisting))
+
+
+def measured_quantitative_line(hybrid_params: CkksParams,
+                               klss_params: CkksParams, level: int,
+                               costs: MeasuredKernelCosts,
+                               hoisting: int = 1) -> float:
+    """Fig. 2's hybrid/KLSS ratio re-pinned on measured kernel costs.
+
+    The analytic line weights every modular operation equally; with
+    measured per-kernel unit costs the ratio shifts wherever the NTT
+    and BConv kernels run at different achieved rates.
+    """
+    hyb = keyswitch_seconds("hybrid", hybrid_params, level, costs,
+                            hoisting)
+    kls = keyswitch_seconds("klss", klss_params, level, costs, hoisting)
+    return hyb / kls
+
+
+def crossover_level(hybrid_params: CkksParams, klss_params: CkksParams,
+                    costs: MeasuredKernelCosts | None = None,
+                    hoisting: int = 1,
+                    max_level: int | None = None) -> int | None:
+    """Lowest level at which KLSS beats hybrid (Fig. 2 crossover).
+
+    With ``costs`` the comparison uses measured seconds; without, the
+    analytic operation counts.  Returns ``None`` when hybrid wins at
+    every level up to ``max_level``.
+    """
+    top = max_level if max_level is not None else \
+        min(hybrid_params.max_level, klss_params.max_level)
+    for level in range(1, top + 1):
+        if costs is not None:
+            ratio = measured_quantitative_line(
+                hybrid_params, klss_params, level, costs, hoisting)
+        else:
+            ratio = quantitative_line(hybrid_params, klss_params, level,
+                                      hoisting)
+        if ratio > 1.0:
+            return level
+    return None
+
+
 # -- working-set / key sizes (Fig. 3b) ---------------------------------------
 
 def ciphertext_bytes(params: CkksParams, level: int) -> float:

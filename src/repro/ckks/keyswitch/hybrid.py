@@ -18,6 +18,8 @@ allocating two ``RnsPoly`` temporaries — per digit.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.ckks import modmath, rns
@@ -372,6 +374,193 @@ def mod_down_pair(acc0: RnsPoly, acc1: RnsPoly,
                                 down0.moduli + down1.moduli, n)
     return (RnsPoly(evaluated[:q_count], down0.moduli, rns.EVAL),
             RnsPoly(evaluated[q_count:], down1.moduli, rns.EVAL))
+
+
+FOLD_CACHE_MAXSIZE = 64
+
+
+@lru_cache(maxsize=FOLD_CACHE_MAXSIZE)
+def _fold_scalars(p_moduli: tuple[int, ...],
+                  q_moduli: tuple[int, ...]):
+    """Hoisted ``P mod q_i`` residues (with Shoup pairs) per Q limb.
+
+    Used by the fused ModDown+Rescale to fold the tensor ``d`` parts
+    into the key-switch accumulator as ``acc_i + (P mod q_i) * d_i``.
+    Bounded LRU: keys are (P basis, Q basis) pairs, one entry per
+    level actually exercised.
+    """
+    big_p = rns.product(p_moduli)
+    out = []
+    for q in q_moduli:
+        w = big_p % q
+        kernel = modmath.get_kernel(q)
+        pair = kernel.shoup(w) if kernel.dtype == np.uint64 else None
+        out.append((w, pair))
+    return tuple(out)
+
+
+def _fold_aux_into(acc: RnsPoly, d: RnsPoly, q_count: int) -> list:
+    """Rows of ``Z = acc + P * d`` on the Q limbs (same form as inputs).
+
+    ``P * d`` vanishes on the P limbs, so only the ``q_count`` Q rows
+    change: ``z_i = acc_i + (P mod q_i) * d_i``.
+    """
+    q_moduli = acc.moduli[:q_count]
+    p_moduli = acc.moduli[q_count:]
+    scalars = _fold_scalars(p_moduli, q_moduli)
+    rows = []
+    for i, q in enumerate(q_moduli):
+        w, pair = scalars[i]
+        if pair is not None:
+            term = modmath.get_kernel(q).mul_shoup(d.limbs[i], *pair)
+        else:
+            term = modmath.mul_scalar(d.limbs[i], w, q)
+        rows.append(modmath.add(acc.limbs[i], term, q))
+    return rows
+
+
+def _mod_down_rescale_ready(acc0: RnsPoly, acc1: RnsPoly,
+                            aux_count: int, drop: int) -> bool:
+    """Whether the fused eval-domain ModDown+Rescale kernel applies."""
+    if acc0.form != rns.EVAL or acc1.form != rns.EVAL:
+        return False
+    if aux_count <= 0 or drop < 1:
+        return False
+    q_count = len(acc0.moduli) - aux_count
+    if q_count - drop < 1:
+        return False
+    kept = acc0.moduli[:q_count - drop]
+    src = acc0.moduli[q_count - drop:]
+    plan = rns.get_bconv_plan(src, kept)
+    return plan.matrix_path and plan.has_down_scale
+
+
+def mod_down_rescale_pair(
+        acc0: RnsPoly, acc1: RnsPoly,
+        d0: RnsPoly, d1: RnsPoly,
+        aux_count: int, drop: int = 1) -> tuple[RnsPoly, RnsPoly]:
+    """Fused ModDown + ``drop`` rescales, dividing by ``P * D`` once.
+
+    Implements the optimiser's ``merge_rescale`` rewrite as a real
+    kernel.  The sequential pipeline computes
+    ``y = d + round(acc / P)`` over Q_k (ModDown: aux INTT ``2p``,
+    conversion NTT ``2k``) and then ``round(y / D)`` over
+    ``Q_{k-drop}`` (each rescale: full INTT ``2k`` + NTT ``2(k-1)``).
+    Here the divisor is applied in one step on the integer form
+    ``Z = acc + P * d``: the last ``drop`` Q primes join the auxiliary
+    basis (``D`` = their product), one base conversion maps
+    ``Z mod (D * P)`` onto the kept primes, and a single
+    ``(P * D)^{-1}`` down-scale finishes.  Per drop=1 merge that is
+    ``2(p + 1)`` inverse and ``2(k - 1)`` forward limb transforms in
+    place of ``2p + 2k`` plus the rescale's ``4k - 2`` — a saving of
+    ``4k - 2``, exactly the micro-IR accounting.
+
+    ``round(round(Z/P)/D)`` and ``round(Z/(P*D))`` differ only in
+    rounding (each base conversion carries its own sub-unit slack), so
+    the fused path is *not* bit-identical to ModDown-then-rescale —
+    :func:`mod_down_rescale_reference` is the matching oracle, and the
+    functional tests bound the decrypt error against the sequential
+    pipeline instead.
+
+    ``acc0``/``acc1`` are the KeyMult accumulators over ``Q_k x P``,
+    ``d0``/``d1`` the tensor parts over ``Q_k`` to fold in (the
+    ``d + delta`` merge of the relinearisation) — all in evaluation
+    form.  Returns both halves over ``Q_{k-drop}`` in evaluation form.
+    """
+    if acc0.moduli != acc1.moduli:
+        raise ValueError("accumulator halves live on different bases")
+    q_count = len(acc0.moduli) - aux_count
+    q_moduli = acc0.moduli[:q_count]
+    if d0.moduli != q_moduli or d1.moduli != q_moduli:
+        raise ValueError("tensor parts must live on the Q basis")
+    if d0.form != rns.EVAL or d1.form != rns.EVAL:
+        raise ValueError("tensor parts must be in evaluation form")
+    if not _mod_down_rescale_ready(acc0, acc1, aux_count, drop):
+        raise ValueError(
+            "fused ModDown+Rescale needs eval form, a matrix path and "
+            "1 <= drop < q_count")
+    keep = q_count - drop
+    kept = acc0.moduli[:keep]
+    src = acc0.moduli[keep:]            # dropped q primes, then P
+    n = acc0.n
+    plan = rns.get_bconv_plan(src, kept)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("keyswitch.moddown.fused_rescale")
+        tracer.count("keyswitch.moddown.fused_rescale_drop", drop)
+        tracer.count("rns.bconv.matrix")
+    z0 = _fold_aux_into(acc0, d0, q_count)
+    z1 = _fold_aux_into(acc1, d1, q_count)
+    src_count = len(src)                # drop + aux_count
+    # Aux rows per half: the dropped Q rows of Z plus the P rows of
+    # acc (Z == acc there).  One batched inverse transform, rows
+    # grouped by modulus so per-modulus slices stay contiguous.
+    aux_rows = []
+    for i in range(src_count):
+        for z, acc in ((z0, acc0), (z1, acc1)):
+            aux_rows.append(z[keep + i] if i < drop
+                            else acc.limbs[q_count + (i - drop)])
+    aux_coeff = transform_limbs(
+        aux_rows, tuple(q for q in src for _ in range(2)), n,
+        inverse=True)
+    stacked = [np.concatenate(aux_coeff[2 * i:2 * i + 2])
+               for i in range(src_count)]
+    conv = plan.convert(stacked)        # keep rows of length 2n
+    conv_eval = transform_limbs(
+        [conv[i][h * n:(h + 1) * n] for i in range(keep)
+         for h in range(2)],
+        tuple(q for q in kept for _ in range(2)), n)
+    diffs = []
+    for i, q in enumerate(kept):
+        x = np.concatenate((z0[i], z1[i]))
+        c = np.concatenate(conv_eval[2 * i:2 * i + 2])
+        diffs.append(modmath.sub(x, c, q))
+    scaled = plan.down_scale(diffs)
+    return (RnsPoly([scaled[i][:n] for i in range(keep)],
+                    kept, rns.EVAL),
+            RnsPoly([scaled[i][n:] for i in range(keep)],
+                    kept, rns.EVAL))
+
+
+def mod_down_rescale_reference(
+        acc: RnsPoly, d: RnsPoly,
+        aux_count: int, drop: int = 1) -> RnsPoly:
+    """Coefficient-domain oracle for one fused ModDown+Rescale half.
+
+    Evaluates the same fused formula —
+    ``(Z - BConv(Z mod (D*P))) * (D*P)^{-1}`` with ``Z = acc + P*d`` —
+    through :class:`RnsPoly` arithmetic and the per-pair
+    object-oracle conversion, structurally independent of the batched
+    kernel.  Bit-identical to :func:`mod_down_rescale_pair` (the NTT
+    is an exact linear map per limb).  Inputs and output in
+    coefficient form.
+    """
+    if acc.form != rns.COEFF or d.form != rns.COEFF:
+        raise ValueError("reference oracle expects coefficient form")
+    q_count = len(acc.moduli) - aux_count
+    if not 1 <= drop < q_count:
+        raise ValueError("need 1 <= drop < q_count")
+    q_moduli = acc.moduli[:q_count]
+    p_moduli = acc.moduli[q_count:]
+    if d.moduli != q_moduli:
+        raise ValueError("tensor part must live on the Q basis")
+    scalars = _fold_scalars(p_moduli, q_moduli)
+    z_rows = [modmath.add(acc.limbs[i],
+                          modmath.mul_scalar(d.limbs[i], scalars[i][0], q),
+                          q)
+              for i, q in enumerate(q_moduli)]
+    keep = q_count - drop
+    kept = q_moduli[:keep]
+    src = acc.moduli[keep:]
+    aux_part = RnsPoly(z_rows[keep:q_count] + list(acc.limbs[q_count:]),
+                       src, rns.COEFF)
+    approx = rns.base_convert(aux_part, kept)
+    out = []
+    for i, q in enumerate(kept):
+        diff = modmath.sub(z_rows[i], approx.limbs[i], q)
+        out.append(modmath.mul_scalar(
+            diff, modmath.inv_mod(rns.product(src) % q, q), q))
+    return RnsPoly(out, kept, rns.COEFF)
 
 
 def hybrid_key_switch(poly: RnsPoly, key: KeySwitchKey,

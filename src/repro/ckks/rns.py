@@ -861,6 +861,27 @@ def clear_bconv_plan_cache() -> None:
     _build_bconv_plan.cache_clear()
 
 
+def plan_cache_evictions() -> dict:
+    """Evictions per plan cache since the last clear.
+
+    ``functools.lru_cache`` does not expose an eviction counter, but
+    every miss inserts exactly one entry, so evictions are simply
+    ``misses - currsize``.  Steady-state workloads — including the
+    fused ModDown+Rescale kernel, whose conversion basis pairs are
+    canonicalised the same way as the sequential path's — must show
+    zero here: a non-zero count means some caller is generating
+    unbounded key shapes and thrashing the plan tables.
+    """
+    caches = {
+        "ntt": get_plan.cache_info(),
+        "auto": _build_auto_plan.cache_info(),
+        "crt": _crt_constants.cache_info(),
+        "bconv": _build_bconv_plan.cache_info(),
+    }
+    return {name: max(0, info.misses - info.currsize)
+            for name, info in caches.items()}
+
+
 def base_convert_reference(poly: RnsPoly, target_moduli) -> RnsPoly:
     """Per-pair scalar-loop HPS conversion (the exactness oracle).
 

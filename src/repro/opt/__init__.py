@@ -1,0 +1,55 @@
+"""Whole-trace dataflow optimiser (CiFlow-style).
+
+Lowers an :class:`~repro.core.optrace.OpTrace` to limb/domain-aware
+micro-ops (each value tagged with its RNS basis size and NTT/coeff
+domain), then runs a fixed-point rewrite pipeline that cancels
+redundant NTT<->coeff crossings across operation boundaries, merges
+rescales into the preceding ModDown, and fuses ModUp -> KeyMult ->
+ModDown chains into single fused key-switch nodes.
+
+The optimised trace (:class:`OptimisedTrace`) is a drop-in
+:class:`OpTrace`: the scheduler lowers it unchanged, the functional
+executor proves bit-exactness against the unoptimised trace, and the
+per-op NTT-limb factors feed the simulator's ``--opt`` cost scaling.
+"""
+
+from repro.opt.ir import (
+    COEFF,
+    EVAL,
+    MicroOp,
+    MicroTrace,
+    ValidationError,
+)
+from repro.opt.lower import lower_to_micro
+from repro.opt.passes import (
+    PASS_REGISTRY,
+    cancel_conversions,
+    fuse_keyswitch,
+    merge_rescale,
+    sink_conversions,
+)
+from repro.opt.pipeline import (
+    OptimisedTrace,
+    PassManager,
+    optimise_trace,
+)
+from repro.opt.stats import OptimiserStats, stats_report
+
+__all__ = [
+    "COEFF",
+    "EVAL",
+    "MicroOp",
+    "MicroTrace",
+    "OptimisedTrace",
+    "OptimiserStats",
+    "PassManager",
+    "PASS_REGISTRY",
+    "ValidationError",
+    "cancel_conversions",
+    "fuse_keyswitch",
+    "lower_to_micro",
+    "merge_rescale",
+    "optimise_trace",
+    "sink_conversions",
+    "stats_report",
+]

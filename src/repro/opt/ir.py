@@ -1,0 +1,295 @@
+"""Limb/domain-aware micro-op IR for the whole-trace optimiser.
+
+Every :class:`~repro.core.optrace.FheOp` expands into a short run of
+micro-ops that make the NTT<->coeff domain crossings of the software
+kernel pipeline *explicit*: each ``TO_EVAL`` / ``FROM_EVAL`` node
+carries the number of limb transforms it performs, and every value it
+touches is tagged with the RNS basis size and domain it lives in.
+
+Values
+------
+Cross-operation values are the two ciphertext halves, keyed
+``(ct_id, 0)`` and ``(ct_id, 1)``.  Operation-local values (the d2
+tensor product, decomposed digit stacks, ModDown aux limbs, the
+ModDown conversion output) are keyed ``(kind, trace_index)`` and never
+escape their producing operation; conversions on them are *pinned* —
+they represent structurally unavoidable transforms (e.g. the digit
+NTTs feeding KeyMult) and are counted but never moved or cancelled.
+
+Domains
+-------
+``EVAL`` (NTT/evaluation form — the resting state of every ciphertext
+half between operations, matching the ``CkksContext`` invariant) and
+``COEFF`` (coefficient form, required by base conversion and exact
+rescale cores).  A conversion flips its value's domain; the validator
+walks the trace checking that every conversion direction matches the
+tracked domain and that every domain-sensitive core sees the domain it
+requires.
+
+Transparency
+------------
+Micro-ops are either *sensitive* (they pin their operands to a
+specific domain: the eval tensor product, ModUp/ModDown/rescale
+cores, KeyMult) or *transparent* (elementwise add/scalar ops and
+eval-domain automorphisms, which commute with the per-limb NTT and
+therefore let conversions move past them).  The rewrite passes only
+move conversions across transparent ops, so every cancelled pair
+corresponds to a value that legally stayed in one domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+COEFF = "coeff"
+EVAL = "eval"
+
+# -- micro-op kinds ---------------------------------------------------
+TO_EVAL = "to_eval"
+FROM_EVAL = "from_eval"
+TENSOR = "tensor"            # eval-domain ciphertext tensor product
+MOD_UP = "mod_up"            # digit decompose + base extend (coeff)
+KEY_MULT = "key_mult"        # eval-domain digit x evk accumulate
+MOD_DOWN = "mod_down"        # eval-batch ModDown core (aux INTT'd,
+                             # conversion NTT'd internally)
+RESCALE = "rescale"          # exact rescale core (coeff -> coeff)
+MOD_RAISE = "mod_raise"      # bootstrap base extension core (coeff)
+AUTO = "auto"                # automorphism (either domain, zero NTT)
+EWISE = "ewise"              # elementwise add / scalar ops
+FUSED_KEYSWITCH = "fused_keyswitch"  # grouped ModUp->KeyMult->ModDown
+
+CONVERSIONS = frozenset({TO_EVAL, FROM_EVAL})
+TRANSPARENT = frozenset({AUTO, EWISE})
+
+Value = Tuple[object, object]
+
+
+class ValidationError(ValueError):
+    """A micro trace violates domain or structural invariants."""
+
+
+@dataclass
+class MicroOp:
+    """One limb/domain-aware node.
+
+    Parameters
+    ----------
+    kind:
+        Micro-op kind constant.
+    index:
+        Source trace position this node was lowered from (NTT limb
+        counts are attributed back to this index for the simulator's
+        cost scaling).
+    value:
+        Primary value for conversions (the value whose domain flips).
+    limbs:
+        Limb-transform count for conversions; 0 for cores.
+    uses / writes:
+        Values read / written.  Transparent ops may be crossed by a
+        conversion on a value they use; sensitive ops may not.
+    pinned:
+        Conversion is structural (operation-local) and must never be
+        moved or cancelled.
+    level:
+        Ciphertext level of the source operation.
+    meta:
+        Free-form details (hybrid shape, fused drop count, members of
+        a fused key-switch group, ...).
+    """
+
+    kind: str
+    index: int
+    value: Optional[Value] = None
+    limbs: int = 0
+    uses: Tuple[Value, ...] = ()
+    writes: Tuple[Value, ...] = ()
+    pinned: bool = False
+    level: int = 0
+    requires: Tuple[Tuple[Value, str], ...] = ()
+    produces: Tuple[Tuple[Value, str], ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_conversion(self) -> bool:
+        return self.kind in CONVERSIONS
+
+    @property
+    def transparent(self) -> bool:
+        return self.kind in TRANSPARENT
+
+    def touches(self, value: Value) -> bool:
+        return value in self.uses or value in self.writes
+
+    def clone(self) -> "MicroOp":
+        return MicroOp(
+            kind=self.kind,
+            index=self.index,
+            value=self.value,
+            limbs=self.limbs,
+            uses=self.uses,
+            writes=self.writes,
+            pinned=self.pinned,
+            level=self.level,
+            requires=self.requires,
+            produces=self.produces,
+            meta=dict(self.meta),
+        )
+
+    def describe(self) -> str:
+        bits = [self.kind, f"@{self.index}"]
+        if self.value is not None:
+            bits.append(f"v={self.value}")
+        if self.limbs:
+            bits.append(f"limbs={self.limbs}")
+        if self.pinned:
+            bits.append("pinned")
+        return " ".join(bits)
+
+
+def conversion(
+    kind: str,
+    index: int,
+    value: Value,
+    limbs: int,
+    *,
+    level: int = 0,
+    pinned: bool = False,
+    meta: Optional[Dict[str, object]] = None,
+) -> MicroOp:
+    """Build a TO_EVAL / FROM_EVAL node on ``value``."""
+    if kind not in CONVERSIONS:
+        raise ValueError(f"not a conversion kind: {kind}")
+    return MicroOp(
+        kind=kind,
+        index=index,
+        value=value,
+        limbs=int(limbs),
+        uses=(value,),
+        writes=(value,),
+        pinned=pinned,
+        level=level,
+        meta=dict(meta or {}),
+    )
+
+
+@dataclass
+class MicroTrace:
+    """A lowered trace: an ordered list of micro-ops plus provenance."""
+
+    name: str
+    ops: List[MicroOp]
+    trace_len: int
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def copy(self) -> "MicroTrace":
+        return MicroTrace(
+            name=self.name,
+            ops=[op.clone() for op in self.ops],
+            trace_len=self.trace_len,
+            meta=dict(self.meta),
+        )
+
+    # -- accounting ---------------------------------------------------
+
+    def ntt_limb_calls(self) -> int:
+        """Total limb transforms (forward + inverse) in the trace.
+
+        Conversions carry their own counts; fused key-switch nodes
+        carry the sum of the conversions they absorbed.
+        """
+        return sum(op.limbs for op in self.ops)
+
+    def ntt_by_index(self) -> Dict[int, int]:
+        """Limb transforms attributed to each source trace position."""
+        out: Dict[int, int] = {i: 0 for i in range(self.trace_len)}
+        for op in self.ops:
+            if op.limbs:
+                out[op.index] = out.get(op.index, 0) + op.limbs
+        return out
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for op in self.ops:
+            out[op.kind] = out.get(op.kind, 0) + 1
+        return out
+
+    # -- validation ---------------------------------------------------
+
+    def validate(self) -> None:
+        """Check domain consistency along the trace.
+
+        Ciphertext halves rest in EVAL form between operations (the
+        ``CkksContext`` invariant); operation-local values are born in
+        whatever domain their first touch implies.  Raises
+        :class:`ValidationError` on the first inconsistency.
+        """
+        domains: Dict[Value, str] = {}
+
+        def dom(value: Value, default: str) -> str:
+            return domains.setdefault(value, default)
+
+        for pos, op in enumerate(self.ops):
+            if op.kind == TO_EVAL:
+                current = dom(op.value, COEFF)
+                if current != COEFF:
+                    raise ValidationError(
+                        f"op {pos} ({op.describe()}): to_eval on a "
+                        f"value already in {current} form"
+                    )
+                domains[op.value] = EVAL
+                continue
+            if op.kind == FROM_EVAL:
+                current = dom(op.value, EVAL)
+                if current != EVAL:
+                    raise ValidationError(
+                        f"op {pos} ({op.describe()}): from_eval on a "
+                        f"value already in {current} form"
+                    )
+                domains[op.value] = COEFF
+                continue
+            for value, required in op.requires:
+                current = dom(value, required)
+                if current != required:
+                    raise ValidationError(
+                        f"op {pos} ({op.describe()}): needs {value} "
+                        f"in {required} form but it is in {current}"
+                    )
+            for value, produced in op.produces:
+                domains[value] = produced
+
+        for value, domain in domains.items():
+            if _is_ct_half(value) and domain != EVAL:
+                raise ValidationError(
+                    f"trace ends with ciphertext half {value} in "
+                    f"{domain} form (context invariant requires eval)"
+                )
+
+    def check(self) -> "MicroTrace":
+        self.validate()
+        return self
+
+
+def _is_ct_half(value: Value) -> bool:
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[0], int)
+        and value[1] in (0, 1)
+    )
+
+
+def ct_half(ct_id: int, half: int) -> Value:
+    """Key for a cross-operation ciphertext-half value."""
+    return (int(ct_id), int(half))
+
+
+def local_value(kind: str, index: int) -> Value:
+    """Key for an operation-local value (never escapes its op)."""
+    return (kind, int(index))
+
+
+def iter_conversions(ops: Iterable[MicroOp]) -> Iterable[MicroOp]:
+    for op in ops:
+        if op.is_conversion:
+            yield op

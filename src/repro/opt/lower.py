@@ -1,0 +1,276 @@
+"""Lower an :class:`OpTrace` to the limb/domain-aware micro IR.
+
+The expansion mirrors the *software kernel pipelines* (context.py,
+keyswitch/hybrid.py, rns.py) limb for limb, so the micro trace's
+conversion counts equal the number of limb transforms the functional
+path actually dispatches:
+
+``HMult`` (level l, k = l+1 limbs, hybrid shape d digits / p specials)
+    eval tensor product (sensitive) -> ``FROM_EVAL(d2, k)`` ->
+    ModUp core -> pinned ``TO_EVAL(digits, d*(k+p))`` -> KeyMult ->
+    pinned ``FROM_EVAL(aux, 2p)`` -> eval-batch ModDown core with its
+    pinned internal conversion ``TO_EVAL(conv, 2k)``; the delta merge
+    into the ciphertext halves happens inside the core (both halves
+    rest in eval form afterwards).
+
+``HRot``/``Conj``
+    automorphism (transparent, zero NTT via AutoPlan) ->
+    ``FROM_EVAL(c1, k)`` (movable: cancels against a preceding
+    rescale's restore) -> same ModUp/KeyMult/ModDown tail.  Hoisted
+    groups share one decompose and one batched cross-rotation ModDown
+    exactly like :func:`~repro.ckks.keyswitch.hybrid.mod_down_batch`.
+
+``Rescale``
+    ``FROM_EVAL(c0, k)`` + ``FROM_EVAL(c1, k)`` -> exact-rescale core
+    (coeff) -> ``TO_EVAL(c0, k-1)`` + ``TO_EVAL(c1, k-1)``; all four
+    conversions movable — this is where cross-operation cancellation
+    pays.
+
+``ModRaise``
+    ``FROM_EVAL(2 k_in)`` -> base-extension core -> ``TO_EVAL(2 k_out)``.
+
+``PMult``
+    sensitive eval-domain elementwise product (plaintext is encoded in
+    eval form); no conversions.
+
+``HAdd``/``PAdd``/``CAdd``/``CMult``
+    transparent elementwise ops: per-limb adds and scalar multiplies
+    commute with the NTT, so conversions may sink past them.  (For the
+    two-ciphertext ``HAdd`` the trace's single-writer convention folds
+    the implicit second operand into the primary chain; the optimiser
+    assumes it is co-located in the same domain, which the whole-trace
+    rewrite can always arrange.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ckks.keyswitch.cost import HybridShape
+from repro.ckks.params import CkksParams
+from repro.core import optrace as ot
+from repro.opt import ir
+from repro.opt.ir import (
+    AUTO,
+    EWISE,
+    FROM_EVAL,
+    KEY_MULT,
+    MOD_DOWN,
+    MOD_RAISE,
+    MOD_UP,
+    RESCALE,
+    TENSOR,
+    TO_EVAL,
+    COEFF,
+    EVAL,
+    MicroOp,
+    MicroTrace,
+    conversion,
+    ct_half,
+    local_value,
+)
+
+
+def lower_to_micro(trace: ot.OpTrace, params: CkksParams) -> MicroTrace:
+    """Expand ``trace`` into a validated :class:`MicroTrace`."""
+    trace.check()
+    groups = trace.hoist_groups()
+    group_span: Dict[int, List[int]] = {}
+    for gid, members in groups.items():
+        indices = [i for i, op in enumerate(trace.ops)
+                   if op.hoist_group == gid and op.kind in (ot.HROT, ot.CONJ)]
+        group_span[gid] = indices
+
+    ops: List[MicroOp] = []
+    last_level: Dict[int, int] = {}
+    pending_group: Dict[int, int] = {}  # gid -> members emitted so far
+
+    for index, op in enumerate(trace.ops):
+        level = op.level
+        if op.kind == ot.RESCALE:
+            # Builders label back-to-back rescales with the pre-drop
+            # level (the drop is applied to the tracked level once per
+            # rescale), so the effective input level of the second is
+            # one below its label.  Track it per ciphertext.
+            level = min(level, last_level.get(op.ct_id, level))
+        k = level + 1
+        c0 = ct_half(op.ct_id, 0)
+        c1 = ct_half(op.ct_id, 1)
+
+        if op.kind == ot.HMULT:
+            shape = HybridShape.at_level(params, level)
+            ops.append(MicroOp(
+                kind=TENSOR, index=index, level=level,
+                uses=(c0, c1), writes=(c0, c1, local_value("d2", index)),
+                requires=((c0, EVAL), (c1, EVAL)),
+                produces=((local_value("d2", index), EVAL),),
+                meta={"op": op.kind}))
+            ops.append(conversion(FROM_EVAL, index,
+                                  local_value("d2", index), k, level=level))
+            ops.extend(_keyswitch_tail(
+                index, level, shape,
+                input_value=local_value("d2", index),
+                merge_halves=(c0, c1), requires_halves=(c0, c1),
+                rots=1))
+        elif op.kind in (ot.HROT, ot.CONJ):
+            if op.hoist_group is not None:
+                _lower_hoisted_member(
+                    ops, trace, params, index, op,
+                    group_span[op.hoist_group], pending_group)
+            else:
+                shape = HybridShape.at_level(params, level)
+                ops.append(MicroOp(
+                    kind=AUTO, index=index, level=level,
+                    uses=(c0, c1), writes=(c0, c1),
+                    meta={"op": op.kind, "rotation": op.rotation}))
+                ops.append(conversion(FROM_EVAL, index, c1, k, level=level))
+                ops.extend(_keyswitch_tail(
+                    index, level, shape,
+                    input_value=c1,
+                    merge_halves=(c0, c1), requires_halves=(c0,),
+                    rots=1))
+        elif op.kind == ot.RESCALE:
+            ops.append(conversion(FROM_EVAL, index, c0, k, level=level))
+            ops.append(conversion(FROM_EVAL, index, c1, k, level=level))
+            ops.append(MicroOp(
+                kind=RESCALE, index=index, level=level,
+                uses=(c0, c1), writes=(c0, c1),
+                requires=((c0, COEFF), (c1, COEFF)),
+                produces=((c0, COEFF), (c1, COEFF)),
+                meta={"op": op.kind, "k": k}))
+            ops.append(conversion(TO_EVAL, index, c0, k - 1, level=level))
+            ops.append(conversion(TO_EVAL, index, c1, k - 1, level=level))
+        elif op.kind == ot.MOD_RAISE:
+            k_in = last_level.get(op.ct_id, 0) + 1
+            ops.append(conversion(FROM_EVAL, index, c0, k_in, level=level))
+            ops.append(conversion(FROM_EVAL, index, c1, k_in, level=level))
+            ops.append(MicroOp(
+                kind=MOD_RAISE, index=index, level=level,
+                uses=(c0, c1), writes=(c0, c1),
+                requires=((c0, COEFF), (c1, COEFF)),
+                produces=((c0, COEFF), (c1, COEFF)),
+                meta={"op": op.kind, "k_in": k_in, "k_out": k}))
+            ops.append(conversion(TO_EVAL, index, c0, k, level=level))
+            ops.append(conversion(TO_EVAL, index, c1, k, level=level))
+        elif op.kind == ot.PMULT:
+            ops.append(MicroOp(
+                kind=TENSOR, index=index, level=level,
+                uses=(c0, c1), writes=(c0, c1),
+                requires=((c0, EVAL), (c1, EVAL)),
+                meta={"op": op.kind}))
+        elif op.kind in (ot.HADD, ot.PADD, ot.CADD, ot.CMULT):
+            ops.append(MicroOp(
+                kind=EWISE, index=index, level=level,
+                uses=(c0, c1), writes=(c0, c1),
+                meta={"op": op.kind}))
+        else:  # pragma: no cover - ALL_KINDS is closed
+            raise ValueError(f"cannot lower op kind {op.kind!r}")
+        last_level[op.ct_id] = level - 1 if op.kind == ot.RESCALE \
+            else level
+
+    micro = MicroTrace(name=trace.name, ops=ops, trace_len=len(trace.ops),
+                       meta={"params": params.name})
+    return micro.check()
+
+
+def _keyswitch_tail(index: int, level: int, shape: HybridShape,
+                    input_value, merge_halves, requires_halves,
+                    rots: int) -> List[MicroOp]:
+    """ModUp -> KeyMult -> eval-batch ModDown for one switch."""
+    k, p, d = shape.k, shape.p, shape.beta
+    digits = local_value("digits", index)
+    acc = local_value("acc", index)
+    aux = local_value("aux", index)
+    conv = local_value("conv", index)
+    out: List[MicroOp] = []
+    out.append(MicroOp(
+        kind=MOD_UP, index=index, level=level,
+        uses=(input_value,), writes=(digits,),
+        requires=((input_value, COEFF),),
+        produces=((digits, COEFF),),
+        meta={"k": k, "p": p, "digits": d}))
+    out.append(conversion(TO_EVAL, index, digits, d * (k + p),
+                          level=level, pinned=True))
+    out.append(MicroOp(
+        kind=KEY_MULT, index=index, level=level,
+        uses=(digits,), writes=(acc,),
+        requires=((digits, EVAL),),
+        produces=((acc, EVAL),),
+        meta={"k": k, "p": p, "digits": d}))
+    out.append(conversion(FROM_EVAL, index, aux, 2 * rots * p,
+                          level=level, pinned=True))
+    out.append(MicroOp(
+        kind=MOD_DOWN, index=index, level=level,
+        uses=(acc,) + tuple(merge_halves),
+        writes=tuple(merge_halves),
+        requires=tuple((h, EVAL) for h in requires_halves),
+        produces=tuple((h, EVAL) for h in merge_halves),
+        meta={"k": k, "p": p, "rots": rots, "drop": 0}))
+    # The eval-batch ModDown forward-NTTs its conversion output
+    # internally (Q limbs never leave eval form) — structural.
+    out.append(conversion(TO_EVAL, index, conv, 2 * rots * k,
+                          level=level, pinned=True))
+    return out
+
+
+def _lower_hoisted_member(ops: List[MicroOp], trace: ot.OpTrace,
+                          params: CkksParams, index: int, op: ot.FheOp,
+                          member_indices: List[int],
+                          pending_group: Dict[int, int]) -> None:
+    """Emit the micro-ops for one member of a hoist group.
+
+    The first member carries the shared decompose (one input INTT +
+    one batched digit NTT); every member contributes its AutoPlan
+    gather + KeyMult; the last member carries the batched
+    cross-rotation ModDown (aux INTT + conversion NTT scale with the
+    rotation count R, per ``mod_down_batch``).
+    """
+    gid = op.hoist_group
+    level = op.level
+    shape = HybridShape.at_level(params, level)
+    k, p, d = shape.k, shape.p, shape.beta
+    rots = len(member_indices)
+    first = member_indices[0]
+    last = member_indices[-1]
+    c0 = ct_half(op.ct_id, 0)
+    c1 = ct_half(op.ct_id, 1)
+    digits = local_value("digits", first)
+    seen = pending_group.get(gid, 0)
+
+    if index == first:
+        ops.append(conversion(FROM_EVAL, index, c1, k, level=level))
+        ops.append(MicroOp(
+            kind=MOD_UP, index=index, level=level,
+            uses=(c1,), writes=(digits,),
+            requires=((c1, COEFF),),
+            produces=((digits, COEFF),),
+            meta={"k": k, "p": p, "digits": d, "hoisted": rots}))
+        ops.append(conversion(TO_EVAL, index, digits, d * (k + p),
+                              level=level, pinned=True))
+    # Per-rotation: eval-domain digit gather (zero NTT) + KeyMult.
+    acc = local_value("acc", index)
+    ops.append(MicroOp(
+        kind=AUTO, index=index, level=level,
+        uses=(digits, c0), writes=(acc,),
+        meta={"op": op.kind, "rotation": op.rotation, "hoisted": True}))
+    ops.append(MicroOp(
+        kind=KEY_MULT, index=index, level=level,
+        uses=(digits,), writes=(acc,),
+        requires=((digits, EVAL),),
+        produces=((acc, EVAL),),
+        meta={"k": k, "p": p, "digits": d}))
+    pending_group[gid] = seen + 1
+
+    if index == last:
+        aux = local_value("aux", first)
+        conv = local_value("conv", first)
+        ops.append(conversion(FROM_EVAL, index, aux, 2 * rots * p,
+                              level=level, pinned=True))
+        ops.append(MicroOp(
+            kind=MOD_DOWN, index=index, level=level,
+            uses=(acc, c0, c1), writes=(c0, c1),
+            requires=((c0, EVAL),),
+            produces=((c0, EVAL), (c1, EVAL)),
+            meta={"k": k, "p": p, "rots": rots, "drop": 0}))
+        ops.append(conversion(TO_EVAL, index, conv, 2 * rots * k,
+                              level=level, pinned=True))

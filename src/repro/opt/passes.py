@@ -1,0 +1,381 @@
+"""Rewrite passes over the micro IR.
+
+Each pass takes a :class:`~repro.opt.ir.MicroTrace`, rewrites it in
+place and returns a :class:`PassResult` with the number of rewrites it
+performed and the limb transforms it removed.  The pass manager
+(:mod:`repro.opt.pipeline`) iterates ``sink -> cancel -> merge`` to a
+fixed point — each pass strictly decreases a well-founded measure
+(sink: total distance from each movable conversion to its blocking
+use; cancel/merge: op count) so termination is guaranteed — and runs
+``fuse`` once at the end (fusing is a grouping rewrite: it hides the
+switch-internal conversions inside one node, so cancellation must see
+them first).
+
+Legality
+--------
+A conversion may move forward past an op iff that op does not touch
+the conversion's value, or touches it only *transparently*
+(elementwise add/scalar ops and automorphisms commute with the
+per-limb NTT).  A ``to_eval``/``from_eval`` pair on the same value
+with only transparent-or-untouching ops between them cancels: the
+value legally stays in one domain across the span and every op in
+between has an implementation in that domain at unchanged limb cost.
+Pinned conversions (operation-internal: digit NTTs, ModDown aux INTTs
+and conversion NTTs) never move or cancel — they are the structural
+floor the optimiser cannot go below without changing the kernels
+themselves (which ``merge_rescale`` then does, for the one chain
+where a cheaper fused kernel exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.opt import ir
+from repro.opt.ir import (
+    FROM_EVAL,
+    FUSED_KEYSWITCH,
+    KEY_MULT,
+    MOD_DOWN,
+    MOD_UP,
+    RESCALE,
+    TO_EVAL,
+    COEFF,
+    EVAL,
+    MicroOp,
+    MicroTrace,
+    local_value,
+)
+
+
+@dataclass
+class PassResult:
+    name: str
+    rewrites: int = 0
+    limbs_removed: int = 0
+
+    def merge(self, other: "PassResult") -> "PassResult":
+        return PassResult(self.name, self.rewrites + other.rewrites,
+                          self.limbs_removed + other.limbs_removed)
+
+
+def _blocks(op: MicroOp, value) -> bool:
+    """Whether ``op`` stops a conversion on ``value`` moving past it."""
+    if not op.touches(value):
+        return False
+    if op.is_conversion and op.value == value:
+        return True
+    return not op.transparent
+
+
+# -- pass 4 (run first): sink conversions past domain-agnostic ops ---
+
+def sink_conversions(micro: MicroTrace) -> PassResult:
+    """Move every movable conversion forward to its latest legal
+    position: immediately before the next op that converts the same
+    value or touches it sensitively.  Canonicalises the trace so that
+    cancellable pairs become adjacent (modulo ops on other values).
+
+    Implemented as one stable rebuild: movable conversions join a
+    pending list and are flushed — in arrival order — right before
+    the first op that blocks them (unblocked ones drift to the trace
+    end, where the eval-form context invariant keeps them).  Stability
+    makes the pass idempotent, so the fixed-point loop terminates.
+    """
+    result = PassResult("sink")
+    ops = micro.ops
+    old_pos = {id(op): i for i, op in enumerate(ops)}
+    out: List[MicroOp] = []
+    pending: List[MicroOp] = []
+    for op in ops:
+        if op.is_conversion and not op.pinned:
+            pending.append(op)
+            continue
+        if pending:
+            still: List[MicroOp] = []
+            for conv in pending:
+                if _blocks(op, conv.value):
+                    out.append(conv)
+                else:
+                    still.append(conv)
+            pending = still
+        out.append(op)
+    out.extend(pending)
+    moved = sum(1 for i, op in enumerate(out)
+                if op.is_conversion and not op.pinned
+                and old_pos[id(op)] != i)
+    # Movable conversions can block each other (an opposite conversion
+    # on the same value is a barrier): within `pending` that ordering
+    # is preserved by construction, but a pending conversion must not
+    # drift past a *pending* barrier when flushed at different points.
+    # Flush order handles it: a blocked conversion leaves pending only
+    # at its barrier's flush point or earlier, never later.
+    micro.ops[:] = out
+    result.rewrites = moved
+    return result
+
+
+# -- pass 1: cancel to_eval/from_eval pairs --------------------------
+
+def cancel_conversions(micro: MicroTrace) -> PassResult:
+    """Delete opposite conversion pairs on one value separated only by
+    transparent-or-untouching ops.  Works standalone (it scans over
+    non-blocking ops), but :func:`sink_conversions` extends its reach
+    across longer chains first.
+    """
+    result = PassResult("cancel")
+    ops = micro.ops
+    pos = 0
+    while pos < len(ops):
+        op = ops[pos]
+        if not op.is_conversion or op.pinned:
+            pos += 1
+            continue
+        partner = None
+        probe = pos + 1
+        while probe < len(ops):
+            nxt = ops[probe]
+            if _blocks(nxt, op.value):
+                if (nxt.is_conversion and nxt.value == op.value
+                        and not nxt.pinned and nxt.kind != op.kind
+                        and nxt.limbs == op.limbs):
+                    partner = probe
+                break
+            probe += 1
+        if partner is not None:
+            result.rewrites += 1
+            result.limbs_removed += op.limbs + ops[partner].limbs
+            del ops[partner]
+            del ops[pos]
+            # Deleting may expose a new pair ending at `pos`; rescan
+            # from one step back so chains collapse in one sweep.
+            pos = max(0, pos - 1)
+            continue
+        pos += 1
+    return result
+
+
+# -- pass 3: merge rescale into the preceding ModDown ----------------
+
+def merge_rescale(micro: MicroTrace) -> PassResult:
+    """Fold a ``Rescale`` into the ModDown that precedes it on the same
+    ciphertext: one base conversion over the extended auxiliary basis
+    ``P * q_last...`` divides by ``P * prod(dropped primes)`` in a
+    single step (see ``mod_down_rescale_pair``).  Replaces
+    ``2k (INTT) + 2k + 2(k-1) (NTT)`` of rescale-adjacent transforms
+    with two extra aux INTT limbs: a ``4k - 2`` limb saving per merge.
+
+    Only single-switch ModDowns qualify (``rots == 1``); a batched
+    hoisted ModDown produces R rotation results and rescaling all of
+    them would change semantics.  Repeated merges absorb back-to-back
+    rescales (``drop`` grows; the ``double_rescale`` parameter sets
+    emit exactly this pattern).
+    """
+    result = PassResult("merge_rescale")
+    ops = micro.ops
+    pos = 0
+    while pos < len(ops):
+        op = ops[pos]
+        if op.kind not in (MOD_DOWN, FUSED_KEYSWITCH) \
+                or op.meta.get("rots", 1) != 1:
+            pos += 1
+            continue
+        halves = tuple(op.writes)
+        if len(halves) != 2:
+            pos += 1
+            continue
+        k = int(op.meta["k"])
+        drop = int(op.meta.get("drop", 0))
+        q_out = k - drop
+        match = _match_rescale(ops, pos, halves, q_out)
+        if match is None:
+            pos += 1
+            continue
+        rescale_positions, rescale_indices = match
+        aux_pos = _find_internal(ops, pos, op.index, "aux",
+                                 before=True)
+        conv_pos = _find_internal(ops, pos, op.index, "conv",
+                                  before=False)
+        if aux_pos is None or conv_pos is None:
+            pos += 1
+            continue
+        cores = len(rescale_indices)
+        before = (ops[aux_pos].limbs + ops[conv_pos].limbs
+                  + sum(ops[i].limbs for i in rescale_positions))
+        op.meta["drop"] = drop + cores
+        op.meta["k_out"] = q_out - cores
+        op.meta.setdefault("merged_rescales", []).extend(rescale_indices)
+        ops[aux_pos].limbs += 2 * cores
+        ops[conv_pos].limbs = 2 * (q_out - cores)
+        after = ops[aux_pos].limbs + ops[conv_pos].limbs
+        for i in sorted(rescale_positions, reverse=True):
+            del ops[i]
+        result.rewrites += 1
+        result.limbs_removed += before - after
+        # A further back-to-back rescale may now be mergeable into the
+        # same node; re-examine this position.
+    return result
+
+
+def _match_rescale(ops: List[MicroOp], pos: int, halves,
+                   q_out: int) -> Optional[Tuple[List[int], List[int]]]:
+    """The rescale chain immediately following the ModDown at ``pos``
+    on ``halves``: its 2 FROMs, one or more back-to-back cores (the
+    cancel pass may already have glued a double rescale together,
+    leaving consecutive cores at descending ``k``), and 2 TOs.
+    Returns ``(positions, core_trace_indices)`` or None.
+
+    Every op between the ModDown and the chain's last piece must
+    leave the ciphertext halves untouched (other values may
+    interleave freely) — the fused kernel applies the rescale to the
+    ModDown output directly, so nothing may observe the intermediate.
+    """
+    froms: dict = {}
+    tos: dict = {}
+    cores: List[int] = []
+    positions: List[int] = []
+    for probe in range(pos + 1, len(ops)):
+        nxt = ops[probe]
+        if not (nxt.touches(halves[0]) or nxt.touches(halves[1])):
+            continue
+        if nxt.kind == FROM_EVAL and not nxt.pinned \
+                and nxt.value in halves and nxt.value not in froms \
+                and not cores and nxt.limbs == q_out:
+            froms[nxt.value] = probe
+            positions.append(probe)
+            continue
+        if nxt.kind == RESCALE and len(froms) == 2 and not tos \
+                and int(nxt.meta.get("k", -1)) == q_out - len(cores):
+            cores.append(probe)
+            positions.append(probe)
+            continue
+        if nxt.kind == TO_EVAL and not nxt.pinned \
+                and nxt.value in halves and nxt.value not in tos \
+                and cores and nxt.limbs == q_out - len(cores):
+            tos[nxt.value] = probe
+            positions.append(probe)
+            if len(tos) == 2:
+                return positions, [ops[i].index for i in cores]
+            continue
+        return None
+    return None
+
+
+def _find_internal(ops: List[MicroOp], pos: int, index: int,
+                   tag: str, before: bool) -> Optional[int]:
+    """Position of the ModDown's pinned aux/conv conversion."""
+    value = local_value(tag, index)
+    rng = range(pos - 1, -1, -1) if before else range(pos + 1, len(ops))
+    for probe in rng:
+        if ops[probe].is_conversion and ops[probe].value == value:
+            return probe
+    return None
+
+
+# -- pass 2 (final): fuse ModUp -> KeyMult -> ModDown chains ---------
+
+def fuse_keyswitch(micro: MicroTrace) -> PassResult:
+    """Group each single-switch ModUp -> KeyMult -> ModDown chain into
+    one :data:`FUSED_KEYSWITCH` node carrying the summed limb counts
+    of the conversions it absorbs.
+
+    Runs once, after the fixed point: fusing earlier would hide the
+    movable decompose-input conversion from the cancellation pass.
+    The fused node is what the executor maps onto the existing
+    ``BConvPlan``/``KeyMultPlan`` kernels in one dispatch, and what
+    keeps the plan-cache keys stable (one (source, target) basis pair
+    per fused node — see ``get_bconv_plan``).
+
+    Hoisted groups are left as-is: their chain is already fused across
+    rotations by the PR 5 batched kernels.
+    """
+    result = PassResult("fuse")
+    ops = micro.ops
+    pos = 0
+    while pos < len(ops):
+        op = ops[pos]
+        if op.kind != MOD_UP or op.meta.get("hoisted"):
+            pos += 1
+            continue
+        index = op.index
+        member_positions = [pos]
+        moddown = None
+        for probe in range(pos + 1, len(ops)):
+            nxt = ops[probe]
+            if nxt.index != index:
+                continue
+            if nxt.is_conversion and isinstance(nxt.value, tuple) \
+                    and nxt.value in (local_value("digits", index),
+                                      local_value("aux", index),
+                                      local_value("conv", index)):
+                member_positions.append(probe)
+            elif nxt.kind == KEY_MULT:
+                member_positions.append(probe)
+            elif nxt.kind == MOD_DOWN and nxt.meta.get("rots", 1) == 1:
+                member_positions.append(probe)
+                moddown = nxt
+                break
+        if moddown is None:
+            pos += 1
+            continue
+        # Absorb the movable decompose-input INTT too, when it
+        # survived cancellation (it sits just before the ModUp).
+        input_value = op.uses[0]
+        input_pos = None
+        for probe in range(pos - 1, -1, -1):
+            prev = ops[probe]
+            if prev.is_conversion and prev.value == input_value \
+                    and prev.index == index and prev.kind == FROM_EVAL:
+                input_pos = probe
+                break
+            if prev.touches(input_value):
+                break
+        members = [ops[i] for i in member_positions]
+        absorbed = ([ops[input_pos]] if input_pos is not None else []) \
+            + members
+        requires = ((input_value, EVAL),) if input_pos is not None \
+            else ((input_value, COEFF),)
+        fused = MicroOp(
+            kind=FUSED_KEYSWITCH, index=index, level=op.level,
+            value=None,
+            limbs=sum(m.limbs for m in absorbed),
+            uses=(input_value,) + tuple(moddown.writes),
+            writes=tuple(moddown.writes),
+            requires=requires + moddown.requires,
+            produces=moddown.produces,
+            meta={
+                "k": op.meta["k"], "p": op.meta["p"],
+                "digits": op.meta["digits"],
+                "rots": moddown.meta.get("rots", 1),
+                "drop": moddown.meta.get("drop", 0),
+                "k_out": moddown.meta.get("k_out", op.meta["k"]),
+                "merged_rescales": list(
+                    moddown.meta.get("merged_rescales", [])),
+                "members": [m.kind for m in absorbed],
+                "input": input_value,
+            })
+        doomed = sorted(member_positions +
+                        ([input_pos] if input_pos is not None else []))
+        # The fused node lands at the *ModDown's* position: ops that
+        # sank into the switch's span (e.g. a TO_EVAL waiting on the
+        # ModDown's merge read) must stay ahead of it.  Absorbed
+        # earlier members only move forward, which is always legal:
+        # nothing between them and the ModDown touches their values.
+        moddown_pos = member_positions[-1]
+        insert_at = moddown_pos - sum(1 for i in doomed
+                                      if i < moddown_pos)
+        for i in reversed(doomed):
+            del ops[i]
+        ops.insert(insert_at, fused)
+        result.rewrites += 1
+        pos = insert_at + 1
+    return result
+
+
+PASS_REGISTRY = {
+    "sink": sink_conversions,
+    "cancel": cancel_conversions,
+    "merge_rescale": merge_rescale,
+    "fuse": fuse_keyswitch,
+}

@@ -1,0 +1,188 @@
+"""Pass manager and the :class:`OptimisedTrace` façade.
+
+The fixed-point loop runs ``sink -> cancel -> merge_rescale`` until an
+iteration performs zero rewrites, then applies ``fuse`` once.  Each
+iteration validates domain consistency and asserts the NTT limb count
+never increased — the passes only ever delete conversion pairs or
+replace a rescale's transforms with a strictly cheaper fused basis,
+so monotonicity is structural, and the assert turns any future pass
+bug into a loud failure instead of a silent mis-count.
+
+:class:`OptimisedTrace` *is* an :class:`~repro.core.optrace.OpTrace`
+over the identical op list: the rewrites change how operations lower
+to kernels (tracked per trace index in :attr:`ntt_factors`), never
+which operations run or in what order.  The scheduler therefore
+lowers it unchanged and the functional executor's serial-vs-parallel
+check doubles as the bit-exactness proof for the optimised trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.ckks.params import CkksParams
+from repro.core.optrace import OpTrace
+from repro.obs.tracer import get_tracer
+from repro.opt.ir import MicroTrace
+from repro.opt.lower import lower_to_micro
+from repro.opt.passes import (
+    PassResult,
+    cancel_conversions,
+    fuse_keyswitch,
+    merge_rescale,
+    sink_conversions,
+)
+from repro.opt.stats import OptimiserStats
+
+# Order matters.  merge_rescale runs first: it pattern-matches the
+# compact ModDown -> rescale shape of the pristine lowering, which
+# sink would scatter; and it competes with cancel for a rescale's
+# restore conversions — cancelling a rescale's TO_EVAL against a
+# following rotation's decompose INTT saves 2(k-1) limbs, while
+# merging the whole rescale into the preceding ModDown saves 4k-2
+# (and removes the same TO_EVAL), so merge strictly dominates
+# wherever both apply.  sink then canonicalises the survivors and
+# cancel picks up every chain with no ModDown in front (plain-mult
+# rescales, double rescales, ModRaise boundaries).
+DEFAULT_PIPELINE: Tuple[Callable[[MicroTrace], PassResult], ...] = (
+    merge_rescale,
+    sink_conversions,
+    cancel_conversions,
+)
+MAX_ITERATIONS = 64
+
+
+class PassManager:
+    """Runs a pass pipeline to fixed point, collecting statistics."""
+
+    def __init__(self,
+                 pipeline: Iterable[Callable] = DEFAULT_PIPELINE,
+                 final: Iterable[Callable] = (fuse_keyswitch,),
+                 max_iterations: int = MAX_ITERATIONS,
+                 validate: bool = True):
+        self.pipeline = tuple(pipeline)
+        self.final = tuple(final)
+        self.max_iterations = max_iterations
+        self.validate = validate
+
+    def run(self, micro: MicroTrace) -> Tuple[MicroTrace, OptimiserStats]:
+        tracer = get_tracer()
+        before_ntt = micro.ntt_limb_calls()
+        before_ops = len(micro.ops)
+        kinds_before = micro.counts_by_kind()
+        totals: Dict[str, PassResult] = {}
+        iterations = 0
+        last_ntt = before_ntt
+        for _ in range(self.max_iterations):
+            iterations += 1
+            changed = 0
+            for pass_fn in self.pipeline:
+                result = pass_fn(micro)
+                key = result.name
+                totals[key] = totals[key].merge(result) \
+                    if key in totals else result
+                changed += result.rewrites
+            if self.validate:
+                micro.validate()
+            ntt = micro.ntt_limb_calls()
+            if ntt > last_ntt:  # pragma: no cover - structural invariant
+                raise AssertionError(
+                    f"pass iteration increased NTT count "
+                    f"{last_ntt} -> {ntt}")
+            last_ntt = ntt
+            if changed == 0:
+                break
+        else:  # pragma: no cover - passes strictly shrink the trace
+            raise AssertionError(
+                f"pass pipeline did not converge within "
+                f"{self.max_iterations} iterations")
+        for pass_fn in self.final:
+            result = pass_fn(micro)
+            totals[result.name] = totals[result.name].merge(result) \
+                if result.name in totals else result
+        if self.validate:
+            micro.validate()
+        after_ntt = micro.ntt_limb_calls()
+        if after_ntt > before_ntt:  # pragma: no cover
+            raise AssertionError(
+                f"optimiser increased NTT count "
+                f"{before_ntt} -> {after_ntt}")
+        if tracer.enabled:
+            tracer.count("opt.runs")
+            tracer.count("opt.ntt_limbs_removed",
+                         before_ntt - after_ntt)
+        stats = OptimiserStats(
+            trace=micro.name,
+            params=str(micro.meta.get("params", "")),
+            trace_ops=micro.trace_len,
+            ntt_before=before_ntt,
+            ntt_after=after_ntt,
+            micro_ops_before=before_ops,
+            micro_ops_after=len(micro.ops),
+            iterations=iterations,
+            passes=[{"name": r.name, "rewrites": r.rewrites,
+                     "limbs_removed": r.limbs_removed}
+                    for r in totals.values()],
+            kinds_before=kinds_before,
+            kinds_after=micro.counts_by_kind(),
+        )
+        return micro, stats
+
+
+class OptimisedTrace(OpTrace):
+    """An :class:`OpTrace` plus its optimised micro lowering.
+
+    The op list is byte-identical to the source trace — downstream
+    consumers (scheduler, executor, workload reports) need no changes.
+    The optimisation is carried alongside:
+
+    ``micro``
+        the rewritten :class:`MicroTrace`;
+    ``stats``
+        per-pass rewrite counts and NTT deltas;
+    ``ntt_factors``
+        per-trace-index ``(optimised_limbs, baseline_limbs)`` pairs —
+        the simulator scales each key-switch schedule's NTT kernel
+        work by ``sum(opt)/sum(base)`` over the indices it covers.
+    """
+
+    def __init__(self, source: OpTrace, micro: MicroTrace,
+                 stats: OptimiserStats,
+                 ntt_factors: Dict[int, Tuple[int, int]]):
+        super().__init__(source.ops, name=source.name,
+                         declared_cts=source.declared_cts)
+        self.micro = micro
+        self.stats = stats
+        self.ntt_factors = ntt_factors
+
+    @property
+    def optimised(self) -> bool:
+        return True
+
+    def factor_for(self, indices: Iterable[int]) -> float:
+        """NTT-work scale factor for a schedule covering ``indices``."""
+        opt = base = 0
+        for i in indices:
+            pair = self.ntt_factors.get(i)
+            if pair is not None:
+                opt += pair[0]
+                base += pair[1]
+        if base <= 0:
+            return 1.0
+        return opt / base
+
+
+def optimise_trace(trace: OpTrace, params: CkksParams,
+                   manager: Optional[PassManager] = None) -> OptimisedTrace:
+    """Lower, rewrite and wrap ``trace``; the one-call public API."""
+    if isinstance(trace, OptimisedTrace):
+        return trace
+    baseline = lower_to_micro(trace, params)
+    base_by_index = baseline.ntt_by_index()
+    micro = baseline.copy()
+    manager = manager or PassManager()
+    micro, stats = manager.run(micro)
+    opt_by_index = micro.ntt_by_index()
+    factors = {i: (opt_by_index.get(i, 0), base_by_index.get(i, 0))
+               for i in range(len(trace.ops))}
+    return OptimisedTrace(trace, micro, stats, factors)

@@ -1,0 +1,81 @@
+"""Optimiser statistics: per-pass rewrite counts and NTT deltas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class OptimiserStats:
+    """What the pass pipeline did to one trace."""
+
+    trace: str
+    params: str
+    trace_ops: int
+    ntt_before: int
+    ntt_after: int
+    micro_ops_before: int
+    micro_ops_after: int
+    iterations: int
+    passes: List[Dict[str, int]] = field(default_factory=list)
+    kinds_before: Dict[str, int] = field(default_factory=dict)
+    kinds_after: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ntt_removed(self) -> int:
+        return self.ntt_before - self.ntt_after
+
+    @property
+    def reduction_pct(self) -> float:
+        if self.ntt_before == 0:
+            return 0.0
+        return 100.0 * self.ntt_removed / self.ntt_before
+
+    @property
+    def fused_nodes(self) -> int:
+        return self.kinds_after.get("fused_keyswitch", 0)
+
+    @property
+    def merged_rescales(self) -> int:
+        for entry in self.passes:
+            if entry["name"] == "merge_rescale":
+                return entry["rewrites"]
+        return 0
+
+    def as_dict(self) -> dict:
+        return {
+            "trace": self.trace,
+            "params": self.params,
+            "trace_ops": self.trace_ops,
+            "ntt_limb_calls_before": self.ntt_before,
+            "ntt_limb_calls_after": self.ntt_after,
+            "ntt_limb_calls_removed": self.ntt_removed,
+            "reduction_pct": self.reduction_pct,
+            "micro_ops_before": self.micro_ops_before,
+            "micro_ops_after": self.micro_ops_after,
+            "iterations": self.iterations,
+            "passes": list(self.passes),
+            "fused_nodes": self.fused_nodes,
+            "kinds_before": dict(self.kinds_before),
+            "kinds_after": dict(self.kinds_after),
+        }
+
+
+def stats_report(stats: OptimiserStats) -> str:
+    """Human-readable per-pass report for the ``repro opt`` CLI."""
+    lines = [
+        f"trace {stats.trace} ({stats.trace_ops} ops, "
+        f"params {stats.params})",
+        f"  micro ops: {stats.micro_ops_before} -> "
+        f"{stats.micro_ops_after}",
+        f"  NTT limb transforms: {stats.ntt_before} -> "
+        f"{stats.ntt_after}  (-{stats.ntt_removed}, "
+        f"{stats.reduction_pct:.1f}%)",
+        f"  fixed point after {stats.iterations} iteration(s)",
+    ]
+    for entry in stats.passes:
+        lines.append(
+            f"  pass {entry['name']:<14} rewrites={entry['rewrites']:<5} "
+            f"limbs_removed={entry['limbs_removed']}")
+    return "\n".join(lines)

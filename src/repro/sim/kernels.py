@@ -237,7 +237,10 @@ def lower_trace(trace: OpTrace, aether: Aether,
     with tracer.span("sim.lower_trace", trace=trace.name,
                      mode=policy.mode):
         schedules = _lower_trace(trace, aether, policy)
+        scaled = _apply_dataflow_factors(trace, schedules)
     if tracer.enabled:
+        if scaled:
+            tracer.count("lower.dataflow_scaled", scaled)
         tracer.count("lower.schedules", len(schedules))
         for schedule in schedules:
             if schedule.key_bytes > 0:
@@ -245,6 +248,36 @@ def lower_trace(trace: OpTrace, aether: Aether,
                 if schedule.hoisting > 1:
                     tracer.count("lower.hoisted_batches")
     return schedules
+
+
+def _apply_dataflow_factors(trace: OpTrace,
+                            schedules: list[OpSchedule]) -> int:
+    """Scale NTT kernel work by the whole-trace optimiser's rewrites.
+
+    An :class:`~repro.opt.pipeline.OptimisedTrace` carries per-index
+    ``(optimised_limbs, baseline_limbs)`` transform counts; each
+    schedule's NTT tasks shrink by the ratio over the indices it
+    covers (cancelled conversions, fused ModDown+Rescale bases).
+    Plain traces carry no ``ntt_factors`` and are returned untouched —
+    the default lowering stays byte-identical.  Returns the number of
+    schedules whose work changed.
+    """
+    factor_for = getattr(trace, "factor_for", None)
+    if factor_for is None:
+        return 0
+    scaled = 0
+    for schedule in schedules:
+        factor = factor_for(schedule.indices)
+        if factor == 1.0:
+            continue
+        changed = False
+        for stage in schedule.stages:
+            for task in stage:
+                if task.kernel == KERNEL_NTT:
+                    task.modops *= factor
+                    changed = True
+        scaled += changed
+    return scaled
 
 
 def _lower_trace(trace: OpTrace, aether: Aether,

@@ -1,0 +1,121 @@
+"""Property-based optimiser invariants over random valid traces.
+
+Hypothesis generates random-but-valid operation traces (the same
+shapes as the scheduler fuzz: mixed chains of HMult/PMult/Rescale/
+HRot/hoisted groups at monotone levels) and runs the whole-trace
+optimiser over each.  Four invariants must hold for *every* trace:
+
+* op preservation — the optimised trace's op list is identical, so
+  every downstream consumer sees the same program;
+* monotone NTT count — the rewritten micro trace never performs more
+  limb transforms than the pristine lowering, globally and per trace
+  index;
+* domain consistency — the rewritten micro trace still validates;
+* bit-exact execution — the functional executor produces identical
+  residues for the source and optimised traces.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks.params import SET_II
+from repro.core.optrace import TraceBuilder
+from repro.opt import optimise_trace
+from repro.opt.lower import lower_to_micro
+from repro.opt.pipeline import PassManager
+from repro.sched import FunctionalExecutor
+
+# Each example lowers and optimises a real trace; keep the count
+# CI-sized and the deadline off (first-call warmup).
+PROPERTY_SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@st.composite
+def traces(draw):
+    """A random valid trace: several ciphertext chains of mixed op
+    kinds, monotone levels, and optional hoisted rotation groups."""
+    tb = TraceBuilder("opt-property-trace")
+    num_chains = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(num_chains):
+        ct = tb.fresh_ct()
+        level = draw(st.integers(min_value=4, max_value=12))
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            kind = draw(st.sampled_from(
+                ["hmult", "pmult", "rescale", "hrot", "hoisted"]))
+            if kind == "hmult":
+                tb.hmult(ct, level)
+            elif kind == "pmult":
+                tb.pmult(ct, level)
+            elif kind == "rescale":
+                tb.rescale(ct, level)
+                level = max(1, level - 1)
+            elif kind == "hrot":
+                tb.hrot(ct, level,
+                        draw(st.integers(min_value=1, max_value=64)))
+            else:
+                amounts = draw(st.lists(
+                    st.integers(min_value=1, max_value=128),
+                    min_size=2, max_size=4, unique=True))
+                tb.rotations(ct, level, amounts, hoisted=True)
+    return tb.build().check()
+
+
+class TestOpPreservation:
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_op_list_identical(self, trace):
+        opt = optimise_trace(trace, SET_II)
+        assert list(opt.ops) == list(trace.ops)
+        assert len(opt) == len(trace)
+        assert opt.name == trace.name
+
+
+class TestMonotoneNttCount:
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_global_and_per_index_non_increasing(self, trace):
+        opt = optimise_trace(trace, SET_II)
+        assert opt.stats.ntt_after <= opt.stats.ntt_before
+        for index, (after, before) in opt.ntt_factors.items():
+            assert after <= before, index
+            assert opt.factor_for([index]) <= 1.0
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_micro_trace_still_validates(self, trace):
+        opt = optimise_trace(trace, SET_II)
+        opt.micro.validate()
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_second_pipeline_run_finds_nothing(self, trace):
+        """Re-running the pass pipeline over an optimised micro trace
+        removes no further transforms: the fixed point is stable."""
+        opt = optimise_trace(trace, SET_II)
+        _, stats = PassManager().run(opt.micro.copy())
+        assert stats.ntt_after == stats.ntt_before
+
+
+class TestBitExactExecution:
+    # One executor for the class: context build is the expensive part.
+    executor = FunctionalExecutor()
+
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_serial_execution_matches(self, trace):
+        opt = optimise_trace(trace, SET_II)
+        base_state = self.executor.run_serial(trace)
+        opt_state = self.executor.run_serial(opt)
+        assert base_state.keys() == opt_state.keys()
+        for ct_id, residues in base_state.items():
+            assert np.array_equal(residues, opt_state[ct_id]), ct_id
+
+
+class TestLoweringAccounting:
+    @PROPERTY_SETTINGS
+    @given(trace=traces())
+    def test_per_index_counts_sum_to_total(self, trace):
+        micro = lower_to_micro(trace, SET_II)
+        by_index = micro.ntt_by_index()
+        assert sum(by_index.values()) == micro.ntt_limb_calls()
+        assert set(by_index) == set(range(len(trace)))

@@ -1,0 +1,297 @@
+"""Unit tests for the individual dataflow-optimiser rewrite passes."""
+
+import pytest
+
+from repro.ckks.params import SET_II
+from repro.core.optrace import TraceBuilder
+from repro.opt import optimise_trace
+from repro.opt.ir import (
+    EWISE,
+    FROM_EVAL,
+    FUSED_KEYSWITCH,
+    TO_EVAL,
+    MicroOp,
+    MicroTrace,
+    conversion,
+    ct_half,
+)
+from repro.opt.lower import lower_to_micro
+from repro.opt.passes import (
+    cancel_conversions,
+    fuse_keyswitch,
+    merge_rescale,
+    sink_conversions,
+)
+from repro.opt.pipeline import PassManager
+
+
+def lowered(build, name="unit"):
+    tb = TraceBuilder(name)
+    build(tb)
+    return lower_to_micro(tb.build().check(), SET_II)
+
+
+def run_pipeline(micro):
+    return PassManager().run(micro.copy())
+
+
+class TestCancelConversions:
+    def test_double_rescale_chain_cancels(self):
+        """Back-to-back rescales: the first rescale's restore TO_EVAL
+        cancels against the second's FROM_EVAL on both halves."""
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.rescale(ct, 8)
+            tb.rescale(ct, 7)
+        micro = lowered(build)
+        before = micro.ntt_limb_calls()
+        sink_conversions(micro)
+        result = cancel_conversions(micro)
+        micro.validate()
+        assert result.rewrites >= 2          # one pair per half
+        assert result.limbs_removed > 0
+        assert micro.ntt_limb_calls() == before - result.limbs_removed
+
+    def test_pathological_back_to_back_chain(self):
+        """A long alternating FROM/TO chain on one value collapses to
+        nothing in a single sweep."""
+        value = ct_half(0, 0)
+        ops = []
+        for _ in range(6):
+            ops.append(conversion(FROM_EVAL, 0, value, 8))
+            ops.append(conversion(TO_EVAL, 0, value, 8))
+        micro = MicroTrace(name="chain", ops=ops, trace_len=1)
+        micro.validate()
+        result = cancel_conversions(micro)
+        assert result.rewrites == 6
+        assert result.limbs_removed == 6 * 16
+        assert micro.ops == []
+
+    def test_pinned_conversions_never_cancel(self):
+        value = ct_half(0, 0)
+        ops = [conversion(FROM_EVAL, 0, value, 8, pinned=True),
+               conversion(TO_EVAL, 0, value, 8, pinned=True)]
+        micro = MicroTrace(name="pinned", ops=ops, trace_len=1)
+        assert cancel_conversions(micro).rewrites == 0
+        assert len(micro.ops) == 2
+        assert sink_conversions(micro).rewrites == 0
+
+    def test_mismatched_limb_counts_do_not_cancel(self):
+        """A FROM at k limbs followed by a TO at k-1 limbs is a basis
+        change, not a round trip."""
+        value = ct_half(0, 0)
+        ops = [conversion(FROM_EVAL, 0, value, 8),
+               conversion(TO_EVAL, 0, value, 7)]
+        micro = MicroTrace(name="mismatch", ops=ops, trace_len=1)
+        assert cancel_conversions(micro).rewrites == 0
+        assert len(micro.ops) == 2
+
+    def test_sensitive_op_blocks_cancellation(self):
+        value = ct_half(0, 0)
+        blocker = MicroOp(kind="rescale", index=0, uses=(value,),
+                          writes=(value,))
+        ops = [conversion(FROM_EVAL, 0, value, 8), blocker,
+               conversion(TO_EVAL, 0, value, 8)]
+        micro = MicroTrace(name="blocked", ops=ops, trace_len=1)
+        assert cancel_conversions(micro).rewrites == 0
+
+    def test_transparent_op_is_crossed(self):
+        value = ct_half(0, 0)
+        passthrough = MicroOp(kind=EWISE, index=0, uses=(value,),
+                              writes=(value,))
+        ops = [conversion(FROM_EVAL, 0, value, 8), passthrough,
+               conversion(TO_EVAL, 0, value, 8)]
+        micro = MicroTrace(name="crossed", ops=ops, trace_len=1)
+        result = cancel_conversions(micro)
+        assert result.rewrites == 1
+        assert micro.ops == [passthrough]
+
+
+class TestSinkConversions:
+    def test_sink_is_idempotent(self):
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.pmult(ct, 9)
+            tb.rescale(ct, 9)
+            tb.hrot(ct, 8, 3)
+        micro = lowered(build)
+        sink_conversions(micro)
+        micro.validate()
+        assert sink_conversions(micro).rewrites == 0
+
+    def test_noop_trace_untouched(self):
+        """A conversion-free trace is a fixed point of every pass."""
+        def build(tb):
+            tb.pmult(tb.fresh_ct(), 9)
+        micro = lowered(build)
+        snapshot = [op.describe() for op in micro.ops]
+        for pass_fn in (merge_rescale, sink_conversions,
+                        cancel_conversions):
+            result = pass_fn(micro)
+            assert result.rewrites == 0, result.name
+            assert result.limbs_removed == 0, result.name
+        assert [op.describe() for op in micro.ops] == snapshot
+
+
+class TestMergeRescale:
+    def test_hmult_rescale_merges(self):
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.hmult(ct, 8)
+            tb.rescale(ct, 8)
+        micro = lowered(build)
+        k = next(int(op.meta["k"]) for op in micro.ops
+                 if op.kind == "mod_down")
+        before = micro.ntt_limb_calls()
+        result = merge_rescale(micro)
+        micro.validate()
+        assert result.rewrites == 1
+        # One merge trades the rescale's 2k INTT + 2(k-1) NTT and the
+        # ModDown conversion shrinking by 2 for two extra aux INTT
+        # limbs: a 4k-2 limb saving.
+        assert result.limbs_removed == 4 * k - 2
+        assert micro.ntt_limb_calls() == before - (4 * k - 2)
+
+    def test_merge_updates_moddown_meta(self):
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.hmult(ct, 8)
+            tb.rescale(ct, 8)
+        micro = lowered(build)
+        merge_rescale(micro)
+        moddown = next(op for op in micro.ops if op.kind == "mod_down")
+        assert moddown.meta["drop"] == 1
+        assert moddown.meta["merged_rescales"] == [1]
+
+    def test_hoisted_moddown_not_merged(self):
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.rotations(ct, 8, [1, 2, 4], hoisted=True)
+            tb.rescale(ct, 8)
+        micro = lowered(build)
+        assert merge_rescale(micro).rewrites == 0
+
+    def test_intervening_read_blocks_merge(self):
+        """An op that observes the ModDown output before the rescale
+        makes the intermediate visible; the merge must not fire."""
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.hmult(ct, 8)
+            tb.pmult(ct, 8)
+            tb.rescale(ct, 8)
+        micro = lowered(build)
+        assert merge_rescale(micro).rewrites == 0
+
+    def test_merge_targets_nearest_producer(self):
+        """With a rotation between HMult and the rescale, only the
+        rotation's ModDown (whose output the rescale consumes) merges;
+        the HMult's stays untouched."""
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.hmult(ct, 8)
+            tb.hrot(ct, 8, 1)
+            tb.rescale(ct, 8)
+        micro = lowered(build)
+        assert merge_rescale(micro).rewrites == 1
+        drops = {op.index: op.meta.get("drop", 0)
+                 for op in micro.ops if op.kind == "mod_down"}
+        assert drops == {0: 0, 1: 1}
+
+
+class TestFuseKeyswitch:
+    def test_single_switch_fuses(self):
+        def build(tb):
+            tb.hmult(tb.fresh_ct(), 8)
+        micro = lowered(build)
+        before = micro.ntt_limb_calls()
+        result = fuse_keyswitch(micro)
+        micro.validate()
+        assert result.rewrites == 1
+        kinds = micro.counts_by_kind()
+        assert kinds.get(FUSED_KEYSWITCH) == 1
+        assert "mod_up" not in kinds and "key_mult" not in kinds
+        assert "mod_down" not in kinds
+        # Fusing groups; it never changes the transform count itself.
+        assert micro.ntt_limb_calls() == before
+
+    def test_hoisted_group_not_fused(self):
+        def build(tb):
+            tb.rotations(tb.fresh_ct(), 8, [1, 2], hoisted=True)
+        micro = lowered(build)
+        assert fuse_keyswitch(micro).rewrites == 0
+
+    def test_fused_node_carries_member_limbs(self):
+        def build(tb):
+            tb.hmult(tb.fresh_ct(), 8)
+        micro = lowered(build)
+        total = micro.ntt_limb_calls()
+        fuse_keyswitch(micro)
+        fused = next(op for op in micro.ops
+                     if op.kind == FUSED_KEYSWITCH)
+        remaining = sum(op.limbs for op in micro.ops
+                        if op is not fused)
+        assert fused.limbs > 0
+        assert fused.limbs + remaining == total
+        assert "mod_up" in fused.meta["members"]
+        assert "key_mult" in fused.meta["members"]
+        assert "mod_down" in fused.meta["members"]
+
+
+class TestPassManager:
+    def test_empty_like_trace(self):
+        micro = MicroTrace(name="empty", ops=[MicroOp(kind=EWISE,
+                                                      index=0)],
+                           trace_len=1)
+        out, stats = PassManager().run(micro)
+        assert stats.ntt_before == stats.ntt_after == 0
+        assert stats.iterations >= 1
+        assert len(out.ops) == 1
+
+    def test_merge_dominates_cancel_on_hmult_rescale(self):
+        """Pipeline ordering: merge claims the rescale before cancel
+        can trade it for a smaller saving."""
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.hmult(ct, 8)
+            tb.rescale(ct, 8)
+            tb.hrot(ct, 7, 1)
+        micro = lowered(build)
+        _, stats = run_pipeline(micro)
+        assert stats.merged_rescales == 1
+
+    def test_stats_passes_cover_registry(self):
+        def build(tb):
+            ct = tb.fresh_ct()
+            tb.hmult(ct, 8)
+            tb.rescale(ct, 8)
+        _, stats = run_pipeline(lowered(build))
+        names = {entry["name"] for entry in stats.passes}
+        assert {"sink", "cancel", "merge_rescale", "fuse"} <= names
+
+
+class TestOptimiseTrace:
+    def test_optimised_trace_is_same_oplist(self):
+        tb = TraceBuilder("wrap")
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 8)
+        tb.rescale(ct, 8)
+        trace = tb.build().check()
+        opt = optimise_trace(trace, SET_II)
+        assert list(opt.ops) == list(trace.ops)
+        assert opt.name == trace.name
+        assert opt.optimised is True
+        assert opt.stats.ntt_after < opt.stats.ntt_before
+
+    def test_optimise_is_idempotent(self):
+        tb = TraceBuilder("idem")
+        tb.hmult(tb.fresh_ct(), 8)
+        opt = optimise_trace(tb.build().check(), SET_II)
+        assert optimise_trace(opt, SET_II) is opt
+
+    def test_factor_for_unknown_indices_is_unity(self):
+        tb = TraceBuilder("factors")
+        tb.pmult(tb.fresh_ct(), 9)
+        opt = optimise_trace(tb.build().check(), SET_II)
+        assert opt.factor_for([10 ** 6]) == 1.0
+        for index, (after, before) in opt.ntt_factors.items():
+            assert after <= before, index

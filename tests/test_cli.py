@@ -47,6 +47,24 @@ class TestCli:
         assert "speedup" in out and "violations 0" in out
         assert "graph:" in out
 
+    def test_sched_opt_flag(self, capsys):
+        assert main(["sched", "--clusters", "1", "--opt"]) == 0
+        out = capsys.readouterr().out
+        assert "dataflow optimiser: NTT limb transforms" in out
+        assert "serial 1-pipeline" in out
+
+    def test_opt_command(self, capsys):
+        assert main(["opt", "--workload", "helr256"]) == 0
+        out = capsys.readouterr().out
+        assert "NTT limb transforms" in out
+        assert "fused key-switches" in out
+
+    def test_opt_stats_flag(self, capsys):
+        assert main(["opt", "--workload", "helr256", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pass sink" in out and "pass fuse" in out
+        assert "fixed point after" in out
+
 
 class TestBenchCommand:
     """`repro bench` seeds the BENCH_sim.json regression baseline."""
@@ -60,7 +78,7 @@ class TestBenchCommand:
 
     def test_bench_quick_writes_schema(self, report_path):
         data = json.loads(report_path.read_text())
-        assert data["schema"] == "repro-bench/v6"
+        assert data["schema"] == "repro-bench/v7"
         assert data["quick"] is True
         assert set(data["workloads"]) == {"Bootstrap", "HELR256",
                                           "HELR1024", "ResNet-20"}
@@ -124,6 +142,37 @@ class TestBenchCommand:
                 >= hoisted["min_required_stage_speedup"])
         assert (hoisted["pipeline_speedup"]
                 >= hoisted["min_required_pipeline_speedup"])
+
+    def test_bench_dataflow_section(self, report_path):
+        from repro.bench.dataflow import validate_dataflow
+        data = json.loads(report_path.read_text())
+        section = data["dataflow"]
+        assert validate_dataflow(section) == []
+        assert set(section["workloads"]) == {"HELR256", "Bootstrap"}
+        for name, record in section["workloads"].items():
+            assert record["ntt_limb_calls_after"] \
+                < record["ntt_limb_calls_before"], name
+            assert record["ops_identical"] is True, name
+            assert record["opt_sim_s"] <= record["base_sim_s"] + 1e-9
+        assert section["executor"]["bit_exact"] is True
+        assert section["executor"]["optimised"] is True
+        fused = section["fused_rescale"]
+        assert fused["fused_kernel_calls"] > 0
+        assert fused["levels_match"] and fused["scales_match"]
+        assert not any(section["plan_cache_evictions"].values())
+
+    def test_bench_detects_dataflow_regression(self, report_path,
+                                               tmp_path, capsys):
+        doctored = json.loads(report_path.read_text())
+        for record in doctored["dataflow"]["workloads"].values():
+            record["ntt_limb_calls_after"] -= 1  # baseline was better
+        baseline = tmp_path / "BENCH_df_doctored.json"
+        baseline.write_text(json.dumps(doctored))
+        out = tmp_path / "BENCH_now.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out), "--baseline", str(baseline),
+                     "--wall-tolerance", "50"]) == 1
+        assert "dataflow." in capsys.readouterr().out
 
     def test_bench_detects_keyswitch_regression(self, report_path,
                                                 tmp_path, capsys):

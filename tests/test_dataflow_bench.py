@@ -1,0 +1,134 @@
+"""The ``dataflow`` bench section's acceptance and regression gates.
+
+These drive ``validate_dataflow`` / ``_compare_dataflow`` /
+``dataflow_stats`` on synthetic section dicts, so every gate clause is
+covered without re-running the optimiser; the real end-to-end section
+is exercised by ``tests/test_cli.py::TestBenchCommand``.
+"""
+
+import copy
+
+from repro.bench.dataflow import (
+    dataflow_stats,
+    validate_dataflow,
+)
+from repro.bench.harness import _compare_dataflow
+
+
+def good_section() -> dict:
+    return {
+        "gate_clusters": 4,
+        "workloads": {
+            "HELR256": {
+                "ntt_limb_calls_before": 10896,
+                "ntt_limb_calls_after": 9632,
+                "reduction_pct": 11.6,
+                "fused_nodes": 31,
+                "passes": [{"name": "sink", "rewrites": 177,
+                            "limbs_removed": 0}],
+                "ops_identical": True,
+                "base_sim_s": 2.0e-4,
+                "opt_sim_s": 2.0e-4,
+                "scaled_schedules": 34,
+            },
+        },
+        "executor": {"bit_exact": True, "optimised": True},
+        "fused_rescale": {
+            "sequential_max_error": 1e-6,
+            "fused_max_error": 1e-6,
+            "fused_kernel_calls": 3,
+            "levels_match": True,
+            "scales_match": True,
+            "sequential_best_s": 0.03,
+            "fused_best_s": 0.02,
+        },
+        "plan_cache_evictions": {"ntt": 0, "bconv": 0},
+    }
+
+
+class TestValidateDataflow:
+    def test_good_section_passes(self):
+        assert validate_dataflow(good_section()) == []
+
+    def test_flags_missing_strict_drop(self):
+        section = good_section()
+        record = section["workloads"]["HELR256"]
+        record["ntt_limb_calls_after"] = record["ntt_limb_calls_before"]
+        violations = validate_dataflow(section)
+        assert any("strictly drop" in v for v in violations)
+
+    def test_flags_changed_op_list(self):
+        section = good_section()
+        section["workloads"]["HELR256"]["ops_identical"] = False
+        assert any("op list" in v for v in validate_dataflow(section))
+
+    def test_flags_slower_schedule(self):
+        section = good_section()
+        section["workloads"]["HELR256"]["opt_sim_s"] = 3.0e-4
+        assert any("slower" in v for v in validate_dataflow(section))
+
+    def test_flags_inexact_executor(self):
+        section = good_section()
+        section["executor"]["bit_exact"] = False
+        assert any("bit-exact" in v for v in validate_dataflow(section))
+
+    def test_flags_unoptimised_executor_trace(self):
+        section = good_section()
+        section["executor"]["optimised"] = False
+        assert any("optimised" in v for v in validate_dataflow(section))
+
+    def test_flags_fused_error(self):
+        section = good_section()
+        section["fused_rescale"]["fused_max_error"] = 1.0
+        assert any("fused_max_error" in v
+                   for v in validate_dataflow(section))
+
+    def test_flags_fused_fallback(self):
+        section = good_section()
+        section["fused_rescale"]["fused_kernel_calls"] = 0
+        assert any("never engaged" in v
+                   for v in validate_dataflow(section))
+
+    def test_flags_bookkeeping_mismatch(self):
+        section = good_section()
+        section["fused_rescale"]["scales_match"] = False
+        assert any("bookkeeping" in v for v in validate_dataflow(section))
+
+    def test_flags_plan_cache_evictions(self):
+        section = good_section()
+        section["plan_cache_evictions"]["bconv"] = 7
+        violations = validate_dataflow(section)
+        assert any("bconv" in v and "evictions" in v
+                   for v in violations)
+
+
+class TestCompareDataflow:
+    def test_equal_sections_have_no_regressions(self):
+        section = good_section()
+        assert _compare_dataflow(section, copy.deepcopy(section),
+                                 1.0) == []
+
+    def test_ntt_growth_is_a_regression(self):
+        baseline = good_section()
+        current = copy.deepcopy(baseline)
+        current["workloads"]["HELR256"]["ntt_limb_calls_after"] += 1
+        regressions = _compare_dataflow(current, baseline, 1.0)
+        assert any("lost rewrites" in r for r in regressions)
+
+    def test_fused_wall_regression(self):
+        baseline = good_section()
+        current = copy.deepcopy(baseline)
+        current["fused_rescale"]["fused_best_s"] *= 10.0
+        regressions = _compare_dataflow(current, baseline, 1.0)
+        assert any("fused_best_s" in r for r in regressions)
+
+    def test_missing_baseline_section_is_skipped(self):
+        assert _compare_dataflow(good_section(), {}, 1.0) == []
+
+
+class TestDataflowStats:
+    def test_compact_view(self):
+        stats = dataflow_stats(good_section())
+        assert stats["HELR256"]["ntt_before"] == 10896
+        assert stats["HELR256"]["ntt_after"] == 9632
+        assert stats["HELR256"]["passes"] == {"sink": 177}
