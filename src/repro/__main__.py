@@ -10,6 +10,8 @@ Commands
 ``bench``       perf-regression benchmarks; seeds ``BENCH_sim.json``
 ``sched``       dataflow-scheduled multi-cluster run + scaling curve
 ``opt``         whole-trace dataflow optimiser report for one workload
+``serve``       multi-tenant batching FHE server (JSON over TCP)
+``loadgen``     drive a server and report rps / latency / bit-exactness
 """
 
 from __future__ import annotations
@@ -174,6 +176,66 @@ def cmd_opt(args) -> int:
     return 0 if stats.ntt_after < stats.ntt_before else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    from repro.serve.server import FheServer, ServerConfig
+
+    config = ServerConfig(window_s=args.window_ms / 1e3,
+                          max_batch=args.max_batch,
+                          clusters=args.clusters,
+                          backend=args.backend,
+                          workers=args.workers,
+                          seed=args.seed)
+
+    async def _run() -> None:
+        server = FheServer(config)
+        try:
+            host, port = await server.start_tcp(args.host, args.port)
+            print(f"repro serve: listening on {host}:{port} "
+                  f"(backend {config.backend}, window "
+                  f"{config.window_s * 1e3:.1f} ms, "
+                  f"max batch {config.max_batch})", flush=True)
+            while args.limit is None or \
+                    server.stats()["responses"] < args.limit:
+                await asyncio.sleep(0.05)
+        finally:
+            await server.close()
+        stats = server.stats()
+        print(f"served {stats['responses']} requests in "
+              f"{stats['batches']} batches "
+              f"(mean batch {stats['mean_batch']:.1f})")
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json
+    from repro.serve.loadgen import format_report, run_loadgen
+    from repro.serve.server import ServerConfig
+
+    config = ServerConfig(window_s=args.window_ms / 1e3,
+                          max_batch=args.max_batch,
+                          clusters=args.clusters,
+                          backend=args.backend,
+                          workers=args.workers)
+    report = run_loadgen(config=config, shape=args.shape,
+                         tenants=args.tenants,
+                         requests_per_tenant=args.requests_per_tenant,
+                         concurrency=args.concurrency,
+                         mode=args.mode, rate_rps=args.rate,
+                         compare_serial=not args.no_serial)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for line in format_report(report):
+            print(line)
+    return 1 if report.errors or report.bit_exact is False else 0
+
+
 def cmd_security(_args) -> int:
     from repro.ckks import security
     from repro.ckks.params import SET_I, SET_II
@@ -231,11 +293,45 @@ def main(argv=None) -> int:
                      choices=["helr256", "helr1024", "bootstrap"])
     opt.add_argument("--stats", action="store_true",
                      help="print the per-pass rewrite breakdown")
+
+    def server_arguments(cmd):
+        cmd.add_argument("--window-ms", type=float, default=2.0,
+                         help="batch admission window (milliseconds)")
+        cmd.add_argument("--max-batch", type=int, default=16)
+        cmd.add_argument("--clusters", type=int, default=4)
+        cmd.add_argument("--backend", default="stacked",
+                         choices=["stacked", "pool"])
+        cmd.add_argument("--workers", type=int, default=4,
+                         help="pool backend: compute processes")
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant batching FHE server (JSON/TCP)")
+    server_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8473)
+    serve.add_argument("--seed", type=int, default=20250806)
+    serve.add_argument("--limit", type=int, default=None,
+                       help="exit after serving N responses")
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a server; report rps/latency/exactness")
+    server_arguments(loadgen)
+    loadgen.add_argument("--shape", default="helr-mini-step")
+    loadgen.add_argument("--tenants", type=int, default=8)
+    loadgen.add_argument("--requests-per-tenant", type=int, default=8)
+    loadgen.add_argument("--concurrency", type=int, default=2)
+    loadgen.add_argument("--mode", default="closed",
+                         choices=["closed", "open"])
+    loadgen.add_argument("--rate", type=float, default=200.0,
+                         help="open loop: arrival rate (requests/sec)")
+    loadgen.add_argument("--no-serial", action="store_true",
+                         help="skip the serial oracle comparison")
+    loadgen.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
     return {"evaluate": cmd_evaluate, "bootstrap": cmd_bootstrap,
             "table5": cmd_table5, "decide": cmd_decide,
             "security": cmd_security, "bench": cmd_bench,
-            "sched": cmd_sched, "opt": cmd_opt}[args.command](args)
+            "sched": cmd_sched, "opt": cmd_opt,
+            "serve": cmd_serve, "loadgen": cmd_loadgen}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v7"
+BENCH_SCHEMA = "repro-bench/v8"
 DEFAULT_OUT = "BENCH_sim.json"
 DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
@@ -98,7 +98,7 @@ def run_benchmarks(config=None, quick: bool = False,
                    clusters=None) -> dict:
     """Run every workload; returns the full report dict."""
     from repro import __version__, obs
-    from repro.bench import dataflow, keyswitch, micro, sched
+    from repro.bench import dataflow, keyswitch, micro, sched, serving
     from repro.hw.config import FAST_CONFIG
     from repro.sim.engine import Engine
 
@@ -118,6 +118,7 @@ def run_benchmarks(config=None, quick: bool = False,
         throughput_report = sched.run_throughput(quick=quick,
                                                  clusters=clusters)
         dataflow_report = dataflow.run_dataflow(quick=quick)
+        serving_report = serving.run_serving(quick=quick)
     finally:
         obs.configure(enabled=was_enabled)
     return {
@@ -145,6 +146,7 @@ def run_benchmarks(config=None, quick: bool = False,
         "sched": sched_report,
         "throughput": throughput_report,
         "dataflow": dataflow_report,
+        "serving": serving_report,
     }
 
 
@@ -191,6 +193,40 @@ def compare_reports(current: dict, baseline: dict,
     regressions.extend(_compare_dataflow(current.get("dataflow") or {},
                                          baseline.get("dataflow") or {},
                                          wall_tolerance))
+    regressions.extend(_compare_serving(current.get("serving") or {},
+                                        baseline.get("serving") or {},
+                                        wall_tolerance))
+    return regressions
+
+
+def _compare_serving(current: dict, baseline: dict,
+                     wall_tolerance: float) -> list[str]:
+    """Serving-layer regressions against a baseline report.
+
+    Loadgen rps is wall-clock on a live server, so only the loose
+    host tolerance applies (to the *speedup ratio*, which divides out
+    most host variance); the evk-admission miss counts are exact
+    deterministic integers.  Pre-v8 baselines lack the section and
+    are skipped.
+    """
+    if not current or not baseline:
+        return []
+    regressions = []
+    now = (current.get("loadgen") or {}).get("speedup")
+    ref = (baseline.get("loadgen") or {}).get("speedup")
+    if ref and now is not None and now < ref / (1.0 + wall_tolerance):
+        regressions.append(
+            f"serving.loadgen: speedup {now:.2f}x vs baseline "
+            f"{ref:.2f}x (-{(1 - now / ref) * 100:.0f}%, tolerance "
+            f"{wall_tolerance * 100:.0f}%)")
+    now = (current.get("evk_admission") or {}).get("aware", {}) \
+        .get("misses")
+    ref = (baseline.get("evk_admission") or {}).get("aware", {}) \
+        .get("misses")
+    if ref is not None and now is not None and now > ref:
+        regressions.append(
+            f"serving.evk_admission: aware-order misses {now} vs "
+            f"baseline {ref} (admission policy lost locality)")
     return regressions
 
 
@@ -516,6 +552,30 @@ def _format_table(report: dict) -> str:
             f"(-{executor['ntt_limb_calls_removed']} NTT limbs) "
             f"bit_exact={executor['bit_exact']} "
             f"evictions={dataflow['plan_cache_evictions']}")
+    serving = report.get("serving")
+    if serving:
+        loadgen = serving["loadgen"]
+        lines.append("")
+        lines.append(
+            f"serving: {loadgen['shape']} {loadgen['tenants']} tenants"
+            f" x{loadgen['concurrency']} closed-loop: "
+            f"{loadgen['requests']} req @ {loadgen['rps']:.0f} rps, "
+            f"p50 {loadgen['p50_ms']:.0f} ms p99 "
+            f"{loadgen['p99_ms']:.0f} ms, batch {loadgen['mean_batch']:.1f}"
+            f" ({loadgen['batch_occupancy']:.0%} full)")
+        lines.append(
+            f"serving: speedup {loadgen['speedup']:.2f}x vs serial "
+            f"(bar {serving['min_speedup']:.0f}x) "
+            f"bit_exact={loadgen['bit_exact']} "
+            f"errors={loadgen['errors']} "
+            f"pin_violations={loadgen['pin_violations']}")
+        admission = serving["evk_admission"]
+        lines.append(
+            f"serving: evk admission misses "
+            f"{admission['naive']['misses']} -> "
+            f"{admission['aware']['misses']} "
+            f"(-{admission['miss_reduction']}) on the key-disjoint "
+            f"pair")
     return "\n".join(lines)
 
 
@@ -561,6 +621,7 @@ def run_cli(args: argparse.Namespace) -> int:
     from repro.bench.keyswitch import validate_keyswitch
     from repro.bench.micro import validate_micro
     from repro.bench.sched import validate_sched, validate_throughput
+    from repro.bench.serving import validate_serving
     if getattr(args, "calibrate", False):
         return _run_calibration(args)
     clusters = tuple(int(c) for c in str(args.clusters).split(",") if c)
@@ -574,7 +635,8 @@ def run_cli(args: argparse.Namespace) -> int:
         + validate_keyswitch(report["keyswitch"]) \
         + validate_sched(report["sched"]) \
         + validate_throughput(report["throughput"]) \
-        + validate_dataflow(report["dataflow"])
+        + validate_dataflow(report["dataflow"]) \
+        + validate_serving(report["serving"])
     if violations:
         print("\nACCEPTANCE VIOLATIONS:")
         for line in violations:

@@ -1,0 +1,171 @@
+"""The ``serving`` benchmark section: closed-loop loadgen acceptance.
+
+Two records:
+
+* ``loadgen`` — a closed-loop run against a live :class:`FheServer`
+  (8 tenants x 8 requests at concurrency 2 = 64 requests, the
+  HELR-mini step shape, 4-cluster sim pricing): requests/sec, p50 and
+  p99 latency, batch occupancy, peak queue depth, per-tenant evk hit
+  rates — and the acceptance pair: the batched server must sustain
+  >= ``MIN_SERVING_SPEEDUP`` x the serial per-request oracle's
+  request rate with every response digest bit-exact against it.
+* ``evk_admission`` — the cross-stream admission policy on a
+  key-disjoint workload pair: interleaved working sets against a
+  capacity-limited key store vs the same queue reordered by
+  :func:`~repro.serve.batcher.evk_aware_order`; the aware order must
+  strictly reduce evk fetch misses.
+
+The loadgen numbers are wall-clock on a live asyncio server, so the
+speedup bar (not latency deltas) is the regression signal; the
+admission record is deterministic cache arithmetic.
+"""
+
+from __future__ import annotations
+
+MIN_SERVING_SPEEDUP = 3.0
+GATE_TENANTS = 8
+GATE_REQUESTS = 64
+GATE_CONCURRENCY = 2
+GATE_CLUSTERS = 4
+SERVING_SHAPE = "helr-mini-step"
+
+
+def _loadgen_record() -> dict:
+    from repro.serve.loadgen import run_loadgen
+    from repro.serve.server import ServerConfig
+    config = ServerConfig(clusters=GATE_CLUSTERS)
+    per_tenant = GATE_REQUESTS // GATE_TENANTS
+    report = run_loadgen(config=config, shape=SERVING_SHAPE,
+                         tenants=GATE_TENANTS,
+                         requests_per_tenant=per_tenant,
+                         concurrency=GATE_CONCURRENCY,
+                         compare_serial=True)
+    record = report.to_dict()
+    record["clusters"] = GATE_CLUSTERS
+    record["window_ms"] = config.window_s * 1e3
+    record["max_batch"] = config.max_batch
+    record["backend"] = config.backend
+    record["tenant_evk_hit_rates"] = record.pop("per_tenant")
+    record["optimiser"] = report.server_stats.get("optimiser", {})
+    record["pricing"] = report.server_stats.get("pricing", {})
+    return record
+
+
+def _evk_admission_record() -> dict:
+    """Key-disjoint pair: interleaved vs evk-aware admission order."""
+    from repro.ckks.params import SET_I, SET_II
+    from repro.core.hemera import EvkPool
+    from repro.core.optrace import TraceBuilder
+    from repro.hw.memory import PartitionedKeyCache
+    from repro.serve.batcher import evk_aware_order, evk_working_set
+    from repro.serve.tenants import TenantKeyManager
+
+    def rotations_trace(name, amounts):
+        builder = TraceBuilder(name)
+        ct = builder.fresh_ct()
+        for amount in amounts:
+            builder.hrot(ct, 20, rotation=amount)
+        return builder.build()
+
+    set_a = evk_working_set(rotations_trace("wsA", range(1, 7)))
+    set_b = evk_working_set(rotations_trace("wsB", range(101, 107)))
+    pool = EvkPool(SET_I, SET_II)
+    set_bytes = sum(pool.lookup(key).size_bytes for key in set_a)
+    # Capacity holds one working set (plus slack), never both: the
+    # interleaved order must re-fetch on every alternation.
+    capacity = set_bytes * 1.3
+    queue = [set_a, set_b] * 4
+
+    def drain(order) -> dict:
+        manager = TenantKeyManager(EvkPool(SET_I, SET_II),
+                                   PartitionedKeyCache(capacity))
+        for position in order:
+            lease = manager.acquire(f"tenant-{position % 4}",
+                                    queue[position])
+            manager.release(lease)
+        totals = manager.totals()
+        return {"misses": totals.evk_misses, "hits": totals.evk_hits}
+
+    naive = drain(range(len(queue)))
+    aware_order = evk_aware_order(queue)
+    aware = drain(aware_order)
+    return {
+        "queue_len": len(queue),
+        "keys_per_set": len(set_a),
+        "capacity_bytes": capacity,
+        "naive": naive,
+        "aware": aware,
+        "aware_order": list(aware_order),
+        "miss_reduction": naive["misses"] - aware["misses"],
+    }
+
+
+def run_serving(quick: bool = False) -> dict:
+    """The full ``serving`` section (same scale in quick mode: the
+    gate workload is already CI-sized at 64 requests)."""
+    return {
+        "shape": SERVING_SHAPE,
+        "min_speedup": MIN_SERVING_SPEEDUP,
+        "loadgen": _loadgen_record(),
+        "evk_admission": _evk_admission_record(),
+    }
+
+
+def validate_serving(section: dict) -> list[str]:
+    """Acceptance violations of one ``serving`` section."""
+    violations: list[str] = []
+    loadgen = section.get("loadgen", {})
+    speedup = loadgen.get("speedup") or 0.0
+    if speedup < MIN_SERVING_SPEEDUP:
+        violations.append(
+            f"serving.loadgen: {speedup:.2f}x requests/sec over the "
+            f"serial oracle, below the {MIN_SERVING_SPEEDUP:.0f}x "
+            f"acceptance bar")
+    if not loadgen.get("bit_exact"):
+        violations.append(
+            "serving.loadgen: served responses are not bit-exact "
+            "against the serial per-request oracle")
+    if loadgen.get("errors"):
+        violations.append(
+            f"serving.loadgen: {loadgen['errors']} failed requests")
+    if loadgen.get("requests", 0) < GATE_REQUESTS:
+        violations.append(
+            f"serving.loadgen: only {loadgen.get('requests', 0)} "
+            f"requests (gate needs >= {GATE_REQUESTS})")
+    if loadgen.get("tenants", 0) < 4:
+        violations.append(
+            f"serving.loadgen: only {loadgen.get('tenants', 0)} "
+            f"tenants (gate needs >= 4)")
+    if loadgen.get("pin_violations"):
+        violations.append(
+            f"serving.loadgen: {loadgen['pin_violations']} evk pin "
+            f"violations (a pinned in-flight key was evicted)")
+    if not (loadgen.get("p99_ms") or 0.0) > 0.0:
+        violations.append("serving.loadgen: p99 latency not reported")
+    admission = section.get("evk_admission", {})
+    if admission and admission.get("miss_reduction", 0) <= 0:
+        violations.append(
+            "serving.evk_admission: evk-aware order did not reduce "
+            "fetch misses on the key-disjoint pair")
+    return violations
+
+
+def serving_stats(section: dict) -> dict:
+    """Compact view of a ``serving`` section (the CI artifact)."""
+    loadgen = section.get("loadgen", {})
+    return {
+        "shape": section.get("shape"),
+        "requests": loadgen.get("requests"),
+        "tenants": loadgen.get("tenants"),
+        "rps": loadgen.get("rps"),
+        "p50_ms": loadgen.get("p50_ms"),
+        "p99_ms": loadgen.get("p99_ms"),
+        "mean_batch": loadgen.get("mean_batch"),
+        "batch_occupancy": loadgen.get("batch_occupancy"),
+        "max_queue_depth": loadgen.get("max_queue_depth"),
+        "speedup": loadgen.get("speedup"),
+        "bit_exact": loadgen.get("bit_exact"),
+        "pin_violations": loadgen.get("pin_violations"),
+        "tenant_evk_hit_rates": loadgen.get("tenant_evk_hit_rates"),
+        "evk_admission": section.get("evk_admission"),
+    }

@@ -308,3 +308,125 @@ class EvkPrefetcher:
         for key in identities:
             self.cache.unpin(key)
             self._in_flight.pop(key, None)
+
+
+class PartitionedKeyCache:
+    """Tenant-partitioned on-chip key store for the serving layer.
+
+    One physical key store shared across tenants: *residency* is
+    global — any tenant's lookup rides any resident copy, which is the
+    whole point of sharing the Hemera evk pool — but *capacity* is
+    accounted to the tenant that inserted each key, against a
+    per-tenant quota.  A tenant under partition pressure evicts its
+    own unpinned LRU entries first; only then does global pressure
+    evict across partitions, so one tenant's key churn cannot empty
+    another's working set while that set is being reused.
+
+    Pins are ref-counted exactly as in
+    :class:`~repro.core.hemera.KeyCache`: a pinned (in-flight) key is
+    never selected for eviction, and an insert that cannot make room
+    without touching pinned entries is dropped (``dropped_inserts``)
+    rather than forced.  ``pin_violations`` counts evictions that
+    would have removed a pinned key — by construction always zero;
+    the serving CI gate asserts it stays that way.
+    """
+
+    def __init__(self, capacity_bytes: float,
+                 default_quota_bytes: float | None = None):
+        self.capacity = capacity_bytes
+        self.default_quota = (capacity_bytes if default_quota_bytes is None
+                              else default_quota_bytes)
+        self._entries: OrderedDict = OrderedDict()  # key -> (size, owner)
+        self._pins: dict = {}
+        self._quotas: dict[str, float] = {}
+        self._charged: dict[str, float] = {}
+        self.used = 0.0
+        self.evictions = 0
+        self.evictions_by_owner: dict[str, int] = {}
+        self.dropped_inserts = 0
+        self.pin_violations = 0
+
+    # -- quotas ---------------------------------------------------------
+    def set_quota(self, owner: str, quota_bytes: float) -> None:
+        self._quotas[owner] = float(quota_bytes)
+
+    def quota(self, owner: str) -> float:
+        return self._quotas.get(owner, self.default_quota)
+
+    def charged_bytes(self, owner: str) -> float:
+        return self._charged.get(owner, 0.0)
+
+    # -- residency ------------------------------------------------------
+    def resident(self, key) -> bool:
+        return key in self._entries
+
+    def owner(self, key) -> str | None:
+        entry = self._entries.get(key)
+        return entry[1] if entry else None
+
+    def touch(self, key) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    # -- pinning --------------------------------------------------------
+    def pin(self, key) -> None:
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key) -> None:
+        count = self._pins.get(key, 0)
+        if count <= 1:
+            self._pins.pop(key, None)
+        else:
+            self._pins[key] = count - 1
+
+    def pinned(self, key) -> bool:
+        return key in self._pins
+
+    # -- insertion / eviction -------------------------------------------
+    def _victim(self, owned_by: str | None = None):
+        for key, (_, owner) in self._entries.items():
+            if key in self._pins:
+                continue
+            if owned_by is not None and owner != owned_by:
+                continue
+            return key
+        return None
+
+    def _evict(self, key) -> None:
+        if key in self._pins:
+            self.pin_violations += 1
+            return
+        size, owner = self._entries.pop(key)
+        self._charged[owner] = self._charged.get(owner, 0.0) - size
+        self.used -= size
+        self.evictions += 1
+        self.evictions_by_owner[owner] = \
+            self.evictions_by_owner.get(owner, 0) + 1
+
+    def insert(self, key, size: float, owner: str) -> bool:
+        """Charge ``size`` bytes to ``owner`` and make ``key``
+        resident; returns False (and counts a dropped insert) when
+        room cannot be made without evicting pinned entries."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        size = float(size)
+        while self.charged_bytes(owner) + size > self.quota(owner):
+            victim = self._victim(owned_by=owner)
+            if victim is None:
+                self.dropped_inserts += 1
+                return False
+            self._evict(victim)
+        while self.used + size > self.capacity:
+            victim = self._victim()
+            if victim is None:
+                self.dropped_inserts += 1
+                return False
+            self._evict(victim)
+        self._entries[key] = (size, owner)
+        self._charged[owner] = self._charged.get(owner, 0.0) + size
+        self.used += size
+        return True
+
+    def resident_bytes(self) -> float:
+        return self.used

@@ -100,6 +100,13 @@ class MetricsRegistry:
     def counters(self) -> dict[str, float]:
         return {name: c.value for name, c in sorted(self._counters.items())}
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, float]:
+        """Counters under one namespace, e.g. the per-tenant serving
+        attribution rooted at ``serve.tenant.<name>.``."""
+        return {name: c.value
+                for name, c in sorted(self._counters.items())
+                if name.startswith(prefix)}
+
     def histograms(self) -> dict[str, dict]:
         return {name: h.summary()
                 for name, h in sorted(self._histograms.items())}

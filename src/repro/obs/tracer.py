@@ -184,6 +184,10 @@ class Tracer:
     def counter_value(self, name: str) -> float:
         return self.metrics.counters().get(name, 0.0)
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, float]:
+        """Counters under one namespace (per-tenant attribution)."""
+        return self.metrics.counters_with_prefix(prefix)
+
     def snapshot(self) -> dict:
         """JSON-ready dump of everything recorded so far."""
         from repro.obs import export

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import multiprocessing
@@ -161,12 +162,67 @@ class FunctionalExecutor:
     """Executes traces functionally, serially or across processes."""
 
     def __init__(self, ring_degree: int = 256, num_limbs: int = 3,
-                 prime_bits: int = 36, seed: int = 20250806):
+                 prime_bits: int = 36, seed: int = 20250806,
+                 persistent: bool = False):
         self.ring_degree = ring_degree
         self.seed = seed
         self.moduli = tuple(primes.ntt_primes(
             num_limbs, prime_bits, ring_degree))
         self._ctx = _build_context(self.moduli, ring_degree, seed)
+        # Persistent mode keeps one fork pool alive across runs so a
+        # server dispatching many small batches does not pay the pool
+        # spin-up (fork + worker context build) per batch.
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+
+    # -- pool lifecycle ----------------------------------------------------
+    def ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The resident fork pool: created on first use, reused across
+        runs, grown (recreated) when a caller needs more workers.
+        Raises ``OSError`` where fork is unavailable — callers fall
+        back exactly as with the per-run pools."""
+        if self._pool is not None and workers <= self._pool_workers:
+            obs.get_tracer().count("sched.executor.pool_reuse")
+            return self._pool
+        self.close()
+        ctx = multiprocessing.get_context("fork")
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self.moduli, self.ring_degree, self.seed))
+        self._pool = pool
+        self._pool_workers = workers
+        obs.get_tracer().count("sched.executor.pool_create")
+        return pool
+
+    def _checkout_pool(self, workers: int
+                       ) -> tuple[ProcessPoolExecutor, bool]:
+        """A pool to run on plus whether the caller owns (must shut
+        down) it: the resident pool in persistent mode, a fresh
+        per-run pool otherwise."""
+        if self.persistent:
+            return self.ensure_pool(workers), False
+        ctx = multiprocessing.get_context("fork")
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self.moduli, self.ring_degree, self.seed))
+        return pool, True
+
+    def close(self) -> None:
+        """Shut down the resident pool (idempotent; the executor
+        stays usable — the next persistent run re-creates it)."""
+        pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FunctionalExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # -- state -------------------------------------------------------------
     def _ct_ids(self, trace: OpTrace) -> list[int]:
@@ -233,7 +289,8 @@ class FunctionalExecutor:
         slots = {ct: i for i, ct in enumerate(ct_ids)}
         try:
             return self._run_pool(trace, graph, ct_ids, slots, workers)
-        except (OSError, ValueError, PermissionError):
+        except (OSError, ValueError, PermissionError, BrokenProcessPool):
+            self.close()  # a broken resident pool must not be reused
             obs.get_tracer().count("sched.executor.pool_fallback")
             state = self._run_inline(trace, graph)
             return state, False
@@ -243,16 +300,12 @@ class FunctionalExecutor:
         shape = (len(ct_ids), len(self.moduli), self.ring_degree)
         nbytes = int(np.prod(shape)) * 8
         shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 8))
-        pool = None
+        pool, owned = None, False
         try:
             arena = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
             for ct in ct_ids:
                 arena[slots[ct]] = self._fresh_ct(ct)
-            ctx = multiprocessing.get_context("fork")
-            pool = ProcessPoolExecutor(
-                max_workers=workers, mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(self.moduli, self.ring_degree, self.seed))
+            pool, owned = self._checkout_pool(workers)
             indegree = {n.node_id: len(n.preds) for n in graph.nodes}
             ready = [nid for nid, deg in indegree.items() if deg == 0]
             in_flight = {}
@@ -277,7 +330,7 @@ class FunctionalExecutor:
             state = {ct: arena[slots[ct]].copy() for ct in ct_ids}
             return state, True
         finally:
-            if pool is not None:
+            if owned and pool is not None:
                 pool.shutdown(wait=True)
             shm.close()
             shm.unlink()
@@ -323,7 +376,8 @@ class FunctionalExecutor:
                 slots.setdefault((s, ct), len(slots))
         try:
             return self._run_merged_pool(streams, graph, slots, workers)
-        except (OSError, ValueError, PermissionError):
+        except (OSError, ValueError, PermissionError, BrokenProcessPool):
+            self.close()  # a broken resident pool must not be reused
             obs.get_tracer().count("sched.executor.pool_fallback")
             return self._run_merged_inline(streams, graph, slots), False
 
@@ -332,16 +386,12 @@ class FunctionalExecutor:
         shape = (len(slots), len(self.moduli), self.ring_degree)
         nbytes = int(np.prod(shape)) * 8
         shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 8))
-        pool = None
+        pool, owned = None, False
         try:
             arena = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
             for (s, ct), slot in slots.items():
                 arena[slot] = self._fresh_ct(ct, self.stream_seed(s))
-            ctx = multiprocessing.get_context("fork")
-            pool = ProcessPoolExecutor(
-                max_workers=workers, mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(self.moduli, self.ring_degree, self.seed))
+            pool, owned = self._checkout_pool(workers)
             indegree = {n.node_id: len(n.preds) for n in graph.nodes}
             ready = [nid for nid, deg in indegree.items() if deg == 0]
             in_flight = {}
@@ -370,7 +420,7 @@ class FunctionalExecutor:
                 states[s][ct] = arena[slot].copy()
             return states, True
         finally:
-            if pool is not None:
+            if owned and pool is not None:
                 pool.shutdown(wait=True)
             shm.close()
             shm.unlink()

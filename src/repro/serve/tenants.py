@@ -1,0 +1,195 @@
+"""Tenant management: one shared evk pool, per-tenant quotas.
+
+Tenants share a single :class:`~repro.core.hemera.EvkPool` (the HBM
+address book) and one physical on-chip key store
+(:class:`~repro.hw.memory.PartitionedKeyCache`): a key any tenant
+made resident serves every tenant's lookups — the economy of serving
+many tenants on one accelerator — while *capacity* is charged to the
+inserting tenant against its quota.
+
+:class:`TenantKeyManager` is the serving-side policy on top:
+
+* ``acquire`` resolves a batch's evk working set for one tenant,
+  raising :class:`TenantQuotaError` *before any mutation* when the
+  set alone exceeds the tenant's quota, pinning every key it touches
+  for the duration of the batch (in-flight keys are never evicted);
+  keys that cannot be made resident without evicting pinned entries
+  are *streamed* (fetched but not cached) instead of forced in;
+* ``release`` drops the batch's pins;
+* every tenant keeps its own :class:`TenantStats` tally (requests,
+  evk hits/misses, bytes fetched) mirrored into a global tally — the
+  per-tenant counters provably sum to the global ones, which the
+  tenant test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.hemera import EvkPool
+from repro.hw.memory import PartitionedKeyCache
+
+
+class TenantQuotaError(RuntimeError):
+    """A tenant's evk working set exceeds its key quota."""
+
+
+@dataclass
+class TenantStats:
+    """One tenant's running counters (also used for the global sum)."""
+
+    requests: int = 0
+    evk_hits: int = 0
+    evk_misses: int = 0
+    bytes_fetched: float = 0.0
+    streamed_keys: int = 0
+    quota_bytes: float = 0.0
+
+    @property
+    def evk_hit_rate(self) -> float:
+        lookups = self.evk_hits + self.evk_misses
+        return self.evk_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "evk_hits": self.evk_hits,
+            "evk_misses": self.evk_misses,
+            "evk_hit_rate": self.evk_hit_rate,
+            "bytes_fetched": self.bytes_fetched,
+            "streamed_keys": self.streamed_keys,
+            "quota_bytes": self.quota_bytes,
+        }
+
+
+@dataclass
+class KeyLease:
+    """One batch's hold on its tenant's working set."""
+
+    tenant: str
+    pinned: tuple = ()
+    hits: int = 0
+    misses: int = 0
+    bytes_fetched: float = 0.0
+    released: bool = False
+
+
+class TenantKeyManager:
+    """Shared-pool key admission with per-tenant quotas/counters."""
+
+    def __init__(self, pool: EvkPool, cache: PartitionedKeyCache):
+        self.pool = pool
+        self.cache = cache
+        self._stats: dict[str, TenantStats] = {}
+        self._global = TenantStats()
+
+    # -- registration ---------------------------------------------------
+    def register(self, tenant: str,
+                 quota_bytes: float | None = None) -> TenantStats:
+        stats = self._stats.get(tenant)
+        if stats is None:
+            stats = self._stats[tenant] = TenantStats(
+                quota_bytes=self.cache.quota(tenant))
+        if quota_bytes is not None:
+            self.cache.set_quota(tenant, quota_bytes)
+            stats.quota_bytes = float(quota_bytes)
+        return stats
+
+    def tenants(self) -> list[str]:
+        return sorted(self._stats)
+
+    def count_request(self, tenant: str) -> None:
+        self.register(tenant).requests += 1
+        self._global.requests += 1
+
+    # -- working-set admission ------------------------------------------
+    def acquire(self, tenant: str, key_ids) -> KeyLease:
+        """Pin one tenant's working set for a batch in flight.
+
+        Raises :class:`TenantQuotaError` (and changes nothing) when
+        the working set's total bytes exceed the tenant's quota.
+        """
+        stats = self.register(tenant)
+        records = [self.pool.lookup(key) for key in key_ids]
+        total = sum(record.size_bytes for record in records)
+        quota = self.cache.quota(tenant)
+        if total > quota:
+            raise TenantQuotaError(
+                f"tenant {tenant!r}: evk working set {total:.0f} B "
+                f"exceeds the {quota:.0f} B key quota")
+        lease = KeyLease(tenant=tenant)
+        pinned = []
+        for record in records:
+            key = record.key_id
+            if self.cache.resident(key):
+                self.cache.touch(key)
+                self.cache.pin(key)
+                pinned.append(key)
+                lease.hits += 1
+                continue
+            lease.misses += 1
+            lease.bytes_fetched += record.size_bytes
+            if self.cache.insert(key, record.size_bytes, tenant):
+                self.cache.pin(key)
+                pinned.append(key)
+            else:
+                # Everything evictable is pinned by in-flight batches:
+                # the key streams through without residency.
+                stats.streamed_keys += 1
+                self._global.streamed_keys += 1
+        lease.pinned = tuple(pinned)
+        stats.evk_hits += lease.hits
+        stats.evk_misses += lease.misses
+        stats.bytes_fetched += lease.bytes_fetched
+        self._global.evk_hits += lease.hits
+        self._global.evk_misses += lease.misses
+        self._global.bytes_fetched += lease.bytes_fetched
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            # Serving-side continuation of Hemera's prefetch
+            # accounting: an acquire hit means the batch's keys were
+            # already on chip, a miss means an HBM fetch — the same
+            # counters the throughput scheduler emits, so dashboards
+            # aggregate offline and served key traffic in one place.
+            tracer.count("hemera.prefetch.hit", lease.hits)
+            tracer.count("hemera.prefetch.miss", lease.misses)
+            tracer.count(f"serve.tenant.{tenant}.evk_hits", lease.hits)
+            tracer.count(f"serve.tenant.{tenant}.evk_misses",
+                         lease.misses)
+        return lease
+
+    def release(self, lease: KeyLease) -> None:
+        """Drop a retired batch's pins (idempotent per lease)."""
+        if lease.released:
+            return
+        lease.released = True
+        for key in lease.pinned:
+            self.cache.unpin(key)
+
+    # -- reporting ------------------------------------------------------
+    def stats(self, tenant: str) -> TenantStats:
+        return self.register(tenant)
+
+    def totals(self) -> TenantStats:
+        return self._global
+
+    @property
+    def pin_violations(self) -> int:
+        return self.cache.pin_violations
+
+    def eviction_report(self) -> dict:
+        return {
+            "total": self.cache.evictions,
+            "by_owner": dict(self.cache.evictions_by_owner),
+            "dropped_inserts": self.cache.dropped_inserts,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "tenants": {name: self._stats[name].to_dict()
+                        for name in self.tenants()},
+            "totals": self._global.to_dict(),
+            "evictions": self.eviction_report(),
+            "pin_violations": self.pin_violations,
+        }

@@ -1,0 +1,83 @@
+"""The resident fork pool: reuse across runs, clean shutdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.optrace import TraceBuilder
+from repro.sched.executor import FunctionalExecutor
+
+
+def small_trace():
+    tb = TraceBuilder("small")
+    for _ in range(2):
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 5)
+        tb.rescale(ct, 5)
+    return tb.build()
+
+
+@pytest.fixture()
+def executor():
+    ex = FunctionalExecutor(ring_degree=32, num_limbs=2,
+                            persistent=True)
+    yield ex
+    ex.close()
+
+
+class TestPoolLifecycle:
+    def test_ensure_pool_reuses_resident_pool(self, executor):
+        try:
+            first = executor.ensure_pool(2)
+        except OSError:
+            pytest.skip("fork unavailable in this sandbox")
+        assert executor.ensure_pool(2) is first
+        assert executor.ensure_pool(1) is first   # smaller fits
+
+    def test_ensure_pool_grows_by_recreation(self, executor):
+        try:
+            first = executor.ensure_pool(1)
+        except OSError:
+            pytest.skip("fork unavailable in this sandbox")
+        grown = executor.ensure_pool(2)
+        assert grown is not first
+
+    def test_close_is_idempotent_and_recoverable(self, executor):
+        try:
+            executor.ensure_pool(1)
+        except OSError:
+            pytest.skip("fork unavailable in this sandbox")
+        executor.close()
+        executor.close()
+        assert executor.ensure_pool(1) is not None
+
+    def test_context_manager_shuts_down(self):
+        with FunctionalExecutor(ring_degree=32, num_limbs=2,
+                                persistent=True) as ex:
+            trace = small_trace()
+            state, _ = ex.run_parallel(trace, workers=2)
+            assert state
+        assert ex._pool is None
+
+
+class TestPersistentRuns:
+    def test_persistent_run_matches_serial(self, executor):
+        trace = small_trace()
+        serial = executor.run_serial(trace)
+        state, parallel = executor.run_parallel(trace, workers=2)
+        for ct in serial:
+            assert np.array_equal(serial[ct], state[ct]), (ct, parallel)
+
+    def test_runs_share_the_pool(self, executor):
+        trace = small_trace()
+        _, first_parallel = executor.run_parallel(trace, workers=2)
+        if not first_parallel:
+            pytest.skip("fork unavailable in this sandbox")
+        pool = executor._pool
+        assert pool is not None
+        executor.run_parallel(trace, workers=2)
+        assert executor._pool is pool
+
+    def test_non_persistent_leaves_no_resident_pool(self):
+        ex = FunctionalExecutor(ring_degree=32, num_limbs=2)
+        ex.run_parallel(small_trace(), workers=2)
+        assert ex._pool is None

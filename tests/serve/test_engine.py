@@ -1,0 +1,117 @@
+"""The stacked serving substrate: batching must be invisible in bits."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import primes
+from repro.ckks.rns import get_plan
+from repro.core.optrace import TraceBuilder
+from repro.sched.executor import FunctionalExecutor
+from repro.serve.engine import RowBatchNtt, ServeExecutor
+from repro.serve.jobs import get_shape
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return ServeExecutor(ring_degree=64, num_limbs=2)
+
+
+def mixed_trace():
+    tb = TraceBuilder("mixed")
+    for _ in range(2):
+        ct = tb.fresh_ct()
+        tb.hmult(ct, 6)
+        tb.hrot(ct, 6, rotation=5)
+        tb.pmult(ct, 6)
+        tb.rescale(ct, 6)
+    return tb.build()
+
+
+class TestRowBatchNtt:
+    def test_forward_matches_scalar_plan_per_row(self):
+        q = primes.ntt_primes(1, 36, 64)[0]
+        batch = RowBatchNtt(64, q)
+        plan = get_plan(64, q)
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, q, size=(5, 64), dtype=np.uint64)
+        stacked = batch.forward(rows)
+        for i, row in enumerate(rows):
+            expected = np.asarray(plan.forward(row), dtype=np.uint64)
+            assert np.array_equal(stacked[i], expected), i
+
+    def test_inverse_roundtrip_is_identity(self):
+        q = primes.ntt_primes(1, 36, 64)[0]
+        batch = RowBatchNtt(64, q)
+        rng = np.random.default_rng(8)
+        rows = rng.integers(0, q, size=(3, 64), dtype=np.uint64)
+        assert np.array_equal(batch.inverse(batch.forward(rows)), rows)
+
+    def test_inverse_matches_scalar_plan_per_row(self):
+        q = primes.ntt_primes(1, 36, 64)[0]
+        batch = RowBatchNtt(64, q)
+        plan = get_plan(64, q)
+        rng = np.random.default_rng(9)
+        rows = rng.integers(0, q, size=(4, 64), dtype=np.uint64)
+        stacked = batch.inverse(rows)
+        for i, row in enumerate(rows):
+            expected = np.asarray(plan.inverse(row), dtype=np.uint64)
+            assert np.array_equal(stacked[i], expected), i
+
+
+class TestStackedBitExactness:
+    @pytest.mark.parametrize("batch", [1, 3, 8])
+    def test_batch_matches_serial_oracle(self, executor, batch):
+        trace = mixed_trace()
+        seeds = [executor.request_seed(r) for r in range(batch)]
+        check = executor.verify_batch(trace, seeds)
+        assert check.bit_exact, check.mismatched
+        assert check.batch == batch
+
+    def test_helr_mini_step_shape(self, executor):
+        trace = get_shape("helr-mini-step")
+        seeds = [executor.request_seed(r) for r in range(4)]
+        check = executor.verify_batch(trace, seeds)
+        assert check.bit_exact, check.mismatched
+        assert check.num_ops == len(trace)
+
+    def test_digest_independent_of_batch_mates(self, executor):
+        """The digest of request r must not depend on who shared the
+        batch — the property that makes batching transparent."""
+        trace = mixed_trace()
+        s0 = executor.request_seed(0)
+        alone = executor.run_batch(trace, [s0])
+        with_1 = executor.run_batch(trace, [s0, executor.request_seed(1)])
+        with_99 = executor.run_batch(trace,
+                                     [s0, executor.request_seed(99)])
+        digest = executor.digest_row(alone, 0)
+        assert executor.digest_row(with_1, 0) == digest
+        assert executor.digest_row(with_99, 0) == digest
+
+    def test_serial_digest_equals_batch_row_digest(self, executor):
+        trace = mixed_trace()
+        seeds = [executor.request_seed(r) for r in range(3)]
+        batched = executor.run_batch(trace, seeds)
+        for row, seed in enumerate(seeds):
+            serial = executor.run_serial(trace, seed)
+            assert executor.digest_serial(serial) \
+                == executor.digest_row(batched, row)
+
+
+class TestPooledBackend:
+    def test_pooled_matches_stacked(self, executor):
+        trace = mixed_trace()
+        seeds = [executor.request_seed(r) for r in range(4)]
+        pool_host = FunctionalExecutor(ring_degree=64, num_limbs=2,
+                                       persistent=True)
+        try:
+            state, parallel = executor.run_batch_pooled(
+                trace, seeds, pool_host, workers=2)
+        finally:
+            pool_host.close()
+        # Sandboxes without fork still produce bit-exact results via
+        # the in-process fallback (parallel=False).
+        reference = executor.run_batch(trace, seeds)
+        assert set(state) == set(reference)
+        for ct in reference:
+            assert np.array_equal(np.asarray(state[ct], dtype=np.uint64),
+                                  reference[ct]), (ct, parallel)

@@ -1,0 +1,188 @@
+"""The asyncio front-end: batching, bit-exactness, tenancy, TCP."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.jobs import get_shape, request_seed
+from repro.serve.server import FheServer, ServerConfig
+
+
+def small_config(**overrides):
+    base = dict(ring_degree=64, num_limbs=2, window_s=0.01,
+                max_batch=8, optimise=False, price_sim=False)
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(config, body):
+    server = FheServer(config)
+    try:
+        return await body(server)
+    finally:
+        await server.close()
+
+
+class TestSubmit:
+    def test_concurrent_submits_share_a_batch(self):
+        async def body(server):
+            return await asyncio.gather(*[
+                server.submit(f"tenant-{i % 2}", request_id=i)
+                for i in range(4)])
+
+        responses = run(with_server(small_config(), body))
+        assert all(r.ok for r in responses)
+        assert all(r.batch_size == 4 for r in responses)
+
+    def test_digests_match_serial_oracle(self):
+        config = small_config()
+
+        async def body(server):
+            responses = await asyncio.gather(*[
+                server.submit("t", request_id=i) for i in range(3)])
+            oracle = {}
+            for response in responses:
+                state = server.executor.run_serial(
+                    get_shape(response.shape),
+                    request_seed(config.seed, response.request_id))
+                oracle[response.request_id] = \
+                    server.executor.digest_serial(state)
+            return responses, oracle
+
+        responses, oracle = run(with_server(config, body))
+        for response in responses:
+            assert response.digest == oracle[response.request_id]
+
+    def test_max_batch_flushes_early(self):
+        config = small_config(max_batch=2, window_s=30.0)
+
+        async def body(server):
+            # A 30 s window would time the test out unless reaching
+            # max_batch flushes the group immediately.
+            return await asyncio.wait_for(
+                asyncio.gather(server.submit("a", request_id=0),
+                               server.submit("b", request_id=1)),
+                timeout=10.0)
+
+        responses = run(with_server(config, body))
+        assert [r.batch_size for r in responses] == [2, 2]
+
+    def test_duplicate_inflight_id_is_rejected(self):
+        config = small_config(window_s=5.0)
+
+        async def body(server):
+            first = asyncio.ensure_future(
+                server.submit("t", request_id=7))
+            await asyncio.sleep(0)      # let the first enqueue
+            duplicate = await server.submit("t", request_id=7)
+            server.flush_all()
+            return await first, duplicate
+
+        first, duplicate = run(with_server(config, body))
+        assert first.ok
+        assert not duplicate.ok and "already in flight" in duplicate.error
+
+    def test_unknown_kind_and_shape_raise(self):
+        async def body(server):
+            with pytest.raises(ValueError):
+                await server.submit("t", kind="transmogrify")
+            with pytest.raises(ValueError):
+                await server.submit("t", shape="no-such-shape")
+            return True
+
+        assert run(with_server(small_config(), body))
+
+    def test_quota_exceeded_surfaces_as_response_error(self):
+        config = small_config(tenant_quotas={"capped": 1.0})
+
+        async def body(server):
+            return await server.submit("capped", request_id=0)
+
+        response = run(with_server(config, body))
+        assert not response.ok
+        assert "quota" in response.error
+
+    def test_stats_after_serving(self):
+        async def body(server):
+            await asyncio.gather(*[
+                server.submit("t", request_id=i) for i in range(3)])
+            return server.stats()
+
+        stats = run(with_server(small_config(), body))
+        assert stats["responses"] == 3
+        assert stats["batches"] == 1
+        assert stats["mean_batch"] == 3.0
+        assert stats["tenancy"]["tenants"]["t"]["requests"] == 3
+        assert stats["tenancy"]["pin_violations"] == 0
+
+
+class TestTcpEndpoint:
+    def test_roundtrip_batches_one_connection(self):
+        async def body(server):
+            host, port = await server.start_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+            for rid in range(3):
+                writer.write((json.dumps(
+                    {"tenant": f"t{rid % 2}", "kind": "eval",
+                     "request_id": rid}) + "\n").encode())
+            await writer.drain()
+            payloads = [json.loads(await reader.readline())
+                        for _ in range(3)]
+            writer.close()
+            await writer.wait_closed()
+            return payloads
+
+        payloads = run(with_server(small_config(), body))
+        assert {p["request_id"] for p in payloads} == {0, 1, 2}
+        assert all(p["error"] is None for p in payloads)
+        assert all(p["batch_size"] == 3 for p in payloads)
+        assert all(p["digest"] for p in payloads)
+
+    def test_malformed_line_answers_error(self):
+        async def body(server):
+            host, port = await server.start_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            payload = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return payload
+
+        payload = run(with_server(small_config(), body))
+        assert "bad request" in payload["error"]
+
+
+class TestLifecycle:
+    def test_close_drains_pending_batches(self):
+        config = small_config(window_s=60.0)
+
+        async def body(server):
+            # The window never expires on its own: close() must flush.
+            futures = [asyncio.ensure_future(
+                server.submit("t", request_id=i)) for i in range(2)]
+            await asyncio.sleep(0)
+            await server.close()
+            return await asyncio.gather(*futures)
+
+        async def scenario():
+            server = FheServer(config)
+            return await body(server)
+
+        responses = run(scenario())
+        assert all(r.ok for r in responses)
+
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            server = FheServer(small_config())
+            await server.close()
+            with pytest.raises(RuntimeError):
+                await server.submit("t")
+            return True
+
+        assert run(scenario())

@@ -1,0 +1,133 @@
+"""Tenant quotas, pinned-key safety, and counter accounting."""
+
+import pytest
+
+from repro.ckks.keys import HYBRID
+from repro.ckks.params import SET_I, SET_II
+from repro.core.hemera import EvkPool, KeyId
+from repro.hw.memory import PartitionedKeyCache
+from repro.serve.tenants import TenantKeyManager, TenantQuotaError
+
+
+def rot_keys(start, count, level=20):
+    return [KeyId(HYBRID, level, "rot", start + i) for i in range(count)]
+
+
+@pytest.fixture()
+def pool():
+    return EvkPool(SET_I, SET_II)
+
+
+def key_bytes(pool, keys):
+    return sum(pool.lookup(key).size_bytes for key in keys)
+
+
+class TestQuota:
+    def test_working_set_over_quota_raises_named_error(self, pool):
+        keys = rot_keys(0, 4)
+        quota = key_bytes(pool, keys) * 0.5
+        cache = PartitionedKeyCache(key_bytes(pool, keys) * 10,
+                                    default_quota_bytes=quota)
+        manager = TenantKeyManager(pool, cache)
+        with pytest.raises(TenantQuotaError):
+            manager.acquire("greedy", keys)
+
+    def test_quota_failure_mutates_nothing(self, pool):
+        keys = rot_keys(0, 4)
+        cache = PartitionedKeyCache(
+            key_bytes(pool, keys) * 10,
+            default_quota_bytes=key_bytes(pool, keys) * 0.5)
+        manager = TenantKeyManager(pool, cache)
+        with pytest.raises(TenantQuotaError):
+            manager.acquire("greedy", keys)
+        stats = manager.stats("greedy")
+        assert stats.evk_hits == 0 and stats.evk_misses == 0
+        assert stats.bytes_fetched == 0
+        assert cache.resident_bytes() == 0
+        assert manager.totals().evk_misses == 0
+
+    def test_per_tenant_quota_override(self, pool):
+        keys = rot_keys(0, 2)
+        total = key_bytes(pool, keys)
+        cache = PartitionedKeyCache(total * 10)
+        manager = TenantKeyManager(pool, cache)
+        manager.register("small", quota_bytes=total * 0.5)
+        with pytest.raises(TenantQuotaError):
+            manager.acquire("small", keys)
+        # Other tenants keep the default (full-capacity) quota.
+        lease = manager.acquire("large", keys)
+        assert lease.misses == len(keys)
+
+
+class TestPinnedKeySafety:
+    def test_eviction_never_drops_pinned_inflight_key(self, pool):
+        held = rot_keys(0, 2)
+        churn = rot_keys(100, 6)
+        # Capacity fits the held set plus one churn key: every churn
+        # insert must evict, but only ever unpinned entries.
+        capacity = key_bytes(pool, held) \
+            + key_bytes(pool, churn[:1]) * 1.01
+        cache = PartitionedKeyCache(capacity)
+        manager = TenantKeyManager(pool, cache)
+        lease = manager.acquire("holder", held)
+        for key in churn:
+            churn_lease = manager.acquire("churner", [key])
+            manager.release(churn_lease)
+        for key in held:
+            assert cache.resident(key), key
+        assert manager.pin_violations == 0
+        manager.release(lease)
+
+    def test_unevictable_pressure_streams_instead_of_forcing(self, pool):
+        held = rot_keys(0, 2)
+        capacity = key_bytes(pool, held) * 1.01
+        cache = PartitionedKeyCache(capacity)
+        manager = TenantKeyManager(pool, cache)
+        lease = manager.acquire("holder", held)
+        # Everything resident is pinned: the next working set cannot
+        # be cached and must stream through.
+        other = manager.acquire("other", rot_keys(50, 2))
+        assert manager.stats("other").streamed_keys == 2
+        assert manager.eviction_report()["dropped_inserts"] >= 1
+        assert manager.pin_violations == 0
+        manager.release(lease)
+        manager.release(other)
+
+    def test_release_is_idempotent(self, pool):
+        cache = PartitionedKeyCache(1e12)
+        manager = TenantKeyManager(pool, cache)
+        lease = manager.acquire("t", rot_keys(0, 2))
+        manager.release(lease)
+        manager.release(lease)
+        for key in lease.pinned:
+            assert not cache.pinned(key)
+
+
+class TestCounterAccounting:
+    def test_per_tenant_counters_sum_to_global(self, pool):
+        cache = PartitionedKeyCache(1e12)
+        manager = TenantKeyManager(pool, cache)
+        workloads = {"a": rot_keys(0, 3), "b": rot_keys(0, 3),
+                     "c": rot_keys(200, 5)}
+        for tenant, keys in workloads.items():
+            manager.count_request(tenant)
+            manager.release(manager.acquire(tenant, keys))
+        per_tenant = [manager.stats(t) for t in manager.tenants()]
+        totals = manager.totals()
+        for attribute in ("requests", "evk_hits", "evk_misses",
+                          "bytes_fetched", "streamed_keys"):
+            assert sum(getattr(s, attribute) for s in per_tenant) \
+                == getattr(totals, attribute), attribute
+        # Tenant b reuses a's residency: cross-tenant hits count.
+        assert manager.stats("b").evk_hits == 3
+        assert manager.stats("b").evk_misses == 0
+
+    def test_hit_rate_and_to_dict(self, pool):
+        cache = PartitionedKeyCache(1e12)
+        manager = TenantKeyManager(pool, cache)
+        manager.release(manager.acquire("t", rot_keys(0, 2)))
+        manager.release(manager.acquire("t", rot_keys(0, 2)))
+        assert manager.stats("t").evk_hit_rate == 0.5
+        dump = manager.to_dict()
+        assert dump["tenants"]["t"]["evk_hits"] == 2
+        assert dump["pin_violations"] == 0

@@ -65,6 +65,22 @@ class TestCli:
         assert "pass sink" in out and "pass fuse" in out
         assert "fixed point after" in out
 
+    def test_loadgen_command(self, capsys):
+        assert main(["loadgen", "--tenants", "2",
+                     "--requests-per-tenant", "2",
+                     "--concurrency", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop" in out
+        assert "bit-exact True" in out
+
+    def test_loadgen_json_flag(self, capsys):
+        assert main(["loadgen", "--tenants", "2",
+                     "--requests-per-tenant", "2", "--no-serial",
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["requests"] == 4
+        assert record["errors"] == 0
+
 
 class TestBenchCommand:
     """`repro bench` seeds the BENCH_sim.json regression baseline."""
@@ -78,7 +94,7 @@ class TestBenchCommand:
 
     def test_bench_quick_writes_schema(self, report_path):
         data = json.loads(report_path.read_text())
-        assert data["schema"] == "repro-bench/v7"
+        assert data["schema"] == "repro-bench/v8"
         assert data["quick"] is True
         assert set(data["workloads"]) == {"Bootstrap", "HELR256",
                                           "HELR1024", "ResNet-20"}
@@ -160,6 +176,33 @@ class TestBenchCommand:
         assert fused["fused_kernel_calls"] > 0
         assert fused["levels_match"] and fused["scales_match"]
         assert not any(section["plan_cache_evictions"].values())
+
+    def test_bench_serving_section(self, report_path):
+        from repro.bench.serving import validate_serving
+        data = json.loads(report_path.read_text())
+        section = data["serving"]
+        assert validate_serving(section) == []
+        loadgen = section["loadgen"]
+        assert loadgen["requests"] >= 64 and loadgen["tenants"] >= 4
+        assert loadgen["speedup"] >= section["min_speedup"]
+        assert loadgen["bit_exact"] is True
+        assert loadgen["pin_violations"] == 0
+        assert loadgen["p99_ms"] >= loadgen["p50_ms"] > 0
+        admission = section["evk_admission"]
+        assert admission["miss_reduction"] > 0
+        assert admission["aware"]["hits"] > admission["naive"]["hits"]
+
+    def test_bench_detects_serving_regression(self, report_path,
+                                              tmp_path, capsys):
+        doctored = json.loads(report_path.read_text())
+        doctored["serving"]["evk_admission"]["aware"]["misses"] = 0
+        baseline = tmp_path / "BENCH_serving_doctored.json"
+        baseline.write_text(json.dumps(doctored))
+        out = tmp_path / "BENCH_now.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out), "--baseline", str(baseline),
+                     "--wall-tolerance", "50"]) == 1
+        assert "serving." in capsys.readouterr().out
 
     def test_bench_detects_dataflow_regression(self, report_path,
                                                tmp_path, capsys):
