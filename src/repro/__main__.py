@@ -12,6 +12,7 @@ Commands
 ``opt``         whole-trace dataflow optimiser report for one workload
 ``serve``       multi-tenant batching FHE server (JSON over TCP)
 ``loadgen``     drive a server and report rps / latency / bit-exactness
+``backend``     detected array backends, devices and capability flags
 """
 
 from __future__ import annotations
@@ -236,6 +237,28 @@ def cmd_loadgen(args) -> int:
     return 1 if report.errors or report.bit_exact is False else 0
 
 
+def cmd_backend(args) -> int:
+    import json
+    import repro.backend as backend_mod
+
+    report = backend_mod.available_backends()
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+        return 0
+    for name, info in report.items():
+        if not info.get("available"):
+            print(f"{name:8} unavailable ({info.get('error', '?')})")
+            continue
+        caps = info["capabilities"]
+        flags = " ".join(k for k, v in sorted(caps.items()) if v)
+        marker = " *default*" if info.get("default") else ""
+        print(f"{name:8} {info['device']:8} {flags}{marker}")
+        for key, value in sorted(info.get("info", {}).items()):
+            if key != "device":
+                print(f"{'':8} {key}: {value}")
+    return 0
+
+
 def cmd_security(_args) -> int:
     from repro.ckks import security
     from repro.ckks.params import SET_I, SET_II
@@ -326,12 +349,16 @@ def main(argv=None) -> int:
     loadgen.add_argument("--no-serial", action="store_true",
                          help="skip the serial oracle comparison")
     loadgen.add_argument("--json", action="store_true")
+    backend = sub.add_parser(
+        "backend", help="detected array backends and capability flags")
+    backend.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
     return {"evaluate": cmd_evaluate, "bootstrap": cmd_bootstrap,
             "table5": cmd_table5, "decide": cmd_decide,
             "security": cmd_security, "bench": cmd_bench,
             "sched": cmd_sched, "opt": cmd_opt,
-            "serve": cmd_serve, "loadgen": cmd_loadgen}[args.command](args)
+            "serve": cmd_serve, "loadgen": cmd_loadgen,
+            "backend": cmd_backend}[args.command](args)
 
 
 if __name__ == "__main__":

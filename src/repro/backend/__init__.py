@@ -1,0 +1,218 @@
+"""``repro.backend`` — pluggable array backends behind the kernel layer.
+
+Selection::
+
+    from repro import backend
+    backend.select("cupy")            # or "numpy" | "torch" | "fake" | "auto"
+    REPRO_BACKEND=cupy python -m repro bench   # env var, read at first use
+
+``select`` sets the process default that every plan cache and kernel
+resolves when no explicit backend is passed; requesting an unavailable
+accelerator falls back to numpy gracefully and bumps the
+``backend.fallback`` counter (plus ``backend.fallback.unavailable``).
+Kernels that dispatch to a backend count ``backend.dispatch.<name>``,
+and capability negotiation (a backend whose flags cannot run a given
+datapath bit-exactly) counts ``backend.fallback.capability``.
+
+Backends are singletons; pass the instance (or its name) to
+``get_kernel``/``get_plan``/``get_bconv_plan``/... to pin a specific
+one, and use :func:`backend_of` / :func:`to_host` to bring results back
+to the host at API boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, NumpyBackend
+from repro.backend.fake import FakeBackend, FakeDeviceArray
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "ArrayBackend", "NumpyBackend", "FakeBackend", "FakeDeviceArray",
+    "available_backends", "backend_of", "get_backend", "kernel_backend",
+    "resolve", "select", "to_host",
+]
+
+_TRACER = get_tracer()
+
+#: resolution order for ``select("auto")``: fastest available wins.
+AUTO_ORDER = ("cupy", "torch", "numpy")
+
+BACKEND_NAMES = ("numpy", "cupy", "torch", "fake")
+
+
+def _make_cupy() -> ArrayBackend:
+    from repro.backend.cupy_backend import CupyBackend
+
+    return CupyBackend()
+
+
+def _make_torch() -> ArrayBackend:
+    from repro.backend.torch_backend import TorchBackend
+
+    return TorchBackend()
+
+
+_FACTORIES = {
+    "numpy": NumpyBackend,
+    "fake": FakeBackend,
+    "cupy": _make_cupy,
+    "torch": _make_torch,
+}
+
+_instances: dict[str, ArrayBackend] = {}
+_failures: dict[str, str] = {}
+_warned: set[str] = set()
+_default: ArrayBackend | None = None
+
+
+def _instantiate(name: str) -> ArrayBackend | None:
+    """Backend singleton for ``name``, or None if it cannot initialise."""
+    if name in _instances:
+        return _instances[name]
+    if name in _failures:
+        return None
+    try:
+        instance = _FACTORIES[name]()
+    except Exception as exc:  # ImportError or device-probe failure
+        _failures[name] = f"{type(exc).__name__}: {exc}"
+        return None
+    _instances[name] = instance
+    return instance
+
+
+def _auto_backend() -> ArrayBackend:
+    for name in AUTO_ORDER:
+        instance = _instantiate(name)
+        if instance is not None:
+            return instance
+    return _instantiate("numpy")  # numpy always constructs
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """The backend singleton for ``name`` (default: process default).
+
+    Unknown names raise ``ValueError``; a known-but-unavailable
+    accelerator ("cupy"/"torch" without the library or device) falls
+    back to numpy with one warning and a ``backend.fallback`` counter.
+    """
+    if name is None:
+        return _default_backend()
+    if name == "auto":
+        return _auto_backend()
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            f"{BACKEND_NAMES + ('auto',)}")
+    instance = _instantiate(name)
+    if instance is not None:
+        return instance
+    if _TRACER.enabled:
+        _TRACER.count("backend.fallback")
+        _TRACER.count("backend.fallback.unavailable")
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"backend {name!r} unavailable ({_failures[name]}); "
+            "falling back to numpy", RuntimeWarning, stacklevel=2)
+    return _instantiate("numpy")
+
+
+def select(name: str) -> ArrayBackend:
+    """Set the process-default backend and return it."""
+    global _default
+    _default = get_backend(name)
+    return _default
+
+
+def _default_backend() -> ArrayBackend:
+    global _default
+    if _default is None:
+        _default = get_backend(os.environ.get("REPRO_BACKEND", "numpy"))
+    return _default
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached default so REPRO_BACKEND is re-read (tests)."""
+    global _default
+    _default = None
+    _warned.clear()
+
+
+def resolve(backend) -> ArrayBackend:
+    """Normalise ``None`` / name / instance to a backend singleton."""
+    if backend is None:
+        return _default_backend()
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return get_backend(backend)
+
+
+def kernel_backend(backend=None, *, need_uint64: bool = True,
+                   need_matmul: bool = False) -> ArrayBackend:
+    """Capability negotiation for the vectorised kernel datapaths.
+
+    Resolves ``backend`` and checks the flags the requested datapath
+    needs (numpy dispatch always; uint64 lazy arithmetic and exact
+    float64 matmul on demand).  A backend that cannot run it bit-exactly
+    is downgraded to numpy with ``backend.fallback`` counters; numpy
+    itself always qualifies.
+    """
+    be = resolve(backend)
+    capable = be.numpy_dispatch \
+        and (be.supports_uint64 or not need_uint64) \
+        and (be.exact_float64_matmul or not need_matmul)
+    if capable:
+        if _TRACER.enabled:
+            _TRACER.count(f"backend.dispatch.{be.name}")
+        return be
+    if _TRACER.enabled:
+        _TRACER.count("backend.fallback")
+        _TRACER.count("backend.fallback.capability")
+        _TRACER.count("backend.dispatch.numpy")
+    return get_backend("numpy")
+
+
+def backend_of(array) -> ArrayBackend:
+    """The backend that owns ``array`` (host arrays map to numpy)."""
+    if isinstance(array, FakeDeviceArray):
+        return get_backend("fake")
+    if isinstance(array, np.ndarray):
+        return get_backend("numpy")
+    for name in ("cupy", "torch"):
+        instance = _instances.get(name)
+        if instance is not None and instance.is_device_array(array):
+            return instance
+    return get_backend("numpy")
+
+
+def to_host(array) -> np.ndarray:
+    """Materialise any backend's array (or a scalar/list) on the host."""
+    return backend_of(array).to_host(array)
+
+
+def available_backends() -> dict:
+    """Probe every registered backend; name -> status/info dict.
+
+    Used by ``repro backend`` and the bench harness.  Probing caches
+    singletons but does not change the process default.
+    """
+    report = {}
+    default = _default_backend()
+    for name in BACKEND_NAMES:
+        instance = _instantiate(name)
+        if instance is None:
+            report[name] = {"available": False, "error": _failures[name]}
+            continue
+        report[name] = {
+            "available": True,
+            "device": instance.device,
+            "default": instance is default,
+            "capabilities": instance.capability_flags(),
+            "info": instance.device_info(),
+        }
+    return report

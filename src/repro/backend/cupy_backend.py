@@ -1,0 +1,86 @@
+"""CuPy backend — CUDA-resident arrays behind the numpy kernel bodies.
+
+CuPy arrays implement ``__array_ufunc__``/``__array_function__``
+(NEP-13/NEP-18), so the existing kernel bodies — uint64 lazy-reduction
+butterflies, split-limb Barrett, ``np.where`` fixups, the BConv float64
+GEMM — execute on the GPU without modification once their operand
+tables are device-resident.  uint64 wraparound arithmetic and
+correctly-rounded float64 matmul both hold on CUDA, so the backend
+advertises the full datapath.
+
+Import of :mod:`cupy` is deferred to construction; the registry treats
+an ``ImportError`` (or a CUDA runtime failure while probing the device)
+as "unavailable" and falls back to numpy with a ``backend.fallback``
+counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):
+
+    name = "cupy"
+    supports_uint64 = True
+    exact_float64_matmul = True
+    numpy_dispatch = True
+
+    def __init__(self) -> None:
+        import cupy  # raises ImportError when absent -> registry fallback
+
+        # Probe the runtime: an importable cupy without a usable CUDA
+        # device must be treated as unavailable, not half-working.
+        device = cupy.cuda.Device()
+        device.compute_capability  # touches the driver
+        self._cp = cupy
+        self._device = device
+        self.device = f"cuda:{device.id}"
+
+    def from_host(self, array):
+        return self._cp.asarray(array)
+
+    def to_host(self, array) -> np.ndarray:
+        if isinstance(array, self._cp.ndarray):
+            return self._cp.asnumpy(array)
+        return np.asarray(array)
+
+    def asarray(self, values, dtype=None, copy=False):
+        if copy:
+            return self._cp.array(values, dtype=dtype)
+        return self._cp.asarray(values, dtype=dtype)
+
+    def empty(self, shape, dtype):
+        return self._cp.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype):
+        return self._cp.zeros(shape, dtype=dtype)
+
+    def gather(self, array, indices):
+        return array[self._cp.asarray(indices)]
+
+    def matmul(self, a, b, out=None):
+        if out is not None:
+            return self._cp.matmul(a, b, out=out)
+        return self._cp.matmul(a, b)
+
+    def is_device_array(self, array) -> bool:
+        return isinstance(array, self._cp.ndarray)
+
+    def synchronize(self) -> None:
+        self._cp.cuda.get_current_stream().synchronize()
+
+    def device_info(self) -> dict:
+        props = self._cp.cuda.runtime.getDeviceProperties(self._device.id)
+        name = props["name"]
+        if isinstance(name, bytes):
+            name = name.decode()
+        free, total = self._device.mem_info
+        return {"device": self.device, "library": "cupy",
+                "version": self._cp.__version__, "gpu": name,
+                "compute_capability": self._device.compute_capability,
+                "mem_free_bytes": int(free), "mem_total_bytes": int(total)}

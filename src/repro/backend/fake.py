@@ -1,0 +1,126 @@
+"""FakeBackend — numpy with host/device transfer bookkeeping.
+
+A hardware-free stand-in that lets CI assert the *residency contract*:
+plans move their precomputed tables across the host/device boundary
+once, at build, and a plan's steady state performs **zero** implicit
+host<->device copies.  Values are numpy-identical (the "device" is the
+same address space); only the accounting differs.
+
+Device-resident arrays are marked with the :class:`FakeDeviceArray`
+ndarray subclass.  Ufuncs, ``astype``, fancy indexing, ``reshape`` and
+``out=`` kernels all preserve the subclass, so data produced *from*
+device arrays stays device-tagged through the kernel bodies; structural
+numpy functions (``np.stack``/``np.concatenate``/``np.where``) drop it,
+which is why transfers are counted only at the explicit backend API
+boundary (``from_host`` / ``to_host`` / ``asarray``), never inferred
+per-ufunc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["FakeBackend", "FakeDeviceArray"]
+
+
+class FakeDeviceArray(np.ndarray):
+    """Marker subclass tagging arrays as fake-device resident.
+
+    Ufuncs and methods preserve ndarray subclasses already; NEP-18
+    functions (``np.where``, ``np.stack``, ``np.concatenate``, ...)
+    return base ndarrays by default, which would silently strip the
+    residency tag from values computed on "device".  The
+    ``__array_function__`` override re-tags those results — on a real
+    accelerator the library's own functions return device arrays, and
+    the fake must model that, or steady-state kernels would appear to
+    round-trip through the host when they do not.
+    """
+
+    def __array_function__(self, func, types, args, kwargs):
+        result = super().__array_function__(func, types, args, kwargs)
+        return _retag(result)
+
+
+def _retag(result):
+    if isinstance(result, np.ndarray):
+        if result.dtype == object and not isinstance(result,
+                                                     FakeDeviceArray):
+            return result
+        return result.view(FakeDeviceArray)
+    if isinstance(result, (tuple, list)):
+        return type(result)(_retag(item) for item in result)
+    return result
+
+
+class FakeBackend(ArrayBackend):
+    """Numpy semantics + transfer counters (``h2d``/``d2h``/``alloc``)."""
+
+    name = "fake"
+    device = "fake0"
+    supports_uint64 = True
+    exact_float64_matmul = True
+    numpy_dispatch = True
+
+    def __init__(self) -> None:
+        self._counters = {"h2d": 0, "d2h": 0, "alloc": 0}
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def transfer_counts(self) -> dict:
+        """Snapshot of the transfer/allocation counters."""
+        return dict(self._counters)
+
+    def reset_counters(self) -> None:
+        for key in self._counters:
+            self._counters[key] = 0
+
+    def is_device_array(self, array) -> bool:
+        return isinstance(array, FakeDeviceArray)
+
+    # -- residency boundary ----------------------------------------------
+
+    def from_host(self, array):
+        if isinstance(array, FakeDeviceArray):
+            return array
+        self._counters["h2d"] += 1
+        return np.asarray(array).view(FakeDeviceArray)
+
+    def to_host(self, array) -> np.ndarray:
+        if isinstance(array, FakeDeviceArray):
+            self._counters["d2h"] += 1
+            return array.view(np.ndarray)
+        return np.asarray(array)
+
+    def asarray(self, values, dtype=None, copy=False):
+        if isinstance(values, FakeDeviceArray):
+            if not copy and (dtype is None or values.dtype == dtype):
+                return values
+            return np.array(values, dtype=dtype).view(FakeDeviceArray)
+        self._counters["h2d"] += 1
+        if copy:
+            return np.array(values, dtype=dtype).view(FakeDeviceArray)
+        return np.asarray(values, dtype=dtype).view(FakeDeviceArray)
+
+    # -- allocation ------------------------------------------------------
+
+    def empty(self, shape, dtype):
+        self._counters["alloc"] += 1
+        return np.empty(shape, dtype=dtype).view(FakeDeviceArray)
+
+    def zeros(self, shape, dtype):
+        self._counters["alloc"] += 1
+        return np.zeros(shape, dtype=dtype).view(FakeDeviceArray)
+
+    # -- primitives ------------------------------------------------------
+
+    def matmul(self, a, b, out=None):
+        if out is not None:
+            return np.matmul(a, b, out=out)
+        return np.matmul(a, b)
+
+    def device_info(self) -> dict:
+        return {"device": self.device, "library": "numpy (fake device)",
+                "version": np.__version__,
+                "transfers": self.transfer_counts()}

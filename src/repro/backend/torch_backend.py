@@ -1,0 +1,107 @@
+"""Torch backend — protocol-complete, capability-limited.
+
+Torch tensors do not speak numpy's dispatch protocols with the
+semantics the kernels rely on, and torch's uint64 arithmetic is too
+incomplete for the lazy-reduction datapath (no wraparound guarantees,
+no ``np.where``-style fixups on unsigned words).  The backend therefore
+advertises ``supports_uint64 = False`` / ``numpy_dispatch = False``:
+capability negotiation at plan build downgrades every uint64 hot path
+to the numpy backend (counted as ``backend.fallback``), while the
+protocol surface — transfers, allocation, gather, exact float64
+matmul — runs on torch (CUDA when available, else CPU).
+
+This is deliberately the worked example of a *partial* backend for
+DESIGN.md Sec. 18: a new backend only accelerates what its flags say
+it can, and everything else keeps working through negotiation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["TorchBackend"]
+
+_UNSUPPORTED = "torch backend has no uint64/object support; " \
+    "kernels negotiate down to numpy for this dtype"
+
+
+class TorchBackend(ArrayBackend):
+
+    name = "torch"
+    supports_uint64 = False
+    exact_float64_matmul = True
+    numpy_dispatch = False
+
+    def __init__(self) -> None:
+        import torch  # raises ImportError when absent -> registry fallback
+
+        self._torch = torch
+        if torch.cuda.is_available():
+            self._device = torch.device("cuda", torch.cuda.current_device())
+        else:
+            self._device = torch.device("cpu")
+        self.device = str(self._device)
+
+    def _check_dtype(self, dtype) -> None:
+        if dtype is not None and np.dtype(dtype) in (np.dtype(np.uint64),
+                                                     np.dtype(object)):
+            raise TypeError(_UNSUPPORTED)
+
+    def from_host(self, array):
+        array = np.asarray(array)
+        self._check_dtype(array.dtype)
+        return self._torch.from_numpy(np.ascontiguousarray(array)) \
+            .to(self._device)
+
+    def to_host(self, array) -> np.ndarray:
+        if isinstance(array, self._torch.Tensor):
+            return array.detach().cpu().numpy()
+        return np.asarray(array)
+
+    def asarray(self, values, dtype=None, copy=False):
+        self._check_dtype(dtype)
+        if isinstance(values, self._torch.Tensor):
+            tensor = values.to(self._device)
+            if dtype is not None:
+                tensor = tensor.to(self._torch.from_numpy(
+                    np.empty(0, dtype=dtype)).dtype)
+            return tensor.clone() if copy else tensor
+        host = np.asarray(values, dtype=dtype)
+        return self.from_host(host)
+
+    def empty(self, shape, dtype):
+        self._check_dtype(dtype)
+        ref = self._torch.from_numpy(np.empty(0, dtype=dtype))
+        return self._torch.empty(shape, dtype=ref.dtype, device=self._device)
+
+    def zeros(self, shape, dtype):
+        self._check_dtype(dtype)
+        ref = self._torch.from_numpy(np.empty(0, dtype=dtype))
+        return self._torch.zeros(shape, dtype=ref.dtype, device=self._device)
+
+    def gather(self, array, indices):
+        if not isinstance(indices, self._torch.Tensor):
+            indices = self._torch.as_tensor(np.asarray(indices),
+                                            device=self._device)
+        return array[indices]
+
+    def matmul(self, a, b, out=None):
+        if out is not None:
+            return self._torch.matmul(a, b, out=out)
+        return self._torch.matmul(a, b)
+
+    def is_device_array(self, array) -> bool:
+        return isinstance(array, self._torch.Tensor)
+
+    def synchronize(self) -> None:
+        if self._device.type == "cuda":
+            self._torch.cuda.synchronize(self._device)
+
+    def device_info(self) -> dict:
+        info = {"device": self.device, "library": "torch",
+                "version": self._torch.__version__}
+        if self._device.type == "cuda":
+            info["gpu"] = self._torch.cuda.get_device_name(self._device)
+        return info

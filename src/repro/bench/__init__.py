@@ -2,7 +2,7 @@
 
 Runs the Table 5 workloads (bootstrap, HELR training iterations,
 ResNet-20 trace slices) through the cycle simulator and writes
-``BENCH_sim.json`` (schema ``repro-bench/v6``): per-workload host
+``BENCH_sim.json`` (schema ``repro-bench/v9``): per-workload host
 wall-time, simulated latency, per-unit utilisation, Hemera cache-hit
 rate and HBM traffic; a ``micro`` section with modmul/NTT kernel
 microbenchmarks, the matrix-form base-conversion kernel against the
@@ -18,7 +18,9 @@ dataflow scheduler plus a multiprocess executor bit-exactness check;
 and a ``throughput`` section with the Table-6-style
 clusters x streams amortized-speedup grid of the software-pipelined
 multi-stream scheduler plus a merged multi-stream executor
-bit-exactness check.
+bit-exactness check; and a ``backend`` section with per-array-backend
+kernel timings and a bit-exact parity + zero-fallback gate
+(``--backends`` axis).
 That file is the regression baseline every perf-oriented PR is
 judged against — rerun with ``--baseline`` to compare a fresh run to
 a committed baseline.

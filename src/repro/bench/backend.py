@@ -1,0 +1,282 @@
+"""Per-backend kernel benchmarks for ``python -m repro bench``.
+
+The ``backend`` block of BENCH_sim.json answers three questions per
+registered array backend (numpy baseline, the fake counting device,
+and whichever accelerators import):
+
+* **parity** — the four hot kernels (modmul, NTT, BConv, KMU
+  accumulate) produce bit-identical residues to the numpy baseline on
+  the same inputs, plus one functional HELR-mini step whose decrypt
+  error must equal numpy's exactly;
+* **dispatch** — a traced pass records ``backend.dispatch.*`` /
+  ``backend.fallback*`` counters, so an explicitly requested backend
+  that silently degraded to numpy is visible (and gated);
+* **throughput** — best-of-``reps`` walls for each kernel at
+  Set-II-mini shapes, giving the numpy-relative speedup axis the
+  ``--backends`` flag sweeps.
+
+Timing passes run untraced (counter bumps would distort the hot
+loops); parity and counter capture happen in a separate traced pass,
+mirroring ``repro.bench.micro``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: kernels must agree with numpy bit-for-bit — no tolerance.
+NTT_RING_DEGREE = 4096
+QUICK_NTT_RING_DEGREE = 1024
+MODMUL_SIZE = 4096
+KMU_RING_DEGREE = 256
+
+
+def _best(fn, reps: int) -> float:
+    walls = []
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - start)
+    return min(walls)
+
+
+def default_backends() -> list[str]:
+    """numpy + fake always; accelerators only when actually available."""
+    import repro.backend as backend_mod
+
+    names = ["numpy", "fake"]
+    report = backend_mod.available_backends()
+    for name in ("cupy", "torch"):
+        if report.get(name, {}).get("available"):
+            names.append(name)
+    return names
+
+
+def _kmu_fixture(quick: bool):
+    """One Set-II-mini key + decomposed digits, shared by all backends."""
+    from repro.ckks import CkksContext, rns
+    from repro.ckks.keys import HYBRID
+    from repro.ckks.keyswitch.hybrid import hybrid_decompose
+    from repro.ckks.params import set_ii_mini
+
+    ctx = CkksContext(set_ii_mini(ring_degree=KMU_RING_DEGREE,
+                                  max_level=3), seed=17)
+    level = ctx.params.max_level
+    key = ctx.evaluation_key(HYBRID, level, "mult")
+    rng = np.random.default_rng(18)
+    coeffs = [int(v) for v in rng.integers(-10**6, 10**6,
+                                           size=KMU_RING_DEGREE)]
+    poly = rns.from_big_ints(coeffs, ctx.moduli_at(level),
+                             KMU_RING_DEGREE)
+    digits = hybrid_decompose(poly, key, ctx.params.alpha)
+    return ctx, key, digits
+
+
+def _bconv_fixture(n: int):
+    """The ModDown shape of a Set-II-mini hybrid switch (P -> Q)."""
+    from repro.bench.micro import _bconv_bases
+    from repro.ckks import modmath, rns
+
+    params, q_chain, specials = _bconv_bases(n)
+    rng = np.random.default_rng(19)
+    rows = [modmath.random_uniform(n, q, rng) for q in specials]
+    return specials, q_chain, rows
+
+
+def _functional_step(quick: bool) -> dict:
+    """One HELR-mini step on the *current default* backend."""
+    from repro.ckks.context import CkksContext
+    from repro.ckks.keys import HYBRID
+    from repro.ckks.params import set_ii_mini
+
+    params = set_ii_mini(ring_degree=KMU_RING_DEGREE, max_level=4)
+    start = time.perf_counter()
+    ctx = CkksContext(params, seed=23)
+    base = np.array([0.75, -1.25, 0.5, 1.5], dtype=np.complex128)
+    message = np.tile(base, params.num_slots // 4)
+    ct = ctx.encrypt(message)
+    ct = ctx.multiply_rescale(ct, ct, method=HYBRID)
+    ct = ctx.rotate(ct, 1, method=HYBRID)
+    expected = np.roll(message ** 2, -1)
+    error = float(np.max(np.abs(ctx.decrypt(ct) - expected)))
+    wall = time.perf_counter() - start
+    return {"workload": "HELR-mini step", "params": params.name,
+            "step_wall_s": wall, "max_slot_error": error}
+
+
+def _backend_counters() -> dict:
+    from repro.obs.tracer import get_tracer
+    counters = get_tracer().metrics.counters()
+    prefix = "backend."
+    return {name[len(prefix):]: int(value)
+            for name, value in counters.items()
+            if name.startswith(prefix)}
+
+
+def _run_one(name: str, quick: bool, fixtures: dict,
+             reference: dict | None) -> dict:
+    """Benchmark one backend; ``reference`` is numpy's entry (or None)."""
+    import repro.backend as backend_mod
+    from repro import obs
+    from repro.ckks import modmath
+    from repro.ckks.keyswitch.hybrid import get_key_mult_plan
+    from repro.ckks.rns import get_bconv_plan, get_plan
+
+    reps = 3 if quick else 10
+    n_ntt = QUICK_NTT_RING_DEGREE if quick else NTT_RING_DEGREE
+    be = backend_mod.get_backend(name)
+
+    q36, a36, b36 = fixtures["modmul"]
+    qntt, xntt = fixtures["ntt"][n_ntt]
+    src, dst, bconv_rows = fixtures["bconv"]
+    _, key, digits = fixtures["kmu"]
+
+    # -- traced pass: dispatch/fallback counters + parity results -----
+    was_enabled = obs.enabled()
+    obs.configure(enabled=True, reset=True)
+    try:
+        backend_mod.get_backend(name)       # counts unavailable fallback
+        kernel = modmath.get_kernel(q36, backend=name)
+        plan = get_plan(n_ntt, qntt, backend=name)
+        bplan = get_bconv_plan(src, dst, backend=name)
+        kplan = get_key_mult_plan(key, backend=name)
+        results = {
+            "modmul": kernel.mul(kernel.asresidues(a36),
+                                 kernel.asresidues(b36)),
+            "ntt": plan.forward(xntt),
+            "bconv": np.stack([np.asarray(backend_mod.to_host(r))
+                               for r in bplan.convert(bconv_rows)]),
+        }
+        acc0, acc1 = kplan.accumulate(kplan.stack(digits))
+        results["kmu"] = np.stack(
+            [np.asarray(backend_mod.to_host(l), dtype=np.uint64)
+             for l in list(acc0.limbs) + list(acc1.limbs)])
+        counters = _backend_counters()
+    finally:
+        obs.configure(enabled=was_enabled, reset=True)
+    host = {
+        label: np.asarray(backend_mod.to_host(value), dtype=np.uint64)
+        if label in ("modmul", "ntt") else value
+        for label, value in results.items()
+    }
+
+    bit_exact = True
+    if reference is not None:
+        bit_exact = all(
+            np.array_equal(host[label], reference["_arrays"][label])
+            for label in host)
+
+    # -- untraced pass: best-of-reps walls -----------------------------
+    stacked = kplan.stack(digits)
+    micro = {
+        "modmul_best_s": _best(
+            lambda: kernel.mul(kernel.asresidues(a36),
+                               kernel.asresidues(b36)), reps),
+        "ntt_best_s": _best(lambda: plan.forward(xntt), reps),
+        "bconv_best_s": _best(lambda: bplan.convert(bconv_rows), reps),
+        "kmu_best_s": _best(lambda: kplan.accumulate(stacked), reps),
+    }
+
+    # -- functional step under select(name), default restored after ---
+    previous = backend_mod._default
+    try:
+        backend_mod.select(name)
+        functional = _functional_step(quick)
+    finally:
+        backend_mod._default = previous
+    if reference is not None:
+        bit_exact = bit_exact and (
+            functional["max_slot_error"]
+            == reference["functional"]["max_slot_error"])
+
+    entry = {
+        "requested": name,
+        "resolved": be.name,
+        "device": be.device,
+        "available": be.name == name,
+        "capabilities": be.capability_flags(),
+        "micro": micro,
+        "ntt_ring_degree": n_ntt,
+        "functional": functional,
+        "bit_exact": bool(bit_exact),
+        "dispatch": {k.split(".", 1)[1]: v for k, v in counters.items()
+                     if k.startswith("dispatch.")},
+        "fallbacks": int(counters.get("fallback", 0)),
+        "_arrays": host,
+    }
+    if reference is not None:
+        entry["speedup_vs_numpy"] = {
+            label: reference["micro"][label] / micro[label]
+            if micro[label] else None
+            for label in micro}
+    return entry
+
+
+def run_backend(quick: bool = False, backends=None) -> dict:
+    """The full ``backend`` block for the bench report."""
+    from repro.ckks import primes
+
+    names = list(backends) if backends else default_backends()
+    if "numpy" not in names:
+        names.insert(0, "numpy")
+
+    n_ntt = QUICK_NTT_RING_DEGREE if quick else NTT_RING_DEGREE
+    rng = np.random.default_rng(29)
+    q36 = primes.ntt_primes(1, 36, MODMUL_SIZE)[0]
+    qntt = primes.ntt_primes(1, 36, n_ntt)[0]
+    fixtures = {
+        "modmul": (q36,
+                   rng.integers(0, q36, size=MODMUL_SIZE,
+                                dtype=np.uint64),
+                   rng.integers(0, q36, size=MODMUL_SIZE,
+                                dtype=np.uint64)),
+        "ntt": {n_ntt: (qntt, rng.integers(0, qntt, size=n_ntt,
+                                           dtype=np.uint64))},
+        "bconv": _bconv_fixture(QUICK_NTT_RING_DEGREE),
+        "kmu": _kmu_fixture(quick),
+    }
+
+    entries = {"numpy": _run_one("numpy", quick, fixtures, None)}
+    for name in names:
+        if name != "numpy":
+            entries[name] = _run_one(name, quick, fixtures,
+                                     entries["numpy"])
+    for entry in entries.values():      # host arrays never hit the JSON
+        entry.pop("_arrays", None)
+    return {
+        "baseline": "numpy",
+        "requested": names,
+        "backends": entries,
+    }
+
+
+def validate_backend(section: dict) -> list[str]:
+    """Acceptance-bar violations in a ``backend`` block (empty = pass)."""
+    violations: list[str] = []
+    entries = section.get("backends", {})
+    if "numpy" not in entries:
+        return ["backend: numpy baseline entry is missing"]
+    for name, entry in entries.items():
+        if name == "numpy":
+            continue
+        if not entry.get("bit_exact", False):
+            violations.append(
+                f"backend.{name}: kernels are not bit-exact vs numpy")
+        if entry.get("available") and entry.get("fallbacks"):
+            violations.append(
+                f"backend.{name}: {entry['fallbacks']} fallbacks while "
+                "the backend was explicitly requested and available")
+        if entry.get("available"):
+            dispatched = entry.get("dispatch", {}).get(name, 0)
+            if not dispatched:
+                violations.append(
+                    f"backend.{name}: requested backend never "
+                    "dispatched a kernel")
+    functional = entries["numpy"].get("functional", {})
+    error = functional.get("max_slot_error")
+    if error is None or error > 1e-2:
+        violations.append(
+            f"backend: numpy functional step error {error} exceeds 1e-2")
+    return violations

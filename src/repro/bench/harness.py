@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 
-BENCH_SCHEMA = "repro-bench/v8"
+BENCH_SCHEMA = "repro-bench/v9"
 DEFAULT_OUT = "BENCH_sim.json"
 DEFAULT_PARAMS_MODE = "full"
 QUICK_RESNET_OPS = 1500
@@ -95,10 +95,11 @@ def _measure(engine, trace, repeats: int) -> dict:
 def run_benchmarks(config=None, quick: bool = False,
                    repeats: int = 3,
                    params_mode: str = DEFAULT_PARAMS_MODE,
-                   clusters=None) -> dict:
+                   clusters=None, backends=None) -> dict:
     """Run every workload; returns the full report dict."""
     from repro import __version__, obs
-    from repro.bench import dataflow, keyswitch, micro, sched, serving
+    from repro.bench import (backend as backend_bench, dataflow,
+                             keyswitch, micro, sched, serving)
     from repro.hw.config import FAST_CONFIG
     from repro.sim.engine import Engine
 
@@ -119,6 +120,8 @@ def run_benchmarks(config=None, quick: bool = False,
                                                  clusters=clusters)
         dataflow_report = dataflow.run_dataflow(quick=quick)
         serving_report = serving.run_serving(quick=quick)
+        backend_report = backend_bench.run_backend(quick=quick,
+                                                   backends=backends)
     finally:
         obs.configure(enabled=was_enabled)
     return {
@@ -147,6 +150,7 @@ def run_benchmarks(config=None, quick: bool = False,
         "throughput": throughput_report,
         "dataflow": dataflow_report,
         "serving": serving_report,
+        "backend": backend_report,
     }
 
 
@@ -196,6 +200,52 @@ def compare_reports(current: dict, baseline: dict,
     regressions.extend(_compare_serving(current.get("serving") or {},
                                         baseline.get("serving") or {},
                                         wall_tolerance))
+    regressions.extend(_compare_backend(current.get("backend") or {},
+                                        baseline.get("backend") or {},
+                                        wall_tolerance))
+    return regressions
+
+
+def _compare_backend(current: dict, baseline: dict,
+                     wall_tolerance: float) -> list[str]:
+    """Backend-section regressions against a baseline report.
+
+    Only the numpy baseline path is wall-compared (accelerator entries
+    depend on which devices the host happens to have), and only when
+    the NTT ring degree matches (quick runs time a smaller transform).
+    Bit-exactness going False on a backend the baseline had exact is
+    always a regression.  Pre-v9 baselines lack the section and are
+    skipped.
+    """
+    if not current or not baseline:
+        return []
+    regressions = []
+    cur_entries = current.get("backends", {})
+    base_entries = baseline.get("backends", {})
+    for name, base in base_entries.items():
+        entry = cur_entries.get(name)
+        if entry is None:
+            continue
+        if base.get("bit_exact") and not entry.get("bit_exact"):
+            regressions.append(
+                f"backend.{name}: bit_exact regressed to False "
+                "(baseline was exact)")
+    now_entry = cur_entries.get("numpy", {})
+    ref_entry = base_entries.get("numpy", {})
+    if now_entry.get("ntt_ring_degree") != ref_entry.get("ntt_ring_degree"):
+        return regressions
+    for label in ("modmul_best_s", "ntt_best_s", "bconv_best_s",
+                  "kmu_best_s"):
+        now = now_entry.get("micro", {}).get(label)
+        ref = ref_entry.get("micro", {}).get(label)
+        if not ref or now is None:
+            continue
+        ratio = now / ref
+        if ratio > 1.0 + wall_tolerance:
+            regressions.append(
+                f"backend.numpy.{label}: {now:.6g} vs baseline "
+                f"{ref:.6g} (+{(ratio - 1) * 100:.1f}%, "
+                f"tolerance {wall_tolerance * 100:.0f}%)")
     return regressions
 
 
@@ -576,6 +626,23 @@ def _format_table(report: dict) -> str:
             f"{admission['aware']['misses']} "
             f"(-{admission['miss_reduction']}) on the key-disjoint "
             f"pair")
+    backend = report.get("backend")
+    if backend:
+        lines.append("")
+        for name, entry in backend["backends"].items():
+            micro_b = entry["micro"]
+            cells = " ".join(
+                f"{label.split('_', 1)[0]}="
+                f"{micro_b[label] * 1e3:.2f}ms"
+                for label in ("modmul_best_s", "ntt_best_s",
+                              "bconv_best_s", "kmu_best_s"))
+            status = "" if entry["available"] else \
+                f" (fell back to {entry['resolved']})"
+            lines.append(
+                f"backend: {name:<6} [{entry['device']}]{status} {cells} "
+                f"step {entry['functional']['step_wall_s'] * 1e3:.0f} ms "
+                f"bit_exact={entry['bit_exact']} "
+                f"fallbacks={entry['fallbacks']}")
     return "\n".join(lines)
 
 
@@ -595,6 +662,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clusters", default="1,2,4,8",
                         help="comma-separated cluster counts for the "
                              "scheduler scaling curve")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated array backends to bench "
+                             "(default: numpy, fake, plus any available "
+                             "accelerator)")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_*.json to regress against")
     parser.add_argument("--sim-tolerance", type=float,
@@ -617,6 +688,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run_cli(args: argparse.Namespace) -> int:
+    from repro.bench.backend import validate_backend
     from repro.bench.dataflow import validate_dataflow
     from repro.bench.keyswitch import validate_keyswitch
     from repro.bench.micro import validate_micro
@@ -625,8 +697,13 @@ def run_cli(args: argparse.Namespace) -> int:
     if getattr(args, "calibrate", False):
         return _run_calibration(args)
     clusters = tuple(int(c) for c in str(args.clusters).split(",") if c)
+    backends = None
+    if getattr(args, "backends", None):
+        backends = [b.strip() for b in str(args.backends).split(",")
+                    if b.strip()]
     report = run_benchmarks(quick=args.quick, repeats=args.repeats,
-                            params_mode=args.params, clusters=clusters)
+                            params_mode=args.params, clusters=clusters,
+                            backends=backends)
     write_report(report, args.out)
     print(_format_table(report))
     print(f"\nwrote {args.out}"
@@ -636,7 +713,8 @@ def run_cli(args: argparse.Namespace) -> int:
         + validate_sched(report["sched"]) \
         + validate_throughput(report["throughput"]) \
         + validate_dataflow(report["dataflow"]) \
-        + validate_serving(report["serving"])
+        + validate_serving(report["serving"]) \
+        + validate_backend(report["backend"])
     if violations:
         print("\nACCEPTANCE VIOLATIONS:")
         for line in violations:

@@ -22,6 +22,7 @@ from functools import lru_cache
 
 import numpy as np
 
+import repro.backend as backend_mod
 from repro.ckks import modmath, rns
 from repro.ckks.keys import KeySwitchKey, hybrid_digit_indices
 from repro.ckks.ntt import transform_limbs
@@ -104,10 +105,10 @@ class KeyMultPlan:
     falls back to the per-digit reference loop for those.
     """
 
-    __slots__ = ("moduli", "num_digits", "n", "tier", "_w",
+    __slots__ = ("moduli", "num_digits", "n", "tier", "backend", "_w",
                  "_q_col", "_r_hi", "_r_lo", "_kernels")
 
-    def __init__(self, key: KeySwitchKey):
+    def __init__(self, key: KeySwitchKey, backend=None):
         self.moduli = key.moduli
         self.num_digits = key.num_digits
         self.n = key.parts[0][0].n
@@ -115,21 +116,28 @@ class KeyMultPlan:
         if tier is None:
             raise ValueError("key does not fit the fused KeyMult budgets")
         self.tier = tier
+        be = backend_mod.kernel_backend(backend)
+        self.backend = be
         k = len(self.moduli)
-        self._kernels = [modmath.get_kernel(q) for q in self.moduli]
-        self._w = np.empty((2, self.num_digits, k, self.n), dtype=np.uint64)
+        self._kernels = [modmath.get_kernel(q, backend=be)
+                         for q in self.moduli]
+        # The weight tensor is assembled host-side and crosses the
+        # host->device boundary exactly once, at plan build.
+        w = np.empty((2, self.num_digits, k, self.n), dtype=np.uint64)
         for j, (b_j, a_j) in enumerate(key.parts):
             for half, part in enumerate((b_j, a_j)):
                 if part.form != rns.EVAL:
                     raise ValueError("key parts must be in evaluation form")
                 for i, limb in enumerate(part.limbs):
-                    self._w[half, j, i] = limb
-        self._q_col = np.array(self.moduli, dtype=np.uint64).reshape(-1, 1)
+                    w[half, j, i] = backend_mod.to_host(limb)
+        self._w = be.from_host(w)
+        self._q_col = be.from_host(
+            np.array(self.moduli, dtype=np.uint64).reshape(-1, 1))
         consts = [modmath.barrett_constants(q) for q in self.moduli]
-        self._r_hi = np.array([c[0] for c in consts],
-                              dtype=np.uint64).reshape(-1, 1)
-        self._r_lo = np.array([c[1] for c in consts],
-                              dtype=np.uint64).reshape(-1, 1)
+        self._r_hi = be.from_host(np.array(
+            [c[0] for c in consts], dtype=np.uint64).reshape(-1, 1))
+        self._r_lo = be.from_host(np.array(
+            [c[1] for c in consts], dtype=np.uint64).reshape(-1, 1))
 
     def stack(self, decomposed: list[RnsPoly]) -> np.ndarray:
         """Stack decomposed digits into one ``(d, k, N)`` uint64 tensor."""
@@ -138,7 +146,7 @@ class KeyMultPlan:
                 f"key expects exactly {self.num_digits} digits, "
                 f"got {len(decomposed)}")
         k = len(self.moduli)
-        out = np.empty((self.num_digits, k, self.n), dtype=np.uint64)
+        out = self.backend.empty((self.num_digits, k, self.n), np.uint64)
         for j, digit in enumerate(decomposed):
             if digit.form != rns.EVAL:
                 raise ValueError("decomposed digits must be in eval form")
@@ -198,26 +206,35 @@ def _kmu_tier(moduli, num_digits: int) -> str | None:
 _NO_PLAN_YET = object()
 
 
-def get_key_mult_plan(key: KeySwitchKey) -> KeyMultPlan | None:
+def get_key_mult_plan(key: KeySwitchKey,
+                      backend=None) -> KeyMultPlan | None:
     """Cached :class:`KeyMultPlan` for ``key`` (built on first use).
 
-    The plan is stored on the key object itself (keys are frozen but
-    carry a ``__dict__``), so its lifetime matches the key's — no
-    global cache to bound or invalidate.  Returns ``None`` for keys
-    outside the fused budgets.  When the observability layer is
-    enabled, bumps ``keyswitch.kmu.plan_hit`` / ``plan_miss``.
+    Plans are stored on the key object itself (keys are frozen but
+    carry a ``__dict__``), so their lifetime matches the key's — no
+    global cache to bound or invalidate.  The per-key store is a dict
+    keyed by backend :attr:`~repro.backend.base.ArrayBackend.
+    cache_token`, so one key can hold device-resident weight tensors
+    for several backends at once.  Returns ``None`` for keys outside
+    the fused budgets.  When the observability layer is enabled, bumps
+    ``keyswitch.kmu.plan_hit`` / ``plan_miss``.
     """
+    be = backend_mod.resolve(backend)
     tracer = get_tracer()
-    cached = getattr(key, "_kmu_plan", _NO_PLAN_YET)
+    plans = getattr(key, "_kmu_plans", None)
+    if plans is None:
+        plans = {}
+        object.__setattr__(key, "_kmu_plans", plans)
+    cached = plans.get(be.cache_token, _NO_PLAN_YET)
     if cached is not _NO_PLAN_YET:
         if tracer.enabled:
             tracer.count("keyswitch.kmu.plan_hit")
         return cached
     if tracer.enabled:
         tracer.count("keyswitch.kmu.plan_miss")
-    plan = (KeyMultPlan(key)
+    plan = (KeyMultPlan(key, backend=be)
             if _kmu_tier(key.moduli, key.num_digits) is not None else None)
-    object.__setattr__(key, "_kmu_plan", plan)
+    plans[be.cache_token] = plan
     return plan
 
 
@@ -241,7 +258,8 @@ def key_mult_accumulate_reference(
 
 
 def key_mult_accumulate(decomposed: list[RnsPoly],
-                        key: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
+                        key: KeySwitchKey,
+                        backend=None) -> tuple[RnsPoly, RnsPoly]:
     """KeyMult stage: ``(sum d_j b_j, sum d_j a_j)`` in eval form.
 
     Runs the fused :class:`KeyMultPlan` when the key fits the lazy
@@ -255,7 +273,7 @@ def key_mult_accumulate(decomposed: list[RnsPoly],
             f"key expects exactly {key.num_digits} digits, "
             f"got {len(decomposed)}")
     tracer = get_tracer()
-    plan = get_key_mult_plan(key)
+    plan = get_key_mult_plan(key, backend=backend)
     if plan is not None:
         if tracer.enabled:
             tracer.count("keyswitch.kmu.fused")
@@ -268,7 +286,8 @@ def key_mult_accumulate(decomposed: list[RnsPoly],
 
 def mod_down_batch(
         pairs: list[tuple[RnsPoly, RnsPoly]],
-        aux_count: int) -> list[tuple[RnsPoly, RnsPoly]]:
+        aux_count: int,
+        backend=None) -> list[tuple[RnsPoly, RnsPoly]]:
     """ModDown applied to many accumulator pairs over one shared basis.
 
     ModDown only needs the *auxiliary* limbs in coefficient form (for
@@ -307,7 +326,7 @@ def mod_down_batch(
     p_moduli = moduli[q_count:]
     n = accs[0].n
     m = len(accs)
-    plan = rns.get_bconv_plan(p_moduli, q_moduli)
+    plan = rns.get_bconv_plan(p_moduli, q_moduli, backend=backend)
     if any(a.form != rns.EVAL for a in accs) or not (
             plan.matrix_path and plan.has_down_scale):
         raise ValueError("batch requires eval form and a matrix path")
@@ -320,14 +339,15 @@ def mod_down_batch(
     # row i * m + h is half h's limb for modulus i.
     aux_coeff = transform_limbs(
         [acc.limbs[q_count + i] for i in range(aux_count) for acc in accs],
-        tuple(p for p in p_moduli for _ in range(m)), n, inverse=True)
+        tuple(p for p in p_moduli for _ in range(m)), n, inverse=True,
+        backend=backend)
     stacked = [np.concatenate(aux_coeff[i * m:(i + 1) * m])
                for i in range(aux_count)]
     conv = plan.convert(stacked)            # q_count rows of length m*n
     conv_eval = transform_limbs(
         [conv[i][h * n:(h + 1) * n] for i in range(q_count)
          for h in range(m)],
-        tuple(q for q in q_moduli for _ in range(m)), n)
+        tuple(q for q in q_moduli for _ in range(m)), n, backend=backend)
     diffs = []
     for i, q in enumerate(q_moduli):
         x = np.concatenate([acc.limbs[i] for acc in accs])
@@ -351,7 +371,8 @@ def _mod_down_batch_ready(acc0: RnsPoly, acc1: RnsPoly,
 
 
 def mod_down_pair(acc0: RnsPoly, acc1: RnsPoly,
-                  aux_count: int) -> tuple[RnsPoly, RnsPoly]:
+                  aux_count: int,
+                  backend=None) -> tuple[RnsPoly, RnsPoly]:
     """ModDown stage applied to both halves; returns eval form.
 
     Runs the eval-domain :func:`mod_down_batch` on the single pair
@@ -365,13 +386,15 @@ def mod_down_pair(acc0: RnsPoly, acc1: RnsPoly,
     if aux_count <= 0:
         raise ValueError("nothing to mod-down: no auxiliary limbs")
     if _mod_down_batch_ready(acc0, acc1, aux_count):
-        return mod_down_batch([(acc0, acc1)], aux_count)[0]
+        return mod_down_batch([(acc0, acc1)], aux_count,
+                              backend=backend)[0]
     q_count = len(acc0.moduli) - aux_count
     n = acc0.n
     down0 = rns.mod_down(acc0.to_coeff(), q_count)
     down1 = rns.mod_down(acc1.to_coeff(), q_count)
     evaluated = transform_limbs(list(down0.limbs) + list(down1.limbs),
-                                down0.moduli + down1.moduli, n)
+                                down0.moduli + down1.moduli, n,
+                                backend=backend)
     return (RnsPoly(evaluated[:q_count], down0.moduli, rns.EVAL),
             RnsPoly(evaluated[q_count:], down1.moduli, rns.EVAL))
 
@@ -387,7 +410,9 @@ def _fold_scalars(p_moduli: tuple[int, ...],
     Used by the fused ModDown+Rescale to fold the tensor ``d`` parts
     into the key-switch accumulator as ``acc_i + (P mod q_i) * d_i``.
     Bounded LRU: keys are (P basis, Q basis) pairs, one entry per
-    level actually exercised.
+    level actually exercised.  The cache is deliberately *not* keyed
+    by backend: the entries are python/uint64 scalars, identical on
+    every backend, and the consuming kernels wrap them as needed.
     """
     big_p = rns.product(p_moduli)
     out = []
@@ -438,7 +463,8 @@ def _mod_down_rescale_ready(acc0: RnsPoly, acc1: RnsPoly,
 def mod_down_rescale_pair(
         acc0: RnsPoly, acc1: RnsPoly,
         d0: RnsPoly, d1: RnsPoly,
-        aux_count: int, drop: int = 1) -> tuple[RnsPoly, RnsPoly]:
+        aux_count: int, drop: int = 1,
+        backend=None) -> tuple[RnsPoly, RnsPoly]:
     """Fused ModDown + ``drop`` rescales, dividing by ``P * D`` once.
 
     Implements the optimiser's ``merge_rescale`` rewrite as a real
@@ -483,7 +509,7 @@ def mod_down_rescale_pair(
     kept = acc0.moduli[:keep]
     src = acc0.moduli[keep:]            # dropped q primes, then P
     n = acc0.n
-    plan = rns.get_bconv_plan(src, kept)
+    plan = rns.get_bconv_plan(src, kept, backend=backend)
     tracer = get_tracer()
     if tracer.enabled:
         tracer.count("keyswitch.moddown.fused_rescale")
@@ -502,14 +528,14 @@ def mod_down_rescale_pair(
                             else acc.limbs[q_count + (i - drop)])
     aux_coeff = transform_limbs(
         aux_rows, tuple(q for q in src for _ in range(2)), n,
-        inverse=True)
+        inverse=True, backend=backend)
     stacked = [np.concatenate(aux_coeff[2 * i:2 * i + 2])
                for i in range(src_count)]
     conv = plan.convert(stacked)        # keep rows of length 2n
     conv_eval = transform_limbs(
         [conv[i][h * n:(h + 1) * n] for i in range(keep)
          for h in range(2)],
-        tuple(q for q in kept for _ in range(2)), n)
+        tuple(q for q in kept for _ in range(2)), n, backend=backend)
     diffs = []
     for i, q in enumerate(kept):
         x = np.concatenate((z0[i], z1[i]))
@@ -564,7 +590,8 @@ def mod_down_rescale_reference(
 
 
 def hybrid_key_switch(poly: RnsPoly, key: KeySwitchKey,
-                      alpha: int) -> tuple[RnsPoly, RnsPoly]:
+                      alpha: int,
+                      backend=None) -> tuple[RnsPoly, RnsPoly]:
     """Full hybrid switch of ``poly`` (coeff or eval form, Q_l basis).
 
     Returns ``(delta0, delta1)`` in evaluation form over ``Q_l`` such
@@ -573,5 +600,5 @@ def hybrid_key_switch(poly: RnsPoly, key: KeySwitchKey,
     get_tracer().count("keyswitch.hybrid")
     coeff = poly.to_coeff()
     decomposed = hybrid_decompose(coeff, key, alpha)
-    acc0, acc1 = key_mult_accumulate(decomposed, key)
-    return mod_down_pair(acc0, acc1, key.aux_count)
+    acc0, acc1 = key_mult_accumulate(decomposed, key, backend=backend)
+    return mod_down_pair(acc0, acc1, key.aux_count, backend=backend)

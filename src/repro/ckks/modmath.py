@@ -37,6 +37,7 @@ from functools import lru_cache
 
 import numpy as np
 
+import repro.backend as backend_mod
 from repro.obs.tracer import get_tracer
 
 NARROW = "narrow"
@@ -179,10 +180,11 @@ class ModulusKernel:
     is the boundary that establishes that invariant.
     """
 
-    __slots__ = ("modulus", "path", "dtype", "bits",
+    __slots__ = ("modulus", "path", "dtype", "bits", "backend",
                  "_q64", "_r_hi", "_r_lo", "_half")
 
-    def __init__(self, modulus: int, path: str | None = None):
+    def __init__(self, modulus: int, path: str | None = None,
+                 backend=None):
         modulus = int(modulus)
         if modulus < 2:
             raise ValueError("modulus must be at least 2")
@@ -199,6 +201,14 @@ class ModulusKernel:
         self.path = path
         self.bits = modulus.bit_length()
         self._half = modulus // 2
+        if path == OBJECT:
+            # The object oracle is host-only by definition (boxed
+            # Python ints); pinning it to numpy is the documented
+            # contract, not a capability fallback.
+            self.backend = backend_mod.get_backend("numpy")
+        else:
+            self.backend = backend_mod.kernel_backend(
+                backend, need_uint64=(path == WIDE))
         if path == NARROW:
             self.dtype = np.int64
         elif path == WIDE:
@@ -212,7 +222,8 @@ class ModulusKernel:
 
     def __repr__(self) -> str:
         return (f"ModulusKernel(modulus={self.modulus}, "
-                f"path={self.path!r}, bits={self.bits})")
+                f"path={self.path!r}, bits={self.bits}, "
+                f"backend={self.backend.cache_token!r})")
 
     # -- internals ----------------------------------------------------
     def _tick(self) -> None:
@@ -231,7 +242,8 @@ class ModulusKernel:
 
     def _asresidues(self, values, copy: bool = True) -> np.ndarray:
         q = self.modulus
-        if isinstance(values, np.ndarray):
+        if isinstance(values, np.ndarray) \
+                or self.backend.is_device_array(values):
             arr = values
         else:
             arr = np.asarray(values)
@@ -250,11 +262,15 @@ class ModulusKernel:
             else:
                 arr = arr.ravel()
             return np.mod(arr, q)
+        # Every non-object exit crosses the residency boundary: host
+        # input is uploaded, device-resident input passes through
+        # untouched (from_host is the identity there).
+        from_host = self.backend.from_host
         if arr.dtype == object:
             # Single reduce-then-convert pass: one vectorised Python-%
             # sweep, then a bulk dtype conversion (no per-element
             # comprehension).
-            return np.mod(arr.ravel(), q).astype(self.dtype)
+            return from_host(np.mod(arr.ravel(), q).astype(self.dtype))
         if arr.dtype == self.dtype and arr.ndim == 1:
             # Fast path: already-reduced input needs at most a copy.
             if self.path == WIDE:
@@ -262,13 +278,13 @@ class ModulusKernel:
             else:
                 reduced = bool(((arr >= 0) & (arr < q)).all())
             if reduced:
-                return arr.copy() if copy else arr
+                return from_host(arr.copy() if copy else arr)
         if self.path == WIDE:
             if arr.dtype == np.uint64:
-                return np.mod(arr, self._q64)
-            return np.mod(arr.astype(np.int64, copy=False),
-                          q).astype(np.uint64)
-        return np.mod(arr.astype(np.int64, copy=True), q)
+                return from_host(np.mod(arr, self._q64))
+            return from_host(np.mod(arr.astype(np.int64, copy=False),
+                                    q).astype(np.uint64))
+        return from_host(np.mod(arr.astype(np.int64, copy=True), q))
 
     def _mul_scalar(self, a, scalar: int) -> np.ndarray:
         s = self._scalar(scalar)
@@ -289,7 +305,7 @@ class ModulusKernel:
             out = np.empty(n, dtype=object)
             out[:] = 0
             return out
-        return np.zeros(n, dtype=self.dtype)
+        return self.backend.zeros(n, self.dtype)
 
     def asresidues(self, values, copy: bool = True) -> np.ndarray:
         """Coerce ints/arrays into a reduced residue vector.
@@ -361,8 +377,14 @@ class ModulusKernel:
         return np.uint64(w), np.uint64((w << 64) // self.modulus)
 
     def shoup_table(self, table) -> np.ndarray:
-        """Vectorised Shoup companions for a table of residues."""
+        """Vectorised Shoup companions for a table of residues.
+
+        Returns a *host* uint64 array (it iterates Python ints); plan
+        builders that keep the companions device-resident wrap the
+        result in ``backend.from_host`` once, at build.
+        """
         q = self.modulus
+        table = backend_mod.to_host(table)
         boxed = np.empty(len(table), dtype=object)
         boxed[:] = [int(w) for w in table]
         return ((boxed << 64) // q).astype(np.uint64)
@@ -384,9 +406,11 @@ class ModulusKernel:
         self._tick()
         q = self.modulus
         if self.path == NARROW:
-            return rng.integers(0, q, size=n, dtype=np.int64)
+            return self.backend.from_host(
+                rng.integers(0, q, size=n, dtype=np.int64))
         if self.path == WIDE:
-            return rng.integers(0, q, size=n, dtype=np.uint64)
+            return self.backend.from_host(
+                rng.integers(0, q, size=n, dtype=np.uint64))
         words = (q.bit_length() + 62) // 63
         out = np.empty(n, dtype=object)
         for i in range(n):
@@ -399,9 +423,22 @@ class ModulusKernel:
 
 
 @lru_cache(maxsize=1024)
-def get_kernel(modulus: int, path: str | None = None) -> ModulusKernel:
-    """Shared :class:`ModulusKernel` for one (modulus, path) pair."""
-    return ModulusKernel(modulus, path)
+def _build_kernel(modulus: int, path: str | None,
+                  backend) -> ModulusKernel:
+    return ModulusKernel(modulus, path, backend)
+
+
+def get_kernel(modulus: int, path: str | None = None,
+               backend=None) -> ModulusKernel:
+    """Shared :class:`ModulusKernel` for one (modulus, path, backend).
+
+    ``backend`` may be a name, an :class:`~repro.backend.ArrayBackend`
+    instance, or None for the process default.  The cache keys on the
+    resolved backend singleton, so kernels (and the constants they
+    hold) are never shared across devices and a mid-process
+    ``backend.select`` cannot serve stale tables.
+    """
+    return _build_kernel(int(modulus), path, backend_mod.resolve(backend))
 
 
 # -- module-level functional API (historic signatures) --------------------

@@ -30,6 +30,7 @@ from time import perf_counter
 
 import numpy as np
 
+import repro.backend as backend_mod
 from repro.ckks import modmath, primes
 from repro.obs.tracer import get_tracer
 
@@ -82,7 +83,7 @@ class NttPlan:
     """
 
     def __init__(self, ring_degree: int, modulus: int,
-                 path: str | None = None):
+                 path: str | None = None, backend=None):
         if ring_degree & (ring_degree - 1):
             raise ValueError("ring degree must be a power of two")
         if (modulus - 1) % (2 * ring_degree) != 0:
@@ -90,17 +91,22 @@ class NttPlan:
                 f"modulus {modulus} is not NTT-friendly for N={ring_degree}")
         self.n = ring_degree
         self.modulus = modulus
-        self._kernel = modmath.get_kernel(modulus, path)
+        self._kernel = modmath.get_kernel(modulus, path, backend)
         self.path = self._kernel.path
+        self.backend = self._kernel.backend
         psi = primes.root_of_unity(2 * ring_degree, modulus)
         psi_inv = modmath.inv_mod(psi, modulus)
+        # Twiddle tables are built host-side (exact Python ints) and
+        # cross the residency boundary exactly once, here at build.
         self._psi_rev = self._power_table(psi)
         self._psi_inv_rev = self._power_table(psi_inv)
         self._n_inv = modmath.inv_mod(ring_degree, modulus)
         if self.path == modmath.WIDE:
             kernel = self._kernel
-            self._psi_rev_shoup = kernel.shoup_table(self._psi_rev)
-            self._psi_inv_rev_shoup = kernel.shoup_table(self._psi_inv_rev)
+            self._psi_rev_shoup = self.backend.from_host(
+                kernel.shoup_table(self._psi_rev))
+            self._psi_inv_rev_shoup = self.backend.from_host(
+                kernel.shoup_table(self._psi_inv_rev))
             self._n_inv_pair = kernel.shoup(self._n_inv)
         else:
             self._psi_rev_shoup = None
@@ -276,7 +282,8 @@ class BatchNttPlan:
     per-limb plans on every path.
     """
 
-    def __init__(self, ring_degree: int, moduli: tuple[int, ...]):
+    def __init__(self, ring_degree: int, moduli: tuple[int, ...],
+                 backend=None):
         # Imported lazily: rns imports NttPlan from this module at
         # load time, but the shared bounded per-(N, q) plan cache
         # lives there and must be reused so batch and scalar callers
@@ -285,7 +292,11 @@ class BatchNttPlan:
 
         self.n = int(ring_degree)
         self.moduli = tuple(int(q) for q in moduli)
-        self._kernels = [modmath.get_kernel(q) for q in self.moduli]
+        # The batched butterflies are pure uint64 lazy-Shoup ops.
+        be = backend_mod.kernel_backend(backend)
+        self.backend = be
+        self._kernels = [modmath.get_kernel(q, backend=be)
+                         for q in self.moduli]
         self._batch_rows: list[int] = []     # limb positions in the stack
         self._object_rows: list[int] = []    # limb positions on the oracle
         self._scalar_plans = {}
@@ -293,18 +304,24 @@ class BatchNttPlan:
         psi_inv, psi_inv_shoup = [], []
         n_inv_w, n_inv_ws, q_col = [], [], []
         for i, q in enumerate(self.moduli):
-            plan = get_plan(self.n, q)
+            plan = get_plan(self.n, q, backend=be)
             self._scalar_plans[i] = plan
             kernel = self._kernels[i]
             if kernel.path == modmath.OBJECT:
                 self._object_rows.append(i)
                 continue
             self._batch_rows.append(i)
-            psi.append(np.asarray(plan._psi_rev, dtype=np.uint64))
-            psi_inv.append(np.asarray(plan._psi_inv_rev, dtype=np.uint64))
+            # Stacking happens host-side (the scalar plans' tables may
+            # be device-resident); the stacked copies go back through
+            # from_host below — one build-time transfer per table.
+            psi.append(backend_mod.to_host(plan._psi_rev)
+                       .astype(np.uint64, copy=False))
+            psi_inv.append(backend_mod.to_host(plan._psi_inv_rev)
+                           .astype(np.uint64, copy=False))
             if kernel.path == modmath.WIDE:
-                psi_shoup.append(plan._psi_rev_shoup)
-                psi_inv_shoup.append(plan._psi_inv_rev_shoup)
+                psi_shoup.append(backend_mod.to_host(plan._psi_rev_shoup))
+                psi_inv_shoup.append(
+                    backend_mod.to_host(plan._psi_inv_rev_shoup))
                 w, ws = plan._n_inv_pair
             else:
                 # Narrow plans keep int64 tables without Shoup
@@ -317,17 +334,20 @@ class BatchNttPlan:
             n_inv_ws.append(ws)
             q_col.append(np.uint64(q))
         if self._batch_rows:
-            self._psi = np.stack(psi)
-            self._psi_shoup = np.stack(psi_shoup)
-            self._psi_inv = np.stack(psi_inv)
-            self._psi_inv_shoup = np.stack(psi_inv_shoup)
-            self._n_inv_w = np.array(n_inv_w, dtype=np.uint64).reshape(-1, 1)
-            self._n_inv_ws = np.array(n_inv_ws, dtype=np.uint64).reshape(-1, 1)
-            self._q = np.array(q_col, dtype=np.uint64).reshape(-1, 1)
+            self._psi = be.from_host(np.stack(psi))
+            self._psi_shoup = be.from_host(np.stack(psi_shoup))
+            self._psi_inv = be.from_host(np.stack(psi_inv))
+            self._psi_inv_shoup = be.from_host(np.stack(psi_inv_shoup))
+            self._n_inv_w = be.from_host(
+                np.array(n_inv_w, dtype=np.uint64).reshape(-1, 1))
+            self._n_inv_ws = be.from_host(
+                np.array(n_inv_ws, dtype=np.uint64).reshape(-1, 1))
+            self._q = be.from_host(
+                np.array(q_col, dtype=np.uint64).reshape(-1, 1))
 
     # -- batched butterflies (uint64 lazy-Shoup datapath) ---------------
     def _stack(self, limbs) -> np.ndarray:
-        a = np.empty((len(self._batch_rows), self.n), dtype=np.uint64)
+        a = self.backend.empty((len(self._batch_rows), self.n), np.uint64)
         for row, i in enumerate(self._batch_rows):
             arr = self._kernels[i].asresidues(limbs[i], copy=False)
             if len(arr) != self.n:
@@ -424,21 +444,34 @@ class BatchNttPlan:
 
 
 @lru_cache(maxsize=BATCH_PLAN_CACHE_MAXSIZE)
-def get_batch_plan(ring_degree: int, moduli: tuple[int, ...]) -> BatchNttPlan:
-    """Shared batch plan for one (N, basis) pair (bounded LRU cache)."""
-    return BatchNttPlan(ring_degree, moduli)
+def _build_batch_plan(ring_degree: int, moduli: tuple[int, ...],
+                      backend) -> BatchNttPlan:
+    return BatchNttPlan(ring_degree, moduli, backend)
+
+
+def get_batch_plan(ring_degree: int, moduli: tuple[int, ...],
+                   backend=None) -> BatchNttPlan:
+    """Shared batch plan for one (N, basis, backend) triple.
+
+    Bounded LRU cache keyed on the resolved backend singleton, so a
+    mid-process ``backend.select`` builds fresh device-resident stacks
+    instead of serving another device's tables.
+    """
+    return _build_batch_plan(int(ring_degree),
+                             tuple(int(q) for q in moduli),
+                             backend_mod.resolve(backend))
 
 
 def batch_plan_cache_info():
-    return get_batch_plan.cache_info()
+    return _build_batch_plan.cache_info()
 
 
 def clear_batch_plan_cache() -> None:
-    get_batch_plan.cache_clear()
+    _build_batch_plan.cache_clear()
 
 
 def transform_limbs(limbs, moduli, ring_degree: int,
-                    inverse: bool = False) -> list:
+                    inverse: bool = False, backend=None) -> list:
     """Run every limb of one basis through a single batched NTT call.
 
     ``limbs[i]`` must be a residue vector modulo ``moduli[i]``.
@@ -447,7 +480,8 @@ def transform_limbs(limbs, moduli, ring_degree: int,
     limb, but with one stage-vectorised pass over a ``(k, N)`` stack
     instead of ``k`` separate transforms.
     """
-    plan = get_batch_plan(int(ring_degree), tuple(int(q) for q in moduli))
+    plan = get_batch_plan(int(ring_degree), tuple(int(q) for q in moduli),
+                          backend)
     return plan.inverse(limbs) if inverse else plan.forward(limbs)
 
 

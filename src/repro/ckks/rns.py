@@ -29,6 +29,7 @@ from time import perf_counter
 
 import numpy as np
 
+import repro.backend as backend_mod
 from repro.ckks import modmath
 from repro.ckks.ntt import NttPlan, transform_limbs
 from repro.obs.tracer import get_tracer
@@ -47,25 +48,34 @@ PLAN_CACHE_MAXSIZE = 256
 
 
 @lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
-def get_plan(ring_degree: int, modulus: int) -> NttPlan:
-    """Shared NTT plan for one (N, q) pair (bounded LRU cache)."""
+def _build_plan(ring_degree: int, modulus: int, backend) -> NttPlan:
     tracer = get_tracer()
     if tracer.enabled:
         start = perf_counter()
-        plan = NttPlan(ring_degree, modulus)
+        plan = NttPlan(ring_degree, modulus, backend=backend)
         tracer.count("rns.plan_builds")
         tracer.observe("rns.plan_build_s", perf_counter() - start)
         return plan
-    return NttPlan(ring_degree, modulus)
+    return NttPlan(ring_degree, modulus, backend=backend)
+
+
+def get_plan(ring_degree: int, modulus: int, backend=None) -> NttPlan:
+    """Shared NTT plan for one (N, q, backend) triple (bounded LRU).
+
+    Keyed on the resolved backend singleton so twiddle/Shoup tables
+    built for one device are never served to another.
+    """
+    return _build_plan(int(ring_degree), int(modulus),
+                       backend_mod.resolve(backend))
 
 
 def plan_cache_info():
     """``functools`` cache statistics for the NTT-plan cache."""
-    return get_plan.cache_info()
+    return _build_plan.cache_info()
 
 
 def clear_plan_cache() -> None:
-    get_plan.cache_clear()
+    _build_plan.cache_clear()
 
 
 class RnsPoly:
@@ -283,35 +293,40 @@ class AutoPlan:
       the gather, and as the only path for coefficient-form inputs.
     """
 
-    __slots__ = ("n", "galois", "eval_perm", "coeff_dest", "coeff_negate")
+    __slots__ = ("n", "galois", "backend", "eval_perm", "coeff_dest",
+                 "coeff_negate")
 
-    def __init__(self, n: int, galois_power: int):
+    def __init__(self, n: int, galois_power: int, backend=None):
         if galois_power % 2 == 0:
             raise ValueError("Galois element must be odd")
         self.n = int(n)
         two_n = 2 * self.n
         g = int(galois_power) % two_n
         self.galois = g
+        # Index tables are pure gathers/scatters: any backend whose
+        # arrays speak the numpy protocols can hold them resident.
+        be = backend_mod.kernel_backend(backend, need_uint64=False)
+        self.backend = be
         idx = (np.arange(self.n, dtype=np.int64) * g) % two_n
-        self.coeff_dest = np.where(idx < n, idx, idx - n)
-        self.coeff_negate = idx >= n
+        self.coeff_dest = be.from_host(np.where(idx < n, idx, idx - n))
+        self.coeff_negate = be.from_host(idx >= n)
         if self.n >= 1 and not (self.n & (self.n - 1)):
             from repro.ckks.ntt import (bit_reverse_permutation,
                                         eval_point_exponents)
             rev = bit_reverse_permutation(self.n)
             target = (eval_point_exponents(self.n) * g) % two_n
-            self.eval_perm = rev[(target - 1) >> 1]
+            self.eval_perm = be.from_host(rev[(target - 1) >> 1])
         else:
             self.eval_perm = None
 
 
 @lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
-def _build_auto_plan(n: int, galois: int) -> AutoPlan:
-    return AutoPlan(n, galois)
+def _build_auto_plan(n: int, galois: int, backend=None) -> AutoPlan:
+    return AutoPlan(n, galois, backend)
 
 
-def get_auto_plan(n: int, galois_power: int) -> AutoPlan:
-    """Shared :class:`AutoPlan` for one ``(N, g)`` pair (bounded LRU).
+def get_auto_plan(n: int, galois_power: int, backend=None) -> AutoPlan:
+    """Shared :class:`AutoPlan` per ``(N, g, backend)`` (bounded LRU).
 
     ``galois_power`` is normalised modulo ``2N`` before the cache
     lookup, so equivalent elements share one entry.  When the
@@ -323,11 +338,12 @@ def get_auto_plan(n: int, galois_power: int) -> AutoPlan:
     if g % 2 == 0:
         raise ValueError("Galois element must be odd")
     g %= 2 * n
+    be = backend_mod.resolve(backend)
     tracer = get_tracer()
     if not tracer.enabled:
-        return _build_auto_plan(n, g)
+        return _build_auto_plan(n, g, be)
     hits_before = _build_auto_plan.cache_info().hits
-    plan = _build_auto_plan(n, g)
+    plan = _build_auto_plan(n, g, be)
     if _build_auto_plan.cache_info().hits > hits_before:
         tracer.count("rns.auto.plan_hit")
     else:
@@ -399,7 +415,9 @@ def compose_crt(poly: RnsPoly) -> list[int]:
                                      q_hat, q_hat_inv):
         scale = hat * hat_inv % big_q
         boxed = np.empty(poly.n, dtype=object)
-        boxed[:] = limb.tolist()
+        # Big-int recombination is host-side by nature; device-resident
+        # limbs cross the boundary here (one d2h per limb).
+        boxed[:] = backend_mod.to_host(limb).tolist()
         acc = acc + boxed * scale
     acc = np.mod(acc, big_q)
     return [int(v) - big_q if v > half else int(v) for v in acc]
@@ -458,41 +476,51 @@ class BConvPlan:
     # accumulation (checked against the actual k_in below).
     PIECE_BITS = 22
 
-    __slots__ = ("src_moduli", "dst_moduli", "k_in", "k_out",
+    __slots__ = ("src_moduli", "dst_moduli", "k_in", "k_out", "backend",
                  "src_product", "matrix_path", "total_bits",
-                 "_dst_kernels", "_ew_w", "_ew_ws", "_src_q",
-                 "_ew_float", "_ew_wf", "_src_qf",
+                 "_dst_kernels", "_src_kernels", "_ew_w", "_ew_ws",
+                 "_src_q", "_ew_float", "_ew_wf", "_src_qf",
                  "_pieces_in", "_block_stack", "_shifts",
                  "_reduce_float", "_vf_gemm", "_scales", "_dst_qf",
                  "_dst_q", "_t64_w", "_t64_ws",
                  "_down_inv", "_down_pairs", "_ws_pool")
 
-    def __init__(self, src_moduli, dst_moduli):
+    def __init__(self, src_moduli, dst_moduli, backend=None):
         self.src_moduli = tuple(int(q) for q in src_moduli)
         self.dst_moduli = tuple(int(p) for p in dst_moduli)
         self.k_in = len(self.src_moduli)
         self.k_out = len(self.dst_moduli)
         big_q, q_hat, q_hat_inv = _crt_constants(self.src_moduli)
         self.src_product = big_q
-        self._dst_kernels = [modmath.get_kernel(p) for p in self.dst_moduli]
+        # The matrix kernel needs the uint64 lazy datapath *and* an
+        # exactly-rounded float64 matmul; anything less negotiates
+        # down to numpy.
+        be = backend_mod.kernel_backend(backend, need_matmul=True)
+        self.backend = be
+        self._dst_kernels = [modmath.get_kernel(p, backend=be)
+                             for p in self.dst_moduli]
+        self._src_kernels = [modmath.get_kernel(q, backend=be)
+                             for q in self.src_moduli]
         self._ws_pool = []
         self.matrix_path = self._matrix_feasible()
         if self.matrix_path and self.k_in and self.k_out:
+            # Every constant column below is built host-side, then
+            # placed device-resident exactly once (from_host).
             ew = [modmath.shoup_pair(inv, q)
                   for inv, q in zip(q_hat_inv, self.src_moduli)]
-            self._ew_w = np.array([w for w, _ in ew],
-                                  dtype=np.uint64).reshape(-1, 1)
-            self._ew_ws = np.array([ws for _, ws in ew],
-                                   dtype=np.uint64).reshape(-1, 1)
-            self._src_q = np.array(self.src_moduli,
-                                   dtype=np.uint64).reshape(-1, 1)
-            self._dst_q = np.array(self.dst_moduli,
-                                   dtype=np.uint64).reshape(-1, 1)
+            self._ew_w = be.from_host(np.array(
+                [w for w, _ in ew], dtype=np.uint64).reshape(-1, 1))
+            self._ew_ws = be.from_host(np.array(
+                [ws for _, ws in ew], dtype=np.uint64).reshape(-1, 1))
+            self._src_q = be.from_host(np.array(
+                self.src_moduli, dtype=np.uint64).reshape(-1, 1))
+            self._dst_q = be.from_host(np.array(
+                self.dst_moduli, dtype=np.uint64).reshape(-1, 1))
             t64 = [modmath.shoup_pair(1 << 64, p) for p in self.dst_moduli]
-            self._t64_w = np.array([w for w, _ in t64],
-                                   dtype=np.uint64).reshape(-1, 1)
-            self._t64_ws = np.array([ws for _, ws in t64],
-                                    dtype=np.uint64).reshape(-1, 1)
+            self._t64_w = be.from_host(np.array(
+                [w for w, _ in t64], dtype=np.uint64).reshape(-1, 1))
+            self._t64_ws = be.from_host(np.array(
+                [ws for _, ws in t64], dtype=np.uint64).reshape(-1, 1))
             bits_in = max(q.bit_length() for q in self.src_moduli)
             bits_out = max(p.bit_length() for p in self.dst_moduli)
             b = self.PIECE_BITS
@@ -609,15 +637,19 @@ class BConvPlan:
         if self._vf_gemm:
             # Quotient rows carry the 1/p_j scaling too, so the gemm
             # yields v/p_j directly and convert() only floors it.
+            # (Host-side floats here: _dst_qf may be device-resident.)
             vf_block = np.empty((self.k_out, self._pieces_in * self.k_in))
-            matf = mat.astype(np.float64) / self._dst_qf
+            matf = mat.astype(np.float64) / np.array(
+                self.dst_moduli, dtype=np.float64).reshape(-1, 1)
             for a in range(self._pieces_in):
                 vf_block[:, a * self.k_in:(a + 1) * self.k_in] = \
                     matf * float(1 << (a * b))
             blocks.append(vf_block)
         # One tall matrix so the whole multiply-accumulate runs as a
         # single BLAS call; component s is rows [s*k_out, (s+1)*k_out).
-        self._block_stack = np.vstack(blocks)
+        # The 22-bit split matrix is the big resident table: one
+        # build-time upload, reused by every convert().
+        self._block_stack = self.backend.from_host(np.vstack(blocks))
 
     def __repr__(self) -> str:
         return (f"BConvPlan(k_in={self.k_in}, k_out={self.k_out}, "
@@ -642,22 +674,23 @@ class BConvPlan:
         except IndexError:
             pass
         k_in, k_out = self.k_in, self.k_out
+        empty = self.backend.empty
         ws = {
             "n": n,
-            "x": np.empty((k_in, n), dtype=np.uint64),
-            "y": np.empty((k_in, n), dtype=np.uint64),
-            "tq": np.empty((k_in, n), dtype=np.uint64),
-            "pieces": np.empty((self._pieces_in * k_in, n)),
-            "flat": np.empty((self._block_stack.shape[0], n)),
-            "lo": np.empty((k_out, n), dtype=np.uint64),
-            "quo": np.empty((k_out, n), dtype=np.uint64),
-            "tmpu": np.empty((k_out, n), dtype=np.uint64),
-            "tmpf": np.empty((k_out, n)),
+            "x": empty((k_in, n), np.uint64),
+            "y": empty((k_in, n), np.uint64),
+            "tq": empty((k_in, n), np.uint64),
+            "pieces": empty((self._pieces_in * k_in, n), np.float64),
+            "flat": empty((self._block_stack.shape[0], n), np.float64),
+            "lo": empty((k_out, n), np.uint64),
+            "quo": empty((k_out, n), np.uint64),
+            "tmpu": empty((k_out, n), np.uint64),
+            "tmpf": empty((k_out, n), np.float64),
         }
         if self._ew_float:
-            ws["xf"] = np.empty((k_in, n))
+            ws["xf"] = empty((k_in, n), np.float64)
         if not self._reduce_float:
-            ws["hi"] = np.empty((k_out, n), dtype=np.uint64)
+            ws["hi"] = empty((k_out, n), np.uint64)
         return ws
 
     def _release(self, ws: dict) -> None:
@@ -665,8 +698,8 @@ class BConvPlan:
             self._ws_pool.append(ws)
 
     def _stack_input(self, limbs, n: int, out: np.ndarray) -> np.ndarray:
-        for i, q in enumerate(self.src_moduli):
-            arr = modmath.get_kernel(q).asresidues(limbs[i], copy=False)
+        for i, kernel in enumerate(self._src_kernels):
+            arr = kernel.asresidues(limbs[i], copy=False)
             if len(arr) != n:
                 raise ValueError("ragged limb lengths")
             out[i] = arr
@@ -737,7 +770,7 @@ class BConvPlan:
                 src = tq
             pieces[a * self.k_in:(a + 1) * self.k_in] = src
         flat = ws["flat"]
-        np.matmul(self._block_stack, pieces, out=flat)
+        self.backend.matmul(self._block_stack, pieces, out=flat)
         comps = [flat[s * self.k_out:(s + 1) * self.k_out]
                  for s in range(len(self._shifts))]
         pq = self._dst_q
@@ -827,24 +860,25 @@ class BConvPlan:
 
 
 @lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
-def _build_bconv_plan(src: tuple[int, ...],
-                      dst: tuple[int, ...]) -> BConvPlan:
-    return BConvPlan(src, dst)
+def _build_bconv_plan(src: tuple[int, ...], dst: tuple[int, ...],
+                      backend=None) -> BConvPlan:
+    return BConvPlan(src, dst, backend)
 
 
-def get_bconv_plan(src_moduli, dst_moduli) -> BConvPlan:
-    """Shared :class:`BConvPlan` for one basis pair (bounded LRU cache).
+def get_bconv_plan(src_moduli, dst_moduli, backend=None) -> BConvPlan:
+    """Shared :class:`BConvPlan` per (basis pair, backend) (bounded LRU).
 
     When the observability layer is enabled, bumps
     ``rns.bconv.plan_hit`` / ``rns.bconv.plan_miss``.
     """
     src = tuple(int(q) for q in src_moduli)
     dst = tuple(int(p) for p in dst_moduli)
+    be = backend_mod.resolve(backend)
     tracer = get_tracer()
     if not tracer.enabled:
-        return _build_bconv_plan(src, dst)
+        return _build_bconv_plan(src, dst, be)
     hits_before = _build_bconv_plan.cache_info().hits
-    plan = _build_bconv_plan(src, dst)
+    plan = _build_bconv_plan(src, dst, be)
     if _build_bconv_plan.cache_info().hits > hits_before:
         tracer.count("rns.bconv.plan_hit")
     else:
@@ -873,7 +907,7 @@ def plan_cache_evictions() -> dict:
     unbounded key shapes and thrashing the plan tables.
     """
     caches = {
-        "ntt": get_plan.cache_info(),
+        "ntt": _build_plan.cache_info(),
         "auto": _build_auto_plan.cache_info(),
         "crt": _crt_constants.cache_info(),
         "bconv": _build_bconv_plan.cache_info(),

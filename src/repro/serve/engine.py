@@ -39,6 +39,7 @@ from functools import lru_cache
 import numpy as np
 from multiprocessing import shared_memory
 
+import repro.backend as backend_mod
 from repro import obs
 from repro.ckks import modmath, primes
 from repro.core.optrace import OpTrace
@@ -113,34 +114,42 @@ class RowBatchNtt:
     path) fall back to a per-row scalar-plan loop.
     """
 
-    def __init__(self, ring_degree: int, modulus: int):
+    def __init__(self, ring_degree: int, modulus: int, backend=None):
         from repro.ckks.rns import get_plan
 
         self.n = int(ring_degree)
         self.modulus = int(modulus)
-        self._kernel = modmath.get_kernel(self.modulus)
-        self._plan = get_plan(self.n, self.modulus)
+        self._kernel = modmath.get_kernel(self.modulus, backend=backend)
+        self.backend = self._kernel.backend
+        self._plan = get_plan(self.n, self.modulus, backend=backend)
         self.vectorised = self._kernel.path != modmath.OBJECT
         if not self.vectorised:
             return
         plan = self._plan
         kernel = self._kernel
-        self._psi = np.asarray(plan._psi_rev, dtype=np.uint64)
-        self._psi_inv = np.asarray(plan._psi_inv_rev, dtype=np.uint64)
+        be = self.backend
+        # The scalar plan's tables are already resident on the same
+        # backend; only the dtype view changes here (narrow kernels
+        # keep int64 residues, the butterflies want uint64).
+        self._psi = be.asarray(plan._psi_rev, dtype=np.uint64)
+        self._psi_inv = be.asarray(plan._psi_inv_rev, dtype=np.uint64)
         if kernel.path == modmath.WIDE:
             self._psi_shoup = plan._psi_rev_shoup
             self._psi_inv_shoup = plan._psi_inv_rev_shoup
             w, ws = plan._n_inv_pair
         else:
-            self._psi_shoup = kernel.shoup_table(plan._psi_rev)
-            self._psi_inv_shoup = kernel.shoup_table(plan._psi_inv_rev)
+            # shoup_table returns a host array: one upload, at build.
+            self._psi_shoup = be.from_host(
+                kernel.shoup_table(plan._psi_rev))
+            self._psi_inv_shoup = be.from_host(
+                kernel.shoup_table(plan._psi_inv_rev))
             w, ws = modmath.shoup_pair(plan._n_inv, self.modulus)
         self._n_inv_w = np.uint64(w)
         self._n_inv_ws = np.uint64(ws)
         self._q = np.uint64(self.modulus)
 
     def _rows(self, rows: np.ndarray) -> np.ndarray:
-        a = np.array(rows, dtype=np.uint64, copy=True)
+        a = self.backend.asarray(rows, dtype=np.uint64, copy=True)
         if a.ndim != 2 or a.shape[1] != self.n:
             raise ValueError("rows must be (B, N) for this plan")
         return a
@@ -209,7 +218,7 @@ def _mulmod(kernel, rows: np.ndarray, scale: np.ndarray) -> np.ndarray:
     Barrett on the wide path), results back in uint64."""
     out = kernel.mul(kernel.asresidues(rows, copy=False),
                      kernel.asresidues(scale[:, None], copy=False))
-    return np.asarray(out, dtype=np.uint64)
+    return kernel.backend.asarray(out, dtype=np.uint64)
 
 
 def _apply_batch_op(ct3: np.ndarray, index: int, rotation: int,
@@ -248,15 +257,25 @@ def _negmod(a: np.ndarray, q: int) -> np.ndarray:
 
 
 @lru_cache(maxsize=8)
-def _batch_context(moduli: tuple[int, ...], ring_degree: int) -> dict:
-    """Per-process stacked-execution context (workers build lazily)."""
+def _batch_context(moduli: tuple[int, ...], ring_degree: int,
+                   backend_name: str = "numpy") -> dict:
+    """Per-process stacked-execution context (workers build lazily).
+
+    Keyed by backend *name* (a plain string) so the cache key stays
+    picklable and workers rebuilding the context in a fork land on
+    the same entry.  The pooled shared-memory path always passes
+    ``"numpy"`` — the arena is host memory by construction.
+    """
+    be = backend_mod.get_backend(backend_name)
     return {
         "moduli": moduli,
         "n": ring_degree,
-        "counter": np.arange(1, ring_degree + 1,
-                             dtype=np.uint64) * _C3,
-        "kernels": [modmath.get_kernel(q) for q in moduli],
-        "row_ntts": [RowBatchNtt(ring_degree, q) for q in moduli],
+        "backend": be,
+        "counter": be.from_host(np.arange(1, ring_degree + 1,
+                                          dtype=np.uint64) * _C3),
+        "kernels": [modmath.get_kernel(q, backend=be) for q in moduli],
+        "row_ntts": [RowBatchNtt(ring_degree, q, backend=be)
+                     for q in moduli],
     }
 
 
@@ -305,20 +324,26 @@ class ServeExecutor:
     """
 
     def __init__(self, ring_degree: int = 256, num_limbs: int = 3,
-                 prime_bits: int = 36, seed: int = 20250806):
+                 prime_bits: int = 36, seed: int = 20250806,
+                 backend=None):
         self.ring_degree = int(ring_degree)
         self.seed = int(seed)
         self.moduli = tuple(primes.ntt_primes(
             num_limbs, prime_bits, ring_degree))
-        self._ctx = _batch_context(self.moduli, self.ring_degree)
+        self.backend = backend_mod.resolve(backend)
+        self._ctx = _batch_context(self.moduli, self.ring_degree,
+                                   self.backend.name)
 
     # -- seeds ----------------------------------------------------------
     def request_seed(self, request_id: int) -> int:
         return request_seed(self.seed, request_id)
 
     def _seed_array(self, seeds) -> np.ndarray:
-        return np.array([int(s) & _MASK for s in seeds],
-                        dtype=np.uint64)
+        be = self._ctx["backend"]
+        if be.is_device_array(seeds) and seeds.dtype == np.uint64:
+            return seeds        # already uploaded by the caller
+        return be.from_host(
+            np.array([int(s) & _MASK for s in seeds], dtype=np.uint64))
 
     # -- state ----------------------------------------------------------
     def _ct_ids(self, trace: OpTrace) -> list[int]:
@@ -329,10 +354,11 @@ class ServeExecutor:
         """ct id -> ``(B, limbs, N)`` fresh residue stack."""
         seeds_arr = self._seed_array(seeds)
         counter = self._ctx["counter"]
+        be = self._ctx["backend"]
         state = {}
         for ct in self._ct_ids(trace):
-            stack = np.empty((len(seeds_arr), len(self.moduli),
-                              self.ring_degree), dtype=np.uint64)
+            stack = be.empty((len(seeds_arr), len(self.moduli),
+                              self.ring_degree), np.uint64)
             for j, q in enumerate(self.moduli):
                 stack[:, j, :] = fresh_params(seeds_arr, ct, j, q,
                                               counter)
@@ -418,7 +444,7 @@ class ServeExecutor:
             arena = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
             for ct, stack in self.initial_state(trace,
                                                 seeds_list).items():
-                arena[slots[ct]] = stack
+                arena[slots[ct]] = backend_mod.to_host(stack)
             indegree = {nd.node_id: len(nd.preds) for nd in graph.nodes}
             ready = [nid for nid, deg in indegree.items() if deg == 0]
             in_flight: dict = {}
@@ -462,7 +488,8 @@ class ServeExecutor:
         h = hashlib.blake2b(digest_size=16)
         for ct in sorted(state):
             h.update(ct.to_bytes(8, "little", signed=True))
-            h.update(np.ascontiguousarray(state[ct][row]).tobytes())
+            h.update(np.ascontiguousarray(
+                backend_mod.to_host(state[ct][row])).tobytes())
         return h.hexdigest()
 
     def digest_serial(self, state: dict[int, np.ndarray]) -> str:
@@ -470,8 +497,9 @@ class ServeExecutor:
         h = hashlib.blake2b(digest_size=16)
         for ct in sorted(state):
             h.update(ct.to_bytes(8, "little", signed=True))
-            h.update(np.ascontiguousarray(
-                np.asarray(state[ct], dtype=np.uint64)).tobytes())
+            h.update(np.ascontiguousarray(np.asarray(
+                backend_mod.to_host(state[ct]),
+                dtype=np.uint64)).tobytes())
         return h.hexdigest()
 
     # -- the proof --------------------------------------------------------
@@ -484,8 +512,9 @@ class ServeExecutor:
             serial = self.run_serial(trace, seed)
             for ct in serial:
                 if not np.array_equal(
-                        np.asarray(serial[ct], dtype=np.uint64),
-                        batched[ct][row]):
+                        np.asarray(backend_mod.to_host(serial[ct]),
+                                   dtype=np.uint64),
+                        backend_mod.to_host(batched[ct][row])):
                     mismatched.append((row, ct))
         return ServeCheck(bit_exact=not mismatched,
                           batch=len(seeds_list), num_ops=len(trace),

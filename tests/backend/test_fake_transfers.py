@@ -1,0 +1,149 @@
+"""The residency contract, counter-asserted via FakeBackend.
+
+Every plan moves its precomputed tables host->device once, at build;
+once inputs are device-resident, the steady state of each hot path
+performs **zero** implicit host<->device transfers.  Allocations
+(``alloc``) are permitted — workspace pools and per-call output
+tensors live on-device — but any non-zero ``h2d``/``d2h`` in a warmed
+loop means a kernel is silently round-tripping through the host.
+"""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import FakeDeviceArray
+from repro.ckks import modmath, primes, rns
+from repro.ckks.ntt import get_batch_plan
+from repro.ckks.rns import get_auto_plan, get_bconv_plan, get_plan
+
+N = 64
+
+
+def _prime(bits: int) -> int:
+    return primes.ntt_primes(1, bits, N)[0]
+
+
+def _dev(fake, q, seed=0):
+    rng = np.random.default_rng(seed)
+    return fake.from_host(rng.integers(0, q, size=N, dtype=np.uint64))
+
+
+def _steady(fake, fn, warmup: int = 1):
+    """Transfer counts of one call after ``warmup`` warm calls."""
+    for _ in range(warmup):
+        fn()
+    fake.reset_counters()
+    fn()
+    return fake.transfer_counts()
+
+
+class TestTableResidency:
+    def test_scalar_ntt_tables_are_device_resident(self, fake_backend):
+        plan = get_plan(N, _prime(36), backend=fake_backend)
+        assert isinstance(plan._psi_rev, FakeDeviceArray)
+        assert isinstance(plan._psi_inv_rev, FakeDeviceArray)
+        assert isinstance(plan._psi_rev_shoup, FakeDeviceArray)
+
+    def test_bconv_tables_are_device_resident(self, fake_backend):
+        src = tuple(primes.ntt_primes(3, 36, N))
+        dst = tuple(primes.ntt_primes(2, 28, N))
+        plan = get_bconv_plan(src, dst, backend=fake_backend)
+        assert isinstance(plan._block_stack, FakeDeviceArray)
+        assert isinstance(plan._ew_w, FakeDeviceArray)
+
+    def test_auto_plan_tables_are_device_resident(self, fake_backend):
+        plan = get_auto_plan(N, 5, backend=fake_backend)
+        assert isinstance(plan.eval_perm, FakeDeviceArray)
+        assert isinstance(plan.coeff_dest, FakeDeviceArray)
+
+    def test_kernel_outputs_are_device_resident(self, fake_backend):
+        q = _prime(36)
+        kernel = modmath.get_kernel(q, backend=fake_backend)
+        a = kernel.asresidues(_dev(fake_backend, q, 1), copy=False)
+        assert isinstance(kernel.mul(a, a), FakeDeviceArray)
+        assert isinstance(kernel.zeros(N), FakeDeviceArray)
+
+
+class TestSteadyStateZeroTransfers:
+    @pytest.mark.parametrize("bits", [28, 36, 60])
+    def test_modmul(self, fake_backend, bits):
+        q = _prime(bits)
+        kernel = modmath.get_kernel(q, backend=fake_backend)
+        a = kernel.asresidues(_dev(fake_backend, q, 1), copy=False)
+        b = kernel.asresidues(_dev(fake_backend, q, 2), copy=False)
+        counts = _steady(fake_backend,
+                         lambda: kernel.add(kernel.mul(a, b), b))
+        assert counts["h2d"] == 0 and counts["d2h"] == 0, counts
+
+    @pytest.mark.parametrize("bits", [28, 36, 60])
+    def test_scalar_ntt_roundtrip(self, fake_backend, bits):
+        q = _prime(bits)
+        plan = get_plan(N, q, backend=fake_backend)
+        a = _dev(fake_backend, q, 3)
+        counts = _steady(fake_backend,
+                         lambda: plan.inverse(plan.forward(a)))
+        assert counts["h2d"] == 0 and counts["d2h"] == 0, counts
+
+    def test_batch_ntt_roundtrip(self, fake_backend):
+        moduli = tuple(_prime(b) for b in (28, 36, 60))
+        plan = get_batch_plan(N, moduli, backend=fake_backend)
+        limbs = [_dev(fake_backend, qi, 4 + i)
+                 for i, qi in enumerate(moduli)]
+        counts = _steady(fake_backend,
+                         lambda: plan.inverse(plan.forward(limbs)))
+        assert counts["h2d"] == 0 and counts["d2h"] == 0, counts
+
+    def test_bconv_convert(self, fake_backend):
+        src = tuple(primes.ntt_primes(3, 36, N))
+        dst = tuple(primes.ntt_primes(2, 28, N))
+        plan = get_bconv_plan(src, dst, backend=fake_backend)
+        rows = [_dev(fake_backend, qi, 7 + i)
+                for i, qi in enumerate(src)]
+        counts = _steady(fake_backend, lambda: plan.convert(rows))
+        assert counts["h2d"] == 0 and counts["d2h"] == 0, counts
+        # the pooled workspace must also stop allocating once warm
+        assert counts["alloc"] == 0, counts
+
+    def test_auto_gather(self, fake_backend):
+        q = _prime(36)
+        plan = get_auto_plan(N, 5, backend=fake_backend)
+        limb = _dev(fake_backend, q, 9)
+        counts = _steady(fake_backend,
+                         lambda: fake_backend.gather(limb,
+                                                     plan.eval_perm))
+        assert counts["h2d"] == 0 and counts["d2h"] == 0, counts
+
+    def test_key_mult_accumulate(self, fake_backend):
+        from repro.ckks import CkksContext, set_ii_mini
+        from repro.ckks.keys import HYBRID
+        from repro.ckks.keyswitch import hybrid as hy
+
+        ctx = CkksContext(set_ii_mini(ring_degree=64, max_level=3),
+                          seed=13)
+        level = ctx.params.max_level
+        key = ctx.evaluation_key(HYBRID, level, "mult")
+        rng = np.random.default_rng(14)
+        coeffs = [int(v) for v in rng.integers(-10**6, 10**6, size=64)]
+        poly = rns.from_big_ints(coeffs, ctx.moduli_at(level), 64)
+        digits = hy.hybrid_decompose(poly, key, ctx.params.alpha)
+        plan = hy.get_key_mult_plan(key, backend=fake_backend)
+        assert isinstance(plan._w, FakeDeviceArray)
+        fdigits = [rns.RnsPoly(
+            [fake_backend.from_host(np.asarray(l)) for l in d.limbs],
+            d.moduli, d.form) for d in digits]
+        counts = _steady(fake_backend,
+                         lambda: plan.accumulate(plan.stack(fdigits)))
+        assert counts["h2d"] == 0 and counts["d2h"] == 0, counts
+
+    def test_serve_run_batch(self, fake_backend):
+        from repro.serve.engine import ServeExecutor
+        from repro.serve.jobs import get_shape
+
+        trace = get_shape("helr-mini-step")
+        ex = ServeExecutor(ring_degree=64, backend=fake_backend)
+        seeds = [ex.request_seed(i) for i in range(3)]
+        counts = _steady(fake_backend,
+                         lambda: ex.run_batch(trace, seeds))
+        # one upload per run: the request-seed vector itself
+        assert counts["h2d"] == 1 and counts["d2h"] == 0, counts

@@ -1,0 +1,85 @@
+"""Accelerator-backend suites: skip cleanly when the library is absent.
+
+CI machines without a GPU still exercise the *negative* path (the
+fallback assert lives in the CI workflow); these tests only run where
+``cupy``/``torch`` import and a device is usable.
+"""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.ckks import modmath, primes
+from repro.ckks.rns import get_bconv_plan, get_plan
+
+N = 64
+
+
+def _backend_or_skip(name: str):
+    pytest.importorskip(name)
+    be = backend_mod.get_backend(name)
+    if be.name != name:        # library imports but no usable device
+        pytest.skip(f"{name} present but backend fell back to numpy")
+    return be
+
+
+def _parity_roundtrip(be):
+    q = primes.ntt_primes(1, 36, N)[0]
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, q, size=N, dtype=np.uint64)
+    pn = get_plan(N, q)
+    pb = get_plan(N, q, backend=be)
+    np.testing.assert_array_equal(
+        np.asarray(backend_mod.to_host(pb.forward(a))),
+        np.asarray(backend_mod.to_host(pn.forward(a))))
+
+
+class TestCupy:
+    def test_ntt_parity(self):
+        _parity_roundtrip(_backend_or_skip("cupy"))
+
+    def test_full_datapath_flags(self):
+        be = _backend_or_skip("cupy")
+        assert be.supports_uint64 and be.numpy_dispatch
+
+    def test_bconv_parity(self):
+        be = _backend_or_skip("cupy")
+        src = tuple(primes.ntt_primes(3, 36, N))
+        dst = tuple(primes.ntt_primes(2, 28, N))
+        rng = np.random.default_rng(2)
+        rows = [rng.integers(0, q, size=N, dtype=np.uint64)
+                for q in src]
+        pn = get_bconv_plan(src, dst)
+        pb = get_bconv_plan(src, dst, backend=be)
+        for gn, gb in zip(pn.convert(rows), pb.convert(rows)):
+            np.testing.assert_array_equal(
+                np.asarray(backend_mod.to_host(gb)),
+                np.asarray(backend_mod.to_host(gn)))
+
+
+class TestTorch:
+    def test_partial_capabilities_negotiate_to_numpy(self):
+        be = _backend_or_skip("torch")
+        # torch has no uint64 dtype: the wide datapath must downgrade.
+        assert not be.supports_uint64
+        assert backend_mod.kernel_backend(be,
+                                          need_uint64=True).name == "numpy"
+
+    def test_kernel_build_falls_back_cleanly(self):
+        be = _backend_or_skip("torch")
+        q = primes.ntt_primes(1, 36, N)[0]
+        kernel = modmath.get_kernel(q, backend=be)
+        assert kernel.backend.name == "numpy"
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, q, size=N, dtype=np.uint64)
+        out = kernel.mul(kernel.asresidues(a), kernel.asresidues(a))
+        expected = (a.astype(object) * a.astype(object)) % q
+        np.testing.assert_array_equal(
+            np.asarray(out).astype(object), expected)
+
+    def test_matmul_protocol(self):
+        be = _backend_or_skip("torch")
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        b = np.arange(12, dtype=np.float64).reshape(3, 4)
+        got = be.to_host(be.matmul(be.from_host(a), be.from_host(b)))
+        np.testing.assert_allclose(got, a @ b)

@@ -1,0 +1,130 @@
+"""Plan caches are keyed by backend identity and still evict cleanly."""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.ckks import modmath, primes, rns
+from repro.ckks.ntt import clear_batch_plan_cache, get_batch_plan
+from repro.ckks.rns import (clear_bconv_plan_cache, clear_plan_cache,
+                            get_auto_plan, get_bconv_plan, get_plan,
+                            plan_cache_evictions)
+
+N = 32
+
+
+def _prime(bits: int = 28) -> int:
+    return primes.ntt_primes(1, bits, N)[0]
+
+
+class TestBackendKeying:
+    def test_kernel_cache(self, fake_backend):
+        q = _prime()
+        kn = modmath.get_kernel(q)
+        kf = modmath.get_kernel(q, backend=fake_backend)
+        assert kn is not kf
+        assert modmath.get_kernel(q) is kn
+        assert modmath.get_kernel(q, backend=fake_backend) is kf
+        assert modmath.get_kernel(q, backend="fake") is kf
+
+    def test_ntt_plan_cache(self, fake_backend):
+        q = _prime()
+        pn = get_plan(N, q)
+        pf = get_plan(N, q, backend=fake_backend)
+        assert pn is not pf
+        assert get_plan(N, q) is pn
+        assert get_plan(N, q, backend="fake") is pf
+
+    def test_batch_plan_cache(self, fake_backend):
+        moduli = tuple(primes.ntt_primes(2, 28, N))
+        pn = get_batch_plan(N, moduli)
+        pf = get_batch_plan(N, moduli, backend=fake_backend)
+        assert pn is not pf
+        assert get_batch_plan(N, moduli) is pn
+
+    def test_bconv_plan_cache(self, fake_backend):
+        src = tuple(primes.ntt_primes(2, 28, N))
+        dst = tuple(primes.ntt_primes(1, 26, N))
+        pn = get_bconv_plan(src, dst)
+        pf = get_bconv_plan(src, dst, backend=fake_backend)
+        assert pn is not pf
+        assert get_bconv_plan(src, dst) is pn
+
+    def test_auto_plan_cache(self, fake_backend):
+        pn = get_auto_plan(N, 5)
+        pf = get_auto_plan(N, 5, backend=fake_backend)
+        assert pn is not pf
+        assert get_auto_plan(N, 5) is pn
+
+    def test_default_backend_resolution_shares_entries(self):
+        # None and the explicit default name hit the same cache slot.
+        q = _prime()
+        assert modmath.get_kernel(q) is \
+            modmath.get_kernel(q, backend="numpy")
+        backend_mod.select("fake")
+        assert modmath.get_kernel(q) is \
+            modmath.get_kernel(q, backend="fake")
+
+
+class TestEvictionRegression:
+    """Mirror of the dataflow zero-eviction gate, with a fake workload.
+
+    Running a realistic working set twice — once per backend — must
+    still fit the bounded caches: backend keying doubles entries for
+    the bases actually exercised, and the maxsize headroom has to
+    absorb that without thrash.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        clear_plan_cache()
+        clear_batch_plan_cache()
+        clear_bconv_plan_cache()
+        yield
+        clear_plan_cache()
+        clear_batch_plan_cache()
+        clear_bconv_plan_cache()
+
+    def test_steady_state_two_backend_workload_has_zero_evictions(
+            self, fake_backend):
+        moduli = tuple(primes.ntt_primes(4, 28, N))
+        rng = np.random.default_rng(3)
+        rows = [rng.integers(0, q, size=N, dtype=np.uint64)
+                for q in moduli]
+        for backend in (None, fake_backend):
+            for _ in range(3):
+                plan = get_batch_plan(N, moduli, backend=backend)
+                plan.inverse(plan.forward(list(rows)))
+                conv = get_bconv_plan(moduli[2:], moduli[:2],
+                                      backend=backend)
+                conv.convert([rows[2], rows[3]])
+                for q in moduli:
+                    get_plan(N, q, backend=backend)
+                get_auto_plan(N, 5, backend=backend)
+        evictions = plan_cache_evictions()
+        assert all(v == 0 for v in evictions.values()), evictions
+
+    def test_eviction_still_bounded_with_backend_keys(self, fake_backend):
+        from repro.ckks.rns import PLAN_CACHE_MAXSIZE, plan_cache_info
+
+        half = PLAN_CACHE_MAXSIZE // 2 + 4
+        for q in primes.ntt_primes(half, 18, N):
+            get_plan(N, q)
+            get_plan(N, q, backend=fake_backend)
+        info = plan_cache_info()
+        assert info.currsize <= PLAN_CACHE_MAXSIZE
+
+    def test_rebuilt_fake_plan_still_bit_exact(self, fake_backend):
+        from repro.ckks.rns import PLAN_CACHE_MAXSIZE
+
+        q = _prime()
+        a = np.random.default_rng(5).integers(0, q, size=N,
+                                              dtype=np.uint64)
+        reference = np.asarray(
+            backend_mod.to_host(get_plan(N, q).forward(a)))
+        for churn_q in primes.ntt_primes(PLAN_CACHE_MAXSIZE + 4, 18, N):
+            get_plan(N, churn_q)
+        rebuilt = get_plan(N, q, backend=fake_backend)
+        np.testing.assert_array_equal(
+            np.asarray(backend_mod.to_host(rebuilt.forward(a))),
+            reference)
