@@ -27,14 +27,15 @@ import warnings
 
 import numpy as np
 
+from repro.backend.arena import WorkspaceArena, ledger_counters
 from repro.backend.base import ArrayBackend, NumpyBackend
 from repro.backend.fake import FakeBackend, FakeDeviceArray
 from repro.obs.tracer import get_tracer
 
 __all__ = [
     "ArrayBackend", "NumpyBackend", "FakeBackend", "FakeDeviceArray",
-    "available_backends", "backend_of", "get_backend", "kernel_backend",
-    "resolve", "select", "to_host",
+    "WorkspaceArena", "available_backends", "backend_of", "get_backend",
+    "kernel_backend", "ledger_counters", "resolve", "select", "to_host",
 ]
 
 _TRACER = get_tracer()

@@ -106,7 +106,8 @@ class KeyMultPlan:
     """
 
     __slots__ = ("moduli", "num_digits", "n", "tier", "backend", "_w",
-                 "_q_col", "_r_hi", "_r_lo", "_kernels")
+                 "_w32", "_q_col", "_r_hi", "_r_lo", "_r_lo32",
+                 "_r_hi32", "_kernels", "_arena")
 
     def __init__(self, key: KeySwitchKey, backend=None):
         self.moduli = key.moduli
@@ -138,15 +139,26 @@ class KeyMultPlan:
             [c[0] for c in consts], dtype=np.uint64).reshape(-1, 1))
         self._r_lo = be.from_host(np.array(
             [c[1] for c in consts], dtype=np.uint64).reshape(-1, 1))
+        # The hilo tier runs the split-operand 128-bit kernels: weight
+        # and Barrett-ratio tables pre-split once into uint32 halves.
+        self._w32 = modmath.split32(self._w) if tier == "hilo" else None
+        self._r_lo32 = modmath.split32(self._r_lo)
+        self._r_hi32 = modmath.split32(self._r_hi)
+        self._arena = backend_mod.WorkspaceArena(be, "kmu")
 
     def stack(self, decomposed: list[RnsPoly]) -> np.ndarray:
-        """Stack decomposed digits into one ``(d, k, N)`` uint64 tensor."""
+        """Stack decomposed digits into one ``(d, k, N)`` uint64 tensor.
+
+        The tensor is an arena-pooled workspace (reused across calls,
+        so the steady state allocates nothing): consume it via
+        :meth:`accumulate` before the next :meth:`stack`.
+        """
         if len(decomposed) != self.num_digits:
             raise ValueError(
                 f"key expects exactly {self.num_digits} digits, "
                 f"got {len(decomposed)}")
         k = len(self.moduli)
-        out = self.backend.empty((self.num_digits, k, self.n), np.uint64)
+        out = self._arena.take("stack", (self.num_digits, k, self.n))
         for j, digit in enumerate(decomposed):
             if digit.form != rns.EVAL:
                 raise ValueError("decomposed digits must be in eval form")
@@ -166,24 +178,41 @@ class KeyMultPlan:
         d, k, n = self.num_digits, len(self.moduli), self.n
         if stacked.shape != (d, k, n):
             raise ValueError("stacked digit tensor has the wrong shape")
-        halves = []
-        for w in self._w:                       # b-half then a-half
-            if self.tier == "u64":
-                acc = stacked[0] * w[0]
+        # One (2, k, N) output block per call — the returned polys own
+        # their limbs as views into it; all intermediates are arena
+        # scratch, so the warmed steady state allocates only this.
+        res = self.backend.empty((2, k, n), np.uint64)
+        arena = self._arena
+        if self.tier == "u64":
+            acc, prod = arena.take_many("u64", 2, (k, n))
+            for half in range(2):               # b-half then a-half
+                w = self._w[half]
+                np.multiply(stacked[0], w[0], out=acc)
                 for j in range(1, d):
-                    acc += stacked[j] * w[j]
-                halves.append(np.mod(acc, self._q_col))
-            else:
-                hi, lo = modmath.mul128(stacked[0], w[0])
+                    np.multiply(stacked[j], w[j], out=prod)
+                    np.add(acc, prod, out=acc)
+                np.mod(acc, self._q_col, out=res[half])
+        else:
+            hi, lo, p_hi, p_lo = arena.take_many("hilo", 4, (k, n))
+            s = arena.take_many("scratch", 8, (k, n))
+            carry = arena.take("carry", (k, n), dtype=bool)
+            w_lo, w_hi = self._w32
+            for half in range(2):
+                modmath.mul128_into(stacked[0], w_lo[half, 0],
+                                    w_hi[half, 0], hi, lo, s[:4])
                 for j in range(1, d):
-                    p_hi, p_lo = modmath.mul128(stacked[j], w[j])
-                    lo = lo + p_lo
-                    hi = hi + p_hi + (lo < p_lo)    # carry out of lo
-                halves.append(modmath.barrett128(
-                    hi, lo, self._q_col, self._r_hi, self._r_lo))
+                    modmath.mul128_into(stacked[j], w_lo[half, j],
+                                        w_hi[half, j], p_hi, p_lo, s[:4])
+                    np.add(lo, p_lo, out=lo)
+                    np.less(lo, p_lo, out=carry)    # carry out of lo
+                    np.add(hi, p_hi, out=hi)
+                    np.add(hi, carry, out=hi)
+                modmath.barrett128_into(
+                    hi, lo, self._q_col, self._r_hi, self._r_lo32,
+                    self._r_hi32, res[half], s, carry)
         out = []
-        for acc in halves:
-            limbs = [acc[i].astype(np.int64)
+        for acc in res:
+            limbs = [acc[i].view(np.int64)
                      if self._kernels[i].dtype == np.int64 else acc[i]
                      for i in range(k)]
             out.append(RnsPoly(limbs, self.moduli, rns.EVAL))

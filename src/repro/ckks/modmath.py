@@ -152,6 +152,159 @@ mulhi = _mulhi
 barrett128 = _barrett128
 
 
+def mul_shoup_lazy(a, w, w_shoup, q):
+    """Shared lazy-Shoup butterfly multiply: exact value in ``[0, 2q)``.
+
+    ``r = a*w - mulhi(a, w_shoup)*q`` with every product wrapping mod
+    2^64.  For ``w < q`` (a reduced table entry) and **any** uint64
+    ``a`` the quotient estimate ``mulhi(a, w_shoup)`` undershoots the
+    true quotient by at most one, so the wraps cancel and ``r`` is the
+    exact representative of ``a*w mod q`` in ``[0, 2q)`` whenever
+    ``2q < 2^64``.  Every butterfly tier — scalar :class:`NttPlan`
+    stages, the batched radix-2 oracle, the fused radix-4 engine and
+    ``RowBatchNtt`` — multiplies through this one helper, so there is
+    exactly one lazy-reduction bug surface.
+    """
+    return a * w - _mulhi(a, w_shoup) * q
+
+
+# -- out=-chained kernels (zero-allocation steady state) -------------------
+#
+# The functions below are the arena tier of the same arithmetic: every
+# intermediate lands in a caller-provided scratch buffer via ufunc
+# ``out=``, so a warmed plan performs *zero* allocations per call (the
+# ledger in :mod:`repro.backend.arena` asserts it).  Fixed operands
+# (twiddles, key weights, Barrett ratios) arrive pre-split into 32-bit
+# halves — :func:`split32` — saving two splits per multiply and
+# halving the table bytes (uint32 storage).
+#
+# Aliasing contract: ``a`` may alias ``out`` (the product ``a*w`` is
+# read off before ``out`` is first written); ``a`` must not alias any
+# scratch buffer, and scratch buffers must be mutually distinct.
+
+def split32(table):
+    """Pre-split a uint64 table into ``(lo, hi)`` uint32 halves."""
+    return ((table & _MASK32).astype(np.uint32),
+            (table >> _SHIFT32).astype(np.uint32))
+
+
+def mulhi_into(a, b_lo, b_hi, out, s):
+    """``out = floor(a * b / 2^64)`` with ``b`` pre-split, no allocs.
+
+    ``s`` is a tuple of 4 uint64 scratch buffers broadcast-compatible
+    with the result shape.  ``a`` is only read before ``out`` is first
+    written, so ``out`` may alias ``a``.
+    """
+    s1, s2, s3, s4 = s
+    np.bitwise_and(a, _MASK32, out=s1)          # a0
+    np.right_shift(a, _SHIFT32, out=s2)         # a1
+    np.multiply(s1, b_lo, out=s3)               # ll
+    np.right_shift(s3, _SHIFT32, out=s3)        # mid := ll >> 32
+    np.multiply(s1, b_hi, out=s4)               # lh
+    np.bitwise_and(s4, _MASK32, out=s1)
+    np.add(s3, s1, out=s3)                      # mid += lh & M
+    np.right_shift(s4, _SHIFT32, out=s4)        # lh >> 32
+    np.multiply(s2, b_lo, out=s1)               # hl
+    np.multiply(s2, b_hi, out=out)              # hh
+    np.bitwise_and(s1, _MASK32, out=s2)
+    np.add(s3, s2, out=s3)                      # mid += hl & M
+    np.right_shift(s1, _SHIFT32, out=s1)        # hl >> 32
+    np.right_shift(s3, _SHIFT32, out=s3)        # mid >> 32
+    np.add(out, s4, out=out)
+    np.add(out, s1, out=out)
+    np.add(out, s3, out=out)
+
+
+def mul128_into(a, b_lo, b_hi, out_hi, out_lo, s):
+    """Exact 128-bit product into ``(out_hi, out_lo)``, no allocs.
+
+    ``b`` pre-split via :func:`split32`; ``s`` is 4 uint64 scratch
+    buffers.  ``a`` must not alias ``out_lo`` or scratch.
+    """
+    s1, s2, s3, s4 = s
+    np.bitwise_and(a, _MASK32, out=s1)          # a0
+    np.right_shift(a, _SHIFT32, out=s2)         # a1
+    np.multiply(s1, b_lo, out=s3)               # ll
+    np.bitwise_and(s3, _MASK32, out=out_lo)     # lo := ll & M
+    np.right_shift(s3, _SHIFT32, out=s3)        # mid := ll >> 32
+    np.multiply(s1, b_hi, out=s4)               # lh
+    np.bitwise_and(s4, _MASK32, out=s1)
+    np.add(s3, s1, out=s3)                      # mid += lh & M
+    np.right_shift(s4, _SHIFT32, out=s4)        # lh >> 32
+    np.multiply(s2, b_lo, out=s1)               # hl
+    np.multiply(s2, b_hi, out=out_hi)           # hh
+    np.bitwise_and(s1, _MASK32, out=s2)
+    np.add(s3, s2, out=s3)                      # mid += hl & M
+    np.right_shift(s1, _SHIFT32, out=s1)        # hl >> 32
+    np.add(out_hi, s4, out=out_hi)
+    np.add(out_hi, s1, out=out_hi)
+    np.bitwise_and(s3, _MASK32, out=s1)
+    np.left_shift(s1, _SHIFT32, out=s1)
+    np.bitwise_or(out_lo, s1, out=out_lo)       # lo |= (mid & M) << 32
+    np.right_shift(s3, _SHIFT32, out=s3)        # mid >> 32
+    np.add(out_hi, s3, out=out_hi)
+
+
+def mul_shoup_lazy_into(a, w, ws_lo, ws_hi, q, out, s):
+    """:func:`mul_shoup_lazy` into ``out``, no allocations.
+
+    ``ws_lo``/``ws_hi`` are the :func:`split32` halves of the Shoup
+    companion table; ``s`` is 5 uint64 scratch buffers (4 for
+    :func:`mulhi_into` plus one holding the wrap product ``a*w``).
+    ``out`` may alias ``a``.
+    """
+    s5 = s[4]
+    np.multiply(a, w, out=s5)                   # a*w mod 2^64
+    mulhi_into(a, ws_lo, ws_hi, out, s[:4])     # quotient estimate
+    np.multiply(out, q, out=out)
+    np.subtract(s5, out, out=out)               # exact in [0, 2q)
+
+
+def cond_sub_into(a, bound, scratch) -> None:
+    """In-place ``a -= bound`` wherever ``a >= bound`` (branch-free).
+
+    The uint64 min-trick: ``a - bound`` wraps past 2^64 exactly when
+    ``a < bound`` (any ``bound < 2^64``), so ``min(a, a - bound)``
+    selects the folded value without a boolean temporary.  This is the
+    lazy-domain correction of the fused butterflies: one call folds
+    ``[0, 2*bound)`` into ``[0, bound)``.
+    """
+    np.subtract(a, bound, out=scratch)
+    np.minimum(a, scratch, out=a)
+
+
+def barrett128_into(hi, lo, q, r_hi, r_lo_split, r_hi_split, out, s,
+                    carry) -> None:
+    """:func:`barrett128` into ``out``, no allocations.
+
+    ``r_lo_split``/``r_hi_split`` are :func:`split32` halves of the
+    Barrett ratio words; ``r_hi`` is the full uint64 hi word (needed
+    for the wrapping ``hi * r_hi`` quotient term).  ``s`` is 8 uint64
+    scratch buffers, ``carry`` one bool buffer.  ``out`` must not
+    alias ``hi``/``lo``/scratch.  Same range contract as
+    :func:`barrett128`: exact for ``x < 2^126``, ``q < 2^62``.
+    """
+    t1, t2, t3, t4, t5, t6, t7, t8 = s
+    rlo_lo, rlo_hi = r_lo_split
+    rhi_lo, rhi_hi = r_hi_split
+    mulhi_into(lo, rlo_lo, rlo_hi, t1, (t2, t3, t4, t5))   # dropped-word carry
+    mul128_into(lo, rhi_lo, rhi_hi, t6, t7, (t2, t3, t4, t5))  # lo * r_hi
+    np.add(t7, t1, out=t7)
+    np.less(t7, t1, out=carry)                  # carry out of t_lo + carry
+    np.add(t6, carry, out=t6)
+    mul128_into(hi, rlo_lo, rlo_hi, t1, t8, (t2, t3, t4, t5))  # hi * r_lo
+    np.add(t7, t8, out=t7)
+    np.less(t7, t8, out=carry)                  # carry out of s1 + u_lo
+    np.multiply(hi, r_hi, out=t2)               # hi * r_hi (wraps cancel)
+    np.add(t2, t6, out=t2)
+    np.add(t2, t1, out=t2)
+    np.add(t2, carry, out=t2)                   # quotient estimate
+    np.multiply(t2, q, out=t2)
+    np.subtract(lo, t2, out=out)                # exact in [0, 3q)
+    cond_sub_into(out, q, t2)
+    cond_sub_into(out, q, t2)
+
+
 def barrett_constants(modulus: int) -> tuple[np.uint64, np.uint64]:
     """``floor(2^128 / q)`` as a uint64 (hi, lo) pair for :func:`barrett128`."""
     ratio = (1 << 128) // int(modulus)
@@ -295,8 +448,7 @@ class ModulusKernel:
 
     def _mul_shoup(self, a, w, w_shoup) -> np.ndarray:
         q = self._q64
-        hi = _mulhi(a, w_shoup)
-        r = a * w - hi * q             # lazy: exact value in [0, 2q)
+        r = mul_shoup_lazy(a, w, w_shoup, q)   # lazy: exact in [0, 2q)
         return np.where(r >= q, r - q, r)
 
     # -- constructors / conversions -----------------------------------

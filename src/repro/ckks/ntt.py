@@ -13,14 +13,27 @@ The implementation is the standard merged-twist radix-2 pair:
 * inverse: Gentleman-Sande butterflies on powers of ``psi^-1``
   followed by multiplication with ``N^-1``.
 
-Butterflies are stage-vectorised: each of the log2(N) stages reshapes
-the working array into an (m, 2t) matrix of butterfly groups and
-applies the whole stage as a handful of array-wide operations, so no
-Python loop runs per butterfly group.  The twiddle tables follow the
-plan's width path (see :mod:`repro.ckks.modmath`): int64 on the
-narrow path, uint64 with precomputed Shoup companions on the wide
-path (lazy-reduction mulmod butterflies), Python ints on the exact
-object path.
+Two butterfly tiers exist:
+
+* **radix-2 oracle** — stage-vectorised, canonically reduced after
+  every stage.  Retained as the bit-exactness reference for the fused
+  tier (and, on the object path, as per-group textbook loops).
+* **fused radix-4** (:class:`FusedNttEngine`, the default) — two
+  radix-2 stages merged into one pass over the limb tensor, values
+  riding in Harvey-style lazy domains between stages ([0, 4q) on the
+  forward network, [0, 2q) on the inverse; one correction pass at the
+  end instead of per-stage normalisation), every intermediate written
+  via ``out=``-chained ufuncs into an arena-pooled scratch block so a
+  warmed plan allocates nothing but its output.  Valid for any
+  ``q < 2^62`` — exactly the wide-path bound: all lazy sums stay
+  below ``4q < 2^64``.
+
+Both tiers emit the same slot ordering (``2*brv(i)+1``, see
+:func:`eval_point_exponents`) and bit-identical canonical outputs.
+The twiddle tables follow the plan's width path (see
+:mod:`repro.ckks.modmath`): int64 on the narrow path, uint64 with
+precomputed Shoup companions on the wide path, Python ints on the
+exact object path.
 """
 
 from __future__ import annotations
@@ -31,8 +44,14 @@ from time import perf_counter
 import numpy as np
 
 import repro.backend as backend_mod
+from repro.backend.arena import WorkspaceArena
 from repro.ckks import modmath, primes
 from repro.obs.tracer import get_tracer
+
+#: default butterfly tier — fused merged-two-stage engine.
+RADIX_FUSED = 4
+#: the stage-per-pass bit-exactness oracle tier.
+RADIX_ORACLE = 2
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
@@ -56,11 +75,272 @@ def eval_point_exponents(n: int) -> np.ndarray:
     (:class:`repro.ckks.rns.AutoPlan`) lean on this ordering to turn
     ``X -> X^g`` into a pure permutation of evaluation slots: slot
     holding point ``psi^e`` must move to the slot holding
-    ``psi^(e * g mod 2N)``.
+    ``psi^(e * g mod 2N)``.  The fused radix-4 tier merges stages
+    without reindexing, so the ordering is identical on every tier.
     """
     if n < 1 or n & (n - 1):
         raise ValueError("ring degree must be a power of two")
     return 2 * bit_reverse_permutation(n) + 1
+
+
+def _split_scalar(ws) -> tuple[np.uint32, np.uint32]:
+    """32-bit halves of one uint64 Shoup companion as numpy scalars."""
+    w = int(ws)
+    return np.uint32(w & 0xFFFFFFFF), np.uint32(w >> 32)
+
+
+class FusedNttEngine:
+    """Radix-4 merged-stage lazy-reduction butterfly engine.
+
+    Operates **in place** on ``(R, n)`` uint64 stacks.  Twiddle tables
+    are either per-row ``(R, n)`` (one modulus per row — the batched
+    limb transform) or shared ``(n,)`` (one modulus for all rows —
+    scalar plans and the serving layer's request batching).
+
+    Domain discipline (the headroom proof, per width):
+
+    * every twiddle multiply is the shared lazy-Shoup helper — exact
+      representative in ``[0, 2q)`` for *any* uint64 input, because
+      the quotient estimate ``mulhi(a, ws)`` undershoots the true
+      quotient by at most 1 when ``w < q``;
+    * forward (Cooley-Tukey): stage inputs live in ``[0, 4q)``.  The
+      two added operands are folded to ``[0, 2q)`` with one
+      branch-free conditional subtraction each, the two multiplied
+      operands feed the Shoup multiply unfolded; sums are then
+      ``< 2q + 2q = 4q``, so the invariant holds and nothing exceeds
+      ``4q < 2^64`` — which is precisely ``q < 2^62``, the wide-path
+      bound (:data:`repro.ckks.modmath._WIDE_SAFE_BITS`).  26/28/31-bit
+      narrow moduli ride the same datapath with even more slack.
+    * inverse (Gentleman-Sande): stage values stay in ``[0, 2q)`` —
+      sums are folded once, differences are computed as
+      ``a + (2q - b) < 4q`` and immediately consumed by a Shoup
+      multiply that re-normalises to ``[0, 2q)``.
+    * one final correction pass (two folds forward, shoup-scale plus
+      one fold inverse) lands canonical ``[0, q)`` residues.
+
+    All scratch comes from a :class:`~repro.backend.arena
+    .WorkspaceArena`: six flat ``R * n/2`` buffers per distinct row
+    count, allocated on first use (a ledger-counted pool miss) and
+    reused forever after — the steady state is zero allocations.
+    """
+
+    def __init__(self, ring_degree: int, moduli, psi, psi_shoup,
+                 psi_inv, psi_inv_shoup, n_inv_pair, backend, arena,
+                 per_row: bool):
+        self.n = int(ring_degree)
+        self.backend = backend
+        self.arena = arena
+        self.per_row = per_row
+        # Pre-split Shoup companions once (uint32 halves: saves two
+        # splits per multiply and half the table bytes).
+        self._w_f = psi
+        self._ws_f = modmath.split32(psi_shoup)
+        self._w_i = psi_inv
+        self._ws_i = modmath.split32(psi_inv_shoup)
+        if per_row:
+            qs = np.array([int(q) for q in moduli], dtype=np.uint64)
+            self._q3 = backend.from_host(qs.reshape(-1, 1, 1))
+            self._q2_3 = backend.from_host((qs * 2).reshape(-1, 1, 1))
+            self._q2d = self._q3[:, :, 0]
+            self._q2_2d = self._q2_3[:, :, 0]
+            ni_w, ni_ws = n_inv_pair            # (k, 1) device columns
+            self._ni_w = ni_w
+            self._ni_ws = modmath.split32(ni_ws)
+        else:
+            q = int(moduli)
+            self._q3 = self._q2d = np.uint64(q)
+            self._q2_3 = self._q2_2d = np.uint64(2 * q)
+            ni_w, ni_ws = n_inv_pair            # scalar pair
+            self._ni_w = np.uint64(ni_w)
+            self._ni_ws = _split_scalar(ni_ws)
+        # Per-stage twiddle views are pure slicing — built once here,
+        # zero per-call cost.  Merged (radix-4) entries carry three
+        # twiddle triples (w, ws_lo, ws_hi): the first-stage column
+        # and the even/odd second-stage columns.
+        stages = self.n.bit_length() - 1
+        self._fwd: list = []
+        m = 1
+        if stages % 2:
+            self._fwd.append(("r2", 1, self.n // 2,
+                              (self._tw_f(1, 2),)))
+            m = 2
+        while m < self.n:
+            self._fwd.append(("r4", m, self.n // (4 * m),
+                              (self._tw_f(m, 2 * m),
+                               self._tw_f(2 * m, 4 * m, 2),
+                               self._tw_f(2 * m + 1, 4 * m, 2))))
+            m *= 4
+        self._inv: list = []
+        h, t = self.n // 2, 1
+        while h >= 2:
+            self._inv.append(("r4", h // 2, t,
+                              (self._tw_i(h, 2 * h, 2),
+                               self._tw_i(h + 1, 2 * h, 2),
+                               self._tw_i(h // 2, h))))
+            h //= 4
+            t *= 4
+        if h == 1:
+            self._inv.append(("r2", 1, self.n // 2,
+                              (self._tw_i(1, 2),)))
+
+    def _tw_f(self, start, stop, step=1):
+        return self._slice(self._w_f, self._ws_f, start, stop, step)
+
+    def _tw_i(self, start, stop, step=1):
+        return self._slice(self._w_i, self._ws_i, start, stop, step)
+
+    def _slice(self, w, ws, start, stop, step):
+        lo, hi = ws
+        if self.per_row:
+            return (w[:, start:stop:step, None],
+                    lo[:, start:stop:step, None],
+                    hi[:, start:stop:step, None])
+        return (w[None, start:stop:step, None],
+                lo[None, start:stop:step, None],
+                hi[None, start:stop:step, None])
+
+    def _scratch(self, rows: int) -> tuple:
+        size = rows * max(self.n // 2, 1)
+        return self.arena.take_many(("fused", rows), 6, (size,))
+
+    # -- forward (Cooley-Tukey, [0, 4q) lazy domain) --------------------
+    def forward(self, a) -> None:
+        """In-place forward NTT of an ``(R, n)`` canonical stack."""
+        rows = a.shape[0]
+        bufs = self._scratch(rows)
+        q, q2 = self._q3, self._q2_3
+        for kind, m, t, tw in self._fwd:
+            cnt = rows * m * t
+            work = tuple(b[:cnt].reshape(rows, m, t) for b in bufs)
+            if kind == "r4":
+                view = a.reshape(rows, m, 4, t)
+                self._fwd_r4(view, tw, q, q2, work)
+            else:
+                view = a.reshape(rows, m, 2, t)
+                self._fwd_r2(view, tw[0], q, q2, work)
+        # Final correction: [0, 4q) -> canonical, in scratch-sized
+        # half-row chunks (the arena buffers span R * n/2 words).
+        half = max(self.n // 2, 1)
+        sc = bufs[0]
+        for col in range(0, self.n, half):
+            part = a[:, col:col + half]
+            scr = sc[:part.size].reshape(part.shape)
+            modmath.cond_sub_into(part, self._q2_2d, scr)
+            modmath.cond_sub_into(part, self._q2d, scr)
+
+    def _fwd_r4(self, view, tw, q, q2, work) -> None:
+        (w1, w1lo, w1hi), (w2, w2lo, w2hi), (w3, w3lo, w3hi) = tw
+        x0 = view[:, :, 0]
+        x1 = view[:, :, 1]
+        x2 = view[:, :, 2]
+        x3 = view[:, :, 3]
+        T, s1 = work[0], work[1]
+        s = work[1:]
+        # first half-stage: (x0, x2) and (x1, x3), twiddle w1
+        modmath.cond_sub_into(x0, q2, s1)
+        modmath.cond_sub_into(x1, q2, s1)
+        modmath.mul_shoup_lazy_into(x2, w1, w1lo, w1hi, q, T, s)
+        np.subtract(q2, T, out=s1)
+        np.add(x0, s1, out=x2)                  # b2 = x0 - w1*x2
+        np.add(x0, T, out=x0)                   # b0 = x0 + w1*x2
+        modmath.mul_shoup_lazy_into(x3, w1, w1lo, w1hi, q, T, s)
+        np.subtract(q2, T, out=s1)
+        np.add(x1, s1, out=x3)                  # b3 = x1 - w1*x3
+        np.add(x1, T, out=x1)                   # b1 = x1 + w1*x3
+        # second half-stage: (b0, b1) by w2, (b2, b3) by w3
+        modmath.cond_sub_into(x0, q2, s1)
+        modmath.cond_sub_into(x2, q2, s1)
+        modmath.mul_shoup_lazy_into(x1, w2, w2lo, w2hi, q, T, s)
+        np.subtract(q2, T, out=s1)
+        np.add(x0, s1, out=x1)                  # c1
+        np.add(x0, T, out=x0)                   # c0
+        modmath.mul_shoup_lazy_into(x3, w3, w3lo, w3hi, q, T, s)
+        np.subtract(q2, T, out=s1)
+        np.add(x2, s1, out=x3)                  # c3
+        np.add(x2, T, out=x2)                   # c2
+
+    def _fwd_r2(self, view, tw, q, q2, work) -> None:
+        w, wlo, whi = tw
+        lo = view[:, :, 0]
+        hi = view[:, :, 1]
+        T, s1 = work[0], work[1]
+        modmath.cond_sub_into(lo, q2, s1)
+        modmath.mul_shoup_lazy_into(hi, w, wlo, whi, q, T, work[1:])
+        np.subtract(q2, T, out=s1)
+        np.add(lo, s1, out=hi)
+        np.add(lo, T, out=lo)
+
+    # -- inverse (Gentleman-Sande, [0, 2q) lazy domain) -----------------
+    def inverse(self, a) -> None:
+        """In-place inverse NTT of an ``(R, n)`` canonical stack.
+
+        Includes the trailing ``N^-1`` scaling and canonicalisation.
+        """
+        rows = a.shape[0]
+        bufs = self._scratch(rows)
+        q, q2 = self._q3, self._q2_3
+        for kind, g, t, tw in self._inv:
+            cnt = rows * g * t
+            work = tuple(b[:cnt].reshape(rows, g, t) for b in bufs)
+            if kind == "r4":
+                view = a.reshape(rows, g, 4, t)
+                self._inv_r4(view, tw, q, q2, work)
+            else:
+                view = a.reshape(rows, g, 2, t)
+                self._inv_r2(view, tw[0], q, q2, work)
+        # N^-1 scaling (in-place Shoup) + canonical fold, by halves.
+        half = max(self.n // 2, 1)
+        qd = self._q2d
+        for col in range(0, self.n, half):
+            part = a[:, col:col + half]
+            s = tuple(b[:part.size].reshape(part.shape) for b in bufs)
+            modmath.mul_shoup_lazy_into(
+                part, self._ni_w, self._ni_ws[0], self._ni_ws[1],
+                qd, part, s)
+            modmath.cond_sub_into(part, qd, s[0])
+
+    def _inv_r4(self, view, tw, q, q2, work) -> None:
+        (we, welo, wehi), (wo, wolo, wohi), (w2, w2lo, w2hi) = tw
+        x0 = view[:, :, 0]
+        x1 = view[:, :, 1]
+        x2 = view[:, :, 2]
+        x3 = view[:, :, 3]
+        T, s1 = work[0], work[1]
+        s = (work[2], work[3], work[4], work[5], T)
+        # first half-stage: (x0, x1) by we, (x2, x3) by wo
+        np.subtract(q2, x1, out=s1)
+        np.add(s1, x0, out=s1)                  # x0 - x1 (+2q)
+        np.add(x0, x1, out=x0)
+        modmath.cond_sub_into(x0, q2, work[2])  # b0
+        modmath.mul_shoup_lazy_into(s1, we, welo, wehi, q, x1, s)
+        np.subtract(q2, x3, out=s1)
+        np.add(s1, x2, out=s1)
+        np.add(x2, x3, out=x2)
+        modmath.cond_sub_into(x2, q2, work[2])  # b2
+        modmath.mul_shoup_lazy_into(s1, wo, wolo, wohi, q, x3, s)
+        # second half-stage: (b0, b2) and (b1, b3), shared twiddle w2
+        np.subtract(q2, x2, out=s1)
+        np.add(s1, x0, out=s1)
+        np.add(x0, x2, out=x0)
+        modmath.cond_sub_into(x0, q2, work[2])  # c0
+        modmath.mul_shoup_lazy_into(s1, w2, w2lo, w2hi, q, x2, s)
+        np.subtract(q2, x3, out=s1)
+        np.add(s1, x1, out=s1)
+        np.add(x1, x3, out=x1)
+        modmath.cond_sub_into(x1, q2, work[2])  # c1
+        modmath.mul_shoup_lazy_into(s1, w2, w2lo, w2hi, q, x3, s)
+
+    def _inv_r2(self, view, tw, q, q2, work) -> None:
+        w, wlo, whi = tw
+        lo = view[:, :, 0]
+        hi = view[:, :, 1]
+        T, s1 = work[0], work[1]
+        s = (work[2], work[3], work[4], work[5], T)
+        np.subtract(q2, hi, out=s1)
+        np.add(s1, lo, out=s1)
+        np.add(lo, hi, out=lo)
+        modmath.cond_sub_into(lo, q2, work[2])
+        modmath.mul_shoup_lazy_into(s1, w, wlo, whi, q, hi, s)
 
 
 class NttPlan:
@@ -77,20 +357,30 @@ class NttPlan:
         the exact arbitrary-precision oracle for a modulus that would
         auto-select a faster path).  Defaults to the modulus's
         auto-selected path.
+    radix:
+        Butterfly tier: :data:`RADIX_FUSED` (default — the scalar plan
+        delegates to a one-row :class:`FusedNttEngine`) or
+        :data:`RADIX_ORACLE` for the per-stage-normalised radix-2
+        reference.  The object path always runs its per-group loops.
 
     The plan owns the bit-reversed twiddle tables; limbs transform
     in-place-style through :meth:`forward` / :meth:`inverse`.
     """
 
     def __init__(self, ring_degree: int, modulus: int,
-                 path: str | None = None, backend=None):
+                 path: str | None = None, backend=None,
+                 radix: int | None = None):
         if ring_degree & (ring_degree - 1):
             raise ValueError("ring degree must be a power of two")
         if (modulus - 1) % (2 * ring_degree) != 0:
             raise ValueError(
                 f"modulus {modulus} is not NTT-friendly for N={ring_degree}")
+        radix = RADIX_FUSED if radix is None else int(radix)
+        if radix not in (RADIX_ORACLE, RADIX_FUSED):
+            raise ValueError(f"unsupported butterfly radix {radix}")
         self.n = ring_degree
         self.modulus = modulus
+        self.radix = radix
         self._kernel = modmath.get_kernel(modulus, path, backend)
         self.path = self._kernel.path
         self.backend = self._kernel.backend
@@ -112,6 +402,38 @@ class NttPlan:
             self._psi_rev_shoup = None
             self._psi_inv_rev_shoup = None
             self._n_inv_pair = None
+        # The fused engine is built lazily on first use: plans built
+        # only for their tables (the batch plan reuses them) never pay
+        # for uint64 re-tabulation or Shoup splitting.
+        self._engine = None
+
+    @property
+    def fused(self) -> bool:
+        """Whether transforms run on the fused radix-4 engine."""
+        return self.radix == RADIX_FUSED and self.path != modmath.OBJECT
+
+    def _get_engine(self) -> FusedNttEngine:
+        if self._engine is None:
+            kernel = self._kernel
+            be = self.backend
+            if self.path == modmath.WIDE:
+                psi, psi_s = self._psi_rev, self._psi_rev_shoup
+                psi_i, psi_is = self._psi_inv_rev, self._psi_inv_rev_shoup
+                pair = self._n_inv_pair
+            else:
+                # Narrow plans keep int64 tables without Shoup
+                # companions; the uint64 engine is valid for any
+                # q < 2^62, so build uint64 copies once here.
+                psi = be.asarray(self._psi_rev, dtype=np.uint64)
+                psi_i = be.asarray(self._psi_inv_rev, dtype=np.uint64)
+                psi_s = be.from_host(kernel.shoup_table(self._psi_rev))
+                psi_is = be.from_host(
+                    kernel.shoup_table(self._psi_inv_rev))
+                pair = modmath.shoup_pair(self._n_inv, self.modulus)
+            self._engine = FusedNttEngine(
+                self.n, self.modulus, psi, psi_s, psi_i, psi_is, pair,
+                be, WorkspaceArena(be, "ntt"), per_row=False)
+        return self._engine
 
     def _power_table(self, base: int) -> np.ndarray:
         """Powers base^0..base^(N-1) stored in bit-reversed order."""
@@ -125,9 +447,17 @@ class NttPlan:
         return self._kernel.asresidues(powers[rev])
 
     def _stage_mul(self, values, twiddles, shoup):
-        """Butterfly-stage multiply: values (m, t) by twiddle column."""
+        """Butterfly-stage multiply: values (m, t) by twiddle column.
+
+        The wide path runs the shared lazy-Shoup helper — the same
+        multiply the batch oracle and the fused engine use — folded
+        back to canonical here because the radix-2 oracle keeps every
+        stage in ``[0, q)``.
+        """
         if self.path == modmath.WIDE:
-            return self._kernel.mul_shoup(values, twiddles, shoup)
+            q = self._kernel._q64
+            r = modmath.mul_shoup_lazy(values, twiddles, shoup, q)
+            return np.where(r >= q, r - q, r)
         return np.mod(values * twiddles, self.modulus)
 
     def _forward_stages(self, a: np.ndarray) -> None:
@@ -213,6 +543,16 @@ class NttPlan:
             t *= 2
             m = h
 
+    def _as_u64_rows(self, a: np.ndarray) -> np.ndarray:
+        """Reinterpret a canonical 1-D working array as (1, n) uint64.
+
+        Narrow residues are int64 but canonical (< q < 2^31), so the
+        dtype reinterpret is a free view in both directions.
+        """
+        if a.dtype == np.int64:
+            return a.view(np.uint64).reshape(1, -1)
+        return a.reshape(1, -1)
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Coefficient form -> evaluation form (negacyclic NTT)."""
         tracer = get_tracer()
@@ -222,11 +562,14 @@ class NttPlan:
             raise ValueError("limb length does not match the plan")
         if self.path == modmath.OBJECT:
             self._forward_groups(a)
+        elif self.fused:
+            self._get_engine().forward(self._as_u64_rows(a))
         else:
             self._forward_stages(a)
         if tracer.enabled:
             tracer.count("ntt.forward")
             tracer.count("ntt.path." + self.path)
+            tracer.count("ntt.tier.radix%d" % self.radix)
             tracer.observe("ntt.forward_s", perf_counter() - start)
         return a
 
@@ -240,15 +583,21 @@ class NttPlan:
             raise ValueError("limb length does not match the plan")
         if self.path == modmath.OBJECT:
             self._inverse_groups(a)
+            out = kernel.mul(a, self._n_inv)
+        elif self.fused:
+            # The engine folds the N^-1 scaling into its final pass.
+            self._get_engine().inverse(self._as_u64_rows(a))
+            out = a
         else:
             self._inverse_stages(a)
-        if self.path == modmath.WIDE:
-            out = kernel.mul_shoup(a, *self._n_inv_pair)
-        else:
-            out = kernel.mul(a, self._n_inv)
+            if self.path == modmath.WIDE:
+                out = kernel.mul_shoup(a, *self._n_inv_pair)
+            else:
+                out = kernel.mul(a, self._n_inv)
         if tracer.enabled:
             tracer.count("ntt.inverse")
             tracer.count("ntt.path." + self.path)
+            tracer.count("ntt.tier.radix%d" % self.radix)
             tracer.observe("ntt.inverse_s", perf_counter() - start)
         return out
 
@@ -277,21 +626,28 @@ class BatchNttPlan:
     of the accelerator's NTTU operating on a whole limb set per
     ModUp digit.
 
+    ``radix=4`` (default) runs the zero-steady-state-allocation
+    :class:`FusedNttEngine`; ``radix=2`` keeps the per-stage
+    canonically-reduced butterflies as the bit-exactness oracle.
     Limbs over the exact ``object`` path (moduli beyond 62 bits) fall
     back to their scalar plans; results are bit-identical to the
-    per-limb plans on every path.
+    per-limb plans on every path and every tier.
     """
 
     def __init__(self, ring_degree: int, moduli: tuple[int, ...],
-                 backend=None):
+                 backend=None, radix: int | None = None):
         # Imported lazily: rns imports NttPlan from this module at
         # load time, but the shared bounded per-(N, q) plan cache
         # lives there and must be reused so batch and scalar callers
         # agree on tables.
         from repro.ckks.rns import get_plan
 
+        radix = RADIX_FUSED if radix is None else int(radix)
+        if radix not in (RADIX_ORACLE, RADIX_FUSED):
+            raise ValueError(f"unsupported butterfly radix {radix}")
         self.n = int(ring_degree)
         self.moduli = tuple(int(q) for q in moduli)
+        self.radix = radix
         # The batched butterflies are pure uint64 lazy-Shoup ops.
         be = backend_mod.kernel_backend(backend)
         self.backend = be
@@ -333,6 +689,7 @@ class BatchNttPlan:
             n_inv_w.append(w)
             n_inv_ws.append(ws)
             q_col.append(np.uint64(q))
+        self._engine = None
         if self._batch_rows:
             self._psi = be.from_host(np.stack(psi))
             self._psi_shoup = be.from_host(np.stack(psi_shoup))
@@ -344,21 +701,38 @@ class BatchNttPlan:
                 np.array(n_inv_ws, dtype=np.uint64).reshape(-1, 1))
             self._q = be.from_host(
                 np.array(q_col, dtype=np.uint64).reshape(-1, 1))
+            if radix == RADIX_FUSED:
+                self._engine = FusedNttEngine(
+                    self.n,
+                    [self.moduli[i] for i in self._batch_rows],
+                    self._psi, self._psi_shoup,
+                    self._psi_inv, self._psi_inv_shoup,
+                    (self._n_inv_w, self._n_inv_ws),
+                    be, WorkspaceArena(be, "ntt"), per_row=True)
 
     # -- batched butterflies (uint64 lazy-Shoup datapath) ---------------
     def _stack(self, limbs) -> np.ndarray:
         a = self.backend.empty((len(self._batch_rows), self.n), np.uint64)
+        self._stack_into(limbs, a)
+        return a
+
+    def _stack_into(self, limbs, block) -> None:
         for row, i in enumerate(self._batch_rows):
             arr = self._kernels[i].asresidues(limbs[i], copy=False)
             if len(arr) != self.n:
                 raise ValueError("limb length does not match the plan")
-            a[row] = arr
-        return a
+            block[row] = arr
 
     def _unstack(self, a: np.ndarray, out: list) -> None:
+        """Hand rows back as per-limb arrays (free dtype views).
+
+        Rows are views into the output block (each caller gets a fresh
+        block, so views never alias across calls); narrow limbs are
+        reinterpreted to int64 in place — canonical residues fit both.
+        """
         for row, i in enumerate(self._batch_rows):
             if self._kernels[i].dtype == np.int64:
-                out[i] = a[row].astype(np.int64)
+                out[i] = a[row].view(np.int64)
             else:
                 out[i] = a[row]
 
@@ -373,7 +747,7 @@ class BatchNttPlan:
             hi = view[:, :, t:]
             w = self._psi[:, m:2 * m, None]
             ws = self._psi_shoup[:, m:2 * m, None]
-            prod = hi * w - modmath.mulhi(hi, ws) * q   # lazy: [0, 2q)
+            prod = modmath.mul_shoup_lazy(hi, w, ws, q)   # lazy: [0, 2q)
             prod = np.where(prod >= q, prod - q, prod)
             s = lo + prod
             d = lo + (q - prod)
@@ -396,70 +770,102 @@ class BatchNttPlan:
             d = np.where(d >= q, d - q, d)
             s = lo + hi
             view[:, :, :t] = np.where(s >= q, s - q, s)
-            prod = d * w - modmath.mulhi(d, ws) * q
+            prod = modmath.mul_shoup_lazy(d, w, ws, q)
             view[:, :, t:] = np.where(prod >= q, prod - q, prod)
             t *= 2
             m = h
         qq = self._q
-        r = a * self._n_inv_w - modmath.mulhi(a, self._n_inv_ws) * qq
+        r = modmath.mul_shoup_lazy(a, self._n_inv_w, self._n_inv_ws, qq)
         return np.where(r >= qq, r - qq, r)
 
     # -- public API -----------------------------------------------------
-    def forward(self, limbs) -> list:
+    def _out_block(self, out):
+        rows = len(self._batch_rows)
+        if out is None:
+            return self.backend.empty((rows, self.n), np.uint64)
+        if out.shape != (rows, self.n) or out.dtype != np.uint64:
+            raise ValueError("out block must be (batch_rows, N) uint64")
+        return out
+
+    def forward(self, limbs, out=None) -> list:
+        """Batched forward NTT; ``out`` may supply the output block.
+
+        On the fused tier the only steady-state allocation is the
+        output block itself — pass a caller-owned ``(len(batch_rows),
+        N)`` uint64 array as ``out`` to run fully allocation-free
+        (returned limbs are then views into that block).
+        """
         if len(limbs) != len(self.moduli):
             raise ValueError("limb count does not match the basis")
         tracer = get_tracer()
         start = perf_counter() if tracer.enabled else 0.0
-        out: list = [None] * len(limbs)
+        result: list = [None] * len(limbs)
         if self._batch_rows:
-            a = self._stack(limbs)
-            self._forward_stages(a)
-            self._unstack(a, out)
+            if self._engine is not None:
+                a = self._out_block(out)
+                self._stack_into(limbs, a)
+                self._engine.forward(a)
+            else:
+                a = self._stack(limbs)
+                self._forward_stages(a)
+            self._unstack(a, result)
         for i in self._object_rows:
-            out[i] = self._scalar_plans[i].forward(limbs[i])
+            result[i] = self._scalar_plans[i].forward(limbs[i])
         if tracer.enabled:
             tracer.count("ntt.batch_forward")
+            tracer.count("ntt.tier.radix%d" % self.radix)
             for i in self._batch_rows:
                 tracer.count("ntt.path." + self._kernels[i].path)
             tracer.observe("ntt.batch_forward_s", perf_counter() - start)
-        return out
+        return result
 
-    def inverse(self, limbs) -> list:
+    def inverse(self, limbs, out=None) -> list:
+        """Batched inverse NTT; ``out`` may supply the output block."""
         if len(limbs) != len(self.moduli):
             raise ValueError("limb count does not match the basis")
         tracer = get_tracer()
         start = perf_counter() if tracer.enabled else 0.0
-        out: list = [None] * len(limbs)
+        result: list = [None] * len(limbs)
         if self._batch_rows:
-            a = self._stack(limbs)
-            self._unstack(self._inverse_stages(a), out)
+            if self._engine is not None:
+                a = self._out_block(out)
+                self._stack_into(limbs, a)
+                self._engine.inverse(a)
+                self._unstack(a, result)
+            else:
+                a = self._stack(limbs)
+                self._unstack(self._inverse_stages(a), result)
         for i in self._object_rows:
-            out[i] = self._scalar_plans[i].inverse(limbs[i])
+            result[i] = self._scalar_plans[i].inverse(limbs[i])
         if tracer.enabled:
             tracer.count("ntt.batch_inverse")
+            tracer.count("ntt.tier.radix%d" % self.radix)
             for i in self._batch_rows:
                 tracer.count("ntt.path." + self._kernels[i].path)
             tracer.observe("ntt.batch_inverse_s", perf_counter() - start)
-        return out
+        return result
 
 
 @lru_cache(maxsize=BATCH_PLAN_CACHE_MAXSIZE)
 def _build_batch_plan(ring_degree: int, moduli: tuple[int, ...],
-                      backend) -> BatchNttPlan:
-    return BatchNttPlan(ring_degree, moduli, backend)
+                      backend, radix: int) -> BatchNttPlan:
+    return BatchNttPlan(ring_degree, moduli, backend, radix=radix)
 
 
 def get_batch_plan(ring_degree: int, moduli: tuple[int, ...],
-                   backend=None) -> BatchNttPlan:
-    """Shared batch plan for one (N, basis, backend) triple.
+                   backend=None, radix: int | None = None) -> BatchNttPlan:
+    """Shared batch plan for one (N, basis, backend, radix) tuple.
 
     Bounded LRU cache keyed on the resolved backend singleton, so a
     mid-process ``backend.select`` builds fresh device-resident stacks
-    instead of serving another device's tables.
+    instead of serving another device's tables — and on the butterfly
+    radix tier, so the radix-2 oracle and the fused radix-4 plan for
+    the same basis never alias each other.
     """
+    radix = RADIX_FUSED if radix is None else int(radix)
     return _build_batch_plan(int(ring_degree),
                              tuple(int(q) for q in moduli),
-                             backend_mod.resolve(backend))
+                             backend_mod.resolve(backend), radix)
 
 
 def batch_plan_cache_info():
@@ -471,17 +877,19 @@ def clear_batch_plan_cache() -> None:
 
 
 def transform_limbs(limbs, moduli, ring_degree: int,
-                    inverse: bool = False, backend=None) -> list:
+                    inverse: bool = False, backend=None,
+                    radix: int | None = None) -> list:
     """Run every limb of one basis through a single batched NTT call.
 
     ``limbs[i]`` must be a residue vector modulo ``moduli[i]``.
     Returns the transformed limbs in basis order, bit-identical to
     looping :meth:`NttPlan.forward` / :meth:`NttPlan.inverse` per
-    limb, but with one stage-vectorised pass over a ``(k, N)`` stack
-    instead of ``k`` separate transforms.
+    limb, but with one fused pass over a ``(k, N)`` stack instead of
+    ``k`` separate transforms.  ``radix`` selects the butterfly tier
+    (fused radix-4 by default; 2 for the oracle).
     """
     plan = get_batch_plan(int(ring_degree), tuple(int(q) for q in moduli),
-                          backend)
+                          backend, radix=radix)
     return plan.inverse(limbs) if inverse else plan.forward(limbs)
 
 

@@ -48,25 +48,33 @@ PLAN_CACHE_MAXSIZE = 256
 
 
 @lru_cache(maxsize=PLAN_CACHE_MAXSIZE)
-def _build_plan(ring_degree: int, modulus: int, backend) -> NttPlan:
+def _build_plan(ring_degree: int, modulus: int, backend,
+                radix: int) -> NttPlan:
     tracer = get_tracer()
     if tracer.enabled:
         start = perf_counter()
-        plan = NttPlan(ring_degree, modulus, backend=backend)
+        plan = NttPlan(ring_degree, modulus, backend=backend, radix=radix)
         tracer.count("rns.plan_builds")
         tracer.observe("rns.plan_build_s", perf_counter() - start)
         return plan
-    return NttPlan(ring_degree, modulus, backend=backend)
+    return NttPlan(ring_degree, modulus, backend=backend, radix=radix)
 
 
-def get_plan(ring_degree: int, modulus: int, backend=None) -> NttPlan:
-    """Shared NTT plan for one (N, q, backend) triple (bounded LRU).
+def get_plan(ring_degree: int, modulus: int, backend=None,
+             radix: int | None = None) -> NttPlan:
+    """Shared NTT plan for one (N, q, backend, radix) tuple.
 
-    Keyed on the resolved backend singleton so twiddle/Shoup tables
-    built for one device are never served to another.
+    Bounded LRU, keyed on the resolved backend singleton so
+    twiddle/Shoup tables built for one device are never served to
+    another — and on the butterfly radix tier, so the radix-2
+    bit-exactness oracle and the fused radix-4 plan for the same
+    (N, q) never alias.
     """
+    from repro.ckks import ntt as ntt_mod
+
+    radix = ntt_mod.RADIX_FUSED if radix is None else int(radix)
     return _build_plan(int(ring_degree), int(modulus),
-                       backend_mod.resolve(backend))
+                       backend_mod.resolve(backend), radix)
 
 
 def plan_cache_info():
@@ -666,6 +674,10 @@ class BConvPlan:
         Buffers are pooled on the plan (list ``pop``/``append`` are
         GIL-atomic, so concurrent converts simply allocate their own
         set) — the steady state runs with zero large allocations.
+        Pool misses are ledger-counted as ``kernel.alloc.bconv``, the
+        same way the NTT and KMU arenas count theirs (see
+        :mod:`repro.backend.arena`), so "zero steady-state allocs" is
+        asserted by the bench profile and CI, never assumed.
         """
         try:
             ws = self._ws_pool.pop()
@@ -673,6 +685,9 @@ class BConvPlan:
                 return ws
         except IndexError:
             pass
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("kernel.alloc.bconv")
         k_in, k_out = self.k_in, self.k_out
         empty = self.backend.empty
         ws = {

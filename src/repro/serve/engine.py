@@ -103,18 +103,22 @@ class RowBatchNtt:
 
     :class:`repro.ckks.ntt.BatchNttPlan` batches the *limb* axis of
     one RNS basis; serving batches the *request* axis of one limb.
-    Because every row shares the same modulus, the lazy-Shoup
-    butterfly stages run with a scalar ``q`` and the plan's own
-    ``(N,)`` twiddle tables — no per-row table stacking, no Python
-    loop over rows.  The stage formulas are copied verbatim from
-    ``BatchNttPlan``, so results are bit-identical to running the
-    scalar :class:`repro.ckks.ntt.NttPlan` on each row.
+    Because every row shares the same modulus, the butterflies run
+    with a scalar ``q`` and the plan's own ``(N,)`` twiddle tables —
+    no per-row table stacking, no Python loop over rows.  The rows
+    ride the same fused radix-4 lazy-reduction engine
+    (:class:`repro.ckks.ntt.FusedNttEngine`) as ``BatchNttPlan``, so
+    results are bit-identical to running the scalar
+    :class:`repro.ckks.ntt.NttPlan` on each row — which is exactly
+    what the serial oracle does, on radix-2 plans, so the fused tier
+    never vets itself.
 
     Moduli beyond the 62-bit uint64 datapath (the exact ``object``
     path) fall back to a per-row scalar-plan loop.
     """
 
     def __init__(self, ring_degree: int, modulus: int, backend=None):
+        from repro.ckks.ntt import FusedNttEngine
         from repro.ckks.rns import get_plan
 
         self.n = int(ring_degree)
@@ -124,6 +128,7 @@ class RowBatchNtt:
         self._plan = get_plan(self.n, self.modulus, backend=backend)
         self.vectorised = self._kernel.path != modmath.OBJECT
         if not self.vectorised:
+            self._engine = None
             return
         plan = self._plan
         kernel = self._kernel
@@ -147,6 +152,10 @@ class RowBatchNtt:
         self._n_inv_w = np.uint64(w)
         self._n_inv_ws = np.uint64(ws)
         self._q = np.uint64(self.modulus)
+        self._engine = FusedNttEngine(
+            self.n, self.modulus, self._psi, self._psi_shoup,
+            self._psi_inv, self._psi_inv_shoup, (w, ws), be,
+            backend_mod.WorkspaceArena(be, "ntt"), per_row=False)
 
     def _rows(self, rows: np.ndarray) -> np.ndarray:
         a = self.backend.asarray(rows, dtype=np.uint64, copy=True)
@@ -164,23 +173,7 @@ class RowBatchNtt:
         if not self.vectorised:
             return self._loop(rows, inverse=False)
         a = self._rows(rows)
-        b = a.shape[0]
-        q = self._q
-        t, m = self.n, 1
-        while m < self.n:
-            t //= 2
-            view = a.reshape(b, m, 2 * t)
-            lo = view[:, :, :t]
-            hi = view[:, :, t:]
-            w = self._psi[m:2 * m, None]
-            ws = self._psi_shoup[m:2 * m, None]
-            prod = hi * w - modmath.mulhi(hi, ws) * q   # lazy: [0, 2q)
-            prod = np.where(prod >= q, prod - q, prod)
-            s = lo + prod
-            d = lo + (q - prod)
-            view[:, :, :t] = np.where(s >= q, s - q, s)
-            view[:, :, t:] = np.where(d >= q, d - q, d)
-            m *= 2
+        self._engine.forward(a)
         return a
 
     def inverse(self, rows: np.ndarray) -> np.ndarray:
@@ -188,26 +181,8 @@ class RowBatchNtt:
         if not self.vectorised:
             return self._loop(rows, inverse=True)
         a = self._rows(rows)
-        b = a.shape[0]
-        q = self._q
-        t, m = 1, self.n
-        while m > 1:
-            h = m // 2
-            view = a.reshape(b, h, 2 * t)
-            lo = view[:, :, :t]
-            hi = view[:, :, t:]
-            w = self._psi_inv[h:2 * h, None]
-            ws = self._psi_inv_shoup[h:2 * h, None]
-            d = lo + (q - hi)
-            d = np.where(d >= q, d - q, d)
-            s = lo + hi
-            view[:, :, :t] = np.where(s >= q, s - q, s)
-            prod = d * w - modmath.mulhi(d, ws) * q
-            view[:, :, t:] = np.where(prod >= q, prod - q, prod)
-            t *= 2
-            m = h
-        r = a * self._n_inv_w - modmath.mulhi(a, self._n_inv_ws) * q
-        return np.where(r >= q, r - q, r)
+        self._engine.inverse(a)
+        return a
 
 
 # -- stacked op application ------------------------------------------------
@@ -374,11 +349,17 @@ class ServeExecutor:
         state = {ct: stack[0].copy()
                  for ct, stack in self.initial_state(trace,
                                                      [seed]).items()}
+        from repro.ckks.ntt import RADIX_ORACLE
+        from repro.ckks.rns import get_plan
+
         seeds_arr = self._seed_array([seed])
         counter = self._ctx["counter"]
         kernels = self._ctx["kernels"]
-        plans = [row_ntt._plan for row_ntt in self._ctx["row_ntts"]]
         n = self.ring_degree
+        # Radix-2 oracle-tier plans, deliberately: the serial oracle
+        # must not share the fused butterflies the stacked path runs.
+        plans = [get_plan(n, row_ntt.modulus, radix=RADIX_ORACLE)
+                 for row_ntt in self._ctx["row_ntts"]]
         for index, op in enumerate(trace):
             ct = state[op.ct_id]
             for j, q in enumerate(self.moduli):

@@ -1,0 +1,275 @@
+"""Fused radix-4 NTT tier: differential, allocation and cache keying.
+
+The fused engine (merged two-stage butterflies, cross-stage lazy
+reduction, arena-pooled workspaces) must be **bit-identical** to the
+per-stage-normalised radix-2 oracle across the whole supported width
+grid, and a warmed plan must allocate nothing: both are asserted
+here, the first by hypothesis-driven differentials against the oracle
+and the schoolbook convolution reference, the second by FakeBackend's
+device-allocation counter and the ``kernel.alloc.ntt`` obs ledger.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.backend as backend_mod
+from repro import obs
+from repro.ckks import primes
+from repro.ckks.ntt import (RADIX_FUSED, RADIX_ORACLE,
+                            clear_batch_plan_cache, get_batch_plan,
+                            negacyclic_convolution_reference)
+from repro.ckks.rns import clear_plan_cache, get_plan
+
+#: the supported uint64-datapath width grid: narrow (26/28/31) and
+#: wide (36/60/62) moduli; 62 bits is the lazy-domain headroom edge
+#: (4q < 2^64).
+WIDTHS = (26, 28, 31, 36, 60, 62)
+
+N = 64
+
+
+def _prime(bits: int, n: int = N) -> int:
+    return primes.ntt_primes(1, bits, n)[0]
+
+
+def _limb(q: int, n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, q, size=n,
+                                                dtype=np.uint64)
+
+
+def _host(arr) -> np.ndarray:
+    return np.asarray(backend_mod.to_host(arr), dtype=np.uint64)
+
+
+class TestScalarDifferential:
+    """Fused scalar plans against the radix-2 oracle, per width."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(bits=st.sampled_from(WIDTHS),
+           n_log2=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_forward_inverse_match_oracle(self, bits, n_log2, seed):
+        n = 1 << n_log2
+        q = _prime(bits, n)
+        fused = get_plan(n, q, radix=RADIX_FUSED)
+        oracle = get_plan(n, q, radix=RADIX_ORACLE)
+        assert fused.fused and not oracle.fused
+        x = _limb(q, n, seed)
+        fwd_fused = _host(fused.forward(x.copy()))
+        fwd_oracle = _host(oracle.forward(x.copy()))
+        np.testing.assert_array_equal(fwd_fused, fwd_oracle)
+        inv_fused = _host(fused.inverse(fwd_fused.copy()))
+        inv_oracle = _host(oracle.inverse(fwd_oracle.copy()))
+        np.testing.assert_array_equal(inv_fused, inv_oracle)
+        # roundtrip composition lands back on the input
+        np.testing.assert_array_equal(inv_fused, x)
+
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_worst_case_residues(self, bits):
+        # All-(q-1) inputs drive every butterfly through the top of
+        # its lazy domain — the headroom proof's worst case.
+        q = _prime(bits)
+        fused = get_plan(N, q, radix=RADIX_FUSED)
+        oracle = get_plan(N, q, radix=RADIX_ORACLE)
+        x = np.full(N, q - 1, dtype=np.uint64)
+        fwd = _host(fused.forward(x.copy()))
+        np.testing.assert_array_equal(fwd, _host(oracle.forward(x.copy())))
+        np.testing.assert_array_equal(
+            _host(fused.inverse(fwd.copy())),
+            _host(oracle.inverse(fwd.copy())))
+        np.testing.assert_array_equal(_host(fused.inverse(fwd)), x)
+
+    @pytest.mark.parametrize("bits", (28, 36, 62))
+    def test_pointwise_product_is_negacyclic_convolution(self, bits):
+        n = 16
+        q = _prime(bits, n)
+        plan = get_plan(n, q)          # default tier is the fused one
+        assert plan.radix == RADIX_FUSED
+        rng = np.random.default_rng(bits)
+        a = rng.integers(0, q, size=n, dtype=np.uint64)
+        b = rng.integers(0, q, size=n, dtype=np.uint64)
+        fa = np.asarray(_host(plan.forward(a)), dtype=object)
+        fb = np.asarray(_host(plan.forward(b)), dtype=object)
+        via_ntt = _host(plan.inverse((fa * fb) % q))
+        reference = _host(negacyclic_convolution_reference(a, b, q))
+        np.testing.assert_array_equal(via_ntt, reference)
+
+    @settings(deadline=None, max_examples=20)
+    @given(bits=st.sampled_from(WIDTHS),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_inverse_forward_identity(self, bits, seed):
+        q = _prime(bits)
+        plan = get_plan(N, q)
+        x = _limb(q, N, seed)
+        np.testing.assert_array_equal(
+            _host(plan.forward(plan.inverse(x.copy()))), x)
+
+
+class TestBatchDifferential:
+    """Fused batch plans against the radix-2 batch oracle."""
+
+    def _basis(self, n: int) -> tuple[int, ...]:
+        return (tuple(primes.ntt_primes(2, 28, n))
+                + tuple(primes.ntt_primes(2, 36, n))
+                + tuple(primes.ntt_primes(1, 60, n)))
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_forward_inverse_match_oracle(self, seed):
+        moduli = self._basis(N)
+        fused = get_batch_plan(N, moduli, radix=RADIX_FUSED)
+        oracle = get_batch_plan(N, moduli, radix=RADIX_ORACLE)
+        limbs = [_limb(q, N, seed + i) for i, q in enumerate(moduli)]
+        fwd_fused = fused.forward(limbs)
+        fwd_oracle = oracle.forward(limbs)
+        for a, b in zip(fwd_fused, fwd_oracle):
+            np.testing.assert_array_equal(_host(a), _host(b))
+        inv_fused = fused.inverse(fwd_fused)
+        inv_oracle = oracle.inverse(fwd_oracle)
+        for a, b, x in zip(inv_fused, inv_oracle, limbs):
+            np.testing.assert_array_equal(_host(a), _host(b))
+            np.testing.assert_array_equal(_host(a), x)
+
+    def test_out_block_round_trips(self):
+        moduli = self._basis(N)
+        plan = get_batch_plan(N, moduli)
+        limbs = [_limb(q, N, 7 + i) for i, q in enumerate(moduli)]
+        reference = [_host(r) for r in plan.forward(limbs)]
+        block = plan.backend.empty((len(moduli), N), np.uint64)
+        got = plan.forward(limbs, out=block)
+        for a, b in zip(got, reference):
+            np.testing.assert_array_equal(_host(a), b)
+        # the returned limbs are views into the caller's block
+        np.testing.assert_array_equal(_host(block[0]), reference[0])
+
+    def test_object_rows_fall_back(self):
+        n = 16
+        moduli = (primes.ntt_primes(1, 28, n)[0],
+                  primes.ntt_primes(1, 70, n)[0])
+        plan = get_batch_plan(n, moduli)
+        limbs = [np.random.default_rng(i).integers(0, 2**28, size=n)
+                 for i in range(2)]
+        fwd = plan.forward(limbs)
+        for i, q in enumerate(moduli):
+            scalar = get_plan(n, q, radix=RADIX_ORACLE)
+            got = np.asarray(backend_mod.to_host(fwd[i]),
+                             dtype=object) % q
+            want = np.asarray(
+                backend_mod.to_host(scalar.forward(limbs[i])),
+                dtype=object) % q
+            np.testing.assert_array_equal(got, want)
+
+
+class TestZeroAllocation:
+    """Warmed fused plans make zero device allocations."""
+
+    def test_warmed_batch_plan_allocates_nothing(self):
+        fake = backend_mod.get_backend("fake")
+        moduli = (tuple(primes.ntt_primes(2, 28, N))
+                  + tuple(primes.ntt_primes(2, 36, N)))
+        plan = get_batch_plan(N, moduli, backend=fake)
+        limbs = [fake.asarray(_limb(q, N, i))
+                 for i, q in enumerate(moduli)]
+        block = fake.empty((len(moduli), N), np.uint64)
+        # warmup: arena pool misses allocate the scratch buffers once
+        plan.forward(limbs, out=block)
+        plan.inverse(limbs, out=block)
+        fake.reset_counters()
+        plan.inverse(plan.forward(limbs, out=block), out=block)
+        counters = fake.transfer_counts()
+        assert counters["alloc"] == 0, counters
+
+    def test_warmed_row_batch_allocates_only_the_row_copy(self):
+        from repro.serve.engine import RowBatchNtt
+
+        fake = backend_mod.get_backend("fake")
+        q = _prime(36)
+        row_ntt = RowBatchNtt(N, q, backend=fake)
+        rows = fake.asarray(
+            np.stack([_limb(q, N, s) for s in range(4)]))
+        row_ntt.inverse(row_ntt.forward(rows))      # warm the arena
+        fake.reset_counters()
+        row_ntt.inverse(row_ntt.forward(rows))
+        counters = fake.transfer_counts()
+        assert counters["alloc"] == 0, counters
+
+    def test_ledger_counts_misses_then_goes_quiet(self):
+        moduli = tuple(primes.ntt_primes(3, 36, N))
+        limbs = [_limb(q, N, 11 + i) for i, q in enumerate(moduli)]
+        obs.configure(enabled=True, reset=True)
+        try:
+            clear_batch_plan_cache()
+            plan = get_batch_plan(N, moduli)
+            block = plan.backend.empty((len(moduli), N), np.uint64)
+            plan.forward(limbs, out=block)          # warmup: misses
+            warm = backend_mod.ledger_counters().get("kernel.alloc.ntt",
+                                                     0.0)
+            assert warm > 0
+            plan.inverse(plan.forward(limbs, out=block), out=block)
+            steady = backend_mod.ledger_counters().get(
+                "kernel.alloc.ntt", 0.0)
+            assert steady == warm, (warm, steady)
+        finally:
+            obs.configure(enabled=False, reset=True)
+            clear_batch_plan_cache()
+
+
+class TestRadixCacheKeying:
+    """Oracle and fused plans for one (n, moduli, backend) never alias."""
+
+    def test_scalar_plan_cache_keys_radix(self):
+        q = _prime(28)
+        fused = get_plan(N, q, radix=RADIX_FUSED)
+        oracle = get_plan(N, q, radix=RADIX_ORACLE)
+        assert fused is not oracle
+        assert get_plan(N, q) is fused              # default tier
+        assert get_plan(N, q, radix=RADIX_ORACLE) is oracle
+
+    def test_batch_plan_cache_keys_radix(self):
+        moduli = tuple(primes.ntt_primes(2, 28, N))
+        fused = get_batch_plan(N, moduli, radix=RADIX_FUSED)
+        oracle = get_batch_plan(N, moduli, radix=RADIX_ORACLE)
+        assert fused is not oracle
+        assert fused.radix == RADIX_FUSED
+        assert oracle.radix == RADIX_ORACLE
+        assert get_batch_plan(N, moduli) is fused
+
+    def test_invalid_radix_rejected(self):
+        q = _prime(28)
+        with pytest.raises(ValueError):
+            get_plan(N, q, radix=3)
+        with pytest.raises(ValueError):
+            get_batch_plan(N, (q,), radix=8)
+
+    def test_eviction_still_bounded_with_radix_keys(self):
+        from repro.ckks.rns import PLAN_CACHE_MAXSIZE, plan_cache_info
+
+        clear_plan_cache()
+        try:
+            half = PLAN_CACHE_MAXSIZE // 2 + 4
+            for q in primes.ntt_primes(half, 18, 32):
+                get_plan(32, q, radix=RADIX_FUSED)
+                get_plan(32, q, radix=RADIX_ORACLE)
+            info = plan_cache_info()
+            assert info.currsize <= PLAN_CACHE_MAXSIZE
+        finally:
+            clear_plan_cache()
+
+    def test_rebuilt_fused_plan_still_bit_exact_after_churn(self):
+        from repro.ckks.rns import PLAN_CACHE_MAXSIZE
+
+        clear_plan_cache()
+        try:
+            n = 32
+            q = primes.ntt_primes(1, 28, n)[0]
+            x = _limb(q, n, 3)
+            reference = _host(get_plan(n, q,
+                                       radix=RADIX_ORACLE).forward(x.copy()))
+            for churn_q in primes.ntt_primes(PLAN_CACHE_MAXSIZE + 4, 18, n):
+                get_plan(n, churn_q)
+            rebuilt = get_plan(n, q, radix=RADIX_FUSED)
+            np.testing.assert_array_equal(
+                _host(rebuilt.forward(x.copy())), reference)
+        finally:
+            clear_plan_cache()
